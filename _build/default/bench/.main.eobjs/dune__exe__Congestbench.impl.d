@@ -1,0 +1,1 @@
+bench/congestbench.ml: Harness Printf Wb_congest Wb_graph Wb_model Wb_protocols Wb_support

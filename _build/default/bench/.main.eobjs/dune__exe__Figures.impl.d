@@ -1,0 +1,1 @@
+bench/figures.ml: Harness List Printf Wb_graph Wb_model Wb_reductions Wb_support

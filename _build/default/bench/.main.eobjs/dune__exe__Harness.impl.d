@@ -1,0 +1,1 @@
+bench/harness.ml: List Printf String Wb_graph Wb_model Wb_support

@@ -1,0 +1,1 @@
+bench/lattice.ml: Harness List Printf Wb_model Wb_reductions Wb_support

@@ -1,0 +1,1 @@
+bench/main.ml: Array Congestbench Figures Harness Lattice List Msgsize Openproblems Printf String Synthbench Sys Table2 Timing Wb_model

@@ -1,0 +1,1 @@
+bench/openproblems.ml: Harness List Printf Wb_graph Wb_model Wb_protocols Wb_support

@@ -1,0 +1,1 @@
+bench/synthbench.ml: Harness List Printf Simasync_synth Simsync_synth Sys Wb_graph Wb_synth

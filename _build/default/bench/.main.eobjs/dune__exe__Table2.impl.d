@@ -1,0 +1,1 @@
+bench/table2.ml: Array Fun Harness List Printf String Wb_graph Wb_model Wb_protocols Wb_reductions Wb_support

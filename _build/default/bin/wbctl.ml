@@ -1,0 +1,248 @@
+(* wbctl — command-line driver for the whiteboard-model laboratory.
+
+   Subcommands:
+     models                         print Table 1
+     protocols                      list registered protocols
+     run                            run one protocol on a generated graph
+     explore                        exhaustively check all schedules
+     synth                          minimal-alphabet synthesis at tiny n
+     counting                       Lemma 3 information floors
+     graph                          generate a graph and print it (graph6) *)
+
+open Cmdliner
+module P = Wb_model
+module G = Wb_graph
+module Prng = Wb_support.Prng
+
+(* ---- shared argument parsing ---------------------------------------- *)
+
+let gen_doc =
+  "Graph family: tree, forest, path, cycle, star, complete, petersen, grid, hypercube, \
+   gnp, connected, ktree:K, kdegenerate:K, apollonian, eob, bipartite, two-cliques, \
+   near-two-cliques, triangle-tail"
+
+let make_graph ~family ~n ~p ~seed =
+  let rng = Prng.create seed in
+  let half = max 1 (n / 2) in
+  match String.split_on_char ':' family with
+  | [ "tree" ] -> G.Gen.random_tree rng n
+  | [ "forest" ] -> G.Gen.random_forest rng n ~keep:0.6
+  | [ "path" ] -> G.Gen.path n
+  | [ "cycle" ] -> G.Gen.cycle n
+  | [ "star" ] -> G.Gen.star n
+  | [ "complete" ] -> G.Gen.complete n
+  | [ "petersen" ] -> G.Gen.petersen ()
+  | [ "grid" ] ->
+    let side = max 1 (int_of_float (sqrt (float_of_int n))) in
+    G.Gen.grid side side
+  | [ "hypercube" ] ->
+    let d = max 1 (Wb_support.Bitbuf.width_of (max 1 (n - 1))) in
+    G.Gen.hypercube d
+  | [ "gnp" ] -> G.Gen.random_gnp rng n p
+  | [ "connected" ] -> G.Gen.random_connected rng n p
+  | [ "ktree"; k ] -> G.Gen.random_ktree rng n ~k:(int_of_string k)
+  | [ "kdegenerate"; k ] -> G.Gen.random_kdegenerate rng n ~k:(int_of_string k)
+  | [ "apollonian" ] -> G.Gen.apollonian rng n
+  | [ "eob" ] -> G.Gen.random_eob rng n p
+  | [ "bipartite" ] -> G.Gen.random_bipartite rng half (n - half) p
+  | [ "two-cliques" ] -> G.Gen.two_cliques_shuffled rng half
+  | [ "near-two-cliques" ] -> G.Gen.near_two_cliques half
+  | [ "triangle-tail" ] -> G.Gen.triangle_with_tail n
+  | _ -> invalid_arg ("unknown graph family: " ^ family)
+
+let family_arg =
+  Arg.(value & opt string "tree" & info [ "g"; "graph" ] ~docv:"FAMILY" ~doc:gen_doc)
+
+let n_arg = Arg.(value & opt int 16 & info [ "n" ] ~docv:"N" ~doc:"Number of nodes")
+
+let p_arg = Arg.(value & opt float 0.2 & info [ "p" ] ~docv:"P" ~doc:"Edge probability")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed")
+
+let adversary_arg =
+  Arg.(
+    value
+    & opt string "random"
+    & info [ "a"; "adversary" ] ~docv:"ADV"
+        ~doc:"Scheduler: min, max, random, alternate, avoid-last")
+
+let make_adversary name g seed =
+  match name with
+  | "min" -> P.Adversary.min_id
+  | "max" -> P.Adversary.max_id
+  | "random" -> P.Adversary.random (Prng.create seed)
+  | "alternate" -> P.Adversary.alternating_extremes
+  | "avoid-last" -> P.Adversary.last_writer_neighbor_avoider g
+  | other -> invalid_arg ("unknown adversary: " ^ other)
+
+(* ---- commands -------------------------------------------------------- *)
+
+let models_cmd =
+  let run () = print_endline (P.Model.table1 ()) in
+  Cmd.v (Cmd.info "models" ~doc:"Print the paper's Table 1") Term.(const run $ const ())
+
+let protocols_cmd =
+  let run () =
+    Printf.printf "%-26s %-10s %-22s %s\n" "key" "model" "problem (n=16)" "promise class";
+    List.iter
+      (fun (e : Wb_protocols.Registry.entry) ->
+        let promise =
+          match e.promise with
+          | Wb_protocols.Registry.Any_graph -> "any graph"
+          | Wb_protocols.Registry.Forest -> "forests"
+          | Wb_protocols.Registry.Degeneracy_at_most k -> Printf.sprintf "degeneracy <= %d" k
+          | Wb_protocols.Registry.Split_degeneracy_at_most k ->
+            Printf.sprintf "split-degeneracy <= %d" k
+          | Wb_protocols.Registry.Even_odd_bipartite -> "even-odd bipartite"
+          | Wb_protocols.Registry.Bipartite -> "bipartite"
+          | Wb_protocols.Registry.Regular_two_half -> "(n/2-1)-regular"
+        in
+        Printf.printf "%-26s %-10s %-22s %s%s\n" e.key
+          (P.Model.name (P.Protocol.model e.protocol))
+          (P.Problems.name (e.problem 16))
+          promise
+          (if e.randomized then "  [randomized]" else ""))
+      (Wb_protocols.Registry.all ())
+  in
+  Cmd.v (Cmd.info "protocols" ~doc:"List registered protocols") Term.(const run $ const ())
+
+let print_run g problem (run : P.Engine.run) =
+  Printf.printf "rounds: %d   max message: %d bits   board total: %d bits\n"
+    run.P.Engine.stats.rounds run.P.Engine.stats.max_message_bits run.P.Engine.stats.total_bits;
+  Printf.printf "write order: %s\n"
+    (String.concat " " (List.map (fun v -> string_of_int (v + 1)) (Array.to_list run.P.Engine.writes)));
+  match run.P.Engine.outcome with
+  | P.Engine.Success a ->
+    Format.printf "answer: %a@." P.Answer.pp a;
+    Printf.printf "valid: %b\n" (P.Problems.valid_answer problem g a)
+  | P.Engine.Deadlock -> print_endline "outcome: DEADLOCK (corrupted final configuration)"
+  | P.Engine.Size_violation { node; bits; bound } ->
+    Printf.printf "outcome: SIZE VIOLATION node %d wrote %d bits (bound %d)\n" (node + 1) bits bound
+  | P.Engine.Output_error e -> Printf.printf "outcome: OUTPUT ERROR %s\n" e
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the round-by-round execution timeline")
+
+let run_cmd =
+  let key_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROTOCOL" ~doc:"Registry key")
+  in
+  let run key family n p seed adv trace =
+    match Wb_protocols.Registry.find key with
+    | None ->
+      Printf.eprintf "unknown protocol %s (try `wbctl protocols`)\n" key;
+      exit 1
+    | Some e ->
+      let g = make_graph ~family ~n ~p ~seed in
+      Printf.printf "graph: %s on %d nodes, %d edges (seed %d)\n" family (G.Graph.n g)
+        (G.Graph.num_edges g) seed;
+      if not (Wb_protocols.Registry.satisfies_promise e.promise g) then
+        print_endline "warning: instance violates the protocol's promise class";
+      let adversary = make_adversary adv g seed in
+      let result = P.Engine.run_packed e.protocol g adversary in
+      if trace then print_string (P.Report.timeline result);
+      print_run g (e.problem (G.Graph.n g)) result
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a protocol on a generated graph")
+    Term.(const run $ key_arg $ family_arg $ n_arg $ p_arg $ seed_arg $ adversary_arg $ trace_arg)
+
+let explore_cmd =
+  let key_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROTOCOL" ~doc:"Registry key")
+  in
+  let run key family n p seed =
+    match Wb_protocols.Registry.find key with
+    | None ->
+      Printf.eprintf "unknown protocol %s\n" key;
+      exit 1
+    | Some e ->
+      let g = make_graph ~family ~n ~p ~seed in
+      let problem = e.problem (G.Graph.n g) in
+      let ok, count =
+        P.Engine.explore_packed e.protocol g (fun r ->
+            match r.P.Engine.outcome with
+            | P.Engine.Success a -> P.Problems.valid_answer problem g a
+            | _ -> false)
+      in
+      Printf.printf "schedules explored: %d   all valid: %b\n" count ok
+  in
+  Cmd.v
+    (Cmd.info "explore" ~doc:"Check a protocol under every adversarial schedule (small n!)")
+    Term.(const run $ key_arg $ family_arg $ n_arg $ p_arg $ seed_arg)
+
+let synth_cmd =
+  let problem_arg =
+    Arg.(
+      value & opt string "triangle"
+      & info [ "problem" ] ~docv:"PROBLEM" ~doc:"triangle, connectivity, has-edge, edge-parity")
+  in
+  let model_arg =
+    Arg.(value & opt string "simasync" & info [ "model" ] ~docv:"MODEL" ~doc:"simasync or simsync")
+  in
+  let run problem model n maxb =
+    let answer =
+      match problem with
+      | "triangle" -> G.Algo.has_triangle
+      | "connectivity" -> G.Algo.is_connected
+      | "has-edge" -> fun g -> G.Graph.num_edges g > 0
+      | "edge-parity" -> fun g -> G.Graph.num_edges g mod 2 = 0
+      | other -> invalid_arg ("unknown problem: " ^ other)
+    in
+    let spec =
+      Wb_synth.Simasync_synth.bool_spec ~name:problem ~universe:(G.Gen.all_labelled_graphs n) answer
+    in
+    let result =
+      match model with
+      | "simasync" -> Wb_synth.Simasync_synth.min_alphabet ~n spec ~max:maxb
+      | "simsync" -> Wb_synth.Simsync_synth.min_alphabet ~n spec ~max:maxb
+      | other -> invalid_arg ("unknown model: " ^ other)
+    in
+    match result with
+    | Some b -> Printf.printf "%s/%s at n=%d: minimal alphabet %d\n" problem model n b
+    | None -> Printf.printf "%s/%s at n=%d: no protocol with <= %d letters\n" problem model n maxb
+  in
+  let maxb_arg = Arg.(value & opt int 4 & info [ "max" ] ~docv:"B" ~doc:"Largest alphabet tried") in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Exhaustive protocol-existence search at tiny n")
+    Term.(const run $ problem_arg $ model_arg $ Arg.(value & opt int 3 & info [ "n" ]) $ maxb_arg)
+
+let counting_cmd =
+  let run n =
+    Printf.printf "Lemma 3 floors at n=%d (bits per node to BUILD the class):\n" n;
+    List.iter
+      (fun cls ->
+        Printf.printf "  %-36s %d\n" cls.Wb_reductions.Counting.name
+          (Wb_reductions.Counting.min_message_bits cls n))
+      [ Wb_reductions.Counting.all_graphs;
+        Wb_reductions.Counting.balanced_bipartite;
+        Wb_reductions.Counting.even_odd_bipartite;
+        Wb_reductions.Counting.labelled_trees;
+        Wb_reductions.Counting.isolated_tail ~f:(fun n -> n / 2) ]
+  in
+  Cmd.v
+    (Cmd.info "counting" ~doc:"Print the Lemma 3 information floors")
+    Term.(const run $ n_arg)
+
+let graph_cmd =
+  let run family n p seed =
+    let g = make_graph ~family ~n ~p ~seed in
+    Printf.printf "graph6: %s\n" (G.Graph6.encode g);
+    Format.printf "%a@." G.Graph.pp g;
+    let k, _ = G.Algo.degeneracy g in
+    Printf.printf "degeneracy: %d   components: %d   eob: %b   triangle: %b\n" k
+      (G.Algo.num_components g)
+      (G.Algo.is_even_odd_bipartite g)
+      (G.Algo.has_triangle g)
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Generate a graph and print its properties")
+    Term.(const run $ family_arg $ n_arg $ p_arg $ seed_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "wbctl" ~version:"1.0.0" ~doc:"Shared-whiteboard distributed computing laboratory")
+          [ models_cmd; protocols_cmd; run_cmd; explore_cmd; synth_cmd; counting_cmd; graph_cmd ]))

@@ -1,0 +1,1 @@
+examples/bfs_layers.ml: Array Fun List Printf String Wb_graph Wb_model Wb_protocols Wb_support

@@ -1,0 +1,1 @@
+examples/phone_network.ml: Printf Wb_graph Wb_model Wb_protocols Wb_support

@@ -1,0 +1,1 @@
+examples/phone_network.mli:

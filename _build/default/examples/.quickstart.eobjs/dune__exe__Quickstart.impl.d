@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Printf String Wb_graph Wb_model Wb_protocols Wb_support

@@ -1,0 +1,1 @@
+examples/separation.ml: List Printf String Wb_bignum Wb_graph Wb_model Wb_protocols Wb_reductions Wb_support

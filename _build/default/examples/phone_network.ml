@@ -1,0 +1,51 @@
+(* The paper's opening motivation: nodes are phone numbers, links are calls,
+   and the link relation does NOT restrict communication — every phone can
+   post one short message to a shared whiteboard.
+
+   Call graphs are massive but sparse with heavy-tailed degrees; a
+   Barabási-Albert network has degeneracy <= m even though hub degrees grow
+   without bound, so the Section 3 protocol reconstructs the entire network
+   from one O(m^2 log n) -bit message per phone — compare the naive
+   protocol's Theta(n) bits.
+
+     dune exec examples/phone_network.exe *)
+
+module P = Wb_model
+module G = Wb_graph
+
+let () =
+  let rng = Wb_support.Prng.create 555 in
+  let n = 400 in
+  let m = 3 in
+  let calls = G.Gen.preferential_attachment rng n ~m in
+  let degeneracy, _ = G.Algo.degeneracy calls in
+  Printf.printf "call graph: %d phones, %d call links, max degree %d, degeneracy %d\n" n
+    (G.Graph.num_edges calls) (G.Graph.max_degree calls) degeneracy;
+
+  let smart = Wb_protocols.Build_degenerate.protocol ~k:degeneracy ~decoder:`Backtracking in
+  let naive = Wb_protocols.Build_naive.protocol in
+  let adversary = P.Adversary.random rng in
+
+  let measure name protocol =
+    let run = P.Engine.run_packed protocol calls adversary in
+    match run.P.Engine.outcome with
+    | P.Engine.Success (P.Answer.Graph h) when G.Graph.equal calls h ->
+      Printf.printf "%-22s reconstructed; max message %4d bits, board %6d bits\n" name
+        run.P.Engine.stats.max_message_bits run.P.Engine.stats.total_bits
+    | _ -> Printf.printf "%-22s FAILED\n" name
+  in
+  measure "power-sum protocol" smart;
+  measure "naive row protocol" naive;
+  Printf.printf "\n(the power-sum message grows like k^2 log n; the naive one like n = %d bits —\n\
+                 at call-graph scale (n ~ 10^9) that is the difference between ~40 bytes\n\
+                 and ~125 MB per phone.)\n" n;
+
+  (* Robustness: if someone densifies the network beyond the promised
+     degeneracy, the output function notices instead of mis-reconstructing. *)
+  let dense = G.Gen.random_gnp rng 60 0.6 in
+  let run = P.Engine.run_packed smart dense adversary in
+  match run.P.Engine.outcome with
+  | P.Engine.Success P.Answer.Reject ->
+    Printf.printf "off-promise dense graph rejected (degeneracy %d > %d)\n"
+      (fst (G.Algo.degeneracy dense)) degeneracy
+  | _ -> print_endline "unexpected: dense graph not rejected"

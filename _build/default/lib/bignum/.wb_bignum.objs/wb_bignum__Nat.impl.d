@@ -1,0 +1,1 @@
+lib/bignum/nat.ml: Array Char Format List Printf Stdlib String

@@ -1,0 +1,190 @@
+let base_bits = 30
+let base = 1 lsl base_bits
+let base_mask = base - 1
+
+(* Little-endian digits in [0, base); no trailing zeros; zero = [||]. *)
+type t = int array
+
+let zero : t = [||]
+let one : t = [| 1 |]
+
+let normalize (a : int array) : t =
+  let len = ref (Array.length a) in
+  while !len > 0 && a.(!len - 1) = 0 do decr len done;
+  if !len = Array.length a then a else Array.sub a 0 !len
+
+let of_int v =
+  if v < 0 then invalid_arg "Nat.of_int: negative";
+  let rec digits v acc = if v = 0 then List.rev acc else digits (v lsr base_bits) ((v land base_mask) :: acc) in
+  Array.of_list (digits v [])
+
+let is_zero a = Array.length a = 0
+
+let to_int_opt a =
+  (* 63-bit native ints hold at most three 30-bit digits, partially. *)
+  let rec go i acc =
+    if i < 0 then Some acc
+    else if acc > (max_int - a.(i)) lsr base_bits then None
+    else go (i - 1) ((acc lsl base_bits) lor a.(i))
+  in
+  go (Array.length a - 1) 0
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let add (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let lr = 1 + max la lb in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s = !carry + (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) in
+    r.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  assert (!carry = 0);
+  normalize r
+
+let sub (a : t) (b : t) : t =
+  if compare a b < 0 then invalid_arg "Nat.sub: negative result";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - !borrow - (if i < lb then b.(i) else 0) in
+    if d < 0 then begin r.(i) <- d + base; borrow := 1 end
+    else begin r.(i) <- d; borrow := 0 end
+  done;
+  assert (!borrow = 0);
+  normalize r
+
+let mul (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        (* 30-bit * 30-bit + 30-bit + 30-bit fits in 62 bits. *)
+        let s = (a.(i) * b.(j)) + r.(i + j) + !carry in
+        r.(i + j) <- s land base_mask;
+        carry := s lsr base_bits
+      done;
+      r.(i + lb) <- r.(i + lb) + !carry
+    done;
+    normalize r
+  end
+
+let bit_length a =
+  let l = Array.length a in
+  if l = 0 then 0
+  else begin
+    let top = a.(l - 1) in
+    let rec width v acc = if v = 0 then acc else width (v lsr 1) (acc + 1) in
+    ((l - 1) * base_bits) + width top 0
+  end
+
+let log2_floor a =
+  if is_zero a then invalid_arg "Nat.log2_floor: zero";
+  bit_length a - 1
+
+let shift_left a k =
+  if k < 0 then invalid_arg "Nat.shift_left";
+  if is_zero a then zero
+  else begin
+    let digit_shift = k / base_bits and bit_shift = k mod base_bits in
+    let la = Array.length a in
+    let r = Array.make (la + digit_shift + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl bit_shift in
+      r.(i + digit_shift) <- r.(i + digit_shift) lor (v land base_mask);
+      r.(i + digit_shift + 1) <- r.(i + digit_shift + 1) lor (v lsr base_bits)
+    done;
+    normalize r
+  end
+
+let nth_bit a i =
+  let d = i / base_bits in
+  d < Array.length a && a.(d) land (1 lsl (i mod base_bits)) <> 0
+
+(* Binary long division: simple and fast enough for the repository's use
+   (decimal printing and counting-bound arithmetic). *)
+let divmod (a : t) (b : t) : t * t =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else begin
+    let quotient_bits = Array.make ((bit_length a + base_bits - 1) / base_bits + 1) 0 in
+    let rem = ref zero in
+    for i = bit_length a - 1 downto 0 do
+      rem := shift_left !rem 1;
+      if nth_bit a i then rem := add !rem one;
+      if compare !rem b >= 0 then begin
+        rem := sub !rem b;
+        quotient_bits.(i / base_bits) <- quotient_bits.(i / base_bits) lor (1 lsl (i mod base_bits))
+      end
+    done;
+    (normalize quotient_bits, !rem)
+  end
+
+let pow b e =
+  if e < 0 then invalid_arg "Nat.pow: negative exponent";
+  let rec go b e acc =
+    if e = 0 then acc
+    else go (mul b b) (e / 2) (if e land 1 = 1 then mul acc b else acc)
+  in
+  go b e one
+
+let pow_int b e = pow (of_int b) e
+
+let sum l = List.fold_left add zero l
+
+(* Decimal conversion goes through base 10^9 chunks via single-digit ops. *)
+let divmod_small (a : t) d =
+  assert (d > 0 && d < base);
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    (* rem < d < 2^30, so rem * base + digit < 2^60. *)
+    let cur = (!rem lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    rem := cur mod d
+  done;
+  (normalize q, !rem)
+
+let to_string a =
+  if is_zero a then "0"
+  else begin
+    let chunks = ref [] in
+    let v = ref a in
+    while not (is_zero !v) do
+      let q, r = divmod_small !v 1_000_000_000 in
+      chunks := r :: !chunks;
+      v := q
+    done;
+    match !chunks with
+    | [] -> assert false
+    | first :: rest ->
+      String.concat "" (string_of_int first :: List.map (Printf.sprintf "%09d") rest)
+  end
+
+let of_string s =
+  if s = "" then invalid_arg "Nat.of_string: empty";
+  let acc = ref zero in
+  let ten = of_int 10 in
+  String.iter
+    (fun c ->
+      if c < '0' || c > '9' then invalid_arg "Nat.of_string: not a digit";
+      acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0')))
+    s;
+  !acc
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)

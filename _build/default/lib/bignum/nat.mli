@@ -1,0 +1,58 @@
+(** Arbitrary-precision natural numbers.
+
+    The container is sealed, so instead of zarith the repository carries its
+    own bignums.  They back the power-sum neighbourhood encoding of Section 3
+    (sums of [ID^p] up to [n^(k+1)]) and the exact counting lower bounds of
+    Lemma 3 (numbers like [2^(n^2/4)]).
+
+    Representation: little-endian digit array in base [2^30], no trailing
+    zero digits, so every value has a unique representation and structural
+    equality coincides with numeric equality. *)
+
+type t
+
+val zero : t
+val one : t
+val of_int : int -> t
+(** Requires a non-negative argument. *)
+
+val to_int_opt : t -> int option
+(** [Some v] when the value fits in a native [int]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** @raise Invalid_argument when the result would be negative. *)
+
+val mul : t -> t -> t
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(a / b, a mod b)].  @raise Division_by_zero. *)
+
+val pow : t -> int -> t
+(** [pow b e] with [e >= 0]. *)
+
+val pow_int : int -> int -> t
+(** [pow_int b e] = [pow (of_int b) e]. *)
+
+val shift_left : t -> int -> t
+(** Multiplication by [2^k]. *)
+
+val bit_length : t -> int
+(** Bits in the binary representation; [bit_length zero = 0].  This is
+    [ceil (log2 (v + 1))], the quantity the counting bounds compare. *)
+
+val nth_bit : t -> int -> bool
+(** [nth_bit v i] is bit [i] (little-endian) of the binary representation. *)
+
+val to_string : t -> string
+val of_string : string -> t
+(** Decimal.  @raise Invalid_argument on malformed input. *)
+
+val pp : Format.formatter -> t -> unit
+
+val sum : t list -> t
+val log2_floor : t -> int
+(** [log2_floor v] for [v > 0]; @raise Invalid_argument on zero. *)

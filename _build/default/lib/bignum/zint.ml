@@ -1,0 +1,51 @@
+type t = { sign : int; mag : Nat.t }
+(* Invariant: sign ∈ {-1, 0, 1} and sign = 0 iff mag = 0. *)
+
+let make sign mag = if Nat.is_zero mag then { sign = 0; mag = Nat.zero } else { sign; mag }
+
+let zero = { sign = 0; mag = Nat.zero }
+let one = { sign = 1; mag = Nat.one }
+
+let of_int v = if v >= 0 then make 1 (Nat.of_int v) else make (-1) (Nat.of_int (-v))
+
+let of_nat n = make 1 n
+
+let to_nat_opt v = if v.sign >= 0 then Some v.mag else None
+
+let to_int_opt v =
+  match Nat.to_int_opt v.mag with
+  | None -> None
+  | Some m -> Some (if v.sign < 0 then -m else m)
+
+let sign v = v.sign
+
+let neg v = make (-v.sign) v.mag
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then make a.sign (Nat.add a.mag b.mag)
+  else begin
+    let c = Nat.compare a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.sign (Nat.sub a.mag b.mag)
+    else make b.sign (Nat.sub b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b = make (a.sign * b.sign) (Nat.mul a.mag b.mag)
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else a.sign * Nat.compare a.mag b.mag
+
+let equal a b = compare a b = 0
+
+let to_string v =
+  match v.sign with
+  | 0 -> "0"
+  | s when s > 0 -> Nat.to_string v.mag
+  | _ -> "-" ^ Nat.to_string v.mag
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

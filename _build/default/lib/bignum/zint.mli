@@ -1,0 +1,27 @@
+(** Signed arbitrary-precision integers, as a thin layer over {!Nat}.
+
+    Used where intermediate quantities may dip below zero, e.g. while the
+    output function of the BUILD protocol subtracts pruned identifiers from
+    power sums and must detect inconsistent (non-k-degenerate) inputs. *)
+
+type t
+
+val zero : t
+val one : t
+val of_int : int -> t
+val of_nat : Nat.t -> t
+val to_nat_opt : t -> Nat.t option
+(** [Some] magnitude when the value is non-negative. *)
+
+val to_int_opt : t -> int option
+val sign : t -> int
+(** -1, 0 or 1. *)
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

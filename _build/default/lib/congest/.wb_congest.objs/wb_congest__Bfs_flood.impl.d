@@ -1,0 +1,1 @@
+lib/congest/bfs_flood.ml: Array Congest List Wb_support

@@ -1,0 +1,1 @@
+lib/congest/bfs_flood.mli: Congest Wb_graph

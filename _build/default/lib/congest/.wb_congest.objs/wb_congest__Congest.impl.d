@@ -1,0 +1,1 @@
+lib/congest/congest.ml: Array List Wb_graph

@@ -1,0 +1,1 @@
+lib/congest/congest.mli: Wb_graph

@@ -1,0 +1,1 @@
+lib/congest/luby_mis.ml: Array Congest List Wb_graph Wb_support

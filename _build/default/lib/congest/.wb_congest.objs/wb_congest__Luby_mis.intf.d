@@ -1,0 +1,1 @@
+lib/congest/luby_mis.mli: Congest Wb_graph

@@ -1,0 +1,45 @@
+module Algo = struct
+  type state = {
+    n : int;
+    neighbors : int array;
+    dist : int;
+    parent : int;
+    announced : bool;
+    idle_rounds : int;
+  }
+
+  type message = int (* the sender's distance from the root *)
+
+  let size_bits m = Wb_support.Bitbuf.width_of (m + 1)
+
+  let init ~n ~id ~neighbors =
+    { n; neighbors; dist = (if id = 0 then 0 else -1); parent = -1; announced = false; idle_rounds = 0 }
+
+  let step ~round:_ ~id:_ state ~inbox =
+    let state =
+      if state.dist >= 0 then state
+      else begin
+        match List.sort (fun (_, a) (_, b) -> compare a b) inbox with
+        | (sender, d) :: _ -> { state with dist = d + 1; parent = sender }
+        | [] -> state
+      end
+    in
+    if state.dist >= 0 && not state.announced then
+      ( { state with announced = true; idle_rounds = 0 },
+        Array.to_list (Array.map (fun nb -> (nb, state.dist)) state.neighbors) )
+    else ({ state with idle_rounds = state.idle_rounds + 1 }, [])
+
+  let halted state = state.idle_rounds > state.n
+
+  (* Exposed through the runner's final states. *)
+end
+
+module Runner = Congest.Run (Algo)
+
+type result = { parent : int array; dist : int array; stats : Congest.stats }
+
+let run g =
+  let states, stats = Runner.execute g in
+  { parent = Array.map (fun (s : Algo.state) -> s.parent) states;
+    dist = Array.map (fun (s : Algo.state) -> s.dist) states;
+    stats }

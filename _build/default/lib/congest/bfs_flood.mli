@@ -1,0 +1,11 @@
+(** Textbook CONGEST BFS from node 0 by flooding: a node that first learns
+    a distance announces [dist + 1] to its neighbours ([O(log n)]-bit
+    messages, [O(diameter)] rounds).  Nodes run a quiescence countdown of
+    [n] rounds so the run self-terminates without a termination-detection
+    subprotocol (costing rounds, not messages). *)
+
+type result = { parent : int array; dist : int array; stats : Congest.stats }
+
+val run : Wb_graph.Graph.t -> result
+(** Requires a connected input (unreached nodes keep [dist = -1] but also
+    halt). *)

@@ -1,0 +1,48 @@
+module type ALGORITHM = sig
+  type state
+  type message
+
+  val size_bits : message -> int
+  val init : n:int -> id:int -> neighbors:int array -> state
+  val step : round:int -> id:int -> state -> inbox:(int * message) list -> state * (int * message) list
+  val halted : state -> bool
+end
+
+type stats = { rounds : int; messages : int; total_bits : int }
+
+module Run (A : ALGORITHM) = struct
+  let execute ?max_rounds g =
+    let n = Wb_graph.Graph.n g in
+    let max_rounds = match max_rounds with Some r -> r | None -> (4 * n) + 16 in
+    let states = Array.init n (fun v -> A.init ~n ~id:v ~neighbors:(Wb_graph.Graph.neighbors g v)) in
+    let inboxes = Array.make n [] in
+    let messages = ref 0 and total_bits = ref 0 in
+    let round = ref 0 in
+    let all_halted () = Array.for_all A.halted states in
+    while (not (all_halted ())) && !round < max_rounds do
+      incr round;
+      let outboxes = Array.make n [] in
+      for v = 0 to n - 1 do
+        let state, out = A.step ~round:!round ~id:v states.(v) ~inbox:inboxes.(v) in
+        states.(v) <- state;
+        List.iter
+          (fun (target, _) ->
+            if not (Wb_graph.Graph.mem_edge g v target) then
+              invalid_arg "Congest: sending along a non-edge")
+          out;
+        outboxes.(v) <- out
+      done;
+      Array.fill inboxes 0 n [];
+      Array.iteri
+        (fun v out ->
+          List.iter
+            (fun (target, m) ->
+              incr messages;
+              total_bits := !total_bits + A.size_bits m;
+              inboxes.(target) <- (v, m) :: inboxes.(target))
+            out)
+        outboxes
+    done;
+    if not (all_halted ()) then failwith "Congest: round limit exceeded";
+    (states, { rounds = !round; messages = !messages; total_bits = !total_bits })
+end

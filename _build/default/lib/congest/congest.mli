@@ -1,0 +1,33 @@
+(** A synchronous CONGEST-model simulator — the classical point-to-point
+    baseline the paper positions the whiteboard models against (links are
+    channels; each round every node may send one bounded message {e per
+    incident edge}).
+
+    The bench compares total communication (bits) of CONGEST BFS against
+    the whiteboard SYNC BFS protocol, quantifying the motivation: when
+    links are only a relation, a whiteboard write is one message per node
+    ever, whereas CONGEST pays per edge per round. *)
+
+module type ALGORITHM = sig
+  type state
+  type message
+
+  val size_bits : message -> int
+
+  val init : n:int -> id:int -> neighbors:int array -> state
+
+  val step : round:int -> id:int -> state -> inbox:(int * message) list -> state * (int * message) list
+  (** [inbox] holds (sender, message); the outbox pairs are
+      (neighbour, message) — at most one per incident edge.  Sending to a
+      non-neighbour raises. *)
+
+  val halted : state -> bool
+end
+
+type stats = { rounds : int; messages : int; total_bits : int }
+
+module Run (A : ALGORITHM) : sig
+  val execute : ?max_rounds:int -> Wb_graph.Graph.t -> A.state array * stats
+  (** Runs until every node halts (or [max_rounds], default [4n + 16],
+      then raises [Failure]). *)
+end

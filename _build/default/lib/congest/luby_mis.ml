@@ -1,0 +1,107 @@
+(* Each phase takes three rounds: (1) broadcast priorities, (2) local maxima
+   announce "joined", (3) joined nodes' neighbours announce "out".  States
+   carry the shared seed so draws are reproducible per (seed, node, phase). *)
+
+type phase_step = Draw | Hear_priorities | Hear_joins
+
+module Algo = struct
+  type status = Live | In_mis | Out
+
+  type state = {
+    seed : int;
+    n : int;
+    id : int;
+    neighbors : int array;
+    status : status;
+    phase : int;
+    step : phase_step;
+    my_priority : int;
+    live_neighbors : int list;
+  }
+
+  type message =
+    | Priority of int
+    | Joined
+    | Knocked_out
+
+  let size_bits = function
+    | Priority p -> 2 + Wb_support.Bitbuf.width_of (p + 1)
+    | Joined | Knocked_out -> 2
+
+  let init ~n ~id ~neighbors =
+    { seed = 0;
+      n;
+      id;
+      neighbors;
+      status = Live;
+      phase = 0;
+      step = Draw;
+      my_priority = 0;
+      live_neighbors = Array.to_list neighbors }
+
+  let priority ~seed ~id ~phase ~n =
+    let g = Wb_support.Prng.create ((((seed * 7919) + phase) * 104729) lxor id) in
+    Wb_support.Prng.int g (n * n * n * 8)
+
+  let broadcast state m = List.map (fun nb -> (nb, m)) state.live_neighbors
+
+  let step ~round:_ ~id state ~inbox =
+    match state.status with
+    | In_mis | Out -> (state, [])
+    | Live -> begin
+      match state.step with
+      | Draw ->
+        let p = priority ~seed:state.seed ~id ~phase:state.phase ~n:state.n in
+        let state = { state with my_priority = p; step = Hear_priorities } in
+        (state, broadcast state (Priority p))
+      | Hear_priorities ->
+        let higher =
+          List.exists
+            (fun (sender, m) ->
+              match m with
+              | Priority p -> (p, sender) > (state.my_priority, id)
+              | Joined | Knocked_out -> false)
+            inbox
+        in
+        if higher then ({ state with step = Hear_joins }, [])
+        else begin
+          (* Local maximum: join and notify. *)
+          let state = { state with status = In_mis } in
+          (state, broadcast state Joined)
+        end
+      | Hear_joins ->
+        let neighbor_joined =
+          List.exists (fun (_, m) -> match m with Joined -> true | Priority _ | Knocked_out -> false) inbox
+        in
+        if neighbor_joined then ({ state with status = Out }, broadcast state Knocked_out)
+        else begin
+          (* Drop knocked-out and joined neighbours from future phases. *)
+          let gone =
+            List.filter_map
+              (fun (sender, m) ->
+                match m with Joined | Knocked_out -> Some sender | Priority _ -> None)
+              inbox
+          in
+          let live = List.filter (fun nb -> not (List.mem nb gone)) state.live_neighbors in
+          ({ state with live_neighbors = live; phase = state.phase + 1; step = Draw }, [])
+        end
+    end
+
+  let halted state = state.status <> Live
+end
+
+module Runner = Congest.Run (Algo)
+
+type result = { in_mis : bool array; stats : Congest.stats }
+
+let run ~seed g =
+  (* thread the seed through init via a functor-free trick: patch states
+     before the first step by rebuilding them. *)
+  let module Seeded = struct
+    include Algo
+
+    let init ~n ~id ~neighbors = { (Algo.init ~n ~id ~neighbors) with seed }
+  end in
+  let module R = Congest.Run (Seeded) in
+  let states, stats = R.execute ~max_rounds:(64 * (4 + Wb_support.Bitbuf.width_of (Wb_graph.Graph.n g + 1))) g in
+  { in_mis = Array.map (fun (s : Algo.state) -> s.status = Algo.In_mis) states; stats }

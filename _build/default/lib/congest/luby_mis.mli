@@ -1,0 +1,9 @@
+(** Luby's randomized maximal independent set in CONGEST — the classical
+    message-passing contrast to the whiteboard's one-shot SIMSYNC greedy
+    (Theorem 5).  Each phase: every live node draws a random priority,
+    local maxima join the MIS, and joined nodes knock their neighbours out;
+    O(log n) phases w.h.p., O(log n)-bit messages per edge per round. *)
+
+type result = { in_mis : bool array; stats : Congest.stats }
+
+val run : seed:int -> Wb_graph.Graph.t -> result

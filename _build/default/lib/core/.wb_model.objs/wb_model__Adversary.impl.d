@@ -1,0 +1,1 @@
+lib/core/adversary.ml: Array Board List Message Wb_graph Wb_support

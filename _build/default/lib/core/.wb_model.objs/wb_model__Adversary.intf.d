@@ -1,0 +1,1 @@
+lib/core/adversary.mli: Board Wb_graph Wb_support

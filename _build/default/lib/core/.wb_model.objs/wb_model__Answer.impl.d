@@ -1,0 +1,1 @@
+lib/core/answer.ml: Array Format List Wb_graph

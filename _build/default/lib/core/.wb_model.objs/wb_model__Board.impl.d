@@ -1,0 +1,1 @@
+lib/core/board.ml: Array Format Message Wb_support

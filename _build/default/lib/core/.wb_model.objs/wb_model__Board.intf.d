@@ -1,0 +1,1 @@
+lib/core/board.mli: Format Message

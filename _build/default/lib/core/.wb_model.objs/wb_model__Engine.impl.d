@@ -1,0 +1,1 @@
+lib/core/engine.ml: Adversary Answer Array Board List Message Model Printexc Protocol View Wb_graph

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Adversary Answer Protocol Wb_graph

@@ -1,0 +1,1 @@
+lib/core/message.ml: Array Format Wb_support

@@ -1,0 +1,1 @@
+lib/core/problems.ml: Answer List Printf Wb_graph

@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Answer Board Model View Wb_support

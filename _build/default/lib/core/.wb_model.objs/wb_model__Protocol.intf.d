@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Answer Board Model View Wb_support

@@ -1,0 +1,1 @@
+lib/core/report.ml: Answer Array Buffer Engine Format Fun List Printf String Wb_graph

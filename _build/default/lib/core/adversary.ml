@@ -1,0 +1,43 @@
+type t = { name : string; choose : Board.t -> int list -> int }
+
+let name a = a.name
+
+let choose a board candidates =
+  match candidates with
+  | [] -> invalid_arg "Adversary.choose: no candidates"
+  | _ ->
+    let pick = a.choose board candidates in
+    if not (List.mem pick candidates) then invalid_arg "Adversary.choose: picked a non-candidate";
+    pick
+
+let min_id = { name = "min-id"; choose = (fun _ c -> List.hd c) }
+
+let max_id = { name = "max-id"; choose = (fun _ c -> List.nth c (List.length c - 1)) }
+
+let random rng =
+  { name = "random";
+    choose = (fun _ c -> List.nth c (Wb_support.Prng.int rng (List.length c))) }
+
+let by_priority prio =
+  { name = "priority";
+    choose =
+      (fun _ c ->
+        List.fold_left (fun best v -> if prio.(v) > prio.(best) then v else best) (List.hd c) c) }
+
+let last_writer_neighbor_avoider g =
+  { name = "avoid-last-writer-neighbors";
+    choose =
+      (fun board c ->
+        match Board.last board with
+        | None -> List.hd c
+        | Some m ->
+          let w = Message.author m in
+          (match List.find_opt (fun v -> not (Wb_graph.Graph.mem_edge g w v)) c with
+          | Some v -> v
+          | None -> List.hd c)) }
+
+let alternating_extremes =
+  { name = "alternating-extremes";
+    choose =
+      (fun board c ->
+        if Board.length board mod 2 = 0 then List.hd c else List.nth c (List.length c - 1)) }

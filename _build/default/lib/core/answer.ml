@@ -1,0 +1,36 @@
+type t =
+  | Graph of Wb_graph.Graph.t
+  | Bool of bool
+  | Node_set of int list
+  | Forest of int array
+  | Edge_set of (int * int) list
+  | Reject
+
+let equal a b =
+  match (a, b) with
+  | Graph g, Graph h -> Wb_graph.Graph.equal g h
+  | Bool x, Bool y -> x = y
+  | Node_set x, Node_set y -> List.sort compare x = List.sort compare y
+  | Forest x, Forest y -> x = y
+  | Edge_set x, Edge_set y -> List.sort compare x = List.sort compare y
+  | Reject, Reject -> true
+  | (Graph _ | Bool _ | Node_set _ | Forest _ | Edge_set _ | Reject), _ -> false
+
+let pp ppf = function
+  | Graph g -> Wb_graph.Graph.pp ppf g
+  | Bool b -> Format.pp_print_bool ppf b
+  | Node_set s ->
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Format.pp_print_int)
+      (List.map (fun v -> v + 1) (List.sort compare s))
+  | Forest parent ->
+    Format.fprintf ppf "forest[%a]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";") Format.pp_print_int)
+      (Array.to_list (Array.map (fun p -> if p < 0 then 0 else p + 1) parent))
+  | Edge_set es ->
+    Format.fprintf ppf "edges{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+         (fun ppf (u, v) -> Format.fprintf ppf "%d-%d" (u + 1) (v + 1)))
+      (List.sort compare es)
+  | Reject -> Format.pp_print_string ppf "reject"

@@ -1,0 +1,14 @@
+(** Protocol outputs.  One variant per kind of problem the paper studies;
+    [Reject] is the robust "invalid input" answer (e.g. BUILD on a graph of
+    too-high degeneracy, EOB-BFS on a non-even-odd-bipartite graph). *)
+
+type t =
+  | Graph of Wb_graph.Graph.t  (** BUILD: the reconstructed graph. *)
+  | Bool of bool  (** decision problems: TRIANGLE, 2-CLIQUES, CONNECTIVITY. *)
+  | Node_set of int list  (** rooted MIS, sorted. *)
+  | Forest of int array  (** BFS forest: parent per node, [-1] for roots. *)
+  | Edge_set of (int * int) list  (** SUBGRAPH_f, sorted with [u < v]. *)
+  | Reject  (** input outside the promise class. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

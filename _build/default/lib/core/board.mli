@@ -1,0 +1,42 @@
+(** The shared whiteboard: an append-only sequence of messages.
+
+    Protocols read it; only the execution engine appends.  Each node may
+    appear as author at most once (the engine maintains this invariant —
+    "each node is allowed to write exactly one message"). *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty board for an n-node system. *)
+
+val n : t -> int
+val length : t -> int
+(** Messages written so far. *)
+
+val get : t -> int -> Message.t
+(** In write order, 0-based. *)
+
+val find_author : t -> int -> Message.t option
+val has_author : t -> int -> bool
+val last : t -> Message.t option
+val iter : (Message.t -> unit) -> t -> unit
+(** In write order. *)
+
+val fold : ('a -> Message.t -> 'a) -> 'a -> t -> 'a
+val to_list : t -> Message.t list
+val authors_in_order : t -> int array
+
+val append : t -> Message.t -> unit
+(** Engine use only.  @raise Invalid_argument if the author already wrote. *)
+
+val snapshot_length : t -> int
+val truncate : t -> int -> unit
+(** Engine use only (backtracking exhaustive exploration). *)
+
+val generation : t -> int
+(** Bumped on every [truncate]: lets incremental observers detect that
+    previously-read positions may have been rewritten. *)
+
+val total_bits : t -> int
+val max_message_bits : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,221 @@
+type outcome =
+  | Success of Answer.t
+  | Deadlock
+  | Size_violation of { node : int; bits : int; bound : int }
+  | Output_error of string
+
+type stats = { rounds : int; max_message_bits : int; total_bits : int }
+
+type run = {
+  outcome : outcome;
+  writes : int array;
+  stats : stats;
+  activation_round : int array;
+  write_round : int array;
+  message_bits : int array;
+}
+
+let succeeded r = match r.outcome with Success _ -> true | Deadlock | Size_violation _ | Output_error _ -> false
+
+let answer r = match r.outcome with Success a -> Some a | Deadlock | Size_violation _ | Output_error _ -> None
+
+type status = Awake | Active | Terminated
+
+module Make (P : Protocol.S) = struct
+  module G = Wb_graph.Graph
+
+  type state = {
+    g : G.t;
+    size : int;
+    bound : int;
+    views : View.t array;
+    board : Board.t;
+    mutable status : status array;
+    mutable locals : P.local array;
+    mutable memory : Message.t option array;
+    mutable activation_round : int array;
+    mutable write_round : int array;
+    mutable round : int;
+  }
+
+  let initial g =
+    let size = G.n g in
+    let views = Array.init size (View.make g) in
+    { g;
+      size;
+      bound = P.message_bound ~n:size;
+      views;
+      board = Board.create size;
+      status = Array.make size Awake;
+      locals = Array.map P.init views;
+      memory = Array.make size None;
+      activation_round = Array.make size (-1);
+      write_round = Array.make size (-1);
+      round = 0 }
+
+  let frozen = Model.frozen_at_activation P.model
+
+  let simultaneous = Model.simultaneous P.model
+
+  let compose_now st v =
+    let writer, local = P.compose st.views.(v) st.board st.locals.(v) in
+    st.locals.(v) <- local;
+    st.memory.(v) <- Some (Message.of_writer ~author:v writer)
+
+  (* One deterministic round prefix: terminations, candidate collection,
+     activations, synchronous recomposition.  Returns the candidates. *)
+  let round_prefix st =
+    st.round <- st.round + 1;
+    let activated = ref false in
+    for v = 0 to st.size - 1 do
+      if st.status.(v) = Active && Board.has_author st.board v then st.status.(v) <- Terminated
+    done;
+    let candidates = ref [] in
+    for v = st.size - 1 downto 0 do
+      if st.status.(v) = Active then candidates := v :: !candidates
+    done;
+    for v = 0 to st.size - 1 do
+      if st.status.(v) = Awake then begin
+        let goes =
+          if simultaneous then st.round = 1
+          else P.wants_to_activate st.views.(v) st.board st.locals.(v)
+        in
+        if goes then begin
+          st.status.(v) <- Active;
+          st.activation_round.(v) <- st.round;
+          activated := true;
+          if frozen then compose_now st v
+        end
+      end
+    done;
+    if not frozen then List.iter (compose_now st) !candidates;
+    (!candidates, !activated)
+
+  let do_write st v =
+    match st.memory.(v) with
+    | None -> assert false
+    | Some m ->
+      Board.append st.board m;
+      st.write_round.(v) <- st.round;
+      m
+
+  let finish st outcome =
+    let message_bits = Array.make st.size (-1) in
+    Board.iter (fun m -> message_bits.(Message.author m) <- Message.size_bits m) st.board;
+    { outcome;
+      writes = Board.authors_in_order st.board;
+      stats =
+        { rounds = st.round;
+          max_message_bits = Board.max_message_bits st.board;
+          total_bits = Board.total_bits st.board };
+      activation_round = Array.copy st.activation_round;
+      write_round = Array.copy st.write_round;
+      message_bits }
+
+  let success_outcome st =
+    match P.output ~n:st.size st.board with
+    | answer -> Success answer
+    | exception e -> Output_error (Printexc.to_string e)
+
+  (* Advance through rounds until a scheduling choice, success or deadlock. *)
+  let rec advance st max_rounds =
+    if Board.length st.board = st.size then `Success
+    else if st.round >= max_rounds then `Deadlock
+    else begin
+      match round_prefix st with
+      | [], false -> `Deadlock
+      | [], true -> advance st max_rounds
+      | candidates, _ -> `Choices candidates
+    end
+
+  let check_size st v =
+    match st.memory.(v) with
+    | None -> None
+    | Some m ->
+      let bits = Message.size_bits m in
+      if bits > st.bound then Some (Size_violation { node = v; bits; bound = st.bound }) else None
+
+  let run ?max_rounds g adv =
+    let st = initial g in
+    let max_rounds = match max_rounds with Some r -> r | None -> (2 * st.size) + 8 in
+    let rec loop () =
+      match advance st max_rounds with
+      | `Success -> finish st (success_outcome st)
+      | `Deadlock -> finish st Deadlock
+      | `Choices candidates ->
+        let v = Adversary.choose adv st.board candidates in
+        (match check_size st v with
+        | Some violation -> finish st violation
+        | None ->
+          ignore (do_write st v);
+          loop ())
+    in
+    loop ()
+
+  type snapshot = {
+    s_status : status array;
+    s_locals : P.local array;
+    s_memory : Message.t option array;
+    s_activation : int array;
+    s_write : int array;
+    s_round : int;
+    s_board_len : int;
+  }
+
+  let snapshot st =
+    { s_status = Array.copy st.status;
+      s_locals = Array.copy st.locals;
+      s_memory = Array.copy st.memory;
+      s_activation = Array.copy st.activation_round;
+      s_write = Array.copy st.write_round;
+      s_round = st.round;
+      s_board_len = Board.snapshot_length st.board }
+
+  let restore st s =
+    st.status <- Array.copy s.s_status;
+    st.locals <- Array.copy s.s_locals;
+    st.memory <- Array.copy s.s_memory;
+    st.activation_round <- Array.copy s.s_activation;
+    st.write_round <- Array.copy s.s_write;
+    st.round <- s.s_round;
+    Board.truncate st.board s.s_board_len
+
+  let explore ?(limit = 1_000_000) g check =
+    let st = initial g in
+    let max_rounds = (2 * st.size) + 8 in
+    let executions = ref 0 in
+    let complete outcome =
+      incr executions;
+      if !executions > limit then failwith "Engine.explore: execution limit exceeded";
+      check (finish st outcome)
+    in
+    let rec go () =
+      match advance st max_rounds with
+      | `Success -> complete (success_outcome st)
+      | `Deadlock -> complete Deadlock
+      | `Choices candidates ->
+        List.for_all
+          (fun v ->
+            let saved = snapshot st in
+            let ok =
+              match check_size st v with
+              | Some violation -> complete violation
+              | None ->
+                ignore (do_write st v);
+                go ()
+            in
+            restore st saved;
+            ok)
+          candidates
+    in
+    let all_ok = go () in
+    (all_ok, !executions)
+end
+
+let run_packed ?max_rounds (module P : Protocol.S) g adv =
+  let module E = Make (P) in
+  E.run ?max_rounds g adv
+
+let explore_packed ?limit (module P : Protocol.S) g check =
+  let module E = Make (P) in
+  E.explore ?limit g check

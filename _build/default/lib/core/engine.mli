@@ -1,0 +1,52 @@
+(** Round-based interpreter for whiteboard protocols.
+
+    Operational semantics (one round):
+    + nodes whose message appears on the board become [terminated];
+    + the {e write candidates} are the nodes already active at the start of
+      the round (a node never activates and writes in the same round, per
+      the paper's successor-configuration rule);
+    + awake nodes may activate — all of them in round one under simultaneous
+      models, by [wants_to_activate] otherwise; in frozen models the
+      activating node composes its message now, from the current board, and
+      the message never changes;
+    + in synchronous models every candidate recomposes its message from the
+      current board;
+    + the adversary picks one candidate and its current message is appended.
+
+    The run succeeds when all [n] messages are on the board, and deadlocks
+    when no candidate exists and no awake node activates. *)
+
+type outcome =
+  | Success of Answer.t
+  | Deadlock  (** corrupted final configuration: non-terminated nodes remain. *)
+  | Size_violation of { node : int; bits : int; bound : int }
+  | Output_error of string  (** the output function raised. *)
+
+type stats = { rounds : int; max_message_bits : int; total_bits : int }
+
+type run = {
+  outcome : outcome;
+  writes : int array;  (** authors in write order. *)
+  stats : stats;
+  activation_round : int array;  (** -1 when the node never activated. *)
+  write_round : int array;  (** -1 when the node never wrote. *)
+  message_bits : int array;  (** payload size per node; -1 when unwritten. *)
+}
+
+val succeeded : run -> bool
+val answer : run -> Answer.t option
+
+module Make (P : Protocol.S) : sig
+  val run : ?max_rounds:int -> Wb_graph.Graph.t -> Adversary.t -> run
+  (** Execute under one adversary.  [max_rounds] defaults to [2n + 8]
+      (any legal execution fits; exceeding it is reported as [Deadlock]). *)
+
+  val explore : ?limit:int -> Wb_graph.Graph.t -> (run -> bool) -> bool * int
+  (** [explore g check] enumerates {e every} adversarial schedule, calling
+      [check] on each complete execution.  Returns [(all passed, number of
+      executions)].  @raise Failure when more than [limit] (default 10^6)
+      executions would be visited. *)
+end
+
+val run_packed : ?max_rounds:int -> Protocol.t -> Wb_graph.Graph.t -> Adversary.t -> run
+val explore_packed : ?limit:int -> Protocol.t -> Wb_graph.Graph.t -> (run -> bool) -> bool * int

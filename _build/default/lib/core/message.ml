@@ -1,0 +1,17 @@
+type t = { author : int; payload : bool array }
+
+let make ~author ~payload = { author; payload }
+
+let author m = m.author
+
+let payload m = m.payload
+
+let size_bits m = Array.length m.payload
+
+let reader m = Wb_support.Bitbuf.Reader.of_bits m.payload
+
+let of_writer ~author w = { author; payload = Wb_support.Bitbuf.Writer.contents w }
+
+let pp ppf m =
+  Format.fprintf ppf "#%d:" (m.author + 1);
+  Array.iter (fun b -> Format.pp_print_char ppf (if b then '1' else '0')) m.payload

@@ -1,0 +1,18 @@
+(** A whiteboard message: the author's node index plus a bit-exact payload.
+
+    The author index is part of the board bookkeeping (the paper's messages
+    conventionally begin with [ID(v)], and every lower bound counts it);
+    payload sizes are measured in bits and charged against the protocol's
+    [f(n)] bound. *)
+
+type t
+
+val make : author:int -> payload:bool array -> t
+val author : t -> int
+val payload : t -> bool array
+val size_bits : t -> int
+val reader : t -> Wb_support.Bitbuf.Reader.t
+(** Fresh reader over the payload. *)
+
+val of_writer : author:int -> Wb_support.Bitbuf.Writer.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+type t = Sim_async | Sim_sync | Async | Sync
+
+let all = [ Sim_async; Sim_sync; Async; Sync ]
+
+let name = function
+  | Sim_async -> "SIMASYNC"
+  | Sim_sync -> "SIMSYNC"
+  | Async -> "ASYNC"
+  | Sync -> "SYNC"
+
+let simultaneous = function Sim_async | Sim_sync -> true | Async | Sync -> false
+
+let frozen_at_activation = function Sim_async | Async -> true | Sim_sync | Sync -> false
+
+let weaker_or_equal a b =
+  match (a, b) with
+  | Sim_async, _ -> true
+  | _, Sync -> true
+  | Sim_sync, (Sim_sync | Async) -> true
+  | Async, Async -> true
+  | (Sim_sync | Async | Sync), _ -> a = b
+
+let pp ppf m = Format.pp_print_string ppf (name m)
+
+let table1 () =
+  String.concat "\n"
+    [ "Table 1: four families of protocols (f(n) = message size)";
+      "";
+      "                                      | message frozen at activation | no restriction";
+      "  all nodes active after first round  | SIMASYNC[f(n)]               | SIMSYNC[f(n)]";
+      "  no restriction                      | ASYNC[f(n)]                  | SYNC[f(n)]" ]

@@ -1,0 +1,32 @@
+(** The four synchronisation models of the paper (Table 1).
+
+    Two orthogonal axes:
+    - {b activation}: in {e simultaneous} models every node becomes active
+      right after the first round; in {e free} models an awake node decides
+      each round whether to activate.
+    - {b message creation}: in {e asynchronous} models a node's message is
+      created the moment it becomes active and never changes; in
+      {e synchronous} models an active node keeps recomputing its message
+      from the evolving whiteboard until the adversary schedules it. *)
+
+type t = Sim_async | Sim_sync | Async | Sync
+
+val all : t list
+val name : t -> string
+(** The paper's names: SIMASYNC, SIMSYNC, ASYNC, SYNC. *)
+
+val simultaneous : t -> bool
+(** Whether all nodes are forced active after round one. *)
+
+val frozen_at_activation : t -> bool
+(** Whether messages are fixed at activation time (the asynchronous axis). *)
+
+val weaker_or_equal : t -> t -> bool
+(** The lattice order of Theorem 4: [weaker_or_equal a b] when every problem
+    solvable in [a] is solvable in [b] (SIMASYNC ⊆ SIMSYNC ⊆ SYNC and
+    SIMASYNC ⊆ ASYNC ⊆ SYNC, plus SIMSYNC ⊆ ASYNC from Lemma 4). *)
+
+val pp : Format.formatter -> t -> unit
+
+val table1 : unit -> string
+(** Rendering of the paper's Table 1. *)

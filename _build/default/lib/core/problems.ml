@@ -1,0 +1,80 @@
+module G = Wb_graph.Graph
+module Algo = Wb_graph.Algo
+
+type t =
+  | Build
+  | Rooted_mis of int
+  | Triangle
+  | Square
+  | Diameter_at_most of int
+  | Two_cliques
+  | Eob_bfs
+  | Bfs
+  | Spanning_forest
+  | Subgraph of int
+  | Connectivity
+
+let name = function
+  | Build -> "BUILD"
+  | Rooted_mis r -> Printf.sprintf "MIS(root=%d)" (r + 1)
+  | Triangle -> "TRIANGLE"
+  | Square -> "SQUARE"
+  | Diameter_at_most d -> Printf.sprintf "DIAMETER<=%d" d
+  | Two_cliques -> "2-CLIQUES"
+  | Eob_bfs -> "EOB-BFS"
+  | Bfs -> "BFS"
+  | Spanning_forest -> "SPANNING-FOREST"
+  | Subgraph j -> Printf.sprintf "SUBGRAPH(%d)" j
+  | Connectivity -> "CONNECTIVITY"
+
+let diameter_at_most g d =
+  Algo.is_connected g && (G.n g = 0 || Algo.diameter g <= d)
+
+let is_spanning_forest g edges =
+  let n = G.n g in
+  let all_edges_exist = List.for_all (fun (u, v) -> u >= 0 && v >= 0 && u < n && v < n && G.mem_edge g u v) edges in
+  all_edges_exist
+  && List.length edges = n - Algo.num_components g
+  && begin
+       (* right count + acyclic (checked via components of the subgraph)
+          implies it spans every component *)
+       let sub = G.of_edges n edges in
+       G.num_edges sub = List.length edges && Algo.num_components sub = Algo.num_components g
+     end
+
+let subgraph_edges g j = List.filter (fun (u, v) -> u < j && v < j) (G.edges g)
+
+let reference p g =
+  match p with
+  | Build -> Answer.Graph g
+  | Rooted_mis root -> Answer.Node_set (Algo.greedy_mis g ~root)
+  | Triangle -> Answer.Bool (Algo.has_triangle g)
+  | Square -> Answer.Bool (Algo.has_square g)
+  | Diameter_at_most d -> Answer.Bool (diameter_at_most g d)
+  | Two_cliques -> Answer.Bool (Algo.is_two_cliques g)
+  | Eob_bfs ->
+    if Algo.is_even_odd_bipartite g then Answer.Forest (Algo.bfs_forest g) else Answer.Reject
+  | Bfs -> Answer.Forest (Algo.bfs_forest g)
+  | Spanning_forest -> Answer.Edge_set (List.sort compare (List.map (fun (u, v) -> (min u v, max u v)) (Algo.spanning_forest g)))
+  | Subgraph j -> Answer.Edge_set (subgraph_edges g j)
+  | Connectivity -> Answer.Bool (Algo.is_connected g)
+
+let valid_answer p g a =
+  match (p, a) with
+  | Build, Answer.Graph h -> G.equal g h
+  | Rooted_mis root, Answer.Node_set s -> List.mem root s && Algo.is_maximal_independent_set g s
+  | Triangle, Answer.Bool b -> b = Algo.has_triangle g
+  | Square, Answer.Bool b -> b = Algo.has_square g
+  | Diameter_at_most d, Answer.Bool b -> b = diameter_at_most g d
+  | Two_cliques, Answer.Bool b -> b = Algo.is_two_cliques g
+  | Eob_bfs, Answer.Forest parent ->
+    Algo.is_even_odd_bipartite g && Algo.is_valid_bfs_forest g parent
+  | Eob_bfs, Answer.Reject -> not (Algo.is_even_odd_bipartite g)
+  | Bfs, Answer.Forest parent -> Algo.is_valid_bfs_forest g parent
+  | Spanning_forest, Answer.Edge_set es -> is_spanning_forest g es
+  | Subgraph j, Answer.Edge_set es -> List.sort compare es = subgraph_edges g j
+  | Connectivity, Answer.Bool b -> b = Algo.is_connected g
+  | ( ( Build | Rooted_mis _ | Triangle | Square | Diameter_at_most _ | Two_cliques | Eob_bfs
+      | Bfs | Spanning_forest | Subgraph _ | Connectivity ),
+      (Answer.Graph _ | Answer.Bool _ | Answer.Node_set _ | Answer.Forest _ | Answer.Edge_set _ | Answer.Reject) )
+    -> false

@@ -1,0 +1,24 @@
+(** The graph problems the paper classifies (Table 2), with reference
+    solutions and answer validation.
+
+    [reference] computes the canonical ground-truth answer sequentially.
+    [valid_answer] accepts any answer the problem statement allows (several
+    problems — rooted MIS, BFS — admit many correct outputs, and protocols
+    under different adversaries legitimately return different ones). *)
+
+type t =
+  | Build  (** reconstruct the graph (adjacency structure). *)
+  | Rooted_mis of int  (** maximal independent set containing the root. *)
+  | Triangle
+  | Square  (** contains a 4-cycle (the introduction's hard question). *)
+  | Diameter_at_most of int  (** the introduction's "diameter <= 3?". *)
+  | Two_cliques  (** promise: (n/2 - 1)-regular on n nodes, n even. *)
+  | Eob_bfs  (** BFS forest if even-odd-bipartite, reject otherwise. *)
+  | Bfs
+  | Spanning_forest  (** any spanning forest, as an edge set. *)
+  | Subgraph of int  (** [Subgraph j]: edges among the first [j] nodes. *)
+  | Connectivity
+
+val name : t -> string
+val reference : t -> Wb_graph.Graph.t -> Answer.t
+val valid_answer : t -> Wb_graph.Graph.t -> Answer.t -> bool

@@ -1,0 +1,18 @@
+module type S = sig
+  val name : string
+  val model : Model.t
+  val message_bound : n:int -> int
+
+  type local
+
+  val init : View.t -> local
+  val wants_to_activate : View.t -> Board.t -> local -> bool
+  val compose : View.t -> Board.t -> local -> Wb_support.Bitbuf.Writer.t * local
+  val output : n:int -> Board.t -> Answer.t
+end
+
+type t = (module S)
+
+let name (module P : S) = P.name
+
+let model (module P : S) = P.model

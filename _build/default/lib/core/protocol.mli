@@ -1,0 +1,44 @@
+(** The interface every whiteboard protocol implements.
+
+    The engine interprets a protocol under the semantics of its declared
+    {!Model.t}:
+
+    - In simultaneous models, [wants_to_activate] is ignored: every node is
+      activated in round one.
+    - In frozen (asynchronous) models, [compose] is called exactly once, at
+      activation time, and the resulting message is what the adversary will
+      eventually write — however much later that happens.
+    - In synchronous models, [compose] is called for every active node at
+      every round (with the current board), threading [local]; the message
+      on the adversary's chosen node is the one composed that round.
+
+    [local] must be treated as a pure value: exhaustive exploration snapshots
+    and restores it, so protocols must not hide mutable state inside. *)
+
+module type S = sig
+  val name : string
+  val model : Model.t
+
+  val message_bound : n:int -> int
+  (** Maximum payload size in bits for systems of [n] nodes — the protocol's
+      [f(n)].  The engine fails the run if a written message exceeds it. *)
+
+  type local
+
+  val init : View.t -> local
+  (** Local memory before round one. *)
+
+  val wants_to_activate : View.t -> Board.t -> local -> bool
+  (** Activation decision for awake nodes (free models only). *)
+
+  val compose : View.t -> Board.t -> local -> Wb_support.Bitbuf.Writer.t * local
+  (** Create (or, in synchronous models, re-create) the node's message. *)
+
+  val output : n:int -> Board.t -> Answer.t
+  (** Computed from the final board only. *)
+end
+
+type t = (module S)
+
+val name : t -> string
+val model : t -> Model.t

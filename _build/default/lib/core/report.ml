@@ -1,0 +1,53 @@
+let compact_answer = function
+  | Answer.Graph g ->
+    Printf.sprintf "graph(%d nodes, %d edges)" (Wb_graph.Graph.n g) (Wb_graph.Graph.num_edges g)
+  | Answer.Bool b -> string_of_bool b
+  | Answer.Node_set s -> Printf.sprintf "node-set(%d)" (List.length s)
+  | Answer.Forest _ -> "forest"
+  | Answer.Edge_set es -> Printf.sprintf "edge-set(%d)" (List.length es)
+  | Answer.Reject -> "reject"
+
+let outcome_line (run : Engine.run) =
+  match run.Engine.outcome with
+  | Engine.Success a -> "success: " ^ compact_answer a
+  | Engine.Deadlock -> "deadlock (corrupted final configuration)"
+  | Engine.Size_violation { node; bits; bound } ->
+    Printf.sprintf "size violation: node %d wrote %d bits (bound %d)" (node + 1) bits bound
+  | Engine.Output_error e -> "output error: " ^ e
+
+let summary (run : Engine.run) =
+  Printf.sprintf "%s | %d rounds, %d writes, max %d bits, total %d bits" (outcome_line run)
+    run.Engine.stats.rounds (Array.length run.Engine.writes) run.Engine.stats.max_message_bits
+    run.Engine.stats.total_bits
+
+let timeline (run : Engine.run) =
+  let n = Array.length run.Engine.activation_round in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (summary run);
+  Buffer.add_char buf '\n';
+  let nodes_with value array =
+    List.filter (fun v -> array.(v) = value) (List.init n Fun.id)
+  in
+  for round = 1 to run.Engine.stats.rounds do
+    let activated = nodes_with round run.Engine.activation_round in
+    let wrote = nodes_with round run.Engine.write_round in
+    if activated <> [] || wrote <> [] then begin
+      Buffer.add_string buf (Printf.sprintf "round %3d:" round);
+      if activated <> [] then
+        Buffer.add_string buf
+          (" activate " ^ String.concat "," (List.map (fun v -> string_of_int (v + 1)) activated));
+      List.iter
+        (fun v ->
+          Buffer.add_string buf
+            (Printf.sprintf " write %d (%d bits)" (v + 1) run.Engine.message_bits.(v)))
+        wrote;
+      Buffer.add_char buf '\n'
+    end
+  done;
+  let silent = nodes_with (-1) run.Engine.write_round in
+  if silent <> [] then
+    Buffer.add_string buf
+      ("never wrote: " ^ String.concat "," (List.map (fun v -> string_of_int (v + 1)) silent) ^ "\n");
+  Buffer.contents buf
+
+let pp ppf run = Format.pp_print_string ppf (timeline run)

@@ -1,0 +1,11 @@
+(** Human-readable execution timelines: which nodes activated and wrote in
+    each round, with message sizes — the debugging view of a run.  Rounds
+    with no events (possible in free models while certificates accumulate)
+    are skipped. *)
+
+val timeline : Engine.run -> string
+
+val summary : Engine.run -> string
+(** One line: outcome, rounds, bits. *)
+
+val pp : Format.formatter -> Engine.run -> unit

@@ -1,0 +1,36 @@
+type t = { id : int; n : int; nbrs : int array }
+
+let make g v = { id = v; n = Wb_graph.Graph.n g; nbrs = Wb_graph.Graph.neighbors g v }
+
+let of_parts ~id ~n ~neighbors =
+  if id < 0 || id >= n then invalid_arg "View.of_parts: id out of range";
+  Array.iter (fun w -> if w < 0 || w >= n || w = id then invalid_arg "View.of_parts: bad neighbor") neighbors;
+  let nbrs = Array.copy neighbors in
+  Array.sort compare nbrs;
+  { id; n; nbrs }
+
+let id v = v.id
+
+let n v = v.n
+
+let degree v = Array.length v.nbrs
+
+let neighbors v = v.nbrs
+
+let mem_neighbor v w =
+  let rec search lo hi =
+    if lo > hi then false
+    else begin
+      let mid = (lo + hi) / 2 in
+      if v.nbrs.(mid) = w then true
+      else if v.nbrs.(mid) < w then search (mid + 1) hi
+      else search lo (mid - 1)
+    end
+  in
+  search 0 (Array.length v.nbrs - 1)
+
+let iter_neighbors v f = Array.iter f v.nbrs
+
+let fold_neighbors v f init = Array.fold_left f init v.nbrs
+
+let paper_id v = v.id + 1

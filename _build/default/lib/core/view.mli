@@ -1,0 +1,26 @@
+(** A node's local knowledge: its own index, the system size [n], and the
+    indices of its neighbours — nothing else.  Protocol code receives only a
+    view, never the graph, which keeps the "local knowledge" restriction of
+    the model a type-level fact. *)
+
+type t
+
+val make : Wb_graph.Graph.t -> int -> t
+
+(** [of_parts ~id ~n ~neighbors] builds a view directly (a sorted copy of
+    [neighbors] is taken).  Used by the reduction transformers of Theorems
+    3, 6 and 8, which simulate a protocol on a gadget graph that exists
+    only virtually. *)
+val of_parts : id:int -> n:int -> neighbors:int array -> t
+val id : t -> int
+val n : t -> int
+val degree : t -> int
+val neighbors : t -> int array
+(** Sorted; owned by the view, do not mutate. *)
+
+val mem_neighbor : t -> int -> bool
+val iter_neighbors : t -> (int -> unit) -> unit
+val fold_neighbors : t -> ('a -> int -> 'a) -> 'a -> 'a
+val paper_id : t -> int
+(** The 1-based identifier used in the paper ([id + 1]).  Power-sum
+    encodings use it because Wright's theorem wants positive integers. *)

@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Algo Array Graph Hashtbl List Prufer Wb_support

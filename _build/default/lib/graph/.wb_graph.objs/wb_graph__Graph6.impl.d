@@ -1,0 +1,1 @@
+lib/graph/graph6.ml: Buffer Char Graph String

@@ -1,0 +1,1 @@
+lib/graph/prufer.ml: Array Graph Wb_support

@@ -1,0 +1,69 @@
+(** Reference graph algorithms.
+
+    These are the sequential ground truths the whiteboard protocols are
+    checked against: BFS forests, connectivity, degeneracy orderings,
+    triangle search, independent sets, bipartitions. *)
+
+val bfs_dist : Graph.t -> int -> int array
+(** Distances from a source; [-1] for unreachable nodes. *)
+
+val bfs_forest : Graph.t -> int array
+(** The paper's canonical BFS forest: in every connected component the root
+    is the minimum-identifier node; [result.(v)] is the parent of [v]
+    ([-1] for roots).  Parents are the minimum-identifier neighbour in the
+    previous layer, which makes the forest unique and comparable. *)
+
+val is_valid_bfs_forest : Graph.t -> int array -> bool
+(** Accepts any parent array that is a legal BFS forest in the paper's sense:
+    roots are the per-component minima, every non-root's parent is a
+    neighbour, and parent chains realise true shortest-path distances from
+    the root.  (Protocols may return any valid forest, not necessarily the
+    canonical one.) *)
+
+val components : Graph.t -> int array
+(** [result.(v)] is the component index of [v]; components are numbered by
+    increasing minimum node. *)
+
+val num_components : Graph.t -> int
+val is_connected : Graph.t -> bool
+
+val bipartition : Graph.t -> int array option
+(** [Some side] with [side.(v)] in {0,1} when 2-colourable, else [None]. *)
+
+val is_even_odd_bipartite : Graph.t -> bool
+(** No edge joins two nodes whose paper identifiers ([index + 1]) share
+    parity — Section 5.2's promise class. *)
+
+val degeneracy : Graph.t -> int * int array
+(** [(k, order)] where [order] is a removal order witnessing degeneracy [k]
+    (repeatedly removing a minimum-degree node, Matula-Beck). *)
+
+val has_triangle : Graph.t -> bool
+val count_triangles : Graph.t -> int
+
+val has_square : Graph.t -> bool
+(** A 4-cycle as a (not necessarily induced) subgraph — the "does G contain
+    a square?" question from the paper's introduction. *)
+
+val split_degeneracy : Graph.t -> int
+(** The smallest [k] admitting an elimination order in which every node has
+    degree [<= k] {e or} [>= remaining - k - 1] in the graph induced by the
+    not-yet-removed nodes — the extended class of Section 3's closing
+    remark (complete graphs have split-degeneracy 0). *)
+
+val is_independent_set : Graph.t -> int list -> bool
+val is_maximal_independent_set : Graph.t -> int list -> bool
+val greedy_mis : Graph.t -> root:int -> int list
+(** The reference greedy MIS containing [root], scanning nodes in identifier
+    order — matches what the SIMSYNC protocol produces under the
+    identifier-order adversary. *)
+
+val diameter : Graph.t -> int
+(** Of a connected graph; @raise Invalid_argument when disconnected. *)
+
+val is_two_cliques : Graph.t -> bool
+(** Whether the graph is the disjoint union of two same-size cliques
+    (the 2-CLIQUES promise asks this of (n-1)-regular 2n-node graphs). *)
+
+val spanning_forest : Graph.t -> (int * int) list
+(** Arbitrary spanning forest edges, one tree per component. *)

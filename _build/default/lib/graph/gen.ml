@@ -1,0 +1,271 @@
+module Prng = Wb_support.Prng
+
+let path n = Graph.of_edges n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Gen.cycle: need at least three nodes";
+  Graph.of_edges n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let star n = Graph.of_edges n (List.init (max 0 (n - 1)) (fun i -> (0, i + 1)))
+
+let complete n =
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      acc := (u, v) :: !acc
+    done
+  done;
+  Graph.of_edges n !acc
+
+let complete_bipartite a b =
+  let acc = ref [] in
+  for u = 0 to a - 1 do
+    for v = a to a + b - 1 do
+      acc := (u, v) :: !acc
+    done
+  done;
+  Graph.of_edges (a + b) !acc
+
+let grid rows cols =
+  let id r c = (r * cols) + c in
+  let acc = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then acc := (id r c, id r (c + 1)) :: !acc;
+      if r + 1 < rows then acc := (id r c, id (r + 1) c) :: !acc
+    done
+  done;
+  Graph.of_edges (rows * cols) !acc
+
+let hypercube d =
+  if d < 0 || d > 20 then invalid_arg "Gen.hypercube";
+  let n = 1 lsl d in
+  let acc = ref [] in
+  for v = 0 to n - 1 do
+    for b = 0 to d - 1 do
+      let w = v lxor (1 lsl b) in
+      if w > v then acc := (v, w) :: !acc
+    done
+  done;
+  Graph.of_edges n !acc
+
+let petersen () =
+  let outer = List.init 5 (fun i -> (i, (i + 1) mod 5)) in
+  let spokes = List.init 5 (fun i -> (i, i + 5)) in
+  let inner = List.init 5 (fun i -> (i + 5, ((i + 2) mod 5) + 5)) in
+  Graph.of_edges 10 (outer @ spokes @ inner)
+
+let random_tree rng n =
+  if n < 1 then invalid_arg "Gen.random_tree"
+  else if n = 1 then Graph.empty 1
+  else if n = 2 then Graph.of_edges 2 [ (0, 1) ]
+  else Prufer.decode n (Array.init (n - 2) (fun _ -> Prng.int rng n))
+
+let random_forest rng n ~keep =
+  if n = 0 then Graph.empty 0
+  else begin
+    let tree = random_tree rng n in
+    Graph.of_edges n (List.filter (fun _ -> Prng.float rng < keep) (Graph.edges tree))
+  end
+
+let random_gnp rng n p =
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Prng.float rng < p then acc := (u, v) :: !acc
+    done
+  done;
+  Graph.of_edges n !acc
+
+let all_pairs n =
+  let acc = ref [] in
+  for u = n - 1 downto 0 do
+    for v = n - 1 downto u + 1 do
+      acc := (u, v) :: !acc
+    done
+  done;
+  Array.of_list !acc
+
+let random_gnm rng n m =
+  let pairs = all_pairs n in
+  if m < 0 || m > Array.length pairs then invalid_arg "Gen.random_gnm";
+  let idx = Prng.sample_without_replacement rng m (Array.length pairs) in
+  Graph.of_edges n (Array.to_list (Array.map (fun i -> pairs.(i)) idx))
+
+let random_connected rng n p =
+  if n = 0 then Graph.empty 0
+  else begin
+    let skeleton = Graph.edges (random_tree rng n) in
+    let extra = Graph.edges (random_gnp rng n p) in
+    Graph.of_edges n (List.rev_append skeleton extra)
+  end
+
+let random_ktree rng n ~k =
+  if k < 1 || n < k + 1 then invalid_arg "Gen.random_ktree";
+  let cliques = Wb_support.Dynarray.create () in
+  let base = Array.init (k + 1) (fun i -> i) in
+  let acc = ref [] in
+  for u = 0 to k do
+    for v = u + 1 to k do
+      acc := (u, v) :: !acc
+    done
+  done;
+  (* Every k-subset of the root clique is attachable. *)
+  for drop = 0 to k do
+    Wb_support.Dynarray.push cliques (Array.of_list (List.filter (fun v -> v <> drop) (Array.to_list base)))
+  done;
+  for v = k + 1 to n - 1 do
+    let host = Wb_support.Dynarray.get cliques (Prng.int rng (Wb_support.Dynarray.length cliques)) in
+    Array.iter (fun u -> acc := (u, v) :: !acc) host;
+    (* New attachable k-cliques: v together with each (k-1)-subset of host. *)
+    for drop = 0 to k - 1 do
+      let fresh = Array.make k v in
+      let j = ref 0 in
+      Array.iteri
+        (fun i u ->
+          if i <> drop then begin
+            fresh.(!j) <- u;
+            incr j
+          end)
+        host;
+      fresh.(k - 1) <- v;
+      Wb_support.Dynarray.push cliques fresh
+    done
+  done;
+  Graph.of_edges n !acc
+
+let random_kdegenerate rng n ~k =
+  if k < 0 then invalid_arg "Gen.random_kdegenerate";
+  let acc = ref [] in
+  for v = 1 to n - 1 do
+    let how_many = min v (Prng.int rng (k + 1)) in
+    let chosen = Prng.sample_without_replacement rng how_many v in
+    Array.iter (fun u -> acc := (u, v) :: !acc) chosen
+  done;
+  let g = Graph.of_edges n !acc in
+  Graph.relabel g (Wb_support.Perm.random rng n)
+
+let apollonian rng n =
+  if n < 3 then invalid_arg "Gen.apollonian";
+  let faces = Wb_support.Dynarray.create () in
+  Wb_support.Dynarray.push faces (0, 1, 2);
+  let acc = ref [ (0, 1); (1, 2); (0, 2) ] in
+  for v = 3 to n - 1 do
+    let i = Prng.int rng (Wb_support.Dynarray.length faces) in
+    let a, b, c = Wb_support.Dynarray.get faces i in
+    acc := (a, v) :: (b, v) :: (c, v) :: !acc;
+    Wb_support.Dynarray.set faces i (a, b, v);
+    Wb_support.Dynarray.push faces (a, c, v);
+    Wb_support.Dynarray.push faces (b, c, v)
+  done;
+  Graph.of_edges n !acc
+
+let random_split_degenerate rng n ~k =
+  if k < 0 then invalid_arg "Gen.random_split_degenerate";
+  let acc = ref [] in
+  (* Node v's later set is {v+1 .. n-1}; sparse nodes pick <= k neighbours
+     there, dense nodes pick <= k non-neighbours. *)
+  for v = 0 to n - 2 do
+    let later = n - 1 - v in
+    let how_many = min later (Prng.int rng (k + 1)) in
+    let chosen = Prng.sample_without_replacement rng how_many later in
+    let chosen_set = Array.map (fun i -> v + 1 + i) chosen in
+    if Prng.bool rng then
+      (* sparse: chosen are the neighbours *)
+      Array.iter (fun u -> acc := (v, u) :: !acc) chosen_set
+    else begin
+      (* dense: chosen are the non-neighbours *)
+      let excluded = Array.to_list chosen_set in
+      for u = v + 1 to n - 1 do
+        if not (List.mem u excluded) then acc := (v, u) :: !acc
+      done
+    end
+  done;
+  Graph.relabel (Graph.of_edges n !acc) (Wb_support.Perm.random rng n)
+
+let preferential_attachment rng n ~m =
+  if m < 1 || n < m then invalid_arg "Gen.preferential_attachment";
+  (* Repeated-endpoint list: picking a uniform entry is degree-proportional. *)
+  let endpoints = Wb_support.Dynarray.create () in
+  let acc = ref [] in
+  (* Seed: a star on the first m + 1 nodes (gives everyone initial degree). *)
+  for v = 1 to m do
+    acc := (0, v) :: !acc;
+    Wb_support.Dynarray.push endpoints 0;
+    Wb_support.Dynarray.push endpoints v
+  done;
+  for v = m + 1 to n - 1 do
+    let chosen = Hashtbl.create m in
+    while Hashtbl.length chosen < m do
+      let target =
+        Wb_support.Dynarray.get endpoints (Prng.int rng (Wb_support.Dynarray.length endpoints))
+      in
+      Hashtbl.replace chosen target ()
+    done;
+    Hashtbl.iter
+      (fun u () ->
+        acc := (u, v) :: !acc;
+        Wb_support.Dynarray.push endpoints u;
+        Wb_support.Dynarray.push endpoints v)
+      chosen
+  done;
+  Graph.relabel (Graph.of_edges n !acc) (Wb_support.Perm.random rng n)
+
+let random_bipartite rng a b p =
+  let acc = ref [] in
+  for u = 0 to a - 1 do
+    for v = a to a + b - 1 do
+      if Prng.float rng < p then acc := (u, v) :: !acc
+    done
+  done;
+  Graph.of_edges (a + b) !acc
+
+let random_eob rng n p =
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if (u - v) mod 2 <> 0 && Prng.float rng < p then acc := (u, v) :: !acc
+    done
+  done;
+  Graph.of_edges n !acc
+
+let two_cliques half =
+  if half < 1 then invalid_arg "Gen.two_cliques";
+  let acc = ref [] in
+  (* Clique membership = node parity, so identifiers alone reveal nothing a
+     protocol could not learn from its neighbourhood anyway. *)
+  for u = 0 to (2 * half) - 1 do
+    for v = u + 1 to (2 * half) - 1 do
+      if (u - v) mod 2 = 0 then acc := (u, v) :: !acc
+    done
+  done;
+  Graph.of_edges (2 * half) !acc
+
+let two_cliques_shuffled rng half =
+  Graph.relabel (two_cliques half) (Wb_support.Perm.random rng (2 * half))
+
+let near_two_cliques half =
+  if half < 2 then invalid_arg "Gen.near_two_cliques";
+  let acc = ref [] in
+  for u = 0 to half - 1 do
+    for v = half to (2 * half) - 1 do
+      if v - half <> u then acc := (u, v) :: !acc
+    done
+  done;
+  Graph.of_edges (2 * half) !acc
+
+let triangle_with_tail n =
+  if n < 3 then invalid_arg "Gen.triangle_with_tail";
+  let tail = List.init (n - 3) (fun i -> (i + 2, i + 3)) in
+  Graph.of_edges n ((0, 1) :: (1, 2) :: (0, 2) :: tail)
+
+let all_labelled_graphs n =
+  if n < 0 || n > 6 then invalid_arg "Gen.all_labelled_graphs: too many nodes";
+  let pairs = all_pairs n in
+  let total = 1 lsl Array.length pairs in
+  List.init total (fun mask ->
+      let acc = ref [] in
+      Array.iteri (fun i e -> if mask land (1 lsl i) <> 0 then acc := e :: !acc) pairs;
+      Graph.of_edges n !acc)
+
+let all_connected_graphs n = List.filter Algo.is_connected (all_labelled_graphs n)

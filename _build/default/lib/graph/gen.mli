@@ -1,0 +1,88 @@
+(** Workload generators.
+
+    Every random generator is driven by a {!Wb_support.Prng.t}, so workloads
+    are reproducible from a seed.  The families mirror the classes the paper
+    reasons about: forests and k-degenerate graphs (Section 3), even-odd
+    bipartite graphs (Section 5.2), two-clique unions (Section 5.1) and
+    general graphs. *)
+
+val path : int -> Graph.t
+val cycle : int -> Graph.t
+val star : int -> Graph.t
+(** Node 0 is the centre. *)
+
+val complete : int -> Graph.t
+val complete_bipartite : int -> int -> Graph.t
+val grid : int -> int -> Graph.t
+val hypercube : int -> Graph.t
+(** [hypercube d] has [2^d] nodes. *)
+
+val petersen : unit -> Graph.t
+
+val random_tree : Wb_support.Prng.t -> int -> Graph.t
+(** Uniform labelled tree (via Prüfer codes) for [n >= 1]. *)
+
+val random_forest : Wb_support.Prng.t -> int -> keep:float -> Graph.t
+(** Uniform tree with each edge kept independently with probability [keep]. *)
+
+val random_gnp : Wb_support.Prng.t -> int -> float -> Graph.t
+val random_gnm : Wb_support.Prng.t -> int -> int -> Graph.t
+(** Uniform among graphs with exactly [m] edges.
+    @raise Invalid_argument if [m] exceeds [n(n-1)/2]. *)
+
+val random_connected : Wb_support.Prng.t -> int -> float -> Graph.t
+(** [random_gnp] conditioned on connectivity by adding a uniform spanning
+    tree skeleton first. *)
+
+val random_ktree : Wb_support.Prng.t -> int -> k:int -> Graph.t
+(** Random k-tree on [n >= k + 1] nodes: degeneracy exactly [k] (for
+    [n > k + 1]), treewidth [k]. *)
+
+val random_kdegenerate : Wb_support.Prng.t -> int -> k:int -> Graph.t
+(** Each node joins at most [k] uniformly chosen earlier nodes (then the node
+    labels are shuffled, so the elimination order is hidden). *)
+
+val apollonian : Wb_support.Prng.t -> int -> Graph.t
+(** Random Apollonian network (planar, 3-degenerate) on [n >= 3] nodes. *)
+
+val random_split_degenerate : Wb_support.Prng.t -> int -> k:int -> Graph.t
+(** A graph of split-degeneracy at most [k] (Section 3's closing remark):
+    built along a hidden elimination order in which each node is either
+    {e sparse} (at most [k] later neighbours) or {e dense} (at most [k]
+    later non-neighbours), then label-shuffled. *)
+
+val preferential_attachment : Wb_support.Prng.t -> int -> m:int -> Graph.t
+(** Barabási-Albert preferential attachment: each new node links to [m]
+    distinct existing nodes drawn proportionally to degree.  Produces
+    heavy-tailed "social/call graph" degree sequences of degeneracy at most
+    [m] — the massive-sparse-graph workload from the paper's introduction.
+    Requires [n >= m >= 1].  Node labels are then shuffled. *)
+
+val random_bipartite : Wb_support.Prng.t -> int -> int -> float -> Graph.t
+(** [random_bipartite g a b p]: parts [{0..a-1}] and [{a..a+b-1}]. *)
+
+val random_eob : Wb_support.Prng.t -> int -> float -> Graph.t
+(** Even-odd bipartite: each (odd identifier, even identifier) pair is an
+    edge with probability [p]; identifier parity = (index + 1) parity. *)
+
+val two_cliques : int -> Graph.t
+(** Disjoint union of two [K_half] on [2 * half] nodes — a yes-instance of
+    2-CLIQUES.  Nodes of the two cliques are interleaved so that schedules
+    cannot exploit labelling. *)
+
+val two_cliques_shuffled : Wb_support.Prng.t -> int -> Graph.t
+
+val near_two_cliques : int -> Graph.t
+(** [K_{half,half}] minus a perfect matching: an (half-1)-regular connected
+    graph on [2 * half] nodes — a no-instance of 2-CLIQUES that satisfies the
+    same regularity promise. *)
+
+val triangle_with_tail : int -> Graph.t
+(** A triangle plus a pendant path, [n >= 3] nodes: a minimal yes-instance
+    for TRIANGLE. *)
+
+val all_labelled_graphs : int -> Graph.t list
+(** Every labelled simple graph on [n] nodes ([2^(n(n-1)/2)] of them; keep
+    [n <= 6]). *)
+
+val all_connected_graphs : int -> Graph.t list

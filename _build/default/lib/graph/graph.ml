@@ -1,0 +1,150 @@
+type t = { size : int; adj : int array array }
+
+let n g = g.size
+
+let check_node size v op =
+  if v < 0 || v >= size then invalid_arg (Printf.sprintf "Graph.%s: node %d out of range [0,%d)" op v size)
+
+let of_edges size edge_list =
+  if size < 0 then invalid_arg "Graph.of_edges: negative size";
+  let seen = Hashtbl.create (2 * List.length edge_list + 1) in
+  let buckets = Array.make size [] in
+  let add_edge (u, v) =
+    check_node size u "of_edges";
+    check_node size v "of_edges";
+    if u = v then invalid_arg "Graph.of_edges: self-loop";
+    let key = (min u v, max u v) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      buckets.(u) <- v :: buckets.(u);
+      buckets.(v) <- u :: buckets.(v)
+    end
+  in
+  List.iter add_edge edge_list;
+  let adj =
+    Array.map
+      (fun l ->
+        let a = Array.of_list l in
+        Array.sort compare a;
+        a)
+      buckets
+  in
+  { size; adj }
+
+let empty size = of_edges size []
+
+let neighbors g v =
+  check_node g.size v "neighbors";
+  g.adj.(v)
+
+let degree g v = Array.length (neighbors g v)
+
+let max_degree g =
+  let best = ref 0 in
+  for v = 0 to g.size - 1 do
+    best := max !best (degree g v)
+  done;
+  !best
+
+let edges g =
+  let out = ref [] in
+  for u = g.size - 1 downto 0 do
+    let nbrs = g.adj.(u) in
+    for i = Array.length nbrs - 1 downto 0 do
+      if nbrs.(i) > u then out := (u, nbrs.(i)) :: !out
+    done
+  done;
+  !out
+
+let num_edges g = Array.fold_left (fun acc a -> acc + Array.length a) 0 g.adj / 2
+
+let mem_edge g u v =
+  check_node g.size u "mem_edge";
+  check_node g.size v "mem_edge";
+  let nbrs = g.adj.(u) in
+  let rec search lo hi =
+    if lo > hi then false
+    else begin
+      let mid = (lo + hi) / 2 in
+      if nbrs.(mid) = v then true
+      else if nbrs.(mid) < v then search (mid + 1) hi
+      else search lo (mid - 1)
+    end
+  in
+  search 0 (Array.length nbrs - 1)
+
+let iter_neighbors g v f = Array.iter f (neighbors g v)
+
+let fold_neighbors g v f init = Array.fold_left f init (neighbors g v)
+
+let adjacency_matrix g =
+  let m = Array.make_matrix g.size g.size false in
+  Array.iteri (fun u nbrs -> Array.iter (fun v -> m.(u).(v) <- true) nbrs) g.adj;
+  m
+
+let of_matrix m =
+  let size = Array.length m in
+  Array.iter (fun row -> if Array.length row <> size then invalid_arg "Graph.of_matrix: not square") m;
+  let acc = ref [] in
+  for u = 0 to size - 1 do
+    for v = u + 1 to size - 1 do
+      if m.(u).(v) || m.(v).(u) then acc := (u, v) :: !acc
+    done
+  done;
+  of_edges size !acc
+
+let equal a b = a.size = b.size && a.adj = b.adj
+
+let relabel g perm =
+  if Array.length perm <> g.size || not (Wb_support.Perm.is_permutation perm) then
+    invalid_arg "Graph.relabel: not a permutation of the node set";
+  of_edges g.size (List.map (fun (u, v) -> (perm.(u), perm.(v))) (edges g))
+
+let induced g nodes =
+  let index = Hashtbl.create (Array.length nodes) in
+  Array.iteri
+    (fun i v ->
+      check_node g.size v "induced";
+      if Hashtbl.mem index v then invalid_arg "Graph.induced: duplicate node";
+      Hashtbl.replace index v i)
+    nodes;
+  let acc = ref [] in
+  Array.iteri
+    (fun i v ->
+      iter_neighbors g v (fun w ->
+          match Hashtbl.find_opt index w with
+          | Some j when j > i -> acc := (i, j) :: !acc
+          | Some _ | None -> ()))
+    nodes;
+  of_edges (Array.length nodes) !acc
+
+let extend g ~extra ~new_edges =
+  if extra < 0 then invalid_arg "Graph.extend";
+  of_edges (g.size + extra) (List.rev_append (edges g) new_edges)
+
+let complement g =
+  let acc = ref [] in
+  for u = 0 to g.size - 1 do
+    for v = u + 1 to g.size - 1 do
+      if not (mem_edge g u v) then acc := (u, v) :: !acc
+    done
+  done;
+  of_edges g.size !acc
+
+let is_regular g =
+  if g.size = 0 then Some 0
+  else begin
+    let d = degree g 0 in
+    let rec go v = if v >= g.size then Some d else if degree g v <> d then None else go (v + 1) in
+    go 1
+  end
+
+let incidence_row g v =
+  let row = Wb_support.Bitset.create g.size in
+  iter_neighbors g v (fun w -> Wb_support.Bitset.add row w);
+  row
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph on %d nodes, %d edges@," g.size (num_edges g);
+  List.iter (fun (u, v) -> Format.fprintf ppf "  %d -- %d@," (u + 1) (v + 1)) (edges g);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,60 @@
+(** Simple undirected labelled graphs.
+
+    Nodes are [0 .. n-1]; the paper's identifiers [1 .. n] are [index + 1]
+    (pretty-printers add the offset, nothing else does).  Neighbour arrays are
+    kept sorted so membership tests are logarithmic and iteration is ordered,
+    which the protocols rely on for determinism. *)
+
+type t
+
+val n : t -> int
+(** Number of nodes. *)
+
+val of_edges : int -> (int * int) list -> t
+(** [of_edges n edges] builds a graph on [n] nodes.  Self-loops are rejected;
+    duplicate and reversed duplicates are collapsed.
+    @raise Invalid_argument on out-of-range endpoints or self-loops. *)
+
+val empty : int -> t
+
+val edges : t -> (int * int) list
+(** Each edge once, as [(u, v)] with [u < v], sorted lexicographically. *)
+
+val num_edges : t -> int
+val degree : t -> int -> int
+val max_degree : t -> int
+val neighbors : t -> int -> int array
+(** Sorted.  The returned array is owned by the graph: do not mutate. *)
+
+val mem_edge : t -> int -> int -> bool
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+val adjacency_matrix : t -> bool array array
+val of_matrix : bool array array -> t
+(** Symmetrises the input; the diagonal is ignored. *)
+
+val equal : t -> t -> bool
+(** Same node count and same edge set (labelled equality). *)
+
+val relabel : t -> int array -> t
+(** [relabel g perm] renames node [i] to [perm.(i)]. *)
+
+val induced : t -> int array -> t
+(** [induced g nodes] keeps only [nodes] (distinct), renumbered
+    [0 .. length - 1] in the order given. *)
+
+val extend : t -> extra:int -> new_edges:(int * int) list -> t
+(** [extend g ~extra ~new_edges] appends [extra] fresh nodes
+    [n g .. n g + extra - 1] and adds [new_edges] (which may touch old and
+    new nodes). *)
+
+val complement : t -> t
+val is_regular : t -> int option
+(** [Some d] when every node has degree [d]. *)
+
+val incidence_row : t -> int -> Wb_support.Bitset.t
+(** The node's neighbourhood as a bitset over [0 .. n-1]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable, with the paper's 1-based identifiers. *)

@@ -1,0 +1,71 @@
+(* graph6: n is encoded in 1 or 4 chars, then the upper triangle of the
+   adjacency matrix (column-major: pairs (0,1),(0,2),(1,2),(0,3),...) is
+   packed 6 bits per char, each char offset by 63. *)
+
+let encode_size buf n =
+  if n < 0 then invalid_arg "Graph6.encode: negative size"
+  else if n <= 62 then Buffer.add_char buf (Char.chr (n + 63))
+  else if n <= 258047 then begin
+    Buffer.add_char buf (Char.chr 126);
+    Buffer.add_char buf (Char.chr (((n lsr 12) land 63) + 63));
+    Buffer.add_char buf (Char.chr (((n lsr 6) land 63) + 63));
+    Buffer.add_char buf (Char.chr ((n land 63) + 63))
+  end
+  else invalid_arg "Graph6.encode: too large"
+
+let encode g =
+  let n = Graph.n g in
+  let buf = Buffer.create 16 in
+  encode_size buf n;
+  let bit_count = n * (n - 1) / 2 in
+  let chunk = ref 0 and filled = ref 0 and emitted = ref 0 in
+  let flush_partial () =
+    if !filled > 0 then begin
+      Buffer.add_char buf (Char.chr ((!chunk lsl (6 - !filled)) + 63));
+      chunk := 0;
+      filled := 0
+    end
+  in
+  for v = 1 to n - 1 do
+    for u = 0 to v - 1 do
+      chunk := (!chunk lsl 1) lor (if Graph.mem_edge g u v then 1 else 0);
+      incr filled;
+      incr emitted;
+      if !filled = 6 then begin
+        Buffer.add_char buf (Char.chr (!chunk + 63));
+        chunk := 0;
+        filled := 0
+      end
+    done
+  done;
+  assert (!emitted = bit_count);
+  flush_partial ();
+  Buffer.contents buf
+
+let decode s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Graph6.decode: empty";
+  let sextet i =
+    if i >= len then invalid_arg "Graph6.decode: truncated";
+    let c = Char.code s.[i] - 63 in
+    if c < 0 || c > 63 then invalid_arg "Graph6.decode: bad character";
+    c
+  in
+  let n, data_start =
+    if s.[0] = '~' then begin
+      if len >= 2 && s.[1] = '~' then invalid_arg "Graph6.decode: huge graphs unsupported"
+      else ((sextet 1 lsl 12) lor (sextet 2 lsl 6) lor sextet 3, 4)
+    end
+    else (sextet 0, 1)
+  in
+  let acc = ref [] in
+  let bit_index = ref 0 in
+  for v = 1 to n - 1 do
+    for u = 0 to v - 1 do
+      let char_pos = data_start + (!bit_index / 6) in
+      let bit_pos = 5 - (!bit_index mod 6) in
+      if sextet char_pos land (1 lsl bit_pos) <> 0 then acc := (u, v) :: !acc;
+      incr bit_index
+    done
+  done;
+  Graph.of_edges n !acc

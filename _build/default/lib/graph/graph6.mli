@@ -1,0 +1,7 @@
+(** The graph6 ASCII format (McKay) for simple graphs, used to serialise
+    test fixtures compactly.  Supports graphs up to 258047 nodes (short and
+    medium length headers). *)
+
+val encode : Graph.t -> string
+val decode : string -> Graph.t
+(** @raise Invalid_argument on malformed input. *)

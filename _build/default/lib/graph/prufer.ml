@@ -1,0 +1,49 @@
+let encode g =
+  let size = Graph.n g in
+  if size < 2 then invalid_arg "Prufer.encode: need at least two nodes";
+  if Graph.num_edges g <> size - 1 then invalid_arg "Prufer.encode: not a tree";
+  let deg = Array.init size (Graph.degree g) in
+  let removed = Array.make size false in
+  let leaves = Wb_support.Heap.create ~cmp:compare in
+  Array.iteri (fun v d -> if d = 1 then Wb_support.Heap.push leaves v) deg;
+  let code = Array.make (size - 2) 0 in
+  for i = 0 to size - 3 do
+    match Wb_support.Heap.pop leaves with
+    | None -> invalid_arg "Prufer.encode: not a tree (disconnected)"
+    | Some leaf ->
+      removed.(leaf) <- true;
+      let parent = ref (-1) in
+      Graph.iter_neighbors g leaf (fun w -> if not removed.(w) then parent := w);
+      if !parent < 0 then invalid_arg "Prufer.encode: not a tree";
+      code.(i) <- !parent;
+      deg.(!parent) <- deg.(!parent) - 1;
+      if deg.(!parent) = 1 then Wb_support.Heap.push leaves !parent
+  done;
+  code
+
+let decode size code =
+  if size < 2 then invalid_arg "Prufer.decode: need at least two nodes";
+  if Array.length code <> size - 2 then invalid_arg "Prufer.decode: wrong code length";
+  Array.iter (fun v -> if v < 0 || v >= size then invalid_arg "Prufer.decode: entry out of range") code;
+  let deg = Array.make size 1 in
+  Array.iter (fun v -> deg.(v) <- deg.(v) + 1) code;
+  let leaves = Wb_support.Heap.create ~cmp:compare in
+  Array.iteri (fun v d -> if d = 1 then Wb_support.Heap.push leaves v) deg;
+  let tree_edges = ref [] in
+  Array.iter
+    (fun v ->
+      match Wb_support.Heap.pop leaves with
+      | None -> assert false
+      | Some leaf ->
+        tree_edges := (leaf, v) :: !tree_edges;
+        deg.(leaf) <- 0;
+        deg.(v) <- deg.(v) - 1;
+        if deg.(v) = 1 then Wb_support.Heap.push leaves v)
+    code;
+  (* The two remaining degree-1 nodes close the tree. *)
+  let rest = ref [] in
+  Array.iteri (fun v d -> if d = 1 then rest := v :: !rest) deg;
+  (match !rest with
+  | [ a; b ] -> tree_edges := (a, b) :: !tree_edges
+  | _ -> assert false);
+  Graph.of_edges size !tree_edges

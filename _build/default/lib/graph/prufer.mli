@@ -1,0 +1,10 @@
+(** Prüfer codes: the classical bijection between labelled trees on [n]
+    nodes and sequences in [\[0, n)^(n-2)].  Decoding a uniformly random
+    sequence therefore samples labelled trees exactly uniformly. *)
+
+val encode : Graph.t -> int array
+(** @raise Invalid_argument when the graph is not a tree on [n >= 2] nodes. *)
+
+val decode : int -> int array -> Graph.t
+(** [decode n code] rebuilds the tree.  Requires [Array.length code = n - 2]
+    and entries in range. *)

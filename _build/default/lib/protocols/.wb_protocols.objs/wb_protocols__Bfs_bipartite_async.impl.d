@@ -1,0 +1,1 @@
+lib/protocols/bfs_bipartite_async.ml: Bfs_common Wb_model

@@ -1,0 +1,1 @@
+lib/protocols/bfs_bipartite_async.mli: Wb_model

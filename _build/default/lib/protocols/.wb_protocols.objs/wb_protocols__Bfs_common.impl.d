@@ -1,0 +1,1 @@
+lib/protocols/bfs_common.ml: Array Codec Hashtbl List Wb_model Wb_support

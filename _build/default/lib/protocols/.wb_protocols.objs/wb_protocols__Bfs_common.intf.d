@@ -1,0 +1,1 @@
+lib/protocols/bfs_common.mli: Wb_model Wb_support

@@ -1,0 +1,1 @@
+lib/protocols/bfs_sync.ml: Bfs_common Wb_model

@@ -1,0 +1,1 @@
+lib/protocols/bfs_sync.mli: Wb_model

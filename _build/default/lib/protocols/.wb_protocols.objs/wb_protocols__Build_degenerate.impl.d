@@ -1,0 +1,1 @@
+lib/protocols/build_degenerate.ml: Array Codec Decode Hashtbl List Printf Queue Wb_bignum Wb_graph Wb_model Wb_support

@@ -1,0 +1,1 @@
+lib/protocols/build_degenerate.mli: Wb_model

@@ -1,0 +1,1 @@
+lib/protocols/build_forest.ml: Array Codec Queue Wb_graph Wb_model Wb_support

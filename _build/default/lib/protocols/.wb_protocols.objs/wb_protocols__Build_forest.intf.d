@@ -1,0 +1,1 @@
+lib/protocols/build_forest.mli: Wb_model

@@ -1,0 +1,1 @@
+lib/protocols/build_naive.ml: Array Codec Wb_graph Wb_model Wb_support

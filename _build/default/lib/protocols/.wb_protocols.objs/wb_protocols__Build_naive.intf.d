@@ -1,0 +1,1 @@
+lib/protocols/build_naive.mli: Wb_model

@@ -1,0 +1,1 @@
+lib/protocols/build_split_degenerate.ml: Array Codec Decode List Printf Wb_bignum Wb_graph Wb_model Wb_support

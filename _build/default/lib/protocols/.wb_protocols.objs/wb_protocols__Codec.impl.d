@@ -1,0 +1,1 @@
+lib/protocols/codec.ml: Array Wb_bignum Wb_support

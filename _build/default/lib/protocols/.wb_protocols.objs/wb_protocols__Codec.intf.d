@@ -1,0 +1,1 @@
+lib/protocols/codec.mli: Wb_bignum Wb_support

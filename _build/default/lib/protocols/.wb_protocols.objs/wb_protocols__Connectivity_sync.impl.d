@@ -1,0 +1,1 @@
+lib/protocols/connectivity_sync.ml: Bfs_common Wb_model

@@ -1,0 +1,1 @@
+lib/protocols/connectivity_sync.mli: Wb_model

@@ -1,0 +1,1 @@
+lib/protocols/decode.ml: Array Fun Hashtbl List String Wb_bignum

@@ -1,0 +1,1 @@
+lib/protocols/decode.mli: Wb_bignum

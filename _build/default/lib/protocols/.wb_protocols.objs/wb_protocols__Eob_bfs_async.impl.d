@@ -1,0 +1,1 @@
+lib/protocols/eob_bfs_async.ml: Bfs_common Wb_model

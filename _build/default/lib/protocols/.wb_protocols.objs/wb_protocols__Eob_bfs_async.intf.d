@@ -1,0 +1,1 @@
+lib/protocols/eob_bfs_async.mli: Wb_model

@@ -1,0 +1,1 @@
+lib/protocols/mis_simsync.ml: Codec List Printf Wb_model Wb_support

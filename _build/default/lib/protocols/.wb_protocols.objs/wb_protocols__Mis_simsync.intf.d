@@ -1,0 +1,1 @@
+lib/protocols/mis_simsync.mli: Wb_model

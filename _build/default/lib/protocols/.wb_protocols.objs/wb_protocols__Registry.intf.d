@@ -1,0 +1,1 @@
+lib/protocols/registry.mli: Wb_graph Wb_model

@@ -1,0 +1,1 @@
+lib/protocols/sketch_connectivity.ml: Array Codec Hashtbl Int64 List Printf Wb_model Wb_support

@@ -1,0 +1,1 @@
+lib/protocols/sketch_connectivity.mli: Wb_model

@@ -1,0 +1,1 @@
+lib/protocols/spanning_forest_sync.ml: Array Bfs_common List Wb_model

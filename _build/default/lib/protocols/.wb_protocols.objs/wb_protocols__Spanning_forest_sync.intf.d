@@ -1,0 +1,1 @@
+lib/protocols/spanning_forest_sync.mli: Wb_model

@@ -1,0 +1,1 @@
+lib/protocols/subgraph_simasync.ml: Array Codec List Wb_model Wb_support

@@ -1,0 +1,1 @@
+lib/protocols/subgraph_simasync.mli: Wb_model

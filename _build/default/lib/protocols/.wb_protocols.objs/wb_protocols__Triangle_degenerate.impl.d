@@ -1,0 +1,1 @@
+lib/protocols/triangle_degenerate.ml: Build_degenerate Printf Wb_graph Wb_model

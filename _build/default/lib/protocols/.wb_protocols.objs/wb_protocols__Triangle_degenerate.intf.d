@@ -1,0 +1,1 @@
+lib/protocols/triangle_degenerate.mli: Wb_model

@@ -1,0 +1,1 @@
+lib/protocols/two_cliques_randomized.ml: Codec Hashtbl Int64 List Option Printf Wb_model Wb_support

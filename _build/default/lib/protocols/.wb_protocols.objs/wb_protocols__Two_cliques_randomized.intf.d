@@ -1,0 +1,1 @@
+lib/protocols/two_cliques_randomized.mli: Wb_model

@@ -1,0 +1,1 @@
+lib/protocols/two_cliques_simsync.ml: Codec List Wb_model Wb_support

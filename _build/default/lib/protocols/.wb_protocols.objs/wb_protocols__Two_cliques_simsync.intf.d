@@ -1,0 +1,1 @@
+lib/protocols/two_cliques_simsync.mli: Wb_model

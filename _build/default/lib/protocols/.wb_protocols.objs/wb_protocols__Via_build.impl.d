@@ -1,0 +1,1 @@
+lib/protocols/via_build.ml: Build_degenerate Printf Wb_model

@@ -1,0 +1,1 @@
+lib/protocols/via_build.mli: Wb_model

@@ -1,0 +1,9 @@
+(** Corollary 4: BFS forests for {e arbitrary} bipartite graphs in
+    ASYNC[log n] — the Theorem 7 protocol without the parity check (no
+    bipartition knowledge needed, because bipartite graphs have no
+    within-layer edges, so the d0-free accounting is already exact).
+
+    On non-bipartite inputs executions may deadlock (the corrupted final
+    configurations of Section 6); tests demonstrate this is real. *)
+
+val protocol : Wb_model.Protocol.t

@@ -1,0 +1,9 @@
+(** Theorem 10: BFS on arbitrary graphs in SYNC[log n].
+
+    The layer-certificate protocol of Theorem 7 extended with the
+    within-layer degree [d0], which must be composed at {e write} time
+    (nodes keep updating their pending message as same-layer neighbours
+    write) — this is precisely the synchronous capability ASYNC lacks, and
+    why the paper conjectures BFS ∉ PASYNC (Open Problem 3). *)
+
+val protocol : Wb_model.Protocol.t

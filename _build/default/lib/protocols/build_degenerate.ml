@@ -1,0 +1,115 @@
+module P = Wb_model
+module W = Wb_support.Bitbuf.Writer
+module Nat = Wb_bignum.Nat
+
+let table_cache : (int * int, Decode.Table.t) Hashtbl.t = Hashtbl.create 8
+
+let table_for ~n ~k =
+  match Hashtbl.find_opt table_cache (n, k) with
+  | Some t -> t
+  | None ->
+    let t = Decode.Table.build ~n ~k in
+    Hashtbl.replace table_cache (n, k) t;
+    t
+
+let protocol ~k ~decoder : P.Protocol.t =
+  if k < 1 then invalid_arg "Build_degenerate.protocol: k >= 1";
+  let module Impl = struct
+    let name =
+      Printf.sprintf "build-%d-degenerate/simasync/%s" k
+        (match decoder with `Backtracking -> "backtracking" | `Table -> "table")
+
+    let model = P.Model.Sim_async
+
+    (* ID + degree + k power sums, each sum at most n * n^p <= n^(k+1). *)
+    let message_bound ~n =
+      let sum_bits p = Codec.big_bits (Nat.mul (Nat.of_int (max n 1)) (Nat.pow_int (max n 1) p)) in
+      let sums = ref 0 in
+      for p = 1 to k do
+        sums := !sums + sum_bits p
+      done;
+      Codec.id_bits n + Codec.int_bits n + !sums
+
+    type local = unit
+
+    let init _ = ()
+
+    let wants_to_activate _ _ () = true
+
+    let compose view _board () =
+      let w = W.create () in
+      Codec.write_id w (P.View.paper_id view);
+      Codec.write_int w (P.View.degree view);
+      let ids = P.View.fold_neighbors view (fun acc nb -> (nb + 1) :: acc) [] in
+      let sums = Decode.power_sums ~k ids in
+      Array.iter (Codec.write_big w) sums;
+      (w, ())
+
+    exception Bad_board
+
+    let parse n board =
+      let deg = Array.make (n + 1) (-1) in
+      let sums = Array.make (n + 1) [||] in
+      P.Board.iter
+        (fun m ->
+          let r = P.Message.reader m in
+          let id = Codec.read_id r in
+          if id < 1 || id > n || deg.(id) >= 0 then raise Bad_board;
+          deg.(id) <- Codec.read_int r;
+          sums.(id) <- Array.init k (fun _ -> Codec.read_big r))
+        board;
+      for id = 1 to n do
+        if deg.(id) < 0 then raise Bad_board
+      done;
+      (deg, sums)
+
+    let output ~n board =
+      match parse n board with
+      | exception Bad_board -> P.Answer.Reject
+      | deg, sums ->
+        let decode_entry =
+          match decoder with
+          | `Backtracking ->
+            let ctx = Decode.Context.create ~n ~k in
+            fun ~d b -> Decode.Context.decode ctx ~d b
+          | `Table ->
+            let table = table_for ~n ~k in
+            fun ~d b -> Decode.Table.decode table ~d b
+        in
+        let present = Array.make (n + 1) true in
+        present.(0) <- false;
+        let worklist = Queue.create () in
+        for id = 1 to n do
+          if deg.(id) <= k then Queue.add id worklist
+        done;
+        let edges = ref [] in
+        let removed = ref 0 in
+        let consistent = ref true in
+        let prune v =
+          match decode_entry ~d:deg.(v) sums.(v) with
+          | None -> consistent := false
+          | Some nbrs ->
+            if List.exists (fun nb -> nb = v || not present.(nb)) nbrs then consistent := false
+            else begin
+              List.iter
+                (fun nb ->
+                  edges := (v - 1, nb - 1) :: !edges;
+                  (match Decode.subtract_member sums.(nb) v with
+                  | updated -> sums.(nb) <- updated
+                  | exception Invalid_argument _ -> consistent := false);
+                  deg.(nb) <- deg.(nb) - 1;
+                  if deg.(nb) < 0 then consistent := false;
+                  if deg.(nb) <= k then Queue.add nb worklist)
+                nbrs;
+              present.(v) <- false;
+              incr removed
+            end
+        in
+        while !consistent && not (Queue.is_empty worklist) do
+          let v = Queue.pop worklist in
+          if present.(v) && deg.(v) <= k then prune v
+        done;
+        if !consistent && !removed = n then P.Answer.Graph (Wb_graph.Graph.of_edges n !edges)
+        else P.Answer.Reject (* no node of degree <= k was left: degeneracy > k *)
+  end in
+  (module Impl)

@@ -1,0 +1,16 @@
+(** Section 3.2-3.4: BUILD for graphs of degeneracy at most [k] in
+    SIMASYNC[k^2 log n].
+
+    Every node writes [(ID, degree, b_1 .. b_k)] where [b_p] is the p-th
+    power sum of its neighbours' identifiers (Lemma 1: [O(k^2 log n)] bits).
+    The output function repeatedly finds an entry of current degree [<= k],
+    decodes its remaining neighbourhood (unique by Wright's theorem —
+    Theorem 1 / Corollary 1), records the edges and prunes the node,
+    updating its neighbours' sums (Algorithm 1).
+
+    Robust: answers [Reject] exactly on graphs of degeneracy [> k] (and on
+    inconsistent boards). *)
+
+val protocol : k:int -> decoder:[ `Backtracking | `Table ] -> Wb_model.Protocol.t
+(** [`Table] uses the Lemma 2 lookup table (built once per [(n, k)] and
+    memoised); [`Backtracking] needs no precomputation. *)

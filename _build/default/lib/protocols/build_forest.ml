@@ -1,0 +1,84 @@
+module P = Wb_model
+module W = Wb_support.Bitbuf.Writer
+
+module Impl = struct
+  let name = "build-forest/simasync"
+
+  let model = P.Model.Sim_async
+
+  let message_bound ~n = Codec.id_bits n + Codec.int_bits n + Codec.int_bits (n * (n + 1) / 2)
+
+  type local = unit
+
+  let init _ = ()
+
+  let wants_to_activate _ _ () = true
+
+  let compose view _board () =
+    let w = W.create () in
+    Codec.write_id w (P.View.paper_id view);
+    Codec.write_int w (P.View.degree view);
+    let sum = P.View.fold_neighbors view (fun acc nb -> acc + nb + 1) 0 in
+    Codec.write_int w sum;
+    (w, ())
+
+  exception Bad_board
+
+  let parse n board =
+    (* entry per paper id: (present, degree, sum). *)
+    let deg = Array.make (n + 1) (-1) in
+    let sum = Array.make (n + 1) 0 in
+    P.Board.iter
+      (fun m ->
+        let r = P.Message.reader m in
+        let id = Codec.read_id r in
+        if id < 1 || id > n || deg.(id) >= 0 then raise Bad_board;
+        deg.(id) <- Codec.read_int r;
+        sum.(id) <- Codec.read_int r)
+      board;
+    for id = 1 to n do
+      if deg.(id) < 0 then raise Bad_board
+    done;
+    (deg, sum)
+
+  let output ~n board =
+    match parse n board with
+    | exception Bad_board -> P.Answer.Reject
+    | deg, sum ->
+      let present = Array.make (n + 1) true in
+      present.(0) <- false;
+      let worklist = Queue.create () in
+      for id = 1 to n do
+        if deg.(id) <= 1 then Queue.add id worklist
+      done;
+      let edges = ref [] in
+      let removed = ref 0 in
+      let consistent = ref true in
+      while !consistent && not (Queue.is_empty worklist) do
+        let v = Queue.pop worklist in
+        if present.(v) then begin
+          if deg.(v) = 0 then begin
+            if sum.(v) <> 0 then consistent := false;
+            present.(v) <- false;
+            incr removed
+          end
+          else begin
+            (* The remaining sum is exactly the unique neighbour's id. *)
+            let nb = sum.(v) in
+            if nb < 1 || nb > n || nb = v || (not present.(nb)) || deg.(nb) < 1 then consistent := false
+            else begin
+              edges := (v - 1, nb - 1) :: !edges;
+              deg.(nb) <- deg.(nb) - 1;
+              sum.(nb) <- sum.(nb) - v;
+              if deg.(nb) <= 1 then Queue.add nb worklist;
+              present.(v) <- false;
+              incr removed
+            end
+          end
+        end
+      done;
+      if !consistent && !removed = n then P.Answer.Graph (Wb_graph.Graph.of_edges n !edges)
+      else P.Answer.Reject (* a cycle survived every pruning step *)
+end
+
+let protocol : P.Protocol.t = (module Impl)

@@ -1,0 +1,9 @@
+(** Section 3.1: BUILD for forests (degeneracy 1) in SIMASYNC[log n].
+
+    Every node simultaneously writes the triple
+    [(ID, degree, sum of neighbour IDs)] — under 4 log n bits.  The output
+    function prunes leaves: a degree-1 entry's sum {e is} its unique
+    neighbour's identifier, so edges peel off one by one.  The protocol is
+    robust: on inputs that are not forests it answers [Reject]. *)
+
+val protocol : Wb_model.Protocol.t

@@ -1,0 +1,38 @@
+module P = Wb_model
+module W = Wb_support.Bitbuf.Writer
+
+module Impl = struct
+  let name = "build-naive/simasync"
+
+  let model = P.Model.Sim_async
+
+  let message_bound ~n = Codec.id_bits n + n
+
+  type local = unit
+
+  let init _ = ()
+
+  let wants_to_activate _ _ () = true
+
+  let compose view _board () =
+    let w = W.create () in
+    Codec.write_id w (P.View.paper_id view);
+    for u = 0 to P.View.n view - 1 do
+      W.bit w (P.View.mem_neighbor view u)
+    done;
+    (w, ())
+
+  let output ~n board =
+    let matrix = Array.make_matrix n n false in
+    P.Board.iter
+      (fun m ->
+        let r = P.Message.reader m in
+        let id = Codec.read_id r in
+        for u = 0 to n - 1 do
+          matrix.(id - 1).(u) <- Wb_support.Bitbuf.Reader.bit r
+        done)
+      board;
+    P.Answer.Graph (Wb_graph.Graph.of_matrix matrix)
+end
+
+let protocol : P.Protocol.t = (module Impl)

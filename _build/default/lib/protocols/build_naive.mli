@@ -1,0 +1,6 @@
+(** The trivial BUILD protocol from the introduction: every node writes its
+    full adjacency row ([n] bits), so the whole graph lands on the
+    whiteboard.  SIMASYNC[n] — correct on {e all} graphs, used as the
+    baseline the [O(log n)] protocols are measured against. *)
+
+val protocol : Wb_model.Protocol.t

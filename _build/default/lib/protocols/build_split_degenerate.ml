@@ -1,0 +1,134 @@
+module P = Wb_model
+module W = Wb_support.Bitbuf.Writer
+module Nat = Wb_bignum.Nat
+
+let protocol ~k : P.Protocol.t =
+  if k < 1 then invalid_arg "Build_split_degenerate.protocol: k >= 1";
+  let module Impl = struct
+    let name = Printf.sprintf "build-split-%d-degenerate/simasync" k
+
+    let model = P.Model.Sim_async
+
+    let message_bound ~n =
+      let sum_bits p = Codec.big_bits (Nat.mul (Nat.of_int (max n 1)) (Nat.pow_int (max n 1) p)) in
+      let sums = ref 0 in
+      for p = 1 to k do
+        sums := !sums + (2 * sum_bits p)
+      done;
+      Codec.id_bits n + Codec.int_bits n + !sums
+
+    type local = unit
+
+    let init _ = ()
+
+    let wants_to_activate _ _ () = true
+
+    let compose view _board () =
+      let w = W.create () in
+      let self = P.View.paper_id view in
+      Codec.write_id w self;
+      Codec.write_int w (P.View.degree view);
+      let nbr_ids = P.View.fold_neighbors view (fun acc nb -> (nb + 1) :: acc) [] in
+      let non_ids =
+        List.filter
+          (fun id -> id <> self && not (List.mem id nbr_ids))
+          (List.init (P.View.n view) (fun i -> i + 1))
+      in
+      Array.iter (Codec.write_big w) (Decode.power_sums ~k nbr_ids);
+      Array.iter (Codec.write_big w) (Decode.power_sums ~k non_ids);
+      (w, ())
+
+    exception Bad_board
+
+    let parse n board =
+      let deg = Array.make (n + 1) (-1) in
+      let nbr_sums = Array.make (n + 1) [||] in
+      let non_sums = Array.make (n + 1) [||] in
+      P.Board.iter
+        (fun m ->
+          let r = P.Message.reader m in
+          let id = Codec.read_id r in
+          if id < 1 || id > n || deg.(id) >= 0 then raise Bad_board;
+          deg.(id) <- Codec.read_int r;
+          nbr_sums.(id) <- Array.init k (fun _ -> Codec.read_big r);
+          non_sums.(id) <- Array.init k (fun _ -> Codec.read_big r))
+        board;
+      for id = 1 to n do
+        if deg.(id) < 0 then raise Bad_board
+      done;
+      (deg, nbr_sums, non_sums)
+
+    let output ~n board =
+      match parse n board with
+      | exception Bad_board -> P.Answer.Reject
+      | deg, nbr_sums, non_sums ->
+        let ctx = Decode.Context.create ~n ~k in
+        let present = Array.make (n + 1) false in
+        for id = 1 to n do
+          present.(id) <- true
+        done;
+        let remaining = ref n in
+        let edges = ref [] in
+        let consistent = ref true in
+        (* Remove [v]; [nbrs] are its neighbours among the remaining nodes
+           (all other remaining nodes are its non-neighbours). *)
+        let remove v nbrs =
+          let is_nbr = Array.make (n + 1) false in
+          List.iter (fun w -> is_nbr.(w) <- true) nbrs;
+          List.iter (fun w -> edges := (v - 1, w - 1) :: !edges) nbrs;
+          present.(v) <- false;
+          decr remaining;
+          for w = 1 to n do
+            if present.(w) then begin
+              let sums = if is_nbr.(w) then nbr_sums else non_sums in
+              if is_nbr.(w) then deg.(w) <- deg.(w) - 1;
+              match Decode.subtract_member sums.(w) v with
+              | updated -> sums.(w) <- updated
+              | exception Invalid_argument _ -> consistent := false
+            end
+          done
+        in
+        let try_prune () =
+          (* Any sparse or dense node will do; greedy order is safe. *)
+          let rec find v =
+            if v > n then false
+            else if present.(v) && deg.(v) <= k then begin
+              match Decode.Context.decode ctx ~d:deg.(v) nbr_sums.(v) with
+              | Some nbrs when List.for_all (fun w -> w <> v && present.(w)) nbrs ->
+                remove v nbrs;
+                true
+              | Some _ | None ->
+                consistent := false;
+                false
+            end
+            else if present.(v) && !remaining - 1 - deg.(v) <= k then begin
+              let codeg = !remaining - 1 - deg.(v) in
+              if codeg < 0 then begin
+                consistent := false;
+                false
+              end
+              else begin
+                match Decode.Context.decode ctx ~d:codeg non_sums.(v) with
+                | Some nons when List.for_all (fun w -> w <> v && present.(w)) nons ->
+                  let nbrs = ref [] in
+                  for w = n downto 1 do
+                    if present.(w) && w <> v && not (List.mem w nons) then nbrs := w :: !nbrs
+                  done;
+                  remove v !nbrs;
+                  true
+                | Some _ | None ->
+                  consistent := false;
+                  false
+              end
+            end
+            else find (v + 1)
+          in
+          find 1
+        in
+        while !consistent && !remaining > 0 && try_prune () do
+          ()
+        done;
+        if !consistent && !remaining = 0 then P.Answer.Graph (Wb_graph.Graph.of_edges n !edges)
+        else P.Answer.Reject
+  end in
+  (module Impl)

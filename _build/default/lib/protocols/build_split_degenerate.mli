@@ -1,0 +1,14 @@
+(** The closing remark of Section 3: BUILD extends to graphs admitting an
+    elimination order where every node has degree at most [k] {e or} at
+    least [remaining - k - 1] in the graph induced by the nodes removed
+    after it (complete graphs and complements of k-degenerate graphs live
+    here; see {!Wb_graph.Algo.split_degeneracy}).
+
+    Every node writes both its neighbourhood power sums {e and} its
+    non-neighbourhood power sums ([2 k^2 log n + O(log n)] bits, still
+    O(log n) for fixed k); the output function prunes either a sparse node
+    (decode its neighbours) or a dense node (decode its non-neighbours; all
+    other remaining nodes are neighbours), updating both sum families.
+    [Reject] outside the class. *)
+
+val protocol : k:int -> Wb_model.Protocol.t

@@ -1,0 +1,26 @@
+module P = Wb_model
+
+let variant = { Bfs_common.with_d0 = true; check_parity = false }
+
+module Impl = struct
+  let name = "connectivity/sync"
+
+  let model = P.Model.Sync
+
+  let message_bound ~n = Bfs_common.message_bound variant ~n
+
+  type local = unit
+
+  let init _ = ()
+
+  let wants_to_activate view board () = Bfs_common.wants_to_activate variant view board
+
+  let compose view board () = (Bfs_common.write_entry variant (Bfs_common.compose_entry variant view board), ())
+
+  let output ~n board =
+    match Bfs_common.count_roots variant ~n board with
+    | Some roots -> P.Answer.Bool (roots = 1)
+    | None -> P.Answer.Reject
+end
+
+let protocol : P.Protocol.t = (module Impl)

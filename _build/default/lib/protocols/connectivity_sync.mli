@@ -1,0 +1,6 @@
+(** Open Problem 2, the SYNC side: CONNECTIVITY (and implicitly
+    SPANNING-TREE) is solvable in SYNC[log n] by running the Theorem 10 BFS
+    protocol and counting ROOT messages — one per connected component.
+    Whether ASYNC suffices is the paper's open question. *)
+
+val protocol : Wb_model.Protocol.t

@@ -1,0 +1,196 @@
+module Nat = Wb_bignum.Nat
+
+type sums = Nat.t array
+
+let power_sums ~k ids =
+  if k < 1 then invalid_arg "Decode.power_sums: k >= 1";
+  let b = Array.make k Nat.zero in
+  List.iter
+    (fun id ->
+      if id < 1 then invalid_arg "Decode.power_sums: identifiers are positive";
+      for p = 1 to k do
+        b.(p - 1) <- Nat.add b.(p - 1) (Nat.pow_int id p)
+      done)
+    ids;
+  b
+
+let subtract_member b j =
+  Array.mapi
+    (fun i s ->
+      let jp = Nat.pow_int j (i + 1) in
+      if Nat.compare jp s > 0 then invalid_arg "Decode.subtract_member: inconsistent sums"
+      else Nat.sub s jp)
+    b
+
+let is_zero b = Array.for_all Nat.is_zero b
+
+(* Descending search on the largest member m of the set.  The candidate
+   window for m is the intersection, over every power p, of
+   [ceil((b_p / d)^(1/p)), floor(b_p^(1/p))] (m is the largest of d members,
+   so m^p <= b_p <= d * m^p), sharpened by the exact first-power window
+   m ∈ [ceil((b_1 + T) / d), b_1 - T] with T = d(d-1)/2 (members are
+   distinct positives).  Bounds are found by binary search over a table of
+   precomputed powers, which makes each search level O(k log n) plus the
+   (tiny, thanks to Wright uniqueness) residual enumeration. *)
+
+module Context = struct
+  type t = { n : int; k : int; pows : Nat.t array array (* pows.(j).(p-1) = j^p *) }
+
+  let create ~n ~k =
+    if n < 0 || k < 1 then invalid_arg "Decode.Context.create";
+    let pows =
+      Array.init (n + 1) (fun j ->
+          let row = Array.make k Nat.one in
+          let base = Nat.of_int j in
+          row.(0) <- base;
+          for p = 2 to k do
+            row.(p - 1) <- Nat.mul row.(p - 2) base
+          done;
+          row)
+    in
+    { n; k; pows }
+
+  (* Largest m in [0, limit] with m^p <= bound (monotone in m). *)
+  let max_root ctx ~p ~limit bound =
+    let rec go lo hi =
+      (* invariant: lo^p <= bound, (hi+1)^p > bound candidates in [lo,hi] *)
+      if lo >= hi then lo
+      else begin
+        let mid = (lo + hi + 1) / 2 in
+        if Nat.compare ctx.pows.(mid).(p - 1) bound <= 0 then go mid hi else go lo (mid - 1)
+      end
+    in
+    if Nat.compare ctx.pows.(0).(p - 1) bound > 0 then -1 else go 0 limit
+
+  (* Smallest m in [0, limit] with d * m^p >= bound; limit+1 if none. *)
+  let min_root ctx ~p ~limit ~d bound =
+    let d_nat = Nat.of_int d in
+    let ok m = Nat.compare (Nat.mul d_nat ctx.pows.(m).(p - 1)) bound >= 0 in
+    let rec go lo hi =
+      if lo >= hi then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if ok mid then go lo mid else go (mid + 1) hi
+      end
+    in
+    if not (ok limit) then limit + 1 else go 0 limit
+
+  (* Necessary conditions on intermediate sums, cheap enough to evaluate at
+     every node of the search tree: Cauchy-Schwarz gives
+     b_p^2 <= b_{p-1} * b_{p+1} (positive members), and the power-mean
+     inequality gives b_1^2 <= d * b_2.  Wrong branches violate these almost
+     immediately, which keeps the residual enumeration tiny. *)
+  let consistent ~k ~d b =
+    let ok = ref true in
+    if d > 0 then begin
+      if k >= 2 && Nat.compare (Nat.mul b.(0) b.(0)) (Nat.mul (Nat.of_int d) b.(1)) > 0 then
+        ok := false;
+      for p = 2 to k - 1 do
+        if !ok && Nat.compare (Nat.mul b.(p - 1) b.(p - 1)) (Nat.mul b.(p - 2) b.(p)) > 0 then
+          ok := false
+      done
+    end;
+    !ok
+
+  let decode ctx ~d b =
+    let k = ctx.k in
+    if Array.length b <> k then invalid_arg "Decode.Context.decode: wrong k";
+    if d < 0 || d > k then invalid_arg "Decode.Context.decode: need d <= k";
+    let rec solve d b hi =
+      if d = 0 then if Array.for_all Nat.is_zero b then Some [] else None
+      else if not (consistent ~k ~d b) then None
+      else begin
+        match Nat.to_int_opt b.(0) with
+        | None -> None (* first power sum exceeds d * n: impossible *)
+        | Some b1 ->
+          let tail = d * (d - 1) / 2 in
+          let m_hi = ref (min hi (b1 - tail)) in
+          let m_lo = ref (max d ((b1 + tail + d - 1) / d)) in
+          for p = 1 to k do
+            m_hi := min !m_hi (max_root ctx ~p ~limit:ctx.n b.(p - 1));
+            m_lo := max !m_lo (min_root ctx ~p ~limit:ctx.n ~d b.(p - 1))
+          done;
+          let rec try_m m =
+            if m < !m_lo then None
+            else begin
+              let feasible = ref true in
+              let remaining =
+                Array.mapi
+                  (fun i s ->
+                    if Nat.compare ctx.pows.(m).(i) s > 0 then begin
+                      feasible := false;
+                      s
+                    end
+                    else Nat.sub s ctx.pows.(m).(i))
+                  b
+              in
+              if not !feasible then try_m (m - 1)
+              else begin
+                match solve (d - 1) remaining (m - 1) with
+                | Some smaller -> Some (smaller @ [ m ])
+                | None -> try_m (m - 1)
+              end
+            end
+          in
+          try_m !m_hi
+      end
+    in
+    solve d (Array.map Fun.id b) ctx.n
+end
+
+let decode_backtracking ~n ~d b =
+  let k = Array.length b in
+  if k < 1 then invalid_arg "Decode.decode_backtracking: need k >= 1";
+  Context.decode (Context.create ~n ~k) ~d b
+
+module Table = struct
+  type t = { n : int; k : int; entries : (string, int list) Hashtbl.t }
+
+  let key ~d b = string_of_int d ^ "|" ^ String.concat "," (List.map Nat.to_string (Array.to_list b))
+
+  let count_subsets n k =
+    let total = ref 0 in
+    let binom = ref 1 in
+    for d = 0 to k do
+      total := !total + !binom;
+      binom := !binom * (n - d) / (d + 1)
+    done;
+    !total
+
+  let build ~n ~k =
+    if k < 1 || n < 1 then invalid_arg "Decode.Table.build";
+    if count_subsets n k > 10_000_000 then invalid_arg "Decode.Table.build: table too large";
+    let entries = Hashtbl.create 1024 in
+    (* Enumerate subsets of {1..n} of size <= k, maintaining sums
+       incrementally. *)
+    let b = Array.make k Nat.zero in
+    let members = ref [] in
+    let rec go d next =
+      Hashtbl.replace entries (key ~d b) (List.rev !members);
+      if d < k then
+        for j = next to n do
+          for p = 1 to k do
+            b.(p - 1) <- Nat.add b.(p - 1) (Nat.pow_int j p)
+          done;
+          members := j :: !members;
+          go (d + 1) (j + 1);
+          members := List.tl !members;
+          for p = 1 to k do
+            b.(p - 1) <- Nat.sub b.(p - 1) (Nat.pow_int j p)
+          done
+        done
+    in
+    go 0 1;
+    { n; k; entries }
+
+  let decode t ~d b =
+    if Array.length b <> t.k then invalid_arg "Decode.Table.decode: wrong k";
+    Hashtbl.find_opt t.entries (key ~d b)
+end
+
+type strategy = Backtracking | Lookup of Table.t
+
+let decode strategy ~n ~d b =
+  match strategy with
+  | Backtracking -> decode_backtracking ~n ~d b
+  | Lookup t -> Table.decode t ~d b

@@ -1,0 +1,54 @@
+(** Power-sum neighbourhood encoding (Section 3) and its two decoders.
+
+    A node of degree [d <= k] encodes its neighbourhood [{j_1 < ... < j_d}]
+    (paper identifiers, i.e. 1-based) as the vector of power sums
+    [b_p = j_1^p + ... + j_d^p] for [p = 1..k].  Wright's theorem (the
+    paper's Theorem 1) guarantees the [j_i] are recoverable: equal power
+    sums up to [k] force equality of the multisets.
+
+    Two decoders are provided and benchmarked against each other:
+    - {!decode_backtracking}: descending search on the largest element with
+      interval pruning — no precomputation, works at any [n];
+    - {!Table}: the paper's Lemma 2 lookup table over all [<= k]-subsets of
+      [{1..n}] — [O(n^k)] space, [O(k log n)]-ish query. *)
+
+type sums = Wb_bignum.Nat.t array
+(** [sums.(p-1)] is the p-th power sum, [p = 1 .. k]. *)
+
+val power_sums : k:int -> int list -> sums
+(** Of a list of distinct paper identifiers ([>= 1]). *)
+
+val subtract_member : sums -> int -> sums
+(** [subtract_member b j] removes identifier [j]'s contribution — the
+    whiteboard-side "pruning" step of Algorithm 1.
+    @raise Invalid_argument if some power sum would go negative (the caller
+    treats that as an inconsistent board). *)
+
+val is_zero : sums -> bool
+
+val decode_backtracking : n:int -> d:int -> sums -> int list option
+(** The unique sorted [d]-subset of [{1..n}] with the given power sums, or
+    [None] when none exists.  Requires [d <= Array.length sums]. *)
+
+module Context : sig
+  type t
+  (** Precomputed powers [j^p] for [j <= n], [p <= k]: amortises decoding
+      across the [n] prune steps of one output-function run. *)
+
+  val create : n:int -> k:int -> t
+  val decode : t -> d:int -> sums -> int list option
+end
+
+module Table : sig
+  type t
+
+  val build : n:int -> k:int -> t
+  (** Enumerates all subsets of [{1..n}] of size [<= k].
+      @raise Invalid_argument when that count exceeds [10^7]. *)
+
+  val decode : t -> d:int -> sums -> int list option
+end
+
+type strategy = Backtracking | Lookup of Table.t
+
+val decode : strategy -> n:int -> d:int -> sums -> int list option

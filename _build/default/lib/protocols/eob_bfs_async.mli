@@ -1,0 +1,11 @@
+(** Theorem 7: EOB-BFS in ASYNC[log n].
+
+    On even-odd-bipartite inputs the protocol activates nodes one BFS layer
+    at a time (the whiteboard's edge counts certify layer completion, which
+    is what defeats asynchrony) and outputs a BFS forest rooted at each
+    component's minimum identifier.  Any node that sees a same-parity
+    neighbour — and any node that sees such a report on the board — writes
+    an "invalid" marker instead, so on non-EOB inputs every execution still
+    terminates and the output is [Reject]. *)
+
+val protocol : Wb_model.Protocol.t

@@ -1,0 +1,52 @@
+module P = Wb_model
+module W = Wb_support.Bitbuf.Writer
+
+let protocol ~root : P.Protocol.t =
+  let module Impl = struct
+    let name = Printf.sprintf "mis/simsync(root=%d)" (root + 1)
+
+    let model = P.Model.Sim_sync
+
+    let message_bound ~n = Codec.id_bits n + 1
+
+    type local = unit
+
+    let init _ = ()
+
+    let wants_to_activate _ _ () = true
+
+    (* "in" = some neighbour-free membership claim; recomputed every round
+       from the current whiteboard (this is what SIMASYNC cannot do). *)
+    let compose view board () =
+      let v = P.View.id view in
+      let neighbor_in =
+        P.View.fold_neighbors view
+          (fun acc nb ->
+            acc
+            ||
+            match P.Board.find_author board nb with
+            | None -> false
+            | Some m ->
+              let r = P.Message.reader m in
+              let _id = Codec.read_id r in
+              Wb_support.Bitbuf.Reader.bit r)
+          false
+      in
+      let in_mis = v = root || ((not (P.View.mem_neighbor view root)) && not neighbor_in) in
+      let w = W.create () in
+      Codec.write_id w (P.View.paper_id view);
+      W.bit w in_mis;
+      (w, ())
+
+    let output ~n:_ board =
+      let members =
+        P.Board.fold
+          (fun acc m ->
+            let r = P.Message.reader m in
+            let id = Codec.read_id r in
+            if Wb_support.Bitbuf.Reader.bit r then (id - 1) :: acc else acc)
+          [] board
+      in
+      P.Answer.Node_set (List.sort compare members)
+  end in
+  (module Impl)

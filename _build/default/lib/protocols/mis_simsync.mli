@@ -1,0 +1,12 @@
+(** Theorem 5: rooted maximal independent set in SIMSYNC[log n].
+
+    The greedy protocol: when the adversary schedules node [v], the message
+    [v] has been recomputing says "in" exactly when [v] is the root, or when
+    [v] is not adjacent to the root and no neighbour of [v] has said "in"
+    yet.  Whatever order the adversary picks, the "in" nodes form a maximal
+    independent set containing the root.
+
+    The root's index is a protocol parameter (the problem is "rooted": the
+    desired output is {e some} MIS containing the designated node). *)
+
+val protocol : root:int -> Wb_model.Protocol.t

@@ -1,0 +1,193 @@
+module P = Wb_model
+module W = Wb_support.Bitbuf.Writer
+
+let copies ~n = (2 * Wb_support.Bitbuf.width_of (max 2 n)) + 4
+
+let levels ~n = (2 * Wb_support.Bitbuf.width_of (max 2 n)) + 2
+
+(* Shared-randomness hashes: one 64-bit word per (seed, copy, edge slot).
+   The low bits drive level inclusion (trailing zeros ~ geometric), an
+   independent draw gives the fingerprint. *)
+let hash_words ~seed ~copy ~slot =
+  let g = Wb_support.Prng.create ((((seed * 1_000_003) + copy) * 0x2545F491) lxor slot) in
+  let w1 = Wb_support.Prng.bits64 g in
+  let w2 = Wb_support.Prng.bits64 g in
+  (w1, w2)
+
+let trailing_zeros w =
+  if w = 0L then 64
+  else begin
+    let rec go w acc = if Int64.logand w 1L = 1L then acc else go (Int64.shift_right_logical w 1) (acc + 1) in
+    go w 0
+  end
+
+let fingerprint_mask = (1 lsl 40) - 1
+
+(* One sketch copy = [levels] cells of (count, id-sum, fingerprint-sum);
+   all linear in the underlying signed incidence vector. *)
+type cells = { count : int array; idsum : int array; fpsum : int array }
+
+let empty_cells ~n =
+  let l = levels ~n in
+  { count = Array.make l 0; idsum = Array.make l 0; fpsum = Array.make l 0 }
+
+let add_edge_to_cells ~n ~seed ~copy cells ~slot ~sign =
+  let w1, w2 = hash_words ~seed ~copy ~slot in
+  let depth = min (levels ~n - 1) (trailing_zeros w1) in
+  let fp = Int64.to_int (Int64.logand w2 (Int64.of_int fingerprint_mask)) in
+  (* level l cell collects slots with >= l trailing zeros *)
+  for l = 0 to depth do
+    cells.count.(l) <- cells.count.(l) + sign;
+    cells.idsum.(l) <- cells.idsum.(l) + (sign * (slot + 1));
+    cells.fpsum.(l) <- cells.fpsum.(l) + (sign * fp)
+  done
+
+let merge_cells ~n a b =
+  let l = levels ~n in
+  for i = 0 to l - 1 do
+    a.count.(i) <- a.count.(i) + b.count.(i);
+    a.idsum.(i) <- a.idsum.(i) + b.idsum.(i);
+    a.fpsum.(i) <- a.fpsum.(i) + b.fpsum.(i)
+  done
+
+(* Recover a boundary edge slot, if some level has exactly one survivor. *)
+let decode_cells ~n ~seed ~copy cells =
+  let l = levels ~n in
+  let rec scan level =
+    if level < 0 then None
+    else begin
+      let c = cells.count.(level) in
+      if abs c = 1 then begin
+        let slot = (c * cells.idsum.(level)) - 1 in
+        if slot >= 0 && slot < n * n then begin
+          let _, w2 = hash_words ~seed ~copy ~slot in
+          let fp = Int64.to_int (Int64.logand w2 (Int64.of_int fingerprint_mask)) in
+          if cells.fpsum.(level) = c * fp then begin
+            let i = slot / n and j = slot mod n in
+            if i < j && j < n then Some (i, j) else scan (level - 1)
+          end
+          else scan (level - 1)
+        end
+        else scan (level - 1)
+      end
+      else scan (level - 1)
+    end
+  in
+  scan (l - 1)
+
+let node_sketch ~n ~seed view copy =
+  let cells = empty_cells ~n in
+  let v = P.View.id view in
+  P.View.iter_neighbors view (fun u ->
+      let i = min v u and j = max v u in
+      let slot = (i * n) + j in
+      let sign = if v = i then 1 else -1 in
+      add_edge_to_cells ~n ~seed ~copy cells ~slot ~sign);
+  cells
+
+let write_cells w cells =
+  Array.iter (Codec.write_signed w) cells.count;
+  Array.iter (Codec.write_signed w) cells.idsum;
+  Array.iter (Codec.write_signed w) cells.fpsum
+
+let read_cells ~n r =
+  let l = levels ~n in
+  let count = Array.init l (fun _ -> Codec.read_signed r) in
+  let idsum = Array.init l (fun _ -> Codec.read_signed r) in
+  let fpsum = Array.init l (fun _ -> Codec.read_signed r) in
+  { count; idsum; fpsum }
+
+(* Union-find for the referee's Borůvka. *)
+let find parent v =
+  let rec go v = if parent.(v) = v then v else go parent.(v) in
+  go v
+
+(* The shared protocol skeleton; [finish] turns the Borůvka outcome into
+   the answer. *)
+let make ~seed ~name ~finish : P.Protocol.t =
+  let module Impl = struct
+    let name = name
+
+    let model = P.Model.Sim_async
+
+    let message_bound ~n =
+      (* copies * levels cells of three zig-zag ints; idsum can reach
+         n^3-ish and fpsum n^2 * 2^40: bound each by 64 coded bits. *)
+      Codec.id_bits n + (copies ~n * levels ~n * 3 * 80)
+
+    type local = unit
+
+    let init _ = ()
+
+    let wants_to_activate _ _ () = true
+
+    let compose view _board () =
+      let n = P.View.n view in
+      let w = W.create () in
+      Codec.write_id w (P.View.paper_id view);
+      for copy = 0 to copies ~n - 1 do
+        write_cells w (node_sketch ~n ~seed view copy)
+      done;
+      (w, ())
+
+    let output ~n board =
+      (* sketches.(v).(copy) *)
+      let sketches = Array.make n [||] in
+      P.Board.iter
+        (fun m ->
+          let r = P.Message.reader m in
+          let id = Codec.read_id r in
+          sketches.(id - 1) <- Array.init (copies ~n) (fun _ -> read_cells ~n r))
+        board;
+      let parent = Array.init n (fun v -> v) in
+      let forest = ref [] in
+      for copy = 0 to copies ~n - 1 do
+        (* Sum each current component's sketches for this fresh copy. *)
+        let acc = Hashtbl.create 16 in
+        for v = 0 to n - 1 do
+          let root = find parent v in
+          let cells =
+            match Hashtbl.find_opt acc root with
+            | Some c -> c
+            | None ->
+              let c = empty_cells ~n in
+              Hashtbl.replace acc root c;
+              c
+          in
+          merge_cells ~n cells sketches.(v).(copy)
+        done;
+        Hashtbl.iter
+          (fun root cells ->
+            match decode_cells ~n ~seed ~copy cells with
+            | Some (i, j) ->
+              let ri = find parent i and rj = find parent j in
+              if ri <> rj && (find parent root = ri || find parent root = rj) then begin
+                parent.(ri) <- rj;
+                forest := (i, j) :: !forest
+              end
+            | None -> ())
+          acc
+      done;
+      let components = ref 0 in
+      for v = 0 to n - 1 do
+        if find parent v = v then incr components
+      done;
+      finish ~n ~components:!components ~forest:(List.sort compare !forest)
+  end in
+  (module Impl)
+
+let connectivity ~seed =
+  make ~seed
+    ~name:(Printf.sprintf "connectivity-sketch/simasync(seed=%d)" seed)
+    ~finish:(fun ~n ~components ~forest ->
+      ignore n;
+      ignore forest;
+      P.Answer.Bool (components = 1))
+
+let spanning_forest ~seed =
+  make ~seed
+    ~name:(Printf.sprintf "spanning-forest-sketch/simasync(seed=%d)" seed)
+    ~finish:(fun ~n ~components ~forest ->
+      ignore n;
+      ignore components;
+      P.Answer.Edge_set forest)

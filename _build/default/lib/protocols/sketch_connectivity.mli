@@ -1,0 +1,29 @@
+(** Randomized SIMASYNC connectivity and spanning forests by linear graph
+    sketching (Ahn-Guha-McGregor style) — the modern constructive answer to
+    the paper's Open Problems 2 and 4.
+
+    With shared randomness, each node writes [O(log^3 n)] bits: a stack of
+    l0-sampler sketches of its signed incidence vector (edge slot
+    [{i,j}, i<j] carries [+1] at node [i] and [-1] at node [j], so summing
+    the vectors of a node set cancels internal edges and leaves exactly the
+    boundary).  The sketches are {e linear}, so the referee can run Borůvka
+    entirely on the whiteboard: sum each component's sketches, l0-sample one
+    outgoing edge, merge, repeat with a fresh sketch copy per round.
+
+    One-sided fingerprint errors make the answer correct with high
+    probability; the error rate is measured in the bench ([open] section).
+    Messages are [Theta(log^3 n)] bits — asymptotically [o(n)], with the
+    usual sketching constants (the crossover against the trivial n-bit row
+    protocol sits in the thousands of nodes). *)
+
+val connectivity : seed:int -> Wb_model.Protocol.t
+(** Answers [Bool]: is the graph connected? *)
+
+val spanning_forest : seed:int -> Wb_model.Protocol.t
+(** Answers [Edge_set]: a spanning forest (whp). *)
+
+val copies : n:int -> int
+(** Borůvka rounds / sketch copies used at size [n]. *)
+
+val levels : n:int -> int
+(** Subsampling levels per copy. *)

@@ -1,0 +1,6 @@
+(** SPANNING-TREE, the other half of Open Problem 2: solvable in
+    SYNC[log n].  The Theorem 10 BFS protocol already writes each node's
+    parent; reading the parent edges off the final whiteboard yields a
+    spanning forest (a spanning tree per connected component). *)
+
+val protocol : Wb_model.Protocol.t

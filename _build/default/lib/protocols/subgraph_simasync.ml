@@ -1,0 +1,49 @@
+module P = Wb_model
+module W = Wb_support.Bitbuf.Writer
+
+let protocol ~cutoff : P.Protocol.t =
+  let module Impl = struct
+    let name = "subgraph-f/simasync"
+
+    let model = P.Model.Sim_async
+
+    let clamp n = max 0 (min n (cutoff n))
+
+    let message_bound ~n = Codec.id_bits n + clamp n
+
+    type local = unit
+
+    let init _ = ()
+
+    let wants_to_activate _ _ () = true
+
+    let compose view _board () =
+      let w = W.create () in
+      Codec.write_id w (P.View.paper_id view);
+      (* Only the first f(n) nodes need to speak, but every node writes its
+         row prefix: the adversary cannot be dodged, and the bound holds. *)
+      for u = 0 to clamp (P.View.n view) - 1 do
+        W.bit w (P.View.mem_neighbor view u)
+      done;
+      (w, ())
+
+    let output ~n board =
+      let j = clamp n in
+      let row = Array.make_matrix n j false in
+      P.Board.iter
+        (fun m ->
+          let r = P.Message.reader m in
+          let id = Codec.read_id r in
+          for u = 0 to j - 1 do
+            row.(id - 1).(u) <- Wb_support.Bitbuf.Reader.bit r
+          done)
+        board;
+      let edges = ref [] in
+      for u = 0 to j - 1 do
+        for v = u + 1 to j - 1 do
+          if row.(v).(u) then edges := (u, v) :: !edges
+        done
+      done;
+      P.Answer.Edge_set (List.sort compare !edges)
+  end in
+  (module Impl)

@@ -1,0 +1,11 @@
+(** Theorem 9 (upper bound): SUBGRAPH_f in SIMASYNC[f(n)].
+
+    Every node writes the first [f n] bits of its adjacency-matrix row; the
+    output keeps the edges among nodes [v_1 .. v_{f(n)}].  Combined with the
+    counting argument of {!Wb_reductions.Subgraph_bound} this makes message
+    size a resource orthogonal to synchronisation power: SUBGRAPH_f is
+    doable with simultaneous frozen messages of [f(n)] bits but impossible
+    for SYNC with [o(f(n))] bits. *)
+
+val protocol : cutoff:(int -> int) -> Wb_model.Protocol.t
+(** [cutoff n] is [f n], clamped into [\[0, n\]]. *)

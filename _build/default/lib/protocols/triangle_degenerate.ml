@@ -1,0 +1,26 @@
+module P = Wb_model
+
+let protocol ~k : P.Protocol.t =
+  let module Build = (val Build_degenerate.protocol ~k ~decoder:`Backtracking : P.Protocol.S) in
+  let module Impl = struct
+    let name = Printf.sprintf "triangle-%d-degenerate/simasync" k
+
+    let model = Build.model
+
+    let message_bound = Build.message_bound
+
+    type local = Build.local
+
+    let init = Build.init
+
+    let wants_to_activate = Build.wants_to_activate
+
+    let compose = Build.compose
+
+    let output ~n board =
+      match Build.output ~n board with
+      | P.Answer.Graph g -> P.Answer.Bool (Wb_graph.Algo.has_triangle g)
+      | P.Answer.Reject -> P.Answer.Reject
+      | other -> other
+  end in
+  (module Impl)

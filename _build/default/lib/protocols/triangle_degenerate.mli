@@ -1,0 +1,10 @@
+(** TRIANGLE on the bounded-degeneracy promise class, in SIMASYNC[k^2 log n].
+
+    BUILD is solvable there (Theorem 2), and full reconstruction answers any
+    question — this realises the Table 2 TRIANGLE row's positive side on
+    the restricted class.  (The paper asserts TRIANGLE ∈ PSIMSYNC[log n] on
+    general graphs without exhibiting a protocol; on general graphs our
+    repository probes that cell exhaustively at small n instead — see
+    wb_synth.)  Answers [Reject] outside the promise class. *)
+
+val protocol : k:int -> Wb_model.Protocol.t

@@ -1,0 +1,48 @@
+module P = Wb_model
+module W = Wb_support.Bitbuf.Writer
+
+(* Per-identifier pseudo-random word from the shared seed. *)
+let word ~seed ~bits id =
+  let g = Wb_support.Prng.create ((seed * 0x9E3779B9) lxor id) in
+  Int64.to_int (Int64.logand (Wb_support.Prng.bits64 g) (Int64.of_int ((1 lsl bits) - 1)))
+
+let protocol ~seed ~bits : P.Protocol.t =
+  if bits < 1 || bits > 30 then invalid_arg "Two_cliques_randomized.protocol: bits in [1,30]";
+  let module Impl = struct
+    let name = Printf.sprintf "two-cliques-randomized/simasync(b=%d)" bits
+
+    let model = P.Model.Sim_async
+
+    let message_bound ~n = Codec.id_bits n + bits
+
+    type local = unit
+
+    let init _ = ()
+
+    let wants_to_activate _ _ () = true
+
+    let compose view _board () =
+      let mask = (1 lsl bits) - 1 in
+      let fingerprint =
+        P.View.fold_neighbors view
+          (fun acc nb -> (acc + word ~seed ~bits (nb + 1)) land mask)
+          (word ~seed ~bits (P.View.paper_id view))
+      in
+      let w = W.create () in
+      Codec.write_id w (P.View.paper_id view);
+      W.fixed w ~width:bits fingerprint;
+      (w, ())
+
+    let output ~n board =
+      let counts = Hashtbl.create 16 in
+      P.Board.iter
+        (fun m ->
+          let r = P.Message.reader m in
+          let _id = Codec.read_id r in
+          let fp = Wb_support.Bitbuf.Reader.fixed r ~width:bits in
+          Hashtbl.replace counts fp (1 + Option.value ~default:0 (Hashtbl.find_opt counts fp)))
+        board;
+      let classes = Hashtbl.fold (fun _ c acc -> c :: acc) counts [] in
+      P.Answer.Bool (List.sort compare classes = [ n / 2; n / 2 ])
+  end in
+  (module Impl)

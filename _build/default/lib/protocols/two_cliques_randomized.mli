@@ -1,0 +1,13 @@
+(** Open Problem 4 (constructive side): a randomized SIMASYNC[log n]
+    protocol for 2-CLIQUES.
+
+    With shared randomness (a seed known to all nodes — the standard public
+    coin assumption; see DESIGN.md substitutions), every node writes a
+    [bits]-bit fingerprint of its {e closed} neighbourhood: the sum of
+    pseudo-random words [r_w], [w ∈ N\[v\] ], modulo [2^bits].  For an
+    (n/2-1)-regular graph: it is a union of two cliques iff the closed
+    neighbourhoods take exactly two distinct values, each on exactly half
+    the nodes.  Fingerprint collisions (probability [O(n^2 / 2^bits)]) are
+    the only error source, and the error is one-sided per class-merge. *)
+
+val protocol : seed:int -> bits:int -> Wb_model.Protocol.t

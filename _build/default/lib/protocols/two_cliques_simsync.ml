@@ -1,0 +1,62 @@
+module P = Wb_model
+module W = Wb_support.Bitbuf.Writer
+
+type label = Zero | One | Conflict
+
+let label_code = function Zero -> 0 | One -> 1 | Conflict -> 2
+
+let label_of_code = function 0 -> Zero | 1 -> One | 2 -> Conflict | _ -> invalid_arg "two-cliques label"
+
+module Impl = struct
+  let name = "two-cliques/simsync"
+
+  let model = P.Model.Sim_sync
+
+  let message_bound ~n = Codec.id_bits n + Codec.int_bits 2
+
+  type local = unit
+
+  let init _ = ()
+
+  let wants_to_activate _ _ () = true
+
+  let compose view board () =
+    let labels_of_written_neighbors =
+      P.View.fold_neighbors view
+        (fun acc nb ->
+          match P.Board.find_author board nb with
+          | None -> acc
+          | Some m ->
+            let r = P.Message.reader m in
+            let _id = Codec.read_id r in
+            label_of_code (Codec.read_int r) :: acc)
+        []
+    in
+    let my_label =
+      if P.Board.length board = 0 then Zero
+      else begin
+        match labels_of_written_neighbors with
+        | [] -> One
+        | first :: rest -> if List.for_all (fun l -> l = first) rest then first else Conflict
+      end
+    in
+    let w = W.create () in
+    Codec.write_id w (P.View.paper_id view);
+    Codec.write_int w (label_code my_label);
+    (w, ())
+
+  let output ~n board =
+    let zeros = ref 0 and ones = ref 0 and conflicts = ref 0 in
+    P.Board.iter
+      (fun m ->
+        let r = P.Message.reader m in
+        let _id = Codec.read_id r in
+        match label_of_code (Codec.read_int r) with
+        | Zero -> incr zeros
+        | One -> incr ones
+        | Conflict -> incr conflicts)
+      board;
+    P.Answer.Bool (!conflicts = 0 && !zeros = n / 2 && !ones = n / 2)
+end
+
+let protocol : P.Protocol.t = (module Impl)

@@ -1,0 +1,16 @@
+(** Section 5.1: 2-CLIQUES in SIMSYNC[log n].
+
+    Promise: the input is an (n/2 - 1)-regular graph on n nodes (n even);
+    decide whether it is the disjoint union of two K_{n/2}.
+
+    The paper's protocol: the first scheduled node labels itself 0; a node
+    whose written neighbours are unanimously labelled [c] adopts [c]; a node
+    with no written neighbour labels itself 1; mixed evidence writes "no".
+
+    Output refinement (needed for soundness, implied by the paper's promise):
+    the answer is {e yes} iff no "no" was written {e and} the two label
+    classes have exactly n/2 nodes each.  Without the balance check a
+    connected regular instance (e.g. K_{n/2,n/2} minus a perfect matching)
+    can end up unanimously labelled 0 under an adversarial schedule. *)
+
+val protocol : Wb_model.Protocol.t

@@ -1,0 +1,9 @@
+(** "Any question can be easily answered" (introduction): once BUILD works
+    on a class, every graph problem on that class is solved by reconstructing
+    and computing locally.  [protocol ~k problem] runs the Section 3 BUILD
+    protocol for degeneracy [<= k] and answers [problem] from the rebuilt
+    graph; [Reject] outside the promise class.  This realises the positive
+    Table 2 entries for TRIANGLE-like problems on restricted classes
+    (SQUARE, DIAMETER, connectivity, ... ) inside SIMASYNC. *)
+
+val protocol : k:int -> Wb_model.Problems.t -> Wb_model.Protocol.t

@@ -1,0 +1,1 @@
+lib/reductions/counting.ml: Wb_bignum

@@ -1,0 +1,1 @@
+lib/reductions/counting.mli: Wb_bignum

@@ -1,0 +1,1 @@
+lib/reductions/eob_bfs_reduction.ml: Array Fun Hashtbl List Printf Wb_graph Wb_model Wb_support

@@ -1,0 +1,1 @@
+lib/reductions/eob_bfs_reduction.mli: Wb_graph Wb_model

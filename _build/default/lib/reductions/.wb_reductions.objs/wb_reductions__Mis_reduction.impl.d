@@ -1,0 +1,1 @@
+lib/reductions/mis_reduction.ml: Array Fun List Wb_graph Wb_model Wb_protocols Wb_support

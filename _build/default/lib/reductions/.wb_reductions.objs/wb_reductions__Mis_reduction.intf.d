@@ -1,0 +1,1 @@
+lib/reductions/mis_reduction.mli: Wb_graph Wb_model

@@ -1,0 +1,1 @@
+lib/reductions/oracles.mli: Wb_model

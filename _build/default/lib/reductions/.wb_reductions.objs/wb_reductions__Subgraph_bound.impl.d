@@ -1,0 +1,1 @@
+lib/reductions/subgraph_bound.ml: Counting List Wb_graph Wb_model Wb_protocols

@@ -1,0 +1,1 @@
+lib/reductions/subgraph_bound.mli:

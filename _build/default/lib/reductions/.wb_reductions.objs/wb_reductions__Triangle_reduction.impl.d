@@ -1,0 +1,1 @@
+lib/reductions/triangle_reduction.ml: Array Printf Wb_graph Wb_model Wb_protocols Wb_support

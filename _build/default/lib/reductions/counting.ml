@@ -1,0 +1,34 @@
+module Nat = Wb_bignum.Nat
+
+type graph_class = { name : string; count : int -> Wb_bignum.Nat.t }
+
+let pow2 e = Nat.shift_left Nat.one e
+
+let all_graphs = { name = "all graphs"; count = (fun n -> pow2 (n * (n - 1) / 2)) }
+
+let balanced_bipartite =
+  { name = "balanced bipartite (fixed parts)"; count = (fun n -> pow2 (n / 2 * (n / 2))) }
+
+let even_odd_bipartite =
+  { name = "even-odd bipartite"; count = (fun n -> pow2 ((n + 1) / 2 * (n / 2))) }
+
+let labelled_trees =
+  { name = "labelled trees";
+    count = (fun n -> if n <= 2 then Nat.one else Nat.pow_int n (n - 2)) }
+
+let isolated_tail ~f =
+  { name = "edges only among first f(n) nodes";
+    count =
+      (fun n ->
+        let j = max 0 (min n (f n)) in
+        pow2 (j * (j - 1) / 2)) }
+
+let class_bits cls n =
+  let c = cls.count n in
+  if Nat.is_zero c then 0 else Nat.bit_length (Nat.sub c Nat.one)
+
+let board_capacity_bits ~n ~f_bits = n * f_bits
+
+let min_message_bits cls n = if n = 0 then 0 else (class_bits cls n + n - 1) / n
+
+let feasible cls ~n ~f_bits = class_bits cls n <= board_capacity_bits ~n ~f_bits

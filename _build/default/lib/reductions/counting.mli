@@ -1,0 +1,40 @@
+(** Lemma 3, made executable.
+
+    If BUILD restricted to a class [G] of [g(n)] graphs is solvable with
+    messages of [f(n)] bits, the final whiteboard — at most [n * f(n)] bits —
+    must distinguish all [g(n)] graphs, so [log2 g(n) <= n * f(n)].
+    This module computes exact class counts with {!Wb_bignum.Nat} and
+    evaluates the inequality, giving the per-node information-theoretic
+    lower bound each impossibility proof in the paper bottoms out in. *)
+
+type graph_class = { name : string; count : int -> Wb_bignum.Nat.t }
+
+val all_graphs : graph_class
+(** [2^(n(n-1)/2)] labelled graphs. *)
+
+val balanced_bipartite : graph_class
+(** [2^((n/2)^2)] with fixed parts — the class of Theorem 3's contradiction. *)
+
+val even_odd_bipartite : graph_class
+(** [2^(ceil(n/2) * floor(n/2))] — Theorem 8's class. *)
+
+val labelled_trees : graph_class
+(** Cayley: [n^(n-2)] — a lower bound on forests, showing the Section 3
+    protocol's [O(log n)] message size is optimal. *)
+
+val isolated_tail : f:(int -> int) -> graph_class
+(** Graphs where only the first [f n] nodes may carry edges —
+    [2^(C(f n, 2))], Theorem 9's class. *)
+
+val class_bits : graph_class -> int -> int
+(** [ceil(log2 g(n))]: bits needed to name a member. *)
+
+val board_capacity_bits : n:int -> f_bits:int -> int
+(** [n * f_bits]: the most the whiteboard can carry. *)
+
+val min_message_bits : graph_class -> int -> int
+(** [ceil(class_bits / n)]: no protocol can BUILD the class with smaller
+    messages. *)
+
+val feasible : graph_class -> n:int -> f_bits:int -> bool
+(** Whether the Lemma 3 necessary condition holds. *)

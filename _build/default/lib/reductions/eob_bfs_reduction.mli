@@ -1,0 +1,30 @@
+(** Theorem 8 / Figure 2: EOB-BFS is SIMSYNC-hard via reduction from BUILD
+    on even-odd-bipartite graphs.
+
+    The input graph lives on paper identifiers [2..n] of a [(2n-1)]-node
+    gadget [G_i] ([n] odd): node [v_1] hooks onto a fresh pendant path
+    leading into [v_i], and every node of the input gets one pendant
+    neighbour of its own.  Then an (even-identifier) node [v_j] sits at
+    distance 3 from [v_1] exactly when [{v_i, v_j}] is an input edge — so
+    BFS layers rooted at [v_1] reveal [v_i]'s whole neighbourhood.
+
+    Crucially the pendant attachments do not depend on [i], so in a
+    SIMSYNC run where the input nodes speak first their messages are the
+    same in {e every} [G_i]; the transformed protocol writes that one
+    message and the output replays all gadgets. *)
+
+val input_ok : Wb_graph.Graph.t -> bool
+(** Even order and even-odd-bipartite: the inputs the reduction accepts. *)
+
+val gadget : Wb_graph.Graph.t -> target:int -> Wb_graph.Graph.t
+(** [gadget g ~target] is [G_i] for [i = target + 2] (so [target] must be an
+    odd node index of [g]).  Node 0 of the result is [v_1]. *)
+
+val gadget_faithful : Wb_graph.Graph.t -> target:int -> bool
+(** Distance-3 layer of node 0 = neighbourhood of [target], as Figure 2
+    promises. *)
+
+val transform : Wb_model.Protocol.t -> Wb_model.Protocol.t
+(** Turns a SIMSYNC EOB-BFS protocol into a SIMSYNC BUILD protocol for
+    even-odd-bipartite graphs of even order, with identical message size
+    (at the gadget scale [2n - 1]). *)

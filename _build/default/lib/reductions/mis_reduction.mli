@@ -1,0 +1,22 @@
+(** Theorem 6: rooted MIS is SIMASYNC-hard via reduction from BUILD on
+    arbitrary graphs.
+
+    The gadget [G^(x)_{i,j}] adds an apex [x] adjacent to everything except
+    [v_i] and [v_j]; then [{x, v_i, v_j}] is the unique MIS containing [x]
+    iff [{v_i, v_j}] is a non-edge.  Since a SIMASYNC message depends only
+    on the node's neighbourhood, node [v_k] sends just two distinct messages
+    across all gadgets ("apex adjacent" / "apex not adjacent"), so one run
+    of the transformed protocol carries enough to replay {e every} gadget. *)
+
+val gadget : Wb_graph.Graph.t -> i:int -> j:int -> Wb_graph.Graph.t
+(** The apex is node [n g]. *)
+
+val gadget_faithful : Wb_graph.Graph.t -> bool
+(** Checks, over all pairs, that the apex's maximal independent sets
+    characterise edges as the theorem states. *)
+
+val transform : make_inner:(root:int -> Wb_model.Protocol.t) -> Wb_model.Protocol.t
+(** [transform ~make_inner] builds a SIMASYNC BUILD protocol for arbitrary
+    graphs out of a family of SIMASYNC rooted-MIS protocols;
+    [make_inner ~root] must solve MIS-containing-[root] and is instantiated
+    with the apex (node [n] of the [(n+1)]-node gadget system). *)

@@ -1,0 +1,87 @@
+module P = Wb_model
+module W = Wb_support.Bitbuf.Writer
+
+(* Shared row-writing front end. *)
+let row_compose view =
+  let w = W.create () in
+  Wb_protocols.Codec.write_id w (P.View.paper_id view);
+  for u = 0 to P.View.n view - 1 do
+    W.bit w (P.View.mem_neighbor view u)
+  done;
+  w
+
+let rebuild ~n board =
+  let matrix = Array.make_matrix n n false in
+  P.Board.iter
+    (fun m ->
+      let r = P.Message.reader m in
+      let id = Wb_protocols.Codec.read_id r in
+      for u = 0 to n - 1 do
+        matrix.(id - 1).(u) <- Wb_support.Bitbuf.Reader.bit r
+      done)
+    board;
+  Wb_graph.Graph.of_matrix matrix
+
+module Triangle = struct
+  let name = "oracle-triangle/simasync"
+
+  let model = P.Model.Sim_async
+
+  let message_bound ~n = Wb_protocols.Codec.id_bits n + n
+
+  type local = unit
+
+  let init _ = ()
+
+  let wants_to_activate _ _ () = true
+
+  let compose view _ () = (row_compose view, ())
+
+  let output ~n board = P.Answer.Bool (Wb_graph.Algo.has_triangle (rebuild ~n board))
+end
+
+let triangle_simasync : P.Protocol.t = (module Triangle)
+
+let mis_simasync ~root : P.Protocol.t =
+  let module Impl = struct
+    let name = Printf.sprintf "oracle-mis/simasync(root=%d)" (root + 1)
+
+    let model = P.Model.Sim_async
+
+    let message_bound ~n = Wb_protocols.Codec.id_bits n + n
+
+    type local = unit
+
+    let init _ = ()
+
+    let wants_to_activate _ _ () = true
+
+    let compose view _ () = (row_compose view, ())
+
+    let output ~n board =
+      P.Answer.Node_set (Wb_graph.Algo.greedy_mis (rebuild ~n board) ~root)
+  end in
+  (module Impl)
+
+module Eob_bfs = struct
+  let name = "oracle-eob-bfs/simsync"
+
+  let model = P.Model.Sim_sync
+
+  let message_bound ~n = Wb_protocols.Codec.id_bits n + n
+
+  type local = unit
+
+  let init _ = ()
+
+  let wants_to_activate _ _ () = true
+
+  let compose view _ () = (row_compose view, ())
+
+  let output ~n board =
+    let g = rebuild ~n board in
+    if Wb_graph.Algo.is_even_odd_bipartite g then P.Answer.Forest (Wb_graph.Algo.bfs_forest g)
+    else P.Answer.Reject
+end
+
+let eob_bfs_simsync : P.Protocol.t = (module Eob_bfs)

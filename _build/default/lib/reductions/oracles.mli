@@ -1,0 +1,19 @@
+(** Wide-message "oracle" protocols used to exercise the reduction
+    transformers end to end.
+
+    The impossibility theorems say no [o(n)]-bit protocol exists for these
+    problems in the weak models; the {e transformers}, however, are
+    constructive and work for any message size.  Feeding them these
+    [O(n)]-bit oracles lets tests execute the full simulation pipeline and
+    check that the reduction logic is faithful (the resulting BUILD
+    protocols must actually reconstruct). *)
+
+val triangle_simasync : Wb_model.Protocol.t
+(** Each node writes its adjacency row; output scans for a triangle. *)
+
+val mis_simasync : root:int -> Wb_model.Protocol.t
+(** Each node writes its row; output reconstructs and returns the greedy
+    MIS containing [root]. *)
+
+val eob_bfs_simsync : Wb_model.Protocol.t
+(** Row-writing EOB-BFS (SIMSYNC; messages happen to ignore the board). *)

@@ -1,0 +1,28 @@
+module P = Wb_model
+
+type row = { n : int; f : int; sim_async_bits : int; lower_bound_bits : int }
+
+let worst_case_instance ~n ~f =
+  let j = max 0 (min n f) in
+  let acc = ref [] in
+  for u = 0 to j - 1 do
+    for v = u + 1 to j - 1 do
+      acc := (u, v) :: !acc
+    done
+  done;
+  Wb_graph.Graph.of_edges n !acc
+
+let evaluate ~cutoff ~ns =
+  List.map
+    (fun n ->
+      let f = max 0 (min n (cutoff n)) in
+      let g = worst_case_instance ~n ~f in
+      let protocol = Wb_protocols.Subgraph_simasync.protocol ~cutoff in
+      let run = P.Engine.run_packed protocol g P.Adversary.min_id in
+      let sim_async_bits = run.P.Engine.stats.max_message_bits in
+      let cls = Counting.isolated_tail ~f:cutoff in
+      { n; f; sim_async_bits; lower_bound_bits = Counting.min_message_bits cls n })
+    ns
+
+let sync_infeasible ~n ~f ~g_bits =
+  not (Counting.feasible (Counting.isolated_tail ~f:(fun _ -> f)) ~n ~f_bits:g_bits)

@@ -1,0 +1,22 @@
+(** Theorem 9, the orthogonality of message size and synchronisation.
+
+    SUBGRAPH_f restricted to graphs whose edges all lie among the first
+    [f(n)] nodes {e is} BUILD for that class, which takes [C(f(n), 2)] bits
+    of whiteboard; so any model — even SYNC — needs messages of
+    [Omega(f(n)^2 / n)] bits, while SIMASYNC does it with [f(n)] bits.
+    For [g(n) = o(f(n))] the SYNC side fails: a resource no synchronisation
+    power can buy back. *)
+
+type row = {
+  n : int;
+  f : int;  (** f(n). *)
+  sim_async_bits : int;  (** what the Theorem 9 protocol actually uses. *)
+  lower_bound_bits : int;  (** Lemma 3 floor for any model's message size. *)
+}
+
+val evaluate : cutoff:(int -> int) -> ns:int list -> row list
+(** [sim_async_bits] is measured by running the real protocol on a worst
+    case instance (clique on the first [f n] nodes). *)
+
+val sync_infeasible : n:int -> f:int -> g_bits:int -> bool
+(** Whether [g_bits]-bit messages are ruled out by the counting bound. *)

@@ -1,0 +1,24 @@
+(** Theorem 3 / Figure 1: TRIANGLE is SIMASYNC-hard via reduction from
+    BUILD on bipartite graphs.
+
+    The gadget [G'_{s,t}] adds one apex node adjacent to exactly [v_s] and
+    [v_t]; in a triangle-free (in particular bipartite) graph the gadget
+    contains a triangle iff [{v_s, v_t}] is an edge.
+
+    [transform] is the constructive core of the proof: it turns {e any}
+    SIMASYNC protocol for TRIANGLE on [(n+1)]-node graphs into a SIMASYNC
+    protocol for BUILD on triangle-free n-node graphs whose messages are
+    two simulated messages plus an identifier — [2 f(n+1) + O(log n)] bits.
+    Running it with an [o(n)]-bit triangle protocol would contradict
+    Lemma 3's count of bipartite graphs; that is the impossibility. *)
+
+val gadget : Wb_graph.Graph.t -> s:int -> t:int -> Wb_graph.Graph.t
+(** [gadget g ~s ~t] is [G'_{s,t}] (the apex is node [n g]). *)
+
+val gadget_faithful : Wb_graph.Graph.t -> bool
+(** For a triangle-free input: checks over {e all} pairs that the gadget
+    has a triangle iff the pair is an edge. *)
+
+val transform : Wb_model.Protocol.t -> Wb_model.Protocol.t
+(** The protocol transformer; the input must be a SIMASYNC protocol
+    answering [Bool] for TRIANGLE.  @raise Invalid_argument otherwise. *)

@@ -1,0 +1,45 @@
+type cnf = { nvars : int; clauses : int list list }
+
+let to_string { nvars; clauses } =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "p cnf %d %d\n" nvars (List.length clauses));
+  List.iter
+    (fun c ->
+      List.iter (fun l -> Buffer.add_string buf (string_of_int l ^ " ")) c;
+      Buffer.add_string buf "0\n")
+    clauses;
+  Buffer.contents buf
+
+let of_string text =
+  let nvars = ref (-1) in
+  let clauses = ref [] in
+  let current = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [ "p"; "cnf"; v; _ ] -> nvars := int_of_string v
+        | _ -> invalid_arg "Dimacs.of_string: bad problem line"
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.filter (fun s -> s <> "")
+        |> List.iter (fun tok ->
+               match int_of_string_opt tok with
+               | None -> invalid_arg "Dimacs.of_string: bad literal"
+               | Some 0 ->
+                 clauses := List.rev !current :: !clauses;
+                 current := []
+               | Some l -> current := l :: !current))
+    lines;
+  if !nvars < 0 then invalid_arg "Dimacs.of_string: missing problem line";
+  if !current <> [] then clauses := List.rev !current :: !clauses;
+  { nvars = !nvars; clauses = List.rev !clauses }
+
+let solver_of_cnf { nvars; clauses } =
+  let s = Solver.create nvars in
+  List.iter (Solver.add_clause s) clauses;
+  s

@@ -1,0 +1,10 @@
+(** DIMACS CNF serialisation — handy for debugging synthesis encodings with
+    external tools and for test fixtures. *)
+
+type cnf = { nvars : int; clauses : int list list }
+
+val to_string : cnf -> string
+val of_string : string -> cnf
+(** @raise Invalid_argument on malformed input. *)
+
+val solver_of_cnf : cnf -> Solver.t

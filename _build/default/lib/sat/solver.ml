@@ -1,0 +1,346 @@
+(* Internal literal encoding: variable v in [0, nvars) gives positive
+   literal 2v and negative literal 2v+1.  [lit lxor 1] negates. *)
+
+module Dynarray = Wb_support.Dynarray
+
+type clause = int array (* internal literals; watched literals at slots 0 and 1 *)
+
+type t = {
+  nvars : int;
+  (* Clause storage.  Original and learnt clauses share the watch scheme. *)
+  clauses : clause Dynarray.t;
+  learnts : clause Dynarray.t;
+  watches : clause Dynarray.t array; (* indexed by internal literal *)
+  (* Assignment state. *)
+  assigns : int array; (* per var: -1 unassigned / 0 false / 1 true *)
+  level : int array;
+  reason : clause option array;
+  trail : int Dynarray.t; (* internal literals, assignment order *)
+  trail_lim : int Dynarray.t;
+  mutable qhead : int;
+  (* VSIDS. *)
+  activity : float array;
+  mutable var_inc : float;
+  polarity : bool array; (* saved phase *)
+  (* Analysis scratch. *)
+  seen : bool array;
+  mutable ok : bool; (* false once trivially unsat *)
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+}
+
+let create nvars =
+  if nvars < 0 then invalid_arg "Solver.create";
+  { nvars;
+    clauses = Dynarray.create ();
+    learnts = Dynarray.create ();
+    watches = Array.init (2 * nvars) (fun _ -> Dynarray.create ());
+    assigns = Array.make nvars (-1);
+    level = Array.make nvars 0;
+    reason = Array.make nvars None;
+    trail = Dynarray.create ();
+    trail_lim = Dynarray.create ();
+    qhead = 0;
+    activity = Array.make nvars 0.0;
+    var_inc = 1.0;
+    polarity = Array.make nvars false;
+    seen = Array.make nvars false;
+    ok = true;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0 }
+
+let num_vars s = s.nvars
+
+let num_clauses s = Dynarray.length s.clauses
+
+let var_of l = l lsr 1
+
+let lit_value s l =
+  (* -1 unassigned, 1 true, 0 false *)
+  let a = s.assigns.(var_of l) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+let decision_level s = Dynarray.length s.trail_lim
+
+let enqueue s l reason =
+  s.assigns.(var_of l) <- 1 lxor (l land 1);
+  s.level.(var_of l) <- decision_level s;
+  s.reason.(var_of l) <- reason;
+  Dynarray.push s.trail l
+
+let bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for u = 0 to s.nvars - 1 do
+      s.activity.(u) <- s.activity.(u) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end
+
+let decay s = s.var_inc <- s.var_inc /. 0.95
+
+let watch s l c = Dynarray.push s.watches.(l) c
+
+let attach s c =
+  watch s (c.(0) lxor 1) c;
+  watch s (c.(1) lxor 1) c
+
+(* Propagate everything on the trail.  Returns the conflicting clause. *)
+let propagate s =
+  let conflict = ref None in
+  while !conflict = None && s.qhead < Dynarray.length s.trail do
+    let l = Dynarray.get s.trail s.qhead in
+    s.qhead <- s.qhead + 1;
+    s.propagations <- s.propagations + 1;
+    (* l became true: visit clauses watching (not l); they live in
+       watches.(l) because attach keys a clause by the negation of each
+       watched literal. *)
+    let false_lit = l lxor 1 in
+    let ws = s.watches.(l) in
+    let kept = ref 0 in
+    let i = ref 0 in
+    let len = Dynarray.length ws in
+    while !i < len do
+      let c = Dynarray.get ws !i in
+      incr i;
+      (* Normalise: the false literal sits at slot 1. *)
+      if c.(0) = false_lit then begin
+        c.(0) <- c.(1);
+        c.(1) <- false_lit
+      end;
+      if lit_value s c.(0) = 1 then begin
+        (* Clause already satisfied: keep the watch. *)
+        Dynarray.set ws !kept c;
+        incr kept
+      end
+      else begin
+        (* Look for a replacement watch. *)
+        let found = ref false in
+        let j = ref 2 in
+        while (not !found) && !j < Array.length c do
+          if lit_value s c.(!j) <> 0 then begin
+            c.(1) <- c.(!j);
+            c.(!j) <- false_lit;
+            watch s (c.(1) lxor 1) c;
+            found := true
+          end;
+          incr j
+        done;
+        if !found then () (* watch moved: drop from this list *)
+        else begin
+          (* No replacement: unit or conflict on c.(0). *)
+          Dynarray.set ws !kept c;
+          incr kept;
+          if lit_value s c.(0) = 0 then begin
+            conflict := Some c;
+            (* keep remaining watches untouched *)
+            while !i < len do
+              Dynarray.set ws !kept (Dynarray.get ws !i);
+              incr kept;
+              incr i
+            done
+          end
+          else enqueue s c.(0) (Some c)
+        end
+      end
+    done;
+    Dynarray.truncate ws !kept
+  done;
+  !conflict
+
+let cancel_until s target =
+  if decision_level s > target then begin
+    let limit = Dynarray.get s.trail_lim target in
+    for i = Dynarray.length s.trail - 1 downto limit do
+      let l = Dynarray.get s.trail i in
+      let v = var_of l in
+      s.polarity.(v) <- s.assigns.(v) = 1;
+      s.assigns.(v) <- -1;
+      s.reason.(v) <- None
+    done;
+    Dynarray.truncate s.trail limit;
+    Dynarray.truncate s.trail_lim target;
+    s.qhead <- Dynarray.length s.trail
+  end
+
+(* First-UIP conflict analysis.  Returns (learnt clause, backjump level);
+   the asserting literal is slot 0. *)
+let analyze s conflict =
+  let learnt = Dynarray.create () in
+  Dynarray.push learnt 0 (* placeholder for the asserting literal *);
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let trail_idx = ref (Dynarray.length s.trail - 1) in
+  let reason_lits clause skip =
+    Array.iter
+      (fun q ->
+        if q <> skip then begin
+          let v = var_of q in
+          if (not s.seen.(v)) && s.level.(v) > 0 then begin
+            s.seen.(v) <- true;
+            bump s v;
+            if s.level.(v) >= decision_level s then incr counter
+            else Dynarray.push learnt q
+          end
+        end)
+      clause
+  in
+  reason_lits conflict (-1);
+  let continue = ref true in
+  while !continue do
+    (* Find the next seen literal on the trail. *)
+    while not s.seen.(var_of (Dynarray.get s.trail !trail_idx)) do
+      decr trail_idx
+    done;
+    let l = Dynarray.get s.trail !trail_idx in
+    decr trail_idx;
+    let v = var_of l in
+    s.seen.(v) <- false;
+    decr counter;
+    if !counter = 0 then begin
+      p := l;
+      continue := false
+    end
+    else begin
+      match s.reason.(v) with
+      | Some c -> reason_lits c l
+      | None -> assert false (* only the UIP can lack a reason at this level *)
+    end
+  done;
+  Dynarray.set learnt 0 (!p lxor 1);
+  let lits = Dynarray.to_array learnt in
+  Array.iter (fun q -> s.seen.(var_of q) <- false) lits;
+  (* Backjump level: highest level among the non-asserting literals. *)
+  let back = ref 0 in
+  let swap_pos = ref 1 in
+  for i = 1 to Array.length lits - 1 do
+    if s.level.(var_of lits.(i)) > !back then begin
+      back := s.level.(var_of lits.(i));
+      swap_pos := i
+    end
+  done;
+  if Array.length lits > 1 then begin
+    let tmp = lits.(1) in
+    lits.(1) <- lits.(!swap_pos);
+    lits.(!swap_pos) <- tmp
+  end;
+  (lits, !back)
+
+let internal_of_dimacs s l =
+  let v = abs l in
+  if l = 0 || v > s.nvars then invalid_arg "Solver.add_clause: literal out of range";
+  if l > 0 then 2 * (v - 1) else (2 * (v - 1)) + 1
+
+let add_clause s lits =
+  if s.ok then begin
+    let internal = List.sort_uniq compare (List.map (internal_of_dimacs s) lits) in
+    let tautology = List.exists (fun l -> List.mem (l lxor 1) internal) internal in
+    if not tautology then begin
+      (* At level 0 we can also discard already-false literals. *)
+      let relevant = List.filter (fun l -> lit_value s l <> 0 || s.level.(var_of l) > 0) internal in
+      if List.exists (fun l -> lit_value s l = 1 && s.level.(var_of l) = 0) internal then ()
+      else begin
+        match relevant with
+        | [] -> s.ok <- false
+        | [ l ] ->
+          if lit_value s l = -1 then begin
+            enqueue s l None;
+            if propagate s <> None then s.ok <- false
+          end
+          else if lit_value s l = 0 then s.ok <- false
+        | l0 :: l1 :: _ ->
+          let c = Array.of_list relevant in
+          ignore l0;
+          ignore l1;
+          Dynarray.push s.clauses c;
+          attach s c
+      end
+    end
+  end
+
+let pick_branch_var s =
+  let best = ref (-1) in
+  let best_act = ref neg_infinity in
+  for v = 0 to s.nvars - 1 do
+    if s.assigns.(v) < 0 && s.activity.(v) > !best_act then begin
+      best := v;
+      best_act := s.activity.(v)
+    end
+  done;
+  !best
+
+(* Luby sequence for restart intervals. *)
+let rec luby i =
+  (* Find k with 2^(k-1) <= i+1 < 2^k. *)
+  let k = ref 1 in
+  while (1 lsl !k) - 1 < i + 1 do
+    incr k
+  done;
+  if (1 lsl !k) - 1 = i + 1 then float_of_int (1 lsl (!k - 1))
+  else luby (i + 1 - (1 lsl (!k - 1)))
+
+type outcome = Sat | Unsat
+
+let solve s =
+  if not s.ok then Unsat
+  else begin
+    cancel_until s 0;
+    (match propagate s with Some _ -> s.ok <- false | None -> ());
+    if not s.ok then Unsat
+    else begin
+      let restart_count = ref 0 in
+      let conflicts_until_restart = ref (100.0 *. luby 0) in
+      let result = ref None in
+      while !result = None do
+        match propagate s with
+        | Some conflict ->
+          s.conflicts <- s.conflicts + 1;
+          conflicts_until_restart := !conflicts_until_restart -. 1.0;
+          if decision_level s = 0 then begin
+            s.ok <- false;
+            result := Some Unsat
+          end
+          else begin
+            let learnt, back = analyze s conflict in
+            cancel_until s back;
+            if Array.length learnt = 1 then enqueue s learnt.(0) None
+            else begin
+              Dynarray.push s.learnts learnt;
+              attach s learnt;
+              enqueue s learnt.(0) (Some learnt)
+            end;
+            decay s
+          end
+        | None ->
+          if !conflicts_until_restart <= 0.0 then begin
+            incr restart_count;
+            conflicts_until_restart := 100.0 *. luby !restart_count;
+            cancel_until s 0
+          end
+          else begin
+            let v = pick_branch_var s in
+            if v < 0 then result := Some Sat
+            else begin
+              s.decisions <- s.decisions + 1;
+              Dynarray.push s.trail_lim (Dynarray.length s.trail);
+              enqueue s ((2 * v) lor if s.polarity.(v) then 0 else 1) None
+            end
+          end
+      done;
+      match !result with Some r -> r | None -> assert false
+    end
+  end
+
+let value s v =
+  if v < 1 || v > s.nvars then invalid_arg "Solver.value";
+  s.assigns.(v - 1) = 1
+
+let model s = Array.init (s.nvars + 1) (fun v -> v > 0 && value s v)
+
+let stats_conflicts s = s.conflicts
+
+let stats_decisions s = s.decisions
+
+let stats_propagations s = s.propagations

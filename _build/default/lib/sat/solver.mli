@@ -1,0 +1,39 @@
+(** A CDCL SAT solver (two-watched literals, VSIDS, 1-UIP clause learning,
+    phase saving, Luby restarts).
+
+    Built as a substrate for {!Wb_synth}, whose protocol-existence questions
+    compile to CNF.  Literals use the DIMACS convention: a non-zero integer
+    [l] denotes variable [abs l] (1-based), negated when [l < 0]. *)
+
+type t
+
+val create : int -> t
+(** [create nvars] — variables are [1 .. nvars]. *)
+
+val num_vars : t -> int
+val num_clauses : t -> int
+(** Original (non-learnt) clauses. *)
+
+val add_clause : t -> int list -> unit
+(** Add a clause.  Duplicate literals are merged; a clause containing both
+    [l] and [-l] is dropped as a tautology.  Adding the empty clause makes
+    the instance trivially unsatisfiable.
+    @raise Invalid_argument on out-of-range literals.
+    @raise Failure if called after solving has started destructive work
+    (currently never — incremental adding between solves is supported at
+    level 0). *)
+
+type outcome = Sat | Unsat
+
+val solve : t -> outcome
+
+val value : t -> int -> bool
+(** [value s v] for [1 <= v <= nvars], valid after [solve] returned [Sat].
+    Variables the search never touched default to [false]. *)
+
+val model : t -> bool array
+(** [nvars + 1] entries, index 0 unused. *)
+
+val stats_conflicts : t -> int
+val stats_decisions : t -> int
+val stats_propagations : t -> int

@@ -1,0 +1,1 @@
+lib/support/bitbuf.ml: Array Bytes Char

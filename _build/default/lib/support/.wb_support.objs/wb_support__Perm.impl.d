@@ -1,0 +1,1 @@
+lib/support/perm.ml: Array Prng

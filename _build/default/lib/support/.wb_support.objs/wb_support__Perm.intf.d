@@ -1,0 +1,1 @@
+lib/support/perm.mli: Prng

@@ -1,0 +1,57 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let make n v = { data = Array.make (max n 1) v; len = n }
+
+let length d = d.len
+
+let is_empty d = d.len = 0
+
+let check d i op = if i < 0 || i >= d.len then invalid_arg ("Dynarray." ^ op)
+
+let get d i = check d i "get"; d.data.(i)
+
+let set d i v = check d i "set"; d.data.(i) <- v
+
+let push d v =
+  if d.len = Array.length d.data then begin
+    let cap = max 8 (2 * Array.length d.data) in
+    let bigger = Array.make cap v in
+    Array.blit d.data 0 bigger 0 d.len;
+    d.data <- bigger
+  end;
+  d.data.(d.len) <- v;
+  d.len <- d.len + 1
+
+let pop d =
+  if d.len = 0 then invalid_arg "Dynarray.pop";
+  d.len <- d.len - 1;
+  d.data.(d.len)
+
+let last d = check d (d.len - 1) "last"; d.data.(d.len - 1)
+
+let clear d = d.len <- 0
+
+let iter f d = for i = 0 to d.len - 1 do f d.data.(i) done
+
+let iteri f d = for i = 0 to d.len - 1 do f i d.data.(i) done
+
+let fold_left f init d =
+  let acc = ref init in
+  iter (fun v -> acc := f !acc v) d;
+  !acc
+
+let exists p d =
+  let rec go i = i < d.len && (p d.data.(i) || go (i + 1)) in
+  go 0
+
+let to_array d = Array.sub d.data 0 d.len
+
+let to_list d = Array.to_list (to_array d)
+
+let of_array a = { data = Array.copy a; len = Array.length a }
+
+let truncate d len =
+  if len < 0 || len > d.len then invalid_arg "Dynarray.truncate";
+  d.len <- len

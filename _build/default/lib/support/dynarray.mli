@@ -1,0 +1,25 @@
+(** Growable arrays (the stdlib gains these only in OCaml 5.2). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val make : int -> 'a -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a
+(** Removes and returns the last element.  @raise Invalid_argument on empty. *)
+
+val last : 'a t -> 'a
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val exists : ('a -> bool) -> 'a t -> bool
+val to_array : 'a t -> 'a array
+val to_list : 'a t -> 'a list
+val of_array : 'a array -> 'a t
+val truncate : 'a t -> int -> unit
+(** [truncate d len] drops elements past index [len - 1]. *)

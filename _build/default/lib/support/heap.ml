@@ -1,0 +1,61 @@
+type 'a t = { cmp : 'a -> 'a -> int; data : 'a Dynarray.t }
+
+let create ~cmp = { cmp; data = Dynarray.create () }
+
+let length h = Dynarray.length h.data
+
+let is_empty h = length h = 0
+
+let swap h i j =
+  let tmp = Dynarray.get h.data i in
+  Dynarray.set h.data i (Dynarray.get h.data j);
+  Dynarray.set h.data j tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.cmp (Dynarray.get h.data i) (Dynarray.get h.data parent) < 0 then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let n = length h in
+  let smallest = ref i in
+  let consider j =
+    if j < n && h.cmp (Dynarray.get h.data j) (Dynarray.get h.data !smallest) < 0 then smallest := j
+  in
+  consider ((2 * i) + 1);
+  consider ((2 * i) + 2);
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h v =
+  Dynarray.push h.data v;
+  sift_up h (length h - 1)
+
+let peek h = if is_empty h then None else Some (Dynarray.get h.data 0)
+
+let pop h =
+  if is_empty h then None
+  else begin
+    let top = Dynarray.get h.data 0 in
+    let bottom = Dynarray.pop h.data in
+    if not (is_empty h) then begin
+      Dynarray.set h.data 0 bottom;
+      sift_down h 0
+    end;
+    Some top
+  end
+
+let of_array ~cmp a =
+  let h = create ~cmp in
+  Array.iter (push h) a;
+  h
+
+let drain h =
+  let rec go acc = match pop h with None -> List.rev acc | Some v -> go (v :: acc) in
+  go []

@@ -1,0 +1,15 @@
+(** Binary min-heaps with a caller-supplied ordering. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+val peek : 'a t -> 'a option
+val pop : 'a t -> 'a option
+(** Removes and returns the minimum element. *)
+
+val of_array : cmp:('a -> 'a -> int) -> 'a array -> 'a t
+val drain : 'a t -> 'a list
+(** Pops everything, in increasing order. *)

@@ -1,0 +1,41 @@
+let identity n = Array.init n (fun i -> i)
+
+let is_permutation a =
+  let n = Array.length a in
+  let seen = Array.make n false in
+  let ok = ref true in
+  Array.iter (fun v -> if v < 0 || v >= n || seen.(v) then ok := false else seen.(v) <- true) a;
+  !ok
+
+let inverse a =
+  assert (is_permutation a);
+  let inv = Array.make (Array.length a) 0 in
+  Array.iteri (fun i v -> inv.(v) <- i) a;
+  inv
+
+let random g n =
+  let a = identity n in
+  Prng.shuffle g a;
+  a
+
+let factorial n =
+  if n < 0 || n > 20 then invalid_arg "Perm.factorial";
+  let rec go n acc = if n <= 1 then acc else go (n - 1) (acc * n) in
+  go n 1
+
+let iter_all n f =
+  let a = identity n in
+  let rec go k =
+    if k <= 1 then f a
+    else
+      for i = 0 to k - 1 do
+        go (k - 1);
+        if i < k - 1 then begin
+          let j = if k mod 2 = 0 then i else 0 in
+          let tmp = a.(j) in
+          a.(j) <- a.(k - 1);
+          a.(k - 1) <- tmp
+        end
+      done
+  in
+  if n = 0 then f a else go n

@@ -1,0 +1,13 @@
+(** Permutations of [\[0, n)], used for adversarial schedules and
+    exhaustive small-instance checks. *)
+
+val identity : int -> int array
+val inverse : int array -> int array
+val is_permutation : int array -> bool
+val random : Prng.t -> int -> int array
+val factorial : int -> int
+(** Exact for [n <= 20]; raises [Invalid_argument] above. *)
+
+val iter_all : int -> (int array -> unit) -> unit
+(** Visits every permutation of [\[0, n)] exactly once (Heap's algorithm).
+    The array passed to the callback is reused; copy it to keep it. *)

@@ -1,0 +1,85 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64 step, used to expand the seed and to derive split streams. *)
+let splitmix64 state =
+  let z = Int64.add !state 0x9E3779B97F4A7C15L in
+  state := z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let of_seed64 seed =
+  let state = ref seed in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let create seed = of_seed64 (Int64.of_int seed)
+
+let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256** *)
+let bits64 g =
+  let result = Int64.mul (rotl (Int64.mul g.s1 5L) 7) 9L in
+  let t = Int64.shift_left g.s1 17 in
+  g.s2 <- Int64.logxor g.s2 g.s0;
+  g.s3 <- Int64.logxor g.s3 g.s1;
+  g.s1 <- Int64.logxor g.s1 g.s2;
+  g.s0 <- Int64.logxor g.s0 g.s3;
+  g.s2 <- Int64.logxor g.s2 t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let split g = of_seed64 (bits64 g)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling on the top 62 bits keeps the draw exactly uniform. *)
+  let mask = Int64.shift_right_logical Int64.minus_one 2 in
+  let bound64 = Int64.of_int bound in
+  let rec draw () =
+    let r = Int64.logand (bits64 g) mask in
+    let v = Int64.rem r bound64 in
+    if Int64.sub r v > Int64.sub (Int64.sub mask bound64) 1L then draw () else Int64.to_int v
+  in
+  draw ()
+
+let in_range g lo hi =
+  if lo > hi then invalid_arg "Prng.in_range: empty range";
+  lo + int g (hi - lo + 1)
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let float g =
+  let r = Int64.shift_right_logical (bits64 g) 11 in
+  Int64.to_float r *. 0x1.0p-53
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int g (Array.length a))
+
+let sample_without_replacement g k n =
+  if k < 0 || k > n then invalid_arg "Prng.sample_without_replacement";
+  (* Floyd's algorithm: k iterations, O(k) expected set operations. *)
+  let chosen = Hashtbl.create (2 * k + 1) in
+  for j = n - k to n - 1 do
+    let t = int g (j + 1) in
+    if Hashtbl.mem chosen t then Hashtbl.replace chosen j () else Hashtbl.replace chosen t ()
+  done;
+  let out = Array.make k 0 in
+  let i = ref 0 in
+  Hashtbl.iter (fun v () -> out.(!i) <- v; incr i) chosen;
+  Array.sort compare out;
+  out

@@ -1,0 +1,1 @@
+lib/synth/simasync_synth.ml: Array Hashtbl List Views Wb_graph Wb_sat

@@ -1,0 +1,1 @@
+lib/synth/simasync_synth.mli: Views Wb_graph

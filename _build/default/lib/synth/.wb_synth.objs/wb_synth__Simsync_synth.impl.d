@@ -1,0 +1,1 @@
+lib/synth/simsync_synth.ml: Array Hashtbl List Simasync_synth Views Wb_sat

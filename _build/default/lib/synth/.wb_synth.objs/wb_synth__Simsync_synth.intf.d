@@ -1,0 +1,1 @@
+lib/synth/simsync_synth.mli: Simasync_synth

@@ -1,0 +1,1 @@
+lib/synth/views.ml: Array Fun List Wb_graph

@@ -1,0 +1,1 @@
+lib/synth/views.mli: Wb_graph

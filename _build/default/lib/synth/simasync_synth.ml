@@ -1,0 +1,87 @@
+module Solver = Wb_sat.Solver
+
+type spec = {
+  name : string;
+  universe : Wb_graph.Graph.t list;
+  conflict : Wb_graph.Graph.t -> Wb_graph.Graph.t -> bool;
+}
+
+let bool_spec ~name ~universe answer =
+  { name; universe; conflict = (fun g h -> answer g <> answer h) }
+
+(* Variables: msg var m(v, b) = view v carries letter b, one-hot;
+   diff var d(u, w) for unordered pairs of distinct views (same id),
+   meaning "u and w carry different letters". *)
+let encode ~n spec ~alphabet =
+  let nviews = Views.count ~n in
+  let msg_var view b = (Views.index ~n view * alphabet) + b + 1 in
+  let base = nviews * alphabet in
+  let diff_table = Hashtbl.create 64 in
+  let next_var = ref base in
+  let clauses = ref [] in
+  let add c = clauses := c :: !clauses in
+  let diff_var u w =
+    let iu = Views.index ~n u and iw = Views.index ~n w in
+    let key = (min iu iw, max iu iw) in
+    match Hashtbl.find_opt diff_table key with
+    | Some v -> v
+    | None ->
+      incr next_var;
+      let d = !next_var in
+      Hashtbl.replace diff_table key d;
+      (* d -> the two views differ in at least one letter slot. *)
+      for b = 0 to alphabet - 1 do
+        add [ -d; -msg_var u b; -msg_var w b ]
+      done;
+      d
+  in
+  (* One-hot letter per view. *)
+  List.iter
+    (fun view ->
+      add (List.init alphabet (msg_var view));
+      for b = 0 to alphabet - 1 do
+        for b' = b + 1 to alphabet - 1 do
+          add [ -msg_var view b; -msg_var view b' ]
+        done
+      done)
+    (Views.all ~n);
+  (* Distinguish every conflicting pair. *)
+  let universe = Array.of_list spec.universe in
+  let vectors = Array.map Views.vector universe in
+  for i = 0 to Array.length universe - 1 do
+    for j = i + 1 to Array.length universe - 1 do
+      if spec.conflict universe.(i) universe.(j) then begin
+        let differing = ref [] in
+        for v = 0 to n - 1 do
+          if vectors.(i).(v) <> vectors.(j).(v) then
+            differing := diff_var vectors.(i).(v) vectors.(j).(v) :: !differing
+        done;
+        (* Identical vectors on conflicting graphs: impossible instance
+           (views determine the graph), but guard anyway. *)
+        add !differing
+      end
+    done
+  done;
+  let solver = Solver.create !next_var in
+  List.iter (Solver.add_clause solver) !clauses;
+  (solver, msg_var)
+
+let message_function ~n spec ~alphabet =
+  let solver, msg_var = encode ~n spec ~alphabet in
+  match Solver.solve solver with
+  | Solver.Unsat -> None
+  | Solver.Sat ->
+    Some
+      (fun view ->
+        let rec find b =
+          if b >= alphabet then invalid_arg "Simasync_synth: no letter assigned"
+          else if Solver.value solver (msg_var view b) then b
+          else find (b + 1)
+        in
+        find 0)
+
+let exists_protocol ~n spec ~alphabet = message_function ~n spec ~alphabet <> None
+
+let min_alphabet ~n spec ~max =
+  let rec go b = if b > max then None else if exists_protocol ~n spec ~alphabet:b then Some b else go (b + 1) in
+  go 1

@@ -1,0 +1,31 @@
+(** Exhaustive SIMASYNC protocol existence at tiny [n], by SAT.
+
+    A SIMASYNC protocol with a [B]-letter message alphabet is exactly a
+    function from views to letters such that any two instances that must
+    receive different outputs produce different whiteboard vectors (the
+    output side needs no encoding: with unbounded output computation, any
+    distinguishing message function can be completed into a protocol).
+
+    This gives the {e finite-size ground truth} for the Table 2 "no" cells:
+    e.g. the minimal alphabet for TRIANGLE at [n = 4, 5] can be compared
+    against MIS and against the same problems under SIMSYNC
+    ({!Simsync_synth}), exhibiting the paper's hierarchy at sizes where
+    everything is checkable. *)
+
+type spec = {
+  name : string;
+  universe : Wb_graph.Graph.t list;
+  conflict : Wb_graph.Graph.t -> Wb_graph.Graph.t -> bool;
+      (** [conflict g h]: no single output is correct for both. *)
+}
+
+val bool_spec : name:string -> universe:Wb_graph.Graph.t list -> (Wb_graph.Graph.t -> bool) -> spec
+
+val exists_protocol : n:int -> spec -> alphabet:int -> bool
+(** Is there a message function with [alphabet] letters? *)
+
+val min_alphabet : n:int -> spec -> max:int -> int option
+(** Smallest feasible alphabet size in [\[1, max\]]. *)
+
+val message_function : n:int -> spec -> alphabet:int -> (Views.t -> int) option
+(** A witness, when one exists. *)

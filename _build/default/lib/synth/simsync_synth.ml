@@ -1,0 +1,98 @@
+module Solver = Wb_sat.Solver
+
+(* Boards are sequences of (author, letter); encoded as int lists
+   (author * alphabet + letter), most recent first, and interned. *)
+
+type interner = {
+  table : (int list, int) Hashtbl.t;
+  mutable next : int;
+  mutable clauses : int list list;
+}
+
+let fresh_interner () = { table = Hashtbl.create 1024; next = 0; clauses = [] }
+
+let fresh_var it =
+  it.next <- it.next + 1;
+  it.next
+
+let add it c = it.clauses <- c :: it.clauses
+
+let rec boards ~n ~alphabet used prefix =
+  (* All extensions of [prefix] (a reversed board); returns all boards
+     including the prefix itself. *)
+  prefix
+  :: List.concat
+       (List.init n (fun a ->
+            if used land (1 lsl a) <> 0 then []
+            else
+              List.concat
+                (List.init alphabet (fun l ->
+                     boards ~n ~alphabet (used lor (1 lsl a)) (((a * alphabet) + l) :: prefix)))))
+
+let problem_size ~n ~alphabet = List.length (boards ~n ~alphabet 0 [])
+
+let exists_protocol ~n (spec : Simasync_synth.spec) ~alphabet =
+  let it = fresh_interner () in
+  (* msg vars, keyed by (view index, board), one-hot lazily. *)
+  let msg_table = Hashtbl.create 1024 in
+  let msg_var view board letter =
+    let key = (Views.index ~n view, board) in
+    match Hashtbl.find_opt msg_table key with
+    | Some vars -> vars.(letter)
+    | None ->
+      let vars = Array.init alphabet (fun _ -> fresh_var it) in
+      Hashtbl.replace msg_table key vars;
+      add it (Array.to_list vars);
+      for b = 0 to alphabet - 1 do
+        for b' = b + 1 to alphabet - 1 do
+          add it [ -vars.(b); -vars.(b') ]
+        done
+      done;
+      vars.(letter)
+  in
+  let universe = Array.of_list spec.universe in
+  let vectors = Array.map Views.vector universe in
+  (* reach vars per (graph index, board). *)
+  let reach_table = Hashtbl.create 4096 in
+  let reach gi board =
+    match Hashtbl.find_opt reach_table (gi, board) with
+    | Some v -> v
+    | None ->
+      let v = fresh_var it in
+      Hashtbl.replace reach_table (gi, board) v;
+      v
+  in
+  (* Chain reachability over every board prefix. *)
+  let all_boards = boards ~n ~alphabet 0 [] in
+  let complete, partial = List.partition (fun b -> List.length b = n) all_boards in
+  for gi = 0 to Array.length universe - 1 do
+    add it [ reach gi [] ];
+    List.iter
+      (fun board ->
+        let used = List.fold_left (fun acc e -> acc lor (1 lsl (e / alphabet))) 0 board in
+        for a = 0 to n - 1 do
+          if used land (1 lsl a) = 0 then
+            for l = 0 to alphabet - 1 do
+              let next = ((a * alphabet) + l) :: board in
+              add it
+                [ -reach gi board; -msg_var vectors.(gi).(a) board l; reach gi next ]
+            done
+        done)
+      partial
+  done;
+  (* Conflicting pairs must not share a complete sequence. *)
+  for i = 0 to Array.length universe - 1 do
+    for j = i + 1 to Array.length universe - 1 do
+      if spec.conflict universe.(i) universe.(j) then
+        List.iter (fun s -> add it [ -reach i s; -reach j s ]) complete
+    done
+  done;
+  let solver = Solver.create it.next in
+  List.iter (Solver.add_clause solver) it.clauses;
+  Solver.solve solver = Solver.Sat
+
+let min_alphabet ~n spec ~max =
+  let rec go b =
+    if b > max then None else if exists_protocol ~n spec ~alphabet:b then Some b else go (b + 1)
+  in
+  go 1

@@ -1,0 +1,22 @@
+(** Exhaustive SIMSYNC protocol existence at tiny [n], by SAT.
+
+    A SIMSYNC protocol lets a pending node recompute its message from the
+    current whiteboard, so a protocol is a function
+    [msg : view * board -> letter]; the adversary schedules authors in any
+    order.  A problem is solvable iff some such function prevents any two
+    conflicting instances from ever realising the {e same} complete board
+    sequence.
+
+    Encoding: reachability variables [reach(G, board)] chained over board
+    prefixes ([reach(G, b·(a,l)) <- reach(G, b) ∧ msg(view_a(G), b) = l]),
+    and a binary clause [¬reach(G, s) ∨ ¬reach(H, s)] per conflicting pair
+    and complete sequence [s].  Exponential in [n] — intended for
+    [n <= 4] and alphabets of 2-3 letters, where it provides ground truth
+    unobtainable any other way. *)
+
+val exists_protocol : n:int -> Simasync_synth.spec -> alphabet:int -> bool
+val min_alphabet : n:int -> Simasync_synth.spec -> max:int -> int option
+
+val problem_size : n:int -> alphabet:int -> int
+(** Number of board sequences the encoding enumerates — a cost estimate to
+    check before launching. *)

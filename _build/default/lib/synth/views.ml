@@ -1,0 +1,25 @@
+type t = { id : int; mask : int }
+
+let all ~n =
+  List.concat_map
+    (fun id ->
+      let rec masks m acc = if m < 0 then acc else masks (m - 1) (m :: acc) in
+      masks ((1 lsl n) - 1) []
+      |> List.filter_map (fun mask -> if mask land (1 lsl id) = 0 then Some { id; mask } else None))
+    (List.init n Fun.id)
+
+(* Dense index: strip the (always zero) own bit out of the mask. *)
+let compress_mask ~id mask =
+  let low = mask land ((1 lsl id) - 1) in
+  let high = mask lsr (id + 1) in
+  low lor (high lsl id)
+
+let index ~n { id; mask } = (id lsl (n - 1)) lor compress_mask ~id mask
+
+let count ~n = n lsl (n - 1)
+
+let of_graph g v =
+  let mask = Wb_graph.Graph.fold_neighbors g v (fun acc w -> acc lor (1 lsl w)) 0 in
+  { id = v; mask }
+
+let vector g = Array.init (Wb_graph.Graph.n g) (of_graph g)

@@ -1,0 +1,19 @@
+(** Enumeration of local views at tiny [n], for the protocol-existence
+    searches: a view is [(identifier, neighbourhood set)], which is all a
+    node ever knows at activation time. *)
+
+type t = { id : int; mask : int  (** neighbourhood bitmask over [0..n-1]. *) }
+
+val all : n:int -> t list
+(** All [n * 2^(n-1)] views (bit [id] never set in [mask]). *)
+
+val index : n:int -> t -> int
+(** Dense index in [\[0, n * 2^(n-1))]. *)
+
+val count : n:int -> int
+
+val of_graph : Wb_graph.Graph.t -> int -> t
+(** The view node [v] holds in the graph. *)
+
+val vector : Wb_graph.Graph.t -> t array
+(** Per-node views; two graphs are equal iff their vectors are. *)

@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Nat QCheck QCheck_alcotest String Wb_bignum Zint

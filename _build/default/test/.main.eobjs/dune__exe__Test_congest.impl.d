@@ -1,0 +1,1 @@
+test/test_congest.ml: Alcotest Array Fun List QCheck QCheck_alcotest Wb_congest Wb_graph Wb_model Wb_protocols Wb_support

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Adversary Alcotest Answer Array Engine List Printf Problems QCheck QCheck_alcotest Wb_graph Wb_model Wb_protocols Wb_support

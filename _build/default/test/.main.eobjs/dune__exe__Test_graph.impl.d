@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Algo Array Gen Graph Graph6 List Printf Prufer QCheck QCheck_alcotest Wb_graph Wb_support

@@ -1,0 +1,1 @@
+test/test_model.ml: Adversary Alcotest Answer Array Board Engine List Message Model Printf Problems Protocol String View Wb_graph Wb_model Wb_support

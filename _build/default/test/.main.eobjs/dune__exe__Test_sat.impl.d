@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Dimacs List Printf QCheck QCheck_alcotest Solver Wb_sat Wb_support

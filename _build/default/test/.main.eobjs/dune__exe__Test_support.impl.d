@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Bitbuf Bitset Dynarray Fun Hashtbl Heap Int List Perm Printf Prng QCheck QCheck_alcotest Set Wb_support

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Hashtbl List Simasync_synth Simsync_synth Views Wb_graph Wb_synth

@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "whiteboard"
+    (List.concat
+       [ Test_support.suites;
+         Test_bignum.suites;
+         Test_graph.suites;
+         Test_model.suites;
+         Test_protocols.suites;
+         Test_reductions.suites;
+         Test_sat.suites;
+         Test_synth.suites;
+         Test_congest.suites;
+         Test_extensions.suites;
+         Test_robustness.suites ])

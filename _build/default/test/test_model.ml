@@ -1,0 +1,325 @@
+open Wb_model
+module G = Wb_graph
+module W = Wb_support.Bitbuf.Writer
+
+let check = Alcotest.(check bool)
+
+(* A probe protocol: every node writes the board length it saw when its
+   message was composed.  Under the four models this one definition yields
+   observably different boards, which is exactly what the semantics tests
+   need. *)
+module type PROBE_CONFIG = sig
+  val model : Model.t
+  val activate_when : View.t -> Board.t -> bool
+end
+
+module Probe (C : PROBE_CONFIG) : Protocol.S = struct
+  let name = "probe"
+
+  let model = C.model
+
+  let message_bound ~n = 64 + n
+
+  type local = unit
+
+  let init _ = ()
+
+  let wants_to_activate view board () = C.activate_when view board
+
+  let compose _view board () =
+    let w = W.create () in
+    W.nat w (Board.length board);
+    (w, ())
+
+  let output ~n:_ board =
+    Answer.Node_set
+      (Board.fold (fun acc m -> Wb_support.Bitbuf.Reader.nat (Message.reader m) :: acc) [] board)
+end
+
+let seen_lengths model =
+  let module P = Probe (struct
+    let model = model
+
+    let activate_when _ _ = true
+  end) in
+  let module E = Engine.Make (P) in
+  let run = E.run (G.Gen.complete 5) Adversary.min_id in
+  match run.Engine.outcome with
+  | Engine.Success (Answer.Node_set lengths) -> List.sort compare lengths
+  | _ -> Alcotest.fail "probe failed"
+
+let message_timing_tests =
+  [ Alcotest.test_case "SIMASYNC composes everything from the empty board" `Quick (fun () ->
+        Alcotest.(check (list int)) "lengths" [ 0; 0; 0; 0; 0 ] (seen_lengths Model.Sim_async));
+    Alcotest.test_case "SIMSYNC recomposes: node sees the board at its write round" `Quick
+      (fun () -> Alcotest.(check (list int)) "lengths" [ 0; 1; 2; 3; 4 ] (seen_lengths Model.Sim_sync));
+    Alcotest.test_case "SYNC with always-activate behaves like SIMSYNC" `Quick (fun () ->
+        Alcotest.(check (list int)) "lengths" [ 0; 1; 2; 3; 4 ] (seen_lengths Model.Sync));
+    Alcotest.test_case "ASYNC freezes at activation" `Quick (fun () ->
+        (* Activation gate: node v activates once v-1 messages are on the
+           board; frozen composition must then record exactly that length
+           even though the write happens later. *)
+        let module P = Probe (struct
+          let model = Model.Async
+
+          let activate_when view board = Board.length board >= View.id view
+        end) in
+        let module E = Engine.Make (P) in
+        let run = E.run (G.Gen.complete 5) Adversary.max_id in
+        (match run.Engine.outcome with
+        | Engine.Success (Answer.Node_set lengths) ->
+          Alcotest.(check (list int)) "lengths" [ 0; 1; 2; 3; 4 ] (List.sort compare lengths)
+        | _ -> Alcotest.fail "async probe failed")) ]
+
+let lifecycle_tests =
+  [ Alcotest.test_case "every node writes exactly once on success" `Quick (fun () ->
+        let module P = Probe (struct
+          let model = Model.Sim_sync
+
+          let activate_when _ _ = true
+        end) in
+        let module E = Engine.Make (P) in
+        let run = E.run (G.Gen.cycle 7) Adversary.max_id in
+        check "success" true (Engine.succeeded run);
+        check "writes is a permutation" true (Wb_support.Perm.is_permutation run.Engine.writes);
+        Array.iteri
+          (fun v r ->
+            check (Printf.sprintf "node %d wrote" v) true (r >= 1);
+            check "activated before writing" true (run.Engine.activation_round.(v) < r))
+          run.Engine.write_round);
+    Alcotest.test_case "a node never writes in its activation round" `Quick (fun () ->
+        let module P = Probe (struct
+          let model = Model.Async
+
+          let activate_when _ _ = true
+        end) in
+        let module E = Engine.Make (P) in
+        let run = E.run (G.Gen.path 6) Adversary.min_id in
+        Array.iteri
+          (fun v a -> check (Printf.sprintf "node %d" v) true (run.Engine.write_round.(v) > a))
+          run.Engine.activation_round);
+    Alcotest.test_case "refusing to activate deadlocks" `Quick (fun () ->
+        let module P = Probe (struct
+          let model = Model.Async
+
+          let activate_when view _ = View.id view <> 2
+        end) in
+        let module E = Engine.Make (P) in
+        let run = E.run (G.Gen.path 4) Adversary.min_id in
+        check "deadlock" true (run.Engine.outcome = Engine.Deadlock));
+    Alcotest.test_case "n=1 succeeds" `Quick (fun () ->
+        let module P = Probe (struct
+          let model = Model.Sim_async
+
+          let activate_when _ _ = true
+        end) in
+        let module E = Engine.Make (P) in
+        check "ok" true (Engine.succeeded (E.run (G.Graph.empty 1) Adversary.min_id)));
+    Alcotest.test_case "n=0 succeeds vacuously" `Quick (fun () ->
+        let module P = Probe (struct
+          let model = Model.Sim_async
+
+          let activate_when _ _ = true
+        end) in
+        let module E = Engine.Make (P) in
+        check "ok" true (Engine.succeeded (E.run (G.Graph.empty 0) Adversary.min_id)));
+    Alcotest.test_case "oversized message is a violation" `Quick (fun () ->
+        let module P : Protocol.S = struct
+          let name = "chatty"
+
+          let model = Model.Sim_async
+
+          let message_bound ~n:_ = 4
+
+          type local = unit
+
+          let init _ = ()
+
+          let wants_to_activate _ _ () = true
+
+          let compose _ _ () =
+            let w = W.create () in
+            W.fixed w ~width:10 777;
+            (w, ())
+
+          let output ~n:_ _ = Answer.Reject
+        end in
+        let module E = Engine.Make (P) in
+        let run = E.run (G.Gen.path 3) Adversary.min_id in
+        (match run.Engine.outcome with
+        | Engine.Size_violation { bits; bound; _ } ->
+          Alcotest.(check int) "bits" 10 bits;
+          Alcotest.(check int) "bound" 4 bound
+        | _ -> Alcotest.fail "expected size violation"));
+    Alcotest.test_case "output exceptions are captured" `Quick (fun () ->
+        let module P : Protocol.S = struct
+          let name = "crasher"
+
+          let model = Model.Sim_async
+
+          let message_bound ~n:_ = 8
+
+          type local = unit
+
+          let init _ = ()
+
+          let wants_to_activate _ _ () = true
+
+          let compose _ _ () = (W.create (), ())
+
+          let output ~n:_ _ = failwith "boom"
+
+          let _ = name
+        end in
+        let module E = Engine.Make (P) in
+        let run = E.run (G.Gen.path 3) Adversary.min_id in
+        (match run.Engine.outcome with
+        | Engine.Output_error msg -> check "mentions boom" true (String.length msg > 0)
+        | _ -> Alcotest.fail "expected output error")) ]
+
+let explore_tests =
+  [ Alcotest.test_case "SIMASYNC explore visits n! schedules" `Quick (fun () ->
+        let module P = Probe (struct
+          let model = Model.Sim_async
+
+          let activate_when _ _ = true
+        end) in
+        let module E = Engine.Make (P) in
+        let _, count = E.explore (G.Gen.cycle 4) (fun _ -> true) in
+        Alcotest.(check int) "4!" 24 count;
+        let _, count = E.explore (G.Gen.complete 5) (fun _ -> true) in
+        Alcotest.(check int) "5!" 120 count);
+    Alcotest.test_case "explore agrees with run on every schedule" `Quick (fun () ->
+        (* SIMSYNC probe boards always read 0,1,2,...  regardless of order. *)
+        let module P = Probe (struct
+          let model = Model.Sim_sync
+
+          let activate_when _ _ = true
+        end) in
+        let module E = Engine.Make (P) in
+        let ok, count = E.explore (G.Gen.path 4) (fun r ->
+            match r.Engine.outcome with
+            | Engine.Success (Answer.Node_set l) -> List.sort compare l = [ 0; 1; 2; 3 ]
+            | _ -> false)
+        in
+        check "all ok" true ok;
+        Alcotest.(check int) "24 schedules" 24 count);
+    Alcotest.test_case "explore limit raises" `Quick (fun () ->
+        let module P = Probe (struct
+          let model = Model.Sim_async
+
+          let activate_when _ _ = true
+        end) in
+        let module E = Engine.Make (P) in
+        Alcotest.check_raises "limit" (Failure "Engine.explore: execution limit exceeded")
+          (fun () -> ignore (E.explore ~limit:10 (G.Gen.complete 5) (fun _ -> true)))) ]
+
+let board_tests =
+  [ Alcotest.test_case "append/find/truncate/generation" `Quick (fun () ->
+        let b = Board.create 4 in
+        let m author = Message.make ~author ~payload:[| true; false |] in
+        Board.append b (m 2);
+        Board.append b (m 0);
+        check "has 2" true (Board.has_author b 2);
+        check "no 1" false (Board.has_author b 1);
+        Alcotest.(check int) "len" 2 (Board.length b);
+        Alcotest.(check int) "total bits" 4 (Board.total_bits b);
+        let g0 = Board.generation b in
+        Board.truncate b 1;
+        check "gen bumped" true (Board.generation b > g0);
+        check "2 still there" true (Board.has_author b 2);
+        check "0 gone" false (Board.has_author b 0);
+        Alcotest.check_raises "double write" (Invalid_argument "Board.append: author already wrote")
+          (fun () ->
+            Board.append b (m 2)));
+    Alcotest.test_case "authors_in_order" `Quick (fun () ->
+        let b = Board.create 3 in
+        List.iter
+          (fun a -> Board.append b (Message.make ~author:a ~payload:[||]))
+          [ 1; 2; 0 ];
+        Alcotest.(check (list int)) "order" [ 1; 2; 0 ] (Array.to_list (Board.authors_in_order b))) ]
+
+let adversary_tests =
+  [ Alcotest.test_case "strategies pick as documented" `Quick (fun () ->
+        let b = Board.create 5 in
+        Alcotest.(check int) "min" 1 (Adversary.choose Adversary.min_id b [ 1; 3; 4 ]);
+        Alcotest.(check int) "max" 4 (Adversary.choose Adversary.max_id b [ 1; 3; 4 ]);
+        Alcotest.(check int) "priority" 3
+          (Adversary.choose (Adversary.by_priority [| 0; 1; 9; 10; 2 |]) b [ 1; 3; 4 ]);
+        Alcotest.(check int) "alt even board" 1 (Adversary.choose Adversary.alternating_extremes b [ 1; 3; 4 ]));
+    Alcotest.test_case "random adversary stays in candidates" `Quick (fun () ->
+        let adv = Adversary.random (Wb_support.Prng.create 4) in
+        let b = Board.create 9 in
+        for _ = 1 to 100 do
+          check "member" true (List.mem (Adversary.choose adv b [ 2; 5; 8 ]) [ 2; 5; 8 ])
+        done);
+    Alcotest.test_case "avoider dodges neighbors of last writer" `Quick (fun () ->
+        let g = G.Gen.star 5 in
+        let adv = Adversary.last_writer_neighbor_avoider g in
+        let b = Board.create 5 in
+        Board.append b (Message.make ~author:0 ~payload:[||]);
+        (* all of 1..4 neighbor the center 0: falls back to head *)
+        Alcotest.(check int) "fallback" 1 (Adversary.choose adv b [ 1; 2; 3; 4 ])) ]
+
+let model_meta_tests =
+  [ Alcotest.test_case "axes" `Quick (fun () ->
+        check "simasync simult" true (Model.simultaneous Model.Sim_async);
+        check "sync free" false (Model.simultaneous Model.Sync);
+        check "async frozen" true (Model.frozen_at_activation Model.Async);
+        check "simsync live" false (Model.frozen_at_activation Model.Sim_sync));
+    Alcotest.test_case "lattice order (Lemma 4)" `Quick (fun () ->
+        let leq = Model.weaker_or_equal in
+        check "sa<=ss" true (leq Model.Sim_async Model.Sim_sync);
+        check "sa<=a" true (leq Model.Sim_async Model.Async);
+        check "ss<=a" true (leq Model.Sim_sync Model.Async);
+        check "a<=s" true (leq Model.Async Model.Sync);
+        check "s not<= a" false (leq Model.Sync Model.Async);
+        check "a not<= ss" false (leq Model.Async Model.Sim_sync);
+        List.iter (fun m -> check "refl" true (leq m m)) Model.all);
+    Alcotest.test_case "table1 renders" `Quick (fun () ->
+        let t = Model.table1 () in
+        let contains needle =
+          let nl = String.length needle and tl = String.length t in
+          let rec go i = i + nl <= tl && (String.sub t i nl = needle || go (i + 1)) in
+          go 0
+        in
+        List.iter (fun needle -> check needle true (contains needle))
+          [ "SIMASYNC"; "SIMSYNC"; "ASYNC"; "SYNC" ]) ]
+
+let problems_tests =
+  [ Alcotest.test_case "valid_answer accepts any legal MIS" `Quick (fun () ->
+        let g = G.Gen.cycle 6 in
+        check "031 not independent? 0-3 ok" true
+          (Problems.valid_answer (Problems.Rooted_mis 0) g (Answer.Node_set [ 0; 2; 4 ]));
+        check "other valid MIS" true
+          (Problems.valid_answer (Problems.Rooted_mis 0) g (Answer.Node_set [ 0; 3 ]));
+        check "missing root" false
+          (Problems.valid_answer (Problems.Rooted_mis 0) g (Answer.Node_set [ 1; 4 ]));
+        check "not maximal" false
+          (Problems.valid_answer (Problems.Rooted_mis 0) g (Answer.Node_set [ 0 ])));
+    Alcotest.test_case "valid_answer for EOB-BFS" `Quick (fun () ->
+        let eob = G.Graph.of_edges 4 [ (0, 1); (1, 2); (2, 3) ] in
+        check "forest ok" true
+          (Problems.valid_answer Problems.Eob_bfs eob (Answer.Forest [| -1; 0; 1; 2 |]));
+        check "reject wrong" false (Problems.valid_answer Problems.Eob_bfs eob Answer.Reject);
+        let bad = G.Gen.cycle 4 |> fun g -> G.Graph.extend g ~extra:0 ~new_edges:[ (0, 2) ] in
+        check "reject right" true (Problems.valid_answer Problems.Eob_bfs bad Answer.Reject));
+    Alcotest.test_case "reference answers" `Quick (fun () ->
+        let g = G.Gen.two_cliques 3 in
+        check "2cl" true (Problems.reference Problems.Two_cliques g = Answer.Bool true);
+        check "conn" true (Problems.reference Problems.Connectivity g = Answer.Bool false);
+        check "tri" true (Problems.reference Problems.Triangle g = Answer.Bool true));
+    Alcotest.test_case "subgraph reference" `Quick (fun () ->
+        let g = G.Gen.complete 5 in
+        (match Problems.reference (Problems.Subgraph 3) g with
+        | Answer.Edge_set es -> Alcotest.(check int) "C(3,2)" 3 (List.length es)
+        | _ -> Alcotest.fail "expected edge set")) ]
+
+let suites =
+  [ ("model.message-timing", message_timing_tests);
+    ("model.lifecycle", lifecycle_tests);
+    ("model.explore", explore_tests);
+    ("model.board", board_tests);
+    ("model.adversary", adversary_tests);
+    ("model.meta", model_meta_tests);
+    ("model.problems", problems_tests) ]

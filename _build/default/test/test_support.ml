@@ -1,0 +1,234 @@
+open Wb_support
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let check = Alcotest.(check bool)
+
+let prng_tests =
+  [ Alcotest.test_case "same seed, same stream" `Quick (fun () ->
+        let a = Prng.create 123 and b = Prng.create 123 in
+        for _ = 1 to 100 do
+          Alcotest.(check int64) "bits" (Prng.bits64 a) (Prng.bits64 b)
+        done);
+    Alcotest.test_case "different seeds diverge" `Quick (fun () ->
+        let a = Prng.create 1 and b = Prng.create 2 in
+        let same = ref 0 in
+        for _ = 1 to 64 do
+          if Prng.bits64 a = Prng.bits64 b then incr same
+        done;
+        check "mostly different" true (!same < 4));
+    Alcotest.test_case "copy replays" `Quick (fun () ->
+        let a = Prng.create 5 in
+        ignore (Prng.bits64 a);
+        let b = Prng.copy a in
+        Alcotest.(check int64) "bits" (Prng.bits64 a) (Prng.bits64 b));
+    Alcotest.test_case "split is independent of parent draw count" `Quick (fun () ->
+        let a = Prng.create 9 in
+        let c = Prng.split a in
+        check "child differs from fresh parent stream" true (Prng.bits64 c <> Prng.bits64 a));
+    qtest
+      (QCheck.Test.make ~name:"int respects bound" ~count:500
+         QCheck.(pair small_int (int_range 1 1000))
+         (fun (seed, bound) ->
+           let g = Prng.create seed in
+           let v = Prng.int g bound in
+           v >= 0 && v < bound));
+    qtest
+      (QCheck.Test.make ~name:"in_range inclusive" ~count:500
+         QCheck.(triple small_int (int_range (-50) 50) (int_range 0 100))
+         (fun (seed, lo, span) ->
+           let g = Prng.create seed in
+           let v = Prng.in_range g lo (lo + span) in
+           v >= lo && v <= lo + span));
+    qtest
+      (QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+         QCheck.(pair small_int (int_range 0 40))
+         (fun (seed, n) ->
+           let g = Prng.create seed in
+           let a = Array.init n (fun i -> i) in
+           Prng.shuffle g a;
+           Perm.is_permutation a));
+    qtest
+      (QCheck.Test.make ~name:"sample_without_replacement: sorted distinct in range" ~count:300
+         QCheck.(triple small_int (int_range 0 30) (int_range 0 30))
+         (fun (seed, a, b) ->
+           let k = min a b and n = max a b in
+           let g = Prng.create seed in
+           let s = Prng.sample_without_replacement g k n in
+           Array.length s = k
+           && Array.for_all (fun v -> v >= 0 && v < n) s
+           && Array.to_list s = List.sort_uniq compare (Array.to_list s)));
+    Alcotest.test_case "float in [0,1)" `Quick (fun () ->
+        let g = Prng.create 17 in
+        for _ = 1 to 1000 do
+          let f = Prng.float g in
+          check "range" true (f >= 0.0 && f < 1.0)
+        done) ]
+
+let bitset_tests =
+  let reference_ops seed n ops =
+    (* Mirror operations on a Bitset and a module Set, compare. *)
+    let module IS = Set.Make (Int) in
+    let g = Prng.create seed in
+    let s = Bitset.create n in
+    let r = ref IS.empty in
+    for _ = 1 to ops do
+      let i = Prng.int g n in
+      match Prng.int g 3 with
+      | 0 ->
+        Bitset.add s i;
+        r := IS.add i !r
+      | 1 ->
+        Bitset.remove s i;
+        r := IS.remove i !r
+      | _ -> if Bitset.mem s i <> IS.mem i !r then failwith "mem mismatch"
+    done;
+    Bitset.to_list s = IS.elements !r && Bitset.cardinal s = IS.cardinal !r
+  in
+  [ qtest
+      (QCheck.Test.make ~name:"bitset mirrors Set" ~count:100
+         QCheck.(pair small_int (int_range 1 200))
+         (fun (seed, n) -> reference_ops seed n 300));
+    Alcotest.test_case "set-algebra on word boundaries" `Quick (fun () ->
+        let n = 130 in
+        let a = Bitset.of_list n [ 0; 62; 63; 64; 126; 129 ] in
+        let b = Bitset.of_list n [ 62; 64; 100; 129 ] in
+        let u = Bitset.copy a in
+        Bitset.union_into u b;
+        Alcotest.(check (list int)) "union" [ 0; 62; 63; 64; 100; 126; 129 ] (Bitset.to_list u);
+        let i = Bitset.copy a in
+        Bitset.inter_into i b;
+        Alcotest.(check (list int)) "inter" [ 62; 64; 129 ] (Bitset.to_list i);
+        let d = Bitset.copy a in
+        Bitset.diff_into d b;
+        Alcotest.(check (list int)) "diff" [ 0; 63; 126 ] (Bitset.to_list d);
+        check "subset" true (Bitset.subset i a);
+        check "not subset" false (Bitset.subset b a));
+    Alcotest.test_case "iter is increasing" `Quick (fun () ->
+        let s = Bitset.of_list 300 [ 299; 0; 150; 63; 64 ] in
+        let prev = ref (-1) in
+        Bitset.iter
+          (fun v ->
+            check "increasing" true (v > !prev);
+            prev := v)
+          s);
+    Alcotest.test_case "bounds are checked" `Quick (fun () ->
+        let s = Bitset.create 10 in
+        Alcotest.check_raises "add" (Invalid_argument "Bitset.add: out of range") (fun () ->
+            Bitset.add s 10)) ]
+
+let bitbuf_tests =
+  [ qtest
+      (QCheck.Test.make ~name:"nat roundtrip (list)" ~count:300
+         QCheck.(small_list (int_range 0 1_000_000))
+         (fun vals ->
+           let w = Bitbuf.Writer.create () in
+           List.iter (Bitbuf.Writer.nat w) vals;
+           let r = Bitbuf.Reader.of_bits (Bitbuf.Writer.contents w) in
+           List.for_all (fun v -> Bitbuf.Reader.nat r = v) vals && Bitbuf.Reader.remaining r = 0));
+    qtest
+      (QCheck.Test.make ~name:"fixed roundtrip" ~count:300
+         QCheck.(pair (int_range 0 62) (int_range 0 max_int))
+         (fun (width, v) ->
+           let v = if width = 0 then 0 else v land ((1 lsl min width 61) - 1) in
+           let width = if width > 61 then 61 else width in
+           let w = Bitbuf.Writer.create () in
+           Bitbuf.Writer.fixed w ~width v;
+           let r = Bitbuf.Reader.of_bits (Bitbuf.Writer.contents w) in
+           Bitbuf.Reader.fixed r ~width = v));
+    qtest
+      (QCheck.Test.make ~name:"gamma/delta roundtrip, delta no longer for big values" ~count:300
+         QCheck.(int_range 1 10_000_000)
+         (fun v ->
+           let w1 = Bitbuf.Writer.create () in
+           Bitbuf.Writer.gamma w1 v;
+           let w2 = Bitbuf.Writer.create () in
+           Bitbuf.Writer.delta w2 v;
+           let r1 = Bitbuf.Reader.of_bits (Bitbuf.Writer.contents w1) in
+           let r2 = Bitbuf.Reader.of_bits (Bitbuf.Writer.contents w2) in
+           Bitbuf.Reader.gamma r1 = v && Bitbuf.Reader.delta r2 = v
+           && (v < 32 || Bitbuf.Writer.length_bits w2 <= Bitbuf.Writer.length_bits w1)));
+    Alcotest.test_case "width_of" `Quick (fun () ->
+        List.iter
+          (fun (v, w) -> Alcotest.(check int) (string_of_int v) w (Bitbuf.width_of v))
+          [ (0, 0); (1, 1); (2, 2); (3, 2); (4, 3); (255, 8); (256, 9) ]);
+    Alcotest.test_case "underflow raises" `Quick (fun () ->
+        let r = Bitbuf.Reader.of_bits [| true |] in
+        ignore (Bitbuf.Reader.bit r);
+        Alcotest.check_raises "bit" Bitbuf.Reader.Underflow (fun () -> ignore (Bitbuf.Reader.bit r)));
+    Alcotest.test_case "mixed stream" `Quick (fun () ->
+        let w = Bitbuf.Writer.create () in
+        Bitbuf.Writer.bit w true;
+        Bitbuf.Writer.fixed w ~width:7 99;
+        Bitbuf.Writer.nat w 0;
+        Bitbuf.Writer.gamma w 1;
+        Bitbuf.Writer.delta w 1000;
+        let r = Bitbuf.Reader.of_bits (Bitbuf.Writer.contents w) in
+        check "bit" true (Bitbuf.Reader.bit r);
+        Alcotest.(check int) "fixed" 99 (Bitbuf.Reader.fixed r ~width:7);
+        Alcotest.(check int) "nat" 0 (Bitbuf.Reader.nat r);
+        Alcotest.(check int) "gamma" 1 (Bitbuf.Reader.gamma r);
+        Alcotest.(check int) "delta" 1000 (Bitbuf.Reader.delta r)) ]
+
+let dynarray_tests =
+  [ Alcotest.test_case "push/pop/last/truncate" `Quick (fun () ->
+        let d = Dynarray.create () in
+        for i = 0 to 99 do
+          Dynarray.push d i
+        done;
+        Alcotest.(check int) "len" 100 (Dynarray.length d);
+        Alcotest.(check int) "last" 99 (Dynarray.last d);
+        Alcotest.(check int) "pop" 99 (Dynarray.pop d);
+        Dynarray.truncate d 10;
+        Alcotest.(check (list int)) "list" (List.init 10 Fun.id) (Dynarray.to_list d));
+    qtest
+      (QCheck.Test.make ~name:"to_array/of_array roundtrip" ~count:200
+         QCheck.(small_list int)
+         (fun l ->
+           let d = Dynarray.of_array (Array.of_list l) in
+           Dynarray.to_list d = l)) ]
+
+let heap_tests =
+  [ qtest
+      (QCheck.Test.make ~name:"drain sorts" ~count:200
+         QCheck.(small_list int)
+         (fun l ->
+           let h = Heap.of_array ~cmp:compare (Array.of_list l) in
+           Heap.drain h = List.sort compare l));
+    Alcotest.test_case "peek/pop interplay" `Quick (fun () ->
+        let h = Heap.create ~cmp:compare in
+        Alcotest.(check (option int)) "empty" None (Heap.pop h);
+        Heap.push h 5;
+        Heap.push h 2;
+        Heap.push h 9;
+        Alcotest.(check (option int)) "peek" (Some 2) (Heap.peek h);
+        Alcotest.(check (option int)) "pop" (Some 2) (Heap.pop h);
+        Alcotest.(check int) "len" 2 (Heap.length h)) ]
+
+let perm_tests =
+  [ Alcotest.test_case "iter_all visits n! distinct" `Quick (fun () ->
+        for n = 0 to 6 do
+          let seen = Hashtbl.create 720 in
+          Perm.iter_all n (fun p ->
+              check "is perm" true (Perm.is_permutation p);
+              Hashtbl.replace seen (Array.to_list p) ());
+          Alcotest.(check int)
+            (Printf.sprintf "n=%d" n)
+            (if n = 0 then 1 else Perm.factorial n)
+            (Hashtbl.length seen)
+        done);
+    qtest
+      (QCheck.Test.make ~name:"inverse . apply = id" ~count:200
+         QCheck.(pair small_int (int_range 1 30))
+         (fun (seed, n) ->
+           let p = Perm.random (Prng.create seed) n in
+           let inv = Perm.inverse p in
+           Array.for_all (fun i -> inv.(p.(i)) = i) (Array.init n Fun.id))) ]
+
+let suites =
+  [ ("support.prng", prng_tests);
+    ("support.bitset", bitset_tests);
+    ("support.bitbuf", bitbuf_tests);
+    ("support.dynarray", dynarray_tests);
+    ("support.heap", heap_tests);
+    ("support.perm", perm_tests) ]

@@ -1,0 +1,115 @@
+module G = Wb_graph
+open Wb_synth
+
+let check = Alcotest.(check bool)
+
+(* Independent check of a synthesised SIMASYNC message function: all
+   conflicting graphs actually get different whiteboard vectors. *)
+let verify_message_function spec msg =
+  let universe = Array.of_list spec.Simasync_synth.universe in
+  let signatures = Array.map (fun g -> Array.map msg (Views.vector g)) universe in
+  let ok = ref true in
+  Array.iteri
+    (fun i gi ->
+      Array.iteri
+        (fun j gj ->
+          if j > i && spec.Simasync_synth.conflict gi gj && signatures.(i) = signatures.(j) then
+            ok := false)
+        universe)
+    universe;
+  !ok
+
+let views_tests =
+  [ Alcotest.test_case "count and index are a bijection" `Quick (fun () ->
+        List.iter
+          (fun n ->
+            let all = Views.all ~n in
+            Alcotest.(check int) "count" (Views.count ~n) (List.length all);
+            let seen = Hashtbl.create 64 in
+            List.iter
+              (fun v ->
+                let i = Views.index ~n v in
+                check "range" true (i >= 0 && i < Views.count ~n);
+                check "fresh" true (not (Hashtbl.mem seen i));
+                Hashtbl.replace seen i ())
+              all)
+          [ 1; 2; 3; 4; 5 ]);
+    Alcotest.test_case "of_graph matches neighborhoods" `Quick (fun () ->
+        let g = G.Gen.cycle 4 in
+        let v = Views.of_graph g 0 in
+        Alcotest.(check int) "mask" (0b1010) v.Views.mask);
+    Alcotest.test_case "vectors are injective over graphs" `Quick (fun () ->
+        let gs = Array.of_list (G.Gen.all_labelled_graphs 4) in
+        let vecs = Array.map Views.vector gs in
+        let distinct = ref true in
+        Array.iteri
+          (fun i _ -> Array.iteri (fun j _ -> if i < j && vecs.(i) = vecs.(j) then distinct := false) gs)
+          gs;
+        check "injective" true !distinct) ]
+
+let simasync_tests =
+  [ Alcotest.test_case "TRIANGLE at n=3 needs exactly 2 letters" `Quick (fun () ->
+        let spec =
+          Simasync_synth.bool_spec ~name:"triangle" ~universe:(G.Gen.all_labelled_graphs 3)
+            G.Algo.has_triangle
+        in
+        Alcotest.(check (option int)) "min" (Some 2) (Simasync_synth.min_alphabet ~n:3 spec ~max:4));
+    Alcotest.test_case "TRIANGLE at n=4 needs exactly 3 letters" `Quick (fun () ->
+        let spec =
+          Simasync_synth.bool_spec ~name:"triangle" ~universe:(G.Gen.all_labelled_graphs 4)
+            G.Algo.has_triangle
+        in
+        check "2 impossible" false (Simasync_synth.exists_protocol ~n:4 spec ~alphabet:2);
+        check "3 possible" true (Simasync_synth.exists_protocol ~n:4 spec ~alphabet:3));
+    Alcotest.test_case "witness functions verify independently" `Quick (fun () ->
+        let spec =
+          Simasync_synth.bool_spec ~name:"connectivity" ~universe:(G.Gen.all_labelled_graphs 4)
+            G.Algo.is_connected
+        in
+        (match Simasync_synth.min_alphabet ~n:4 spec ~max:6 with
+        | None -> Alcotest.fail "expected a protocol"
+        | Some b ->
+          (match Simasync_synth.message_function ~n:4 spec ~alphabet:b with
+          | None -> Alcotest.fail "witness missing at the minimum"
+          | Some msg -> check "verified" true (verify_message_function spec msg))));
+    Alcotest.test_case "a trivially constant problem needs 1 letter" `Quick (fun () ->
+        let spec =
+          Simasync_synth.bool_spec ~name:"always-false" ~universe:(G.Gen.all_labelled_graphs 3)
+            (fun _ -> false)
+        in
+        Alcotest.(check (option int)) "min" (Some 1) (Simasync_synth.min_alphabet ~n:3 spec ~max:2));
+    Alcotest.test_case "huge alphabet always suffices (views are injective)" `Quick (fun () ->
+        let spec =
+          Simasync_synth.bool_spec ~name:"parity-of-edges" ~universe:(G.Gen.all_labelled_graphs 3)
+            (fun g -> G.Graph.num_edges g mod 2 = 0)
+        in
+        check "alphabet 2^(n-1)" true (Simasync_synth.exists_protocol ~n:3 spec ~alphabet:4)) ]
+
+let simsync_tests =
+  [ Alcotest.test_case "problem_size grows as documented" `Quick (fun () ->
+        Alcotest.(check int) "n=2,B=1" (1 + 2 + 2) (Simsync_synth.problem_size ~n:2 ~alphabet:1);
+        Alcotest.(check int) "n=2,B=2" (1 + 4 + 8) (Simsync_synth.problem_size ~n:2 ~alphabet:2));
+    Alcotest.test_case "TRIANGLE at n=3: SIMSYNC also needs exactly 2" `Quick (fun () ->
+        let spec =
+          Simasync_synth.bool_spec ~name:"triangle" ~universe:(G.Gen.all_labelled_graphs 3)
+            G.Algo.has_triangle
+        in
+        Alcotest.(check (option int)) "min" (Some 2) (Simsync_synth.min_alphabet ~n:3 spec ~max:3));
+    Alcotest.test_case "SIMSYNC is never weaker than SIMASYNC (n=3 problems)" `Quick (fun () ->
+        let universe = G.Gen.all_labelled_graphs 3 in
+        List.iter
+          (fun (name, answer) ->
+            let spec = Simasync_synth.bool_spec ~name ~universe answer in
+            let a = Simasync_synth.min_alphabet ~n:3 spec ~max:4 in
+            let s = Simsync_synth.min_alphabet ~n:3 spec ~max:4 in
+            match (a, s) with
+            | Some a, Some s -> check (name ^ " ordered") true (s <= a)
+            | _ -> Alcotest.fail "both should exist at n=3")
+          [ ("triangle", G.Algo.has_triangle);
+            ("connectivity", G.Algo.is_connected);
+            ("has-edge", fun g -> G.Graph.num_edges g > 0) ]) ]
+
+let suites =
+  [ ("synth.views", views_tests);
+    ("synth.simasync", simasync_tests);
+    ("synth.simsync", simsync_tests) ]
