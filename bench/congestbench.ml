@@ -11,6 +11,11 @@ let row g label =
   let run = P.Engine.run_packed Wb_protocols.Bfs_sync.protocol g P.Adversary.min_id in
   assert (P.Engine.succeeded run);
   let wb = run.P.Engine.stats in
+  Harness.Emit.row "congest" ~name:label
+    (("n", Wb_obs.Json.Int (G.Graph.n g))
+    :: ("m", Wb_obs.Json.Int (G.Graph.num_edges g))
+    :: ("congest_bits", Wb_obs.Json.Int congest.Wb_congest.Congest.total_bits)
+    :: Harness.Emit.run_fields run);
   Printf.printf "%-22s %-8d %-8d %-14d %-14d %5.1fx\n" label (G.Graph.n g) (G.Graph.num_edges g)
     wb.P.Engine.total_bits congest.Wb_congest.Congest.total_bits
     (float_of_int congest.Wb_congest.Congest.total_bits /. float_of_int (max 1 wb.P.Engine.total_bits))
@@ -38,6 +43,10 @@ let print () =
     let run = P.Engine.run_packed (Wb_protocols.Mis_simsync.protocol ~root:0) g (P.Adversary.random rng2) in
     assert (P.Engine.succeeded run);
     let luby = Wb_congest.Luby_mis.run ~seed:11 g in
+    Harness.Emit.row "congest" ~name:("mis " ^ label)
+      (("n", Wb_obs.Json.Int (G.Graph.n g))
+      :: ("luby_bits", Wb_obs.Json.Int luby.Wb_congest.Luby_mis.stats.Wb_congest.Congest.total_bits)
+      :: Harness.Emit.run_fields run);
     Printf.printf "%-22s %-8d %-14d %-7d (%d)      %5.1fx\n" label (G.Graph.n g)
       run.P.Engine.stats.total_bits luby.Wb_congest.Luby_mis.stats.Wb_congest.Congest.total_bits
       luby.Wb_congest.Luby_mis.stats.Wb_congest.Congest.rounds

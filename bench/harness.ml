@@ -2,12 +2,58 @@
 
 module P = Wb_model
 module G = Wb_graph
+module J = Wb_obs.Json
 module Prng = Wb_support.Prng
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
 let subsection title = Printf.printf "\n-- %s --\n" title
+
+(* Machine-readable sidecars: next to each human table, a BENCH_<section>.json
+   with the section's rows, wall time and a metrics-registry snapshot — the
+   diffable perf-trajectory record across PRs.  Disable with WB_BENCH_JSON=0. *)
+module Emit = struct
+  let enabled = Sys.getenv_opt "WB_BENCH_JSON" <> Some "0"
+
+  (* section -> (start time, rows in emission order, reversed) *)
+  let state : (string, float * J.t list ref) Hashtbl.t = Hashtbl.create 8
+
+  let start sect =
+    if enabled then Hashtbl.replace state sect (Unix.gettimeofday (), ref [])
+
+  let row sect ~name fields =
+    if enabled then
+      match Hashtbl.find_opt state sect with
+      | None -> ()
+      | Some (_, rows) -> rows := J.Obj (("name", J.String name) :: fields) :: !rows
+
+  (* Common row fields for a completed engine run. *)
+  let run_fields (r : P.Engine.run) =
+    [ ("outcome", J.String (P.Engine.outcome_tag r.P.Engine.outcome));
+      ("rounds", J.Int r.P.Engine.stats.rounds);
+      ("max_bits", J.Int r.P.Engine.stats.max_message_bits);
+      ("total_bits", J.Int r.P.Engine.stats.total_bits) ]
+
+  let finish sect =
+    if enabled then
+      match Hashtbl.find_opt state sect with
+      | None -> ()
+      | Some (started, rows) ->
+        Hashtbl.remove state sect;
+        let doc =
+          J.Obj
+            [ ("section", J.String sect);
+              ("wall_s", J.Float (Unix.gettimeofday () -. started));
+              ("rows", J.List (List.rev !rows));
+              ("metrics", Wb_obs.Metrics.dump_json ()) ]
+        in
+        let file = "BENCH_" ^ sect ^ ".json" in
+        let oc = open_out file in
+        J.to_channel oc doc;
+        output_char oc '\n';
+        close_out oc
+end
 
 (* Validate [protocol] for [problem] over a list of graphs: every graph is
    run under five adversary strategies, and exhaustively when n <= limit.

@@ -7,12 +7,22 @@
      dune exec bench/main.exe -- table2 fig synth
 
    Sections: table1 table2 fig msgsize lattice synth congest open timing.
-   Set WB_BENCH_FAST=1 to skip the slow n=4 SIMSYNC synthesis cell. *)
+   Set WB_BENCH_FAST=1 to skip the slow n=4 SIMSYNC synthesis cell.
+
+   Every section also writes a machine-readable BENCH_<section>.json sidecar
+   (rows where the section emits them, plus wall time and a metrics
+   snapshot); WB_BENCH_JSON=0 disables the sidecars. *)
 
 let sections =
   [ ("table1", fun () ->
         Harness.section "Table 1 — the four models";
-        print_endline (Wb_model.Model.table1 ()));
+        print_endline (Wb_model.Model.table1 ());
+        List.iter
+          (fun m ->
+            Harness.Emit.row "table1" ~name:(Wb_model.Model.name m)
+              [ ("simultaneous", Wb_obs.Json.Bool (Wb_model.Model.simultaneous m));
+                ("frozen_at_activation", Wb_obs.Json.Bool (Wb_model.Model.frozen_at_activation m)) ])
+          Wb_model.Model.all);
     ("table2", Table2.print);
     ("fig", Figures.print);
     ("msgsize", Msgsize.print);
@@ -34,4 +44,9 @@ let () =
       (String.concat " " (List.map fst sections));
     exit 1
   end;
-  List.iter (fun (_, run) -> run ()) chosen
+  List.iter
+    (fun (name, run) ->
+      Harness.Emit.start name;
+      run ();
+      Harness.Emit.finish name)
+    chosen

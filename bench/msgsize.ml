@@ -13,6 +13,9 @@ let measure ~n ~k =
   let g = if k = 1 then G.Gen.random_tree rng n else G.Gen.random_ktree rng n ~k in
   let protocol = Wb_protocols.Build_degenerate.protocol ~k ~decoder:`Backtracking in
   let run = P.Engine.run_packed protocol g (P.Adversary.random rng) in
+  Harness.Emit.row "msgsize"
+    ~name:(Printf.sprintf "build-degenerate n=%d k=%d" n k)
+    (("n", Wb_obs.Json.Int n) :: ("k", Wb_obs.Json.Int k) :: Harness.Emit.run_fields run);
   match run.P.Engine.outcome with
   | P.Engine.Success (P.Answer.Graph h) when G.Graph.equal g h ->
     run.P.Engine.stats.max_message_bits
@@ -47,6 +50,9 @@ let print () =
           let g = G.Gen.random_split_degenerate rng n ~k in
           let protocol = Wb_protocols.Build_split_degenerate.protocol ~k in
           let run = P.Engine.run_packed protocol g (P.Adversary.random rng) in
+          Harness.Emit.row "msgsize"
+            ~name:(Printf.sprintf "build-split-degenerate n=%d k=%d" n k)
+            (("n", Wb_obs.Json.Int n) :: ("k", Wb_obs.Json.Int k) :: Harness.Emit.run_fields run);
           let bits =
             match run.P.Engine.outcome with
             | P.Engine.Success (P.Answer.Graph h) when G.Graph.equal g h ->
@@ -62,6 +68,9 @@ let print () =
     (fun n ->
       let g = G.Gen.random_tree (Prng.create n) n in
       let run = P.Engine.run_packed Wb_protocols.Build_naive.protocol g P.Adversary.min_id in
+      Harness.Emit.row "msgsize"
+        ~name:(Printf.sprintf "build-naive n=%d" n)
+        (("n", Wb_obs.Json.Int n) :: Harness.Emit.run_fields run);
       Printf.printf "n=%-6d naive %5d bits vs forest-protocol %3d bits\n" n
         run.P.Engine.stats.max_message_bits
         (measure ~n ~k:1))

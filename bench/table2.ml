@@ -196,4 +196,18 @@ let print () =
     rows;
   Printf.printf
     "\nlegend: yes* = asserted by the paper without an explicit protocol; 'inherited' cells\n\
-     follow from the Lemma 4 inclusions SIMASYNC <= SIMSYNC <= ASYNC <= SYNC.\n"
+     follow from the Lemma 4 inclusions SIMASYNC <= SIMSYNC <= ASYNC <= SYNC.\n";
+  let module J = Wb_obs.Json in
+  List.iter
+    (fun (name, cells, checked) ->
+      Harness.Emit.row "table2" ~name
+        [ ( "cells",
+            J.Obj
+              (List.mapi
+                 (fun i model ->
+                   let label, evidence = show cells.(i) in
+                   ( P.Model.name model,
+                     J.Obj [ ("verdict", J.String label); ("evidence", J.String evidence) ] ))
+                 P.Model.all) );
+          ("verified", J.Bool checked) ])
+    rows

@@ -88,5 +88,6 @@ let print () =
       let estimate =
         match Analyze.OLS.estimates ols with Some [ e ] -> e | Some _ | None -> nan
       in
+      Harness.Emit.row "timing" ~name [ ("ns_per_run", Wb_obs.Json.Float estimate) ];
       Printf.printf "%-45s %12.0f ns/run\n" name estimate)
     (List.sort compare rows)

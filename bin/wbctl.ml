@@ -4,6 +4,7 @@
      models                         print Table 1
      protocols                      list registered protocols
      run                            run one protocol on a generated graph
+     trace                          run with full telemetry (JSONL + Chrome trace + metrics)
      explore                        exhaustively check all schedules
      synth                          minimal-alphabet synthesis at tiny n
      counting                       Lemma 3 information floors
@@ -12,6 +13,7 @@
 open Cmdliner
 module P = Wb_model
 module G = Wb_graph
+module Obs = Wb_obs
 module Prng = Wb_support.Prng
 
 (* ---- shared argument parsing ---------------------------------------- *)
@@ -123,53 +125,162 @@ let print_run g problem (run : P.Engine.run) =
 let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc:"Print the round-by-round execution timeline")
 
+let metrics_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE" ~doc:"Dump the metrics registry snapshot to $(docv)")
+
+let open_out_or_die file =
+  try open_out file
+  with Sys_error msg ->
+    Printf.eprintf "wbctl: cannot open %s: %s\n" file msg;
+    exit 1
+
+let write_metrics_json = function
+  | None -> ()
+  | Some file ->
+    let oc = open_out_or_die file in
+    Obs.Json.to_channel oc (Obs.Metrics.dump_json ());
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "metrics snapshot: %s\n" file
+
+let key_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROTOCOL" ~doc:"Registry key")
+
+let with_entry key f =
+  match Wb_protocols.Registry.find key with
+  | None ->
+    Printf.eprintf "unknown protocol %s (try `wbctl protocols`)\n" key;
+    exit 1
+  | Some e -> f e
+
 let run_cmd =
-  let key_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROTOCOL" ~doc:"Registry key")
-  in
-  let run key family n p seed adv trace =
-    match Wb_protocols.Registry.find key with
-    | None ->
-      Printf.eprintf "unknown protocol %s (try `wbctl protocols`)\n" key;
-      exit 1
-    | Some e ->
-      let g = make_graph ~family ~n ~p ~seed in
-      Printf.printf "graph: %s on %d nodes, %d edges (seed %d)\n" family (G.Graph.n g)
-        (G.Graph.num_edges g) seed;
-      if not (Wb_protocols.Registry.satisfies_promise e.promise g) then
-        print_endline "warning: instance violates the protocol's promise class";
-      let adversary = make_adversary adv g seed in
-      let result = P.Engine.run_packed e.protocol g adversary in
-      if trace then print_string (P.Report.timeline result);
-      print_run g (e.problem (G.Graph.n g)) result
+  let run key family n p seed adv trace metrics_json =
+    with_entry key (fun e ->
+        let g = make_graph ~family ~n ~p ~seed in
+        Printf.printf "graph: %s on %d nodes, %d edges (seed %d)\n" family (G.Graph.n g)
+          (G.Graph.num_edges g) seed;
+        if not (Wb_protocols.Registry.satisfies_promise e.promise g) then
+          print_endline "warning: instance violates the protocol's promise class";
+        let adversary = make_adversary adv g seed in
+        let sink, events = Obs.Trace.collector () in
+        let result =
+          P.Engine.run_packed ?trace:(if trace then Some sink else None) e.protocol g adversary
+        in
+        if trace then begin
+          print_string (P.Report.summary result);
+          print_newline ();
+          print_string (P.Report.timeline_of_events ~n:(G.Graph.n g) (events ()))
+        end;
+        print_run g (e.problem (G.Graph.n g)) result;
+        write_metrics_json metrics_json)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a protocol on a generated graph")
-    Term.(const run $ key_arg $ family_arg $ n_arg $ p_arg $ seed_arg $ adversary_arg $ trace_arg)
+    Term.(
+      const run $ key_arg $ family_arg $ n_arg $ p_arg $ seed_arg $ adversary_arg $ trace_arg
+      $ metrics_json_arg)
+
+let trace_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "trace.jsonl"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"JSONL event stream destination")
+  in
+  let chrome_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:"Also write a Chrome trace_event file (open in about:tracing or Perfetto)")
+  in
+  let run key family n p seed adv out chrome metrics_json =
+    with_entry key (fun e ->
+        let g = make_graph ~family ~n ~p ~seed in
+        Printf.printf "graph: %s on %d nodes, %d edges (seed %d)\n" family (G.Graph.n g)
+          (G.Graph.num_edges g) seed;
+        if not (Wb_protocols.Registry.satisfies_promise e.promise g) then
+          print_endline "warning: instance violates the protocol's promise class";
+        let adversary = make_adversary adv g seed in
+        let jsonl_oc = open_out_or_die out in
+        let chrome_oc = Option.map open_out_or_die chrome in
+        let collector, events = Obs.Trace.collector () in
+        let sinks =
+          [ Obs.Trace.jsonl_writer jsonl_oc; collector ]
+          @ (match chrome_oc with Some oc -> [ Obs.Chrome.writer oc ] | None -> [])
+        in
+        let sink = Obs.Trace.tee sinks in
+        let result = P.Engine.run_packed ~trace:sink e.protocol g adversary in
+        Obs.Trace.close sink;
+        close_out jsonl_oc;
+        Option.iter close_out chrome_oc;
+        print_string (P.Report.summary result);
+        print_newline ();
+        print_string (P.Report.timeline_of_events ~n:(G.Graph.n g) (events ()));
+        print_run g (e.problem (G.Graph.n g)) result;
+        Printf.printf "\nevents: %d -> %s%s\n" (List.length (events ())) out
+          (match chrome with Some f -> "  (chrome: " ^ f ^ ")" | None -> "");
+        Format.printf "@.%a" Obs.Metrics.pp_table ();
+        write_metrics_json metrics_json)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a protocol with full telemetry: JSONL event stream, optional Chrome trace, metrics \
+          table")
+    Term.(
+      const run $ key_arg $ family_arg $ n_arg $ p_arg $ seed_arg $ adversary_arg $ out_arg
+      $ chrome_arg $ metrics_json_arg)
 
 let explore_cmd =
-  let key_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROTOCOL" ~doc:"Registry key")
+  let sample_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sample-trace" ] ~docv:"K"
+          ~doc:"Write every K-th execution window of the exploration to the --sample-out file")
   in
-  let run key family n p seed =
-    match Wb_protocols.Registry.find key with
-    | None ->
-      Printf.eprintf "unknown protocol %s\n" key;
-      exit 1
-    | Some e ->
-      let g = make_graph ~family ~n ~p ~seed in
-      let problem = e.problem (G.Graph.n g) in
-      let ok, count =
-        P.Engine.explore_packed e.protocol g (fun r ->
-            match r.P.Engine.outcome with
-            | P.Engine.Success a -> P.Problems.valid_answer problem g a
-            | _ -> false)
-      in
-      Printf.printf "schedules explored: %d   all valid: %b\n" count ok
+  let sample_out_arg =
+    Arg.(
+      value
+      & opt string "explore-trace.jsonl"
+      & info [ "sample-out" ] ~docv:"FILE" ~doc:"Destination of the sampled trace")
+  in
+  let run key family n p seed metrics_json sample sample_out =
+    with_entry key (fun e ->
+        let g = make_graph ~family ~n ~p ~seed in
+        let problem = e.problem (G.Graph.n g) in
+        (match sample with
+        | Some k when k <= 0 ->
+          prerr_endline "wbctl: --sample-trace K must be positive";
+          exit 1
+        | _ -> ());
+        let sink, oc =
+          match sample with
+          | None -> (None, None)
+          | Some k ->
+            let oc = open_out_or_die sample_out in
+            (Some (Obs.Trace.sample ~every:k (Obs.Trace.jsonl_writer oc)), Some oc)
+        in
+        let ok, count =
+          P.Engine.explore_packed ?trace:sink e.protocol g (fun r ->
+              match r.P.Engine.outcome with
+              | P.Engine.Success a -> P.Problems.valid_answer problem g a
+              | _ -> false)
+        in
+        Option.iter Obs.Trace.close sink;
+        Option.iter close_out oc;
+        Printf.printf "schedules explored: %d   all valid: %b\n" count ok;
+        if sample <> None then Printf.printf "sampled trace: %s\n" sample_out;
+        write_metrics_json metrics_json)
   in
   Cmd.v
     (Cmd.info "explore" ~doc:"Check a protocol under every adversarial schedule (small n!)")
-    Term.(const run $ key_arg $ family_arg $ n_arg $ p_arg $ seed_arg)
+    Term.(
+      const run $ key_arg $ family_arg $ n_arg $ p_arg $ seed_arg $ metrics_json_arg $ sample_arg
+      $ sample_out_arg)
 
 let synth_cmd =
   let problem_arg =
@@ -245,4 +356,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default
           (Cmd.info "wbctl" ~version:"1.0.0" ~doc:"Shared-whiteboard distributed computing laboratory")
-          [ models_cmd; protocols_cmd; run_cmd; explore_cmd; synth_cmd; counting_cmd; graph_cmd ]))
+          [ models_cmd; protocols_cmd; run_cmd; trace_cmd; explore_cmd; synth_cmd; counting_cmd;
+            graph_cmd ]))

@@ -1,3 +1,5 @@
+module Obs = Wb_obs
+
 type outcome =
   | Success of Answer.t
   | Deadlock
@@ -13,13 +15,44 @@ type run = {
   activation_round : int array;
   write_round : int array;
   message_bits : int array;
+  compose_count : int array;
 }
 
 let succeeded r = match r.outcome with Success _ -> true | Deadlock | Size_violation _ | Output_error _ -> false
 
 let answer r = match r.outcome with Success a -> Some a | Deadlock | Size_violation _ | Output_error _ -> None
 
+let outcome_tag = function
+  | Success _ -> "success"
+  | Deadlock -> "deadlock"
+  | Size_violation _ -> "size_violation"
+  | Output_error _ -> "output_error"
+
 type status = Awake | Active | Terminated
+
+(* Registry entries are process-global and idempotent: every Engine.Make
+   instantiation shares them. *)
+let m_runs = Obs.Metrics.counter ~help:"completed Engine.run executions" "engine.runs"
+let m_rounds = Obs.Metrics.counter ~help:"rounds across all executions" "engine.rounds"
+let m_writes = Obs.Metrics.counter ~help:"messages appended to boards" "engine.writes"
+
+let m_composes =
+  Obs.Metrics.counter ~help:"message compositions incl. synchronous recompositions"
+    "engine.recompositions"
+
+let m_compose_per_node =
+  Obs.Metrics.histogram ~help:"compositions per node per execution" "engine.compose_per_node"
+
+let m_candidates =
+  Obs.Metrics.histogram ~help:"write-candidate set size per round" "engine.candidates_per_round"
+
+let m_board_bits = Obs.Metrics.gauge ~help:"board total bits after last write" "engine.board_bits"
+let m_deadlocks = Obs.Metrics.counter ~help:"executions ending in deadlock" "engine.deadlocks"
+
+let m_explore_execs =
+  Obs.Metrics.counter ~help:"complete executions visited by explore" "engine.explore_executions"
+
+let () = Obs.Metrics.probe ~help:"total 64-bit PRNG draws" "prng.draws" Wb_support.Prng.total_draws
 
 module Make (P : Protocol.S) = struct
   module G = Wb_graph.Graph
@@ -30,15 +63,17 @@ module Make (P : Protocol.S) = struct
     bound : int;
     views : View.t array;
     board : Board.t;
+    trace : Obs.Trace.t option;
     mutable status : status array;
     mutable locals : P.local array;
     mutable memory : Message.t option array;
     mutable activation_round : int array;
     mutable write_round : int array;
+    mutable compose_count : int array;
     mutable round : int;
   }
 
-  let initial g =
+  let initial ?trace g =
     let size = G.n g in
     let views = Array.init size (View.make g) in
     { g;
@@ -46,11 +81,13 @@ module Make (P : Protocol.S) = struct
       bound = P.message_bound ~n:size;
       views;
       board = Board.create size;
+      trace;
       status = Array.make size Awake;
       locals = Array.map P.init views;
       memory = Array.make size None;
       activation_round = Array.make size (-1);
       write_round = Array.make size (-1);
+      compose_count = Array.make size 0;
       round = 0 }
 
   let frozen = Model.frozen_at_activation P.model
@@ -60,12 +97,23 @@ module Make (P : Protocol.S) = struct
   let compose_now st v =
     let writer, local = P.compose st.views.(v) st.board st.locals.(v) in
     st.locals.(v) <- local;
-    st.memory.(v) <- Some (Message.of_writer ~author:v writer)
+    let m = Message.of_writer ~author:v writer in
+    st.memory.(v) <- Some m;
+    st.compose_count.(v) <- st.compose_count.(v) + 1;
+    Obs.Metrics.incr m_composes;
+    match st.trace with
+    | None -> ()
+    | Some tr ->
+      Obs.Trace.emit tr
+        (Obs.Event.Compose { node = v; round = st.round; bits = Message.size_bits m })
 
   (* One deterministic round prefix: terminations, candidate collection,
      activations, synchronous recomposition.  Returns the candidates. *)
   let round_prefix st =
     st.round <- st.round + 1;
+    (match st.trace with
+    | None -> ()
+    | Some tr -> Obs.Trace.emit tr (Obs.Event.Round_start { round = st.round }));
     let activated = ref false in
     for v = 0 to st.size - 1 do
       if st.status.(v) = Active && Board.has_author st.board v then st.status.(v) <- Terminated
@@ -74,6 +122,7 @@ module Make (P : Protocol.S) = struct
     for v = st.size - 1 downto 0 do
       if st.status.(v) = Active then candidates := v :: !candidates
     done;
+    Obs.Metrics.observe m_candidates (List.length !candidates);
     for v = 0 to st.size - 1 do
       if st.status.(v) = Awake then begin
         let goes =
@@ -84,6 +133,9 @@ module Make (P : Protocol.S) = struct
           st.status.(v) <- Active;
           st.activation_round.(v) <- st.round;
           activated := true;
+          (match st.trace with
+          | None -> ()
+          | Some tr -> Obs.Trace.emit tr (Obs.Event.Activate { node = v; round = st.round }));
           if frozen then compose_now st v
         end
       end
@@ -97,11 +149,32 @@ module Make (P : Protocol.S) = struct
     | Some m ->
       Board.append st.board m;
       st.write_round.(v) <- st.round;
+      Obs.Metrics.incr m_writes;
+      Obs.Metrics.set m_board_bits (Board.total_bits st.board);
+      (match st.trace with
+      | None -> ()
+      | Some tr ->
+        Obs.Trace.emit tr
+          (Obs.Event.Write
+             { node = v;
+               round = st.round;
+               bits = Message.size_bits m;
+               board_bits = Board.total_bits st.board }));
       m
 
   let finish st outcome =
     let message_bits = Array.make st.size (-1) in
     Board.iter (fun m -> message_bits.(Message.author m) <- Message.size_bits m) st.board;
+    Obs.Metrics.add m_rounds st.round;
+    Array.iter (Obs.Metrics.observe m_compose_per_node) st.compose_count;
+    (match outcome with Deadlock -> Obs.Metrics.incr m_deadlocks | _ -> ());
+    (match st.trace with
+    | None -> ()
+    | Some tr ->
+      (match outcome with
+      | Deadlock -> Obs.Trace.emit tr (Obs.Event.Deadlock_detected { round = st.round })
+      | _ -> ());
+      Obs.Trace.emit tr (Obs.Event.Run_end { round = st.round; outcome = outcome_tag outcome }));
     { outcome;
       writes = Board.authors_in_order st.board;
       stats =
@@ -110,7 +183,8 @@ module Make (P : Protocol.S) = struct
           total_bits = Board.total_bits st.board };
       activation_round = Array.copy st.activation_round;
       write_round = Array.copy st.write_round;
-      message_bits }
+      message_bits;
+      compose_count = Array.copy st.compose_count }
 
   let success_outcome st =
     match P.output ~n:st.size st.board with
@@ -135,8 +209,8 @@ module Make (P : Protocol.S) = struct
       let bits = Message.size_bits m in
       if bits > st.bound then Some (Size_violation { node = v; bits; bound = st.bound }) else None
 
-  let run ?max_rounds g adv =
-    let st = initial g in
+  let run ?max_rounds ?trace g adv =
+    let st = initial ?trace g in
     let max_rounds = match max_rounds with Some r -> r | None -> (2 * st.size) + 8 in
     let rec loop () =
       match advance st max_rounds with
@@ -144,13 +218,19 @@ module Make (P : Protocol.S) = struct
       | `Deadlock -> finish st Deadlock
       | `Choices candidates ->
         let v = Adversary.choose adv st.board candidates in
+        (match st.trace with
+        | None -> ()
+        | Some tr ->
+          Obs.Trace.emit tr (Obs.Event.Adversary_pick { node = v; round = st.round; candidates }));
         (match check_size st v with
         | Some violation -> finish st violation
         | None ->
           ignore (do_write st v);
           loop ())
     in
-    loop ()
+    let result = loop () in
+    Obs.Metrics.incr m_runs;
+    result
 
   type snapshot = {
     s_status : status array;
@@ -158,6 +238,7 @@ module Make (P : Protocol.S) = struct
     s_memory : Message.t option array;
     s_activation : int array;
     s_write : int array;
+    s_compose : int array;
     s_round : int;
     s_board_len : int;
   }
@@ -168,6 +249,7 @@ module Make (P : Protocol.S) = struct
       s_memory = Array.copy st.memory;
       s_activation = Array.copy st.activation_round;
       s_write = Array.copy st.write_round;
+      s_compose = Array.copy st.compose_count;
       s_round = st.round;
       s_board_len = Board.snapshot_length st.board }
 
@@ -177,15 +259,17 @@ module Make (P : Protocol.S) = struct
     st.memory <- Array.copy s.s_memory;
     st.activation_round <- Array.copy s.s_activation;
     st.write_round <- Array.copy s.s_write;
+    st.compose_count <- Array.copy s.s_compose;
     st.round <- s.s_round;
     Board.truncate st.board s.s_board_len
 
-  let explore ?(limit = 1_000_000) g check =
-    let st = initial g in
+  let explore ?(limit = 1_000_000) ?trace g check =
+    let st = initial ?trace g in
     let max_rounds = (2 * st.size) + 8 in
     let executions = ref 0 in
     let complete outcome =
       incr executions;
+      Obs.Metrics.incr m_explore_execs;
       if !executions > limit then failwith "Engine.explore: execution limit exceeded";
       check (finish st outcome)
     in
@@ -201,6 +285,11 @@ module Make (P : Protocol.S) = struct
               match check_size st v with
               | Some violation -> complete violation
               | None ->
+                (match st.trace with
+                | None -> ()
+                | Some tr ->
+                  Obs.Trace.emit tr
+                    (Obs.Event.Adversary_pick { node = v; round = st.round; candidates }));
                 ignore (do_write st v);
                 go ()
             in
@@ -212,10 +301,10 @@ module Make (P : Protocol.S) = struct
     (all_ok, !executions)
 end
 
-let run_packed ?max_rounds (module P : Protocol.S) g adv =
+let run_packed ?max_rounds ?trace (module P : Protocol.S) g adv =
   let module E = Make (P) in
-  E.run ?max_rounds g adv
+  E.run ?max_rounds ?trace g adv
 
-let explore_packed ?limit (module P : Protocol.S) g check =
+let explore_packed ?limit ?trace (module P : Protocol.S) g check =
   let module E = Make (P) in
-  E.explore ?limit g check
+  E.explore ?limit ?trace g check

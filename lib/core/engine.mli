@@ -14,7 +14,14 @@
     + the adversary picks one candidate and its current message is appended.
 
     The run succeeds when all [n] messages are on the board, and deadlocks
-    when no candidate exists and no awake node activates. *)
+    when no candidate exists and no awake node activates.
+
+    {b Observability.}  With [?trace] attached the engine emits the full
+    {!Wb_obs.Event} stream (round starts, activations, every composition,
+    adversary picks, writes, deadlock, run end); with it omitted no event is
+    ever constructed.  A handful of process-global {!Wb_obs.Metrics} are
+    always maintained ([engine.*]: runs, rounds, writes, recompositions,
+    candidate-set sizes, board bits, deadlocks, explore executions). *)
 
 type outcome =
   | Success of Answer.t
@@ -31,22 +38,38 @@ type run = {
   activation_round : int array;  (** -1 when the node never activated. *)
   write_round : int array;  (** -1 when the node never wrote. *)
   message_bits : int array;  (** payload size per node; -1 when unwritten. *)
+  compose_count : int array;
+      (** compositions per node: 1 for every writing node in frozen models;
+          in synchronous models, the rounds it spent as a candidate. *)
 }
 
 val succeeded : run -> bool
 val answer : run -> Answer.t option
 
-module Make (P : Protocol.S) : sig
-  val run : ?max_rounds:int -> Wb_graph.Graph.t -> Adversary.t -> run
-  (** Execute under one adversary.  [max_rounds] defaults to [2n + 8]
-      (any legal execution fits; exceeding it is reported as [Deadlock]). *)
+val outcome_tag : outcome -> string
+(** The wire name used in {!Wb_obs.Event.Run_end}: ["success"],
+    ["deadlock"], ["size_violation"] or ["output_error"]. *)
 
-  val explore : ?limit:int -> Wb_graph.Graph.t -> (run -> bool) -> bool * int
+module Make (P : Protocol.S) : sig
+  val run : ?max_rounds:int -> ?trace:Wb_obs.Trace.t -> Wb_graph.Graph.t -> Adversary.t -> run
+  (** Execute under one adversary.  [max_rounds] defaults to [2n + 8]
+      (any legal execution fits; exceeding it is reported as [Deadlock]).
+      [trace] receives the execution's event stream; the sink is {e not}
+      closed — the caller owns it. *)
+
+  val explore :
+    ?limit:int -> ?trace:Wb_obs.Trace.t -> Wb_graph.Graph.t -> (run -> bool) -> bool * int
   (** [explore g check] enumerates {e every} adversarial schedule, calling
       [check] on each complete execution.  Returns [(all passed, number of
-      executions)].  @raise Failure when more than [limit] (default 10^6)
-      executions would be visited. *)
+      executions)].  [trace] observes the depth-first event stream — shared
+      schedule prefixes are {e not} replayed, so consecutive [Run_end]
+      windows are deltas; wrap the sink in {!Wb_obs.Trace.sample} to keep
+      every k-th window.  @raise Failure when more than [limit] (default
+      10^6) executions would be visited. *)
 end
 
-val run_packed : ?max_rounds:int -> Protocol.t -> Wb_graph.Graph.t -> Adversary.t -> run
-val explore_packed : ?limit:int -> Protocol.t -> Wb_graph.Graph.t -> (run -> bool) -> bool * int
+val run_packed :
+  ?max_rounds:int -> ?trace:Wb_obs.Trace.t -> Protocol.t -> Wb_graph.Graph.t -> Adversary.t -> run
+
+val explore_packed :
+  ?limit:int -> ?trace:Wb_obs.Trace.t -> Protocol.t -> Wb_graph.Graph.t -> (run -> bool) -> bool * int

@@ -1,3 +1,5 @@
+module Obs = Wb_obs
+
 let compact_answer = function
   | Answer.Graph g ->
     Printf.sprintf "graph(%d nodes, %d edges)" (Wb_graph.Graph.n g) (Wb_graph.Graph.num_edges g)
@@ -20,34 +22,99 @@ let summary (run : Engine.run) =
     run.Engine.stats.rounds (Array.length run.Engine.writes) run.Engine.stats.max_message_bits
     run.Engine.stats.total_bits
 
-let timeline (run : Engine.run) =
+(* Reconstruct the canonical event skeleton of a finished run.  Composition
+   and adversary events need live observation ([?trace] on the engine) —
+   they are not recoverable from the record — but activations, writes,
+   deadlock and the end-of-run are, and in exactly the shape a live sink
+   would have seen, which makes the event stream the single rendering path
+   for both. *)
+let events_of_run (run : Engine.run) =
   let n = Array.length run.Engine.activation_round in
-  let buf = Buffer.create 256 in
-  Buffer.add_string buf (summary run);
-  Buffer.add_char buf '\n';
-  let nodes_with value array =
-    List.filter (fun v -> array.(v) = value) (List.init n Fun.id)
-  in
+  let events = ref [] in
+  let push e = events := e :: !events in
+  (* Board bits accumulate in write order. *)
+  let board_after = Hashtbl.create n in
+  let acc = ref 0 in
+  Array.iter
+    (fun v ->
+      acc := !acc + max 0 run.Engine.message_bits.(v);
+      Hashtbl.replace board_after v !acc)
+    run.Engine.writes;
   for round = 1 to run.Engine.stats.rounds do
-    let activated = nodes_with round run.Engine.activation_round in
-    let wrote = nodes_with round run.Engine.write_round in
-    if activated <> [] || wrote <> [] then begin
+    for v = 0 to n - 1 do
+      if run.Engine.activation_round.(v) = round then push (Obs.Event.Activate { node = v; round })
+    done;
+    for v = 0 to n - 1 do
+      if run.Engine.write_round.(v) = round then
+        push
+          (Obs.Event.Write
+             { node = v;
+               round;
+               bits = run.Engine.message_bits.(v);
+               board_bits = (match Hashtbl.find_opt board_after v with Some b -> b | None -> 0) })
+    done
+  done;
+  let final = run.Engine.stats.rounds in
+  (match run.Engine.outcome with
+  | Engine.Deadlock -> push (Obs.Event.Deadlock_detected { round = final })
+  | _ -> ());
+  push (Obs.Event.Run_end { round = final; outcome = Engine.outcome_tag run.Engine.outcome });
+  List.rev !events
+
+let node_list nodes = String.concat "," (List.map (fun v -> string_of_int (v + 1)) nodes)
+
+let timeline_of_events ?n events =
+  let buf = Buffer.create 256 in
+  (* Group by round, preserving intra-round order. *)
+  let rounds = Hashtbl.create 32 in
+  let max_round = ref 0 in
+  List.iter
+    (fun ev ->
+      let r = Obs.Event.round ev in
+      max_round := max !max_round r;
+      Hashtbl.replace rounds r
+        (ev :: (match Hashtbl.find_opt rounds r with Some l -> l | None -> [])))
+    events;
+  let writers = ref [] in
+  for round = 1 to !max_round do
+    let evs = List.rev (match Hashtbl.find_opt rounds round with Some l -> l | None -> []) in
+    let activated = List.filter_map (function Obs.Event.Activate { node; _ } -> Some node | _ -> None) evs in
+    let composed = List.filter_map (function Obs.Event.Compose { node; _ } -> Some node | _ -> None) evs in
+    let picks =
+      List.filter_map
+        (function Obs.Event.Adversary_pick { node; candidates; _ } -> Some (node, candidates) | _ -> None)
+        evs
+    in
+    let wrote =
+      List.filter_map (function Obs.Event.Write { node; bits; _ } -> Some (node, bits) | _ -> None) evs
+    in
+    let deadlocked = List.exists (function Obs.Event.Deadlock_detected _ -> true | _ -> false) evs in
+    writers := List.rev_append (List.map fst wrote) !writers;
+    if activated <> [] || composed <> [] || picks <> [] || wrote <> [] || deadlocked then begin
       Buffer.add_string buf (Printf.sprintf "round %3d:" round);
-      if activated <> [] then
-        Buffer.add_string buf
-          (" activate " ^ String.concat "," (List.map (fun v -> string_of_int (v + 1)) activated));
+      if activated <> [] then Buffer.add_string buf (" activate " ^ node_list activated);
+      if composed <> [] then Buffer.add_string buf (" compose " ^ node_list composed);
       List.iter
-        (fun v ->
+        (fun (v, candidates) ->
           Buffer.add_string buf
-            (Printf.sprintf " write %d (%d bits)" (v + 1) run.Engine.message_bits.(v)))
+            (Printf.sprintf " pick %d/{%s}" (v + 1) (node_list candidates)))
+        picks;
+      List.iter
+        (fun (v, bits) -> Buffer.add_string buf (Printf.sprintf " write %d (%d bits)" (v + 1) bits))
         wrote;
+      if deadlocked then Buffer.add_string buf " DEADLOCK";
       Buffer.add_char buf '\n'
     end
   done;
-  let silent = nodes_with (-1) run.Engine.write_round in
-  if silent <> [] then
-    Buffer.add_string buf
-      ("never wrote: " ^ String.concat "," (List.map (fun v -> string_of_int (v + 1)) silent) ^ "\n");
+  (match n with
+  | None -> ()
+  | Some n ->
+    let silent = List.filter (fun v -> not (List.mem v !writers)) (List.init n Fun.id) in
+    if silent <> [] then Buffer.add_string buf ("never wrote: " ^ node_list silent ^ "\n"));
   Buffer.contents buf
+
+let timeline (run : Engine.run) =
+  summary run ^ "\n"
+  ^ timeline_of_events ~n:(Array.length run.Engine.activation_round) (events_of_run run)
 
 let pp ppf run = Format.pp_print_string ppf (timeline run)

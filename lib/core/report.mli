@@ -1,9 +1,28 @@
-(** Human-readable execution timelines: which nodes activated and wrote in
-    each round, with message sizes — the debugging view of a run.  Rounds
-    with no events (possible in free models while certificates accumulate)
-    are skipped. *)
+(** Human-readable execution timelines: which nodes activated, composed and
+    wrote in each round, with message sizes — the debugging view of a run.
+
+    Rendering goes through the {!Wb_obs.Event} vocabulary: a finished run
+    record is first lifted back to its canonical event skeleton
+    ({!events_of_run}), and the same renderer ({!timeline_of_events}) serves
+    live traces captured with the engine's [?trace] sink — so the printed
+    timeline and the machine-readable trace can never disagree.  In
+    particular a deadlocked run prints its detection round, matching the
+    round count in {!summary} (free models detect deadlock in the first
+    round where nothing activates and no candidate remains). *)
 
 val timeline : Engine.run -> string
+(** [summary] line followed by the round-by-round record-derived timeline
+    (activations and writes; composes and adversary picks need a live
+    trace). *)
+
+val timeline_of_events : ?n:int -> Wb_obs.Event.t list -> string
+(** Render any event stream (e.g. collected via {!Wb_obs.Trace.collector}).
+    With [?n], nodes that never wrote are listed on a final line. *)
+
+val events_of_run : Engine.run -> Wb_obs.Event.t list
+(** The canonical event skeleton of a finished run: [Activate] and [Write]
+    events in round order (with cumulative board bits),
+    [Deadlock_detected] when the run deadlocked, and a final [Run_end]. *)
 
 val summary : Engine.run -> string
 (** One line: outcome, rounds, bits. *)

@@ -1,0 +1,81 @@
+let ts_of_round round = round * 1000
+
+let common ~name ~ph ~ts ~tid extra =
+  Json.Obj
+    ([ ("name", Json.String name);
+       ("ph", Json.String ph);
+       ("ts", Json.Int ts);
+       ("pid", Json.Int 1);
+       ("tid", Json.Int tid) ]
+    @ extra)
+
+let instant ~name ~round ~tid args =
+  common ~name ~ph:"i" ~ts:(ts_of_round round) ~tid
+    (("s", Json.String "t") :: (if args = [] then [] else [ ("args", Json.Obj args) ]))
+
+let convert events =
+  (* Pass 1: node lifetimes (activation round -> write round) and the last
+     round, so unfinished slices can be closed at the run's horizon. *)
+  let activation = Hashtbl.create 64 in
+  let completion = Hashtbl.create 64 in
+  let last_round = ref 0 in
+  List.iter
+    (fun ev ->
+      last_round := max !last_round (Event.round ev);
+      match ev with
+      | Event.Activate { node; round } -> Hashtbl.replace activation node round
+      | Event.Write { node; round; _ } -> Hashtbl.replace completion node round
+      | _ -> ())
+    events;
+  let slices =
+    Hashtbl.fold
+      (fun node a_round acc ->
+        let w_round =
+          match Hashtbl.find_opt completion node with Some r -> r | None -> !last_round
+        in
+        let dur = max 1 (w_round - a_round) in
+        common
+          ~name:(Printf.sprintf "node %d active" (node + 1))
+          ~ph:"X" ~ts:(ts_of_round a_round) ~tid:(node + 1)
+          [ ("dur", Json.Int (dur * 1000));
+            ("args",
+             Json.Obj
+               [ ("activation_round", Json.Int a_round);
+                 ("wrote", Json.Bool (Hashtbl.mem completion node)) ]) ]
+        :: acc)
+      activation []
+  in
+  let instants =
+    List.filter_map
+      (fun ev ->
+        match ev with
+        | Event.Round_start { round } ->
+          Some (instant ~name:(Printf.sprintf "round %d" round) ~round ~tid:0 [])
+        | Event.Activate _ -> None (* covered by the slice *)
+        | Event.Compose { node; round; bits } ->
+          Some (instant ~name:"compose" ~round ~tid:(node + 1) [ ("bits", Json.Int bits) ])
+        | Event.Adversary_pick { node; round; candidates } ->
+          Some
+            (instant ~name:"adversary pick" ~round ~tid:0
+               [ ("node", Json.Int (node + 1));
+                 ("candidates", Json.Int (List.length candidates)) ])
+        | Event.Write { node; round; bits; board_bits } ->
+          Some
+            (instant ~name:"write" ~round ~tid:(node + 1)
+               [ ("bits", Json.Int bits); ("board_bits", Json.Int board_bits) ])
+        | Event.Deadlock_detected { round } -> Some (instant ~name:"DEADLOCK" ~round ~tid:0 [])
+        | Event.Run_end { round; outcome } ->
+          Some (instant ~name:"run end" ~round ~tid:0 [ ("outcome", Json.String outcome) ]))
+      events
+  in
+  Json.Obj
+    [ ("traceEvents", Json.List (slices @ instants)); ("displayTimeUnit", Json.String "ms") ]
+
+let writer oc =
+  let events = ref [] in
+  Trace.of_fn
+    ~close:(fun () ->
+      Json.to_channel oc (convert (List.rev !events));
+      output_char oc '\n';
+      flush oc)
+    (fun ev -> events := ev :: !events)

@@ -1,0 +1,18 @@
+(** Chrome [trace_event] (Catapult) exporter: a traced run opens directly in
+    [about:tracing] or {{:https://ui.perfetto.dev}Perfetto}.
+
+    The execution has no wall clock — logical rounds are the time axis — so
+    round [r] is mapped to timestamp [r * 1000] microseconds (one round = one
+    millisecond on screen).  Each node becomes a thread ([tid = node + 1],
+    matching the paper's external numbering); its active life from
+    [Activate] to [Write] is a complete ("X") slice, composes and writes are
+    instant events on the node's row, and round starts / adversary picks /
+    deadlock sit on the scheduler row [tid 0].
+
+    The exporter buffers: nothing is written until {!Trace.close}, because
+    slice durations are only known once the run ends. *)
+
+val writer : out_channel -> Trace.t
+(** On close, writes one JSON object [{"traceEvents": [...],
+    "displayTimeUnit": "ms"}] and flushes (the channel stays open — the
+    caller owns it). *)

@@ -1,0 +1,43 @@
+(** A minimal JSON value, printer and parser.
+
+    Built on the stdlib only: the telemetry surface (JSONL traces, Chrome
+    trace files, metrics snapshots, bench sidecars) must be machine-readable
+    without pulling a JSON dependency into the sealed container, and the
+    round-trip tests need an independent reader for what the writers emit.
+
+    Numbers are split into [Int] and [Float]; the parser yields [Int] for
+    number tokens without a fraction or exponent.  Non-finite floats have no
+    JSON representation and are printed as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering — one call per JSONL record. *)
+
+val to_channel : out_channel -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value; trailing non-whitespace is an error.  The error
+    string carries a character offset. *)
+
+val of_string_exn : string -> t
+(** @raise Failure on parse errors. *)
+
+(** {1 Accessors} — shallow helpers for tests and checkers. *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)]; [None] on missing key or non-object. *)
+
+val get : string -> t -> t
+(** @raise Failure when the key is absent or the value is not an object. *)
+
+val to_int : t -> int option
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -1,0 +1,157 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : int }
+
+(* 1 + 63 buckets: index 0 for the value 0, index w for bit width w. *)
+type histogram = {
+  buckets : int array;
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Probe of (unit -> int) ref
+  | Histogram of histogram
+
+let registry : (string, string * metric) Hashtbl.t = Hashtbl.create 64
+
+let register name help make match_existing =
+  match Hashtbl.find_opt registry name with
+  | Some (_, existing) -> (
+    match match_existing existing with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Metrics: %S already registered as another kind" name))
+  | None ->
+    let v, m = make () in
+    Hashtbl.replace registry name (help, m);
+    v
+
+let counter ?(help = "") name =
+  register name help
+    (fun () ->
+      let c = { c = 0 } in
+      (c, Counter c))
+    (function Counter c -> Some c | _ -> None)
+
+let incr c = c.c <- c.c + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Metrics.add: negative amount";
+  c.c <- c.c + n
+
+let counter_value c = c.c
+
+let gauge ?(help = "") name =
+  register name help
+    (fun () ->
+      let g = { g = 0 } in
+      (g, Gauge g))
+    (function Gauge g -> Some g | _ -> None)
+
+let set g v = g.g <- v
+let gauge_value g = g.g
+
+let probe ?(help = "") name thunk =
+  ignore
+    (register name help
+       (fun () -> ((), Probe (ref thunk)))
+       (function
+         | Probe r ->
+           r := thunk;
+           Some ()
+         | _ -> None))
+
+let histogram ?(help = "") name =
+  register name help
+    (fun () ->
+      let h = { buckets = Array.make 64 0; count = 0; sum = 0; min_v = max_int; max_v = min_int } in
+      (h, Histogram h))
+    (function Histogram h -> Some h | _ -> None)
+
+let bucket_of v = Wb_support.Bitbuf.width_of v
+
+let observe h v =
+  let v = if v < 0 then 0 else v in
+  h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+  h.count <- h.count + 1;
+  h.sum <- h.sum + v;
+  if v < h.min_v then h.min_v <- v;
+  if v > h.max_v then h.max_v <- v
+
+let histogram_count h = h.count
+let histogram_sum h = h.sum
+
+let sorted () =
+  List.sort compare (Hashtbl.fold (fun name (help, m) acc -> (name, help, m) :: acc) registry [])
+
+let histogram_json h =
+  let buckets =
+    List.filter_map
+      (fun w ->
+        if h.buckets.(w) = 0 then None
+        else
+          (* upper bound (exclusive) of bucket w: 2^w, except bucket 0
+             which holds only the value 0 (upper bound 1). *)
+          Some (Json.List [ Json.Int (1 lsl w); Json.Int h.buckets.(w) ]))
+      (List.init 64 Fun.id)
+  in
+  Json.Obj
+    [ ("count", Json.Int h.count);
+      ("sum", Json.Int h.sum);
+      ("min", if h.count = 0 then Json.Null else Json.Int h.min_v);
+      ("max", if h.count = 0 then Json.Null else Json.Int h.max_v);
+      ("buckets", Json.List buckets) ]
+
+let dump_json () =
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  List.iter
+    (fun (name, _help, m) ->
+      match m with
+      | Counter c -> counters := (name, Json.Int c.c) :: !counters
+      | Gauge g -> gauges := (name, Json.Int g.g) :: !gauges
+      | Probe r -> gauges := (name, Json.Int (!r ())) :: !gauges
+      | Histogram h -> histograms := (name, histogram_json h) :: !histograms)
+    (sorted ());
+  Json.Obj
+    [ ("counters", Json.Obj (List.rev !counters));
+      ("gauges", Json.Obj (List.rev !gauges));
+      ("histograms", Json.Obj (List.rev !histograms)) ]
+
+let pp_table ppf () =
+  Format.fprintf ppf "%-36s %-10s %s@." "metric" "kind" "value";
+  List.iter
+    (fun (name, help, m) ->
+      let kind, value =
+        match m with
+        | Counter c -> ("counter", string_of_int c.c)
+        | Gauge g -> ("gauge", string_of_int g.g)
+        | Probe r -> ("probe", string_of_int (!r ()))
+        | Histogram h ->
+          ( "histogram",
+            if h.count = 0 then "empty"
+            else
+              Printf.sprintf "count %d  sum %d  min %d  max %d  mean %.1f" h.count h.sum h.min_v
+                h.max_v
+                (float_of_int h.sum /. float_of_int h.count) )
+      in
+      Format.fprintf ppf "%-36s %-10s %s%s@." name kind value
+        (if help = "" then "" else "   (" ^ help ^ ")"))
+    (sorted ())
+
+let reset () =
+  Hashtbl.iter
+    (fun _ (_, m) ->
+      match m with
+      | Counter c -> c.c <- 0
+      | Gauge g -> g.g <- 0
+      | Probe _ -> ()
+      | Histogram h ->
+        Array.fill h.buckets 0 (Array.length h.buckets) 0;
+        h.count <- 0;
+        h.sum <- 0;
+        h.min_v <- max_int;
+        h.max_v <- min_int)
+    registry

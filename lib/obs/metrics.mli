@@ -1,0 +1,54 @@
+(** Process-global metrics registry: named counters, gauges, probes and
+    log-bucketed histograms, built on the stdlib only.
+
+    Registration is explicit and idempotent — [counter "engine.writes"]
+    returns the same counter everywhere, so instrumentation sites register
+    at module initialisation and pay one array/int update per observation on
+    the hot path.  Re-registering a name as a {e different} kind is a
+    programming error.
+
+    Because the registry is process-global, tests that assert exact values
+    should call {!reset} first (it zeroes values but keeps registrations)
+    or compare deltas. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : ?help:string -> string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+(** @raise Invalid_argument on negative amounts — counters only go up. *)
+
+val counter_value : counter -> int
+
+val gauge : ?help:string -> string -> gauge
+val set : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+val probe : ?help:string -> string -> (unit -> int) -> unit
+(** A gauge whose value is polled at dump time — for instruments that keep
+    their own counter (for layering reasons), e.g. {!Wb_support.Prng}
+    draws.  Registering an existing probe name replaces the thunk. *)
+
+val histogram : ?help:string -> string -> histogram
+(** Log-bucketed: an observation [v >= 0] lands in the bucket of its bit
+    width, i.e. bucket [w] covers [2^(w-1) <= v < 2^w] (bucket 0 holds
+    exactly 0).  Negative observations are clamped to 0. *)
+
+val observe : histogram -> int -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> int
+
+val dump_json : unit -> Json.t
+(** Snapshot of every registered metric, sorted by name:
+    [{"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+    min, max, buckets: [[upper_exclusive, count], ...]}}}].  Probes are
+    polled and appear among the gauges. *)
+
+val pp_table : Format.formatter -> unit -> unit
+(** Human-readable table of the same snapshot. *)
+
+val reset : unit -> unit
+(** Zero every counter, gauge and histogram; registrations (and probe
+    thunks) survive. *)

@@ -283,7 +283,14 @@ let rec luby i =
 
 type outcome = Sat | Unsat
 
-let solve s =
+(* Process-global observability counters; per-instance stats stay on [t].
+   Deltas are added once per [solve] so the search loops stay untouched. *)
+let m_solves = Wb_obs.Metrics.counter ~help:"Solver.solve calls" "sat.solves"
+let m_conflicts = Wb_obs.Metrics.counter ~help:"CDCL conflicts" "sat.conflicts"
+let m_decisions = Wb_obs.Metrics.counter ~help:"CDCL decisions" "sat.decisions"
+let m_propagations = Wb_obs.Metrics.counter ~help:"unit propagations" "sat.propagations"
+
+let solve_tracked s =
   if not s.ok then Unsat
   else begin
     cancel_until s 0;
@@ -332,6 +339,15 @@ let solve s =
       match !result with Some r -> r | None -> assert false
     end
   end
+
+let solve s =
+  let c0 = s.conflicts and d0 = s.decisions and p0 = s.propagations in
+  let result = solve_tracked s in
+  Wb_obs.Metrics.incr m_solves;
+  Wb_obs.Metrics.add m_conflicts (s.conflicts - c0);
+  Wb_obs.Metrics.add m_decisions (s.decisions - d0);
+  Wb_obs.Metrics.add m_propagations (s.propagations - p0);
+  result
 
 let value s v =
   if v < 1 || v > s.nvars then invalid_arg "Solver.value";

@@ -26,6 +26,8 @@ val add_clause : t -> int list -> unit
 type outcome = Sat | Unsat
 
 val solve : t -> outcome
+(** Each call also adds its conflict/decision/propagation deltas to the
+    process-global [sat.*] metrics in {!Wb_obs.Metrics}. *)
 
 val value : t -> int -> bool
 (** [value s v] for [1 <= v <= nvars], valid after [solve] returned [Sat].

@@ -44,3 +44,8 @@ val pick : t -> 'a array -> 'a
 val sample_without_replacement : t -> int -> int -> int array
 (** [sample_without_replacement g k n] draws a sorted k-subset of
     [\[0, n)].  Requires [0 <= k <= n]. *)
+
+val total_draws : unit -> int
+(** Process-wide count of 64-bit draws across {e all} generators — an
+    observability probe (every derived draw costs at least one [bits64]).
+    Monotone; never reset. *)

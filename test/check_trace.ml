@@ -1,0 +1,136 @@
+(* Standalone validator for the telemetry artifacts the toolchain emits:
+   JSONL event traces, Chrome (Catapult) trace files, metrics snapshots and
+   BENCH_<section>.json sidecars.  Driven by the [check-obs] dune alias on
+   freshly produced files; exits non-zero with a message on the first
+   malformed artifact.
+
+     check_trace.exe FILE...
+
+   The kind of each FILE is inferred from its name: [*.jsonl] is an event
+   trace, [BENCH_*.json] a bench sidecar, a name containing [chrome] a
+   Catapult trace, and anything else a metrics snapshot. *)
+
+module J = Wb_obs.Json
+module E = Wb_obs.Event
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("check_trace: " ^ msg); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let body = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  body
+
+let parse path body =
+  match J.of_string body with
+  | Ok v -> v
+  | Error msg -> fail "%s: invalid JSON: %s" path msg
+
+let require path v k =
+  match J.member k v with None -> fail "%s: missing %S member" path k | Some m -> m
+
+(* --- event traces ----------------------------------------------------- *)
+
+let check_jsonl path =
+  let lines =
+    List.filteri
+      (fun _ l -> String.trim l <> "")
+      (String.split_on_char '\n' (read_file path))
+  in
+  if lines = [] then fail "%s: empty trace" path;
+  let events =
+    List.map
+      (fun line ->
+        match E.of_json (parse path line) with
+        | Ok ev -> ev
+        | Error msg -> fail "%s: bad event %S: %s" path line msg)
+      lines
+  in
+  (match List.rev events with
+  | E.Run_end _ :: _ -> ()
+  | _ -> fail "%s: trace does not end with run_end" path);
+  let activated = Hashtbl.create 64 in
+  let last_start = ref 0 in
+  List.iter
+    (fun ev ->
+      (match ev with
+      | E.Activate { node; _ } -> Hashtbl.replace activated node ()
+      | E.Write { node; _ } when not (Hashtbl.mem activated node) ->
+        fail "%s: node %d writes before activating" path node
+      | E.Round_start { round } when round <= !last_start ->
+        fail "%s: round starts not strictly increasing at %d" path round
+      | E.Round_start { round } -> last_start := round
+      | _ -> ());
+      ())
+    events;
+  Printf.printf "ok %-28s %d events\n" path (List.length events)
+
+(* --- chrome / catapult ------------------------------------------------- *)
+
+let check_chrome path =
+  let v = parse path (read_file path) in
+  match J.to_list (require path v "traceEvents") with
+  | None -> fail "%s: traceEvents is not a list" path
+  | Some [] -> fail "%s: empty traceEvents" path
+  | Some events ->
+    List.iter
+      (fun e ->
+        List.iter
+          (fun k -> ignore (require path e k))
+          [ "name"; "ph"; "ts"; "pid"; "tid" ])
+      events;
+    Printf.printf "ok %-28s %d trace events\n" path (List.length events)
+
+(* --- metrics snapshots -------------------------------------------------- *)
+
+let check_metrics path =
+  let v = parse path (read_file path) in
+  List.iter
+    (fun k ->
+      match require path v k with
+      | J.Obj _ -> ()
+      | _ -> fail "%s: %S is not an object" path k)
+    [ "counters"; "gauges"; "histograms" ];
+  (match J.to_int (require path (require path v "counters") "engine.runs") with
+  | Some n when n > 0 -> ()
+  | _ -> fail "%s: engine.runs counter missing or zero" path);
+  Printf.printf "ok %-28s metrics snapshot\n" path
+
+(* --- bench sidecars ----------------------------------------------------- *)
+
+let check_bench path =
+  let v = parse path (read_file path) in
+  (match J.to_str (require path v "section") with
+  | Some _ -> ()
+  | None -> fail "%s: section is not a string" path);
+  ignore (require path v "wall_s");
+  (match J.to_list (require path v "rows") with
+  | None -> fail "%s: rows is not a list" path
+  | Some rows ->
+    List.iter
+      (fun r ->
+        match J.to_str (require path r "name") with
+        | Some _ -> ()
+        | None -> fail "%s: row without a name" path)
+      rows;
+    ignore (require path v "metrics");
+    Printf.printf "ok %-28s %d rows\n" path (List.length rows))
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if args = [] then fail "usage: check_trace FILE...";
+  List.iter
+    (fun path ->
+      let base = Filename.basename path in
+      if Filename.check_suffix base ".jsonl" then check_jsonl path
+      else if String.length base >= 6 && String.sub base 0 6 = "BENCH_" then check_bench path
+      else
+        let has_chrome =
+          let n = String.length base in
+          let rec scan i =
+            i + 6 <= n && (String.sub base i 6 = "chrome" || scan (i + 1))
+          in
+          scan 0
+        in
+        if has_chrome then check_chrome path else check_metrics path)
+    args

@@ -11,4 +11,5 @@ let () =
          Test_synth.suites;
          Test_congest.suites;
          Test_extensions.suites;
-         Test_robustness.suites ])
+         Test_robustness.suites;
+         Test_obs.suites ])

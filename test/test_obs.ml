@@ -1,0 +1,492 @@
+(* The observability layer: hand-rolled JSON, the event vocabulary and its
+   wire round-trip, trace sinks, the metrics registry, and — most
+   importantly — the contract between the engine's live event stream and
+   the run record (compose counts, ordering invariants, and the
+   timeline/summary agreement on the deadlock round). *)
+
+open Wb_model
+module G = Wb_graph
+module Prng = Wb_support.Prng
+module Obs = Wb_obs
+module J = Obs.Json
+module E = Obs.Event
+
+let qtest = QCheck_alcotest.to_alcotest
+let check = Alcotest.(check bool)
+
+(* --- JSON ------------------------------------------------------------- *)
+
+let roundtrip v = J.of_string_exn (J.to_string v)
+
+let json_tests =
+  [ Alcotest.test_case "nested value round-trips through the printer" `Quick (fun () ->
+        let v =
+          J.Obj
+            [ ("a", J.List [ J.Int 1; J.Int (-42); J.Null; J.Bool true; J.Bool false ]);
+              ("empty", J.List []);
+              ("nested", J.Obj [ ("x", J.Float 1.5); ("y", J.String "hi") ]);
+              ("none", J.Obj []) ]
+        in
+        check "roundtrip" true (roundtrip v = v));
+    Alcotest.test_case "string escapes round-trip" `Quick (fun () ->
+        let v = J.String "quote\" back\\slash \n tab\t ctrl\001 caf\xc3\xa9" in
+        check "roundtrip" true (roundtrip v = v));
+    Alcotest.test_case "unicode escapes decode to UTF-8" `Quick (fun () ->
+        check "latin A" true (J.of_string_exn {|"A"|} = J.String "A");
+        check "2-byte" true (J.of_string_exn {|"é"|} = J.String "\xc3\xa9");
+        check "3-byte" true (J.of_string_exn {|"€"|} = J.String "\xe2\x82\xac"));
+    Alcotest.test_case "integer tokens parse as Int, fraction/exponent as Float" `Quick
+      (fun () ->
+        check "int" true (J.of_string_exn "3" = J.Int 3);
+        check "neg int" true (J.of_string_exn "-17" = J.Int (-17));
+        check "frac" true (J.of_string_exn "3.5" = J.Float 3.5);
+        check "exp" true (J.of_string_exn "2e3" = J.Float 2000.));
+    Alcotest.test_case "malformed inputs are rejected" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            match J.of_string s with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "accepted %S" s)
+          [ "{"; "tru"; "[1,]"; "{\"a\":}"; "1 2"; ""; "\"unterminated"; "{\"a\" 1}" ]);
+    Alcotest.test_case "accessors" `Quick (fun () ->
+        let v = J.of_string_exn {|{"a": {"b": [1, "two"]}}|} in
+        let lst = Option.get (J.to_list (J.get "b" (J.get "a" v))) in
+        check "int elem" true (J.to_int (List.nth lst 0) = Some 1);
+        check "str elem" true (J.to_str (List.nth lst 1) = Some "two");
+        check "missing member" true (J.member "zzz" v = None)) ]
+
+(* --- events ----------------------------------------------------------- *)
+
+let sample_events =
+  [ E.Round_start { round = 1 };
+    E.Activate { node = 0; round = 1 };
+    E.Compose { node = 3; round = 2; bits = 17 };
+    E.Adversary_pick { node = 2; round = 2; candidates = [ 0; 2; 5 ] };
+    E.Write { node = 2; round = 2; bits = 9; board_bits = 31 };
+    E.Deadlock_detected { round = 4 };
+    E.Run_end { round = 4; outcome = "deadlock" } ]
+
+let event_tests =
+  [ Alcotest.test_case "to_json/of_json round-trips every constructor" `Quick (fun () ->
+        List.iter
+          (fun ev ->
+            match E.of_json (J.of_string_exn (J.to_string (E.to_json ev))) with
+            | Ok ev' -> check (Format.asprintf "%a" E.pp ev) true (ev' = ev)
+            | Error msg -> Alcotest.failf "decode failed: %s" msg)
+          sample_events);
+    Alcotest.test_case "of_json rejects unknown tags and missing fields" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            match E.of_json (J.of_string_exn s) with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "accepted %s" s)
+          [ {|{"ev": "warp", "round": 1}|}; {|{"ev": "write", "round": 1}|}; {|[1,2]|} ]) ]
+
+(* --- trace sinks ------------------------------------------------------ *)
+
+let trace_tests =
+  [ Alcotest.test_case "collector preserves emission order" `Quick (fun () ->
+        let tr, events = Obs.Trace.collector () in
+        List.iter (Obs.Trace.emit tr) sample_events;
+        check "order" true (events () = sample_events));
+    Alcotest.test_case "tee fans out to every sink" `Quick (fun () ->
+        let a, ea = Obs.Trace.collector () in
+        let b, eb = Obs.Trace.collector () in
+        let tr = Obs.Trace.tee [ a; b ] in
+        List.iter (Obs.Trace.emit tr) sample_events;
+        check "a" true (ea () = sample_events);
+        check "b" true (eb () = sample_events));
+    Alcotest.test_case "ring keeps the latest [capacity] events" `Quick (fun () ->
+        let ring = Obs.Trace.Ring.create ~capacity:3 in
+        let tr = Obs.Trace.Ring.sink ring in
+        List.iter (Obs.Trace.emit tr) sample_events;
+        Alcotest.(check int) "length" 3 (Obs.Trace.Ring.length ring);
+        Alcotest.(check int) "dropped" 4 (Obs.Trace.Ring.dropped ring);
+        let tail = Obs.Trace.Ring.to_list ring in
+        check "latest, oldest first" true
+          (tail
+          = [ E.Write { node = 2; round = 2; bits = 9; board_bits = 31 };
+              E.Deadlock_detected { round = 4 };
+              E.Run_end { round = 4; outcome = "deadlock" } ]);
+        Obs.Trace.Ring.clear ring;
+        Alcotest.(check int) "cleared" 0 (Obs.Trace.Ring.length ring));
+    Alcotest.test_case "closed sinks drop events; close is idempotent" `Quick (fun () ->
+        let tr, events = Obs.Trace.collector () in
+        Obs.Trace.emit tr (List.hd sample_events);
+        Obs.Trace.close tr;
+        Obs.Trace.close tr;
+        Obs.Trace.emit tr (List.hd sample_events);
+        Alcotest.(check int) "one event" 1 (List.length (events ())));
+    Alcotest.test_case "sample keeps every k-th Run_end-delimited window" `Quick (fun () ->
+        let window i =
+          [ E.Round_start { round = 1 };
+            E.Write { node = i; round = 1; bits = 1; board_bits = 1 };
+            E.Run_end { round = 1; outcome = "success" } ]
+        in
+        let inner, events = Obs.Trace.collector () in
+        let tr = Obs.Trace.sample ~every:3 inner in
+        for i = 0 to 6 do
+          List.iter (Obs.Trace.emit tr) (window i)
+        done;
+        Obs.Trace.close tr;
+        (* windows 0, 3 and 6 survive *)
+        check "sampled windows" true (events () = window 0 @ window 3 @ window 6)) ]
+
+(* --- metrics registry ------------------------------------------------- *)
+
+let metrics_tests =
+  [ Alcotest.test_case "counters are idempotently registered and add up" `Quick (fun () ->
+        let c = Obs.Metrics.counter "test.obs.c" in
+        let c' = Obs.Metrics.counter "test.obs.c" in
+        let before = Obs.Metrics.counter_value c in
+        Obs.Metrics.incr c;
+        Obs.Metrics.add c' 4;
+        Alcotest.(check int) "shared" (before + 5) (Obs.Metrics.counter_value c);
+        check "negative add rejected" true
+          (match Obs.Metrics.add c (-1) with
+          | exception Invalid_argument _ -> true
+          | () -> false));
+    Alcotest.test_case "re-registering a name as a different kind is an error" `Quick
+      (fun () ->
+        let _ = Obs.Metrics.counter "test.obs.kind" in
+        check "kind clash" true
+          (match Obs.Metrics.gauge "test.obs.kind" with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    Alcotest.test_case "histogram buckets observations by bit width" `Quick (fun () ->
+        let h = Obs.Metrics.histogram "test.obs.h" in
+        let base_count = Obs.Metrics.histogram_count h in
+        let base_sum = Obs.Metrics.histogram_sum h in
+        List.iter (Obs.Metrics.observe h) [ 0; 1; 2; 3; 8; 1000 ];
+        Alcotest.(check int) "count" (base_count + 6) (Obs.Metrics.histogram_count h);
+        Alcotest.(check int) "sum" (base_sum + 1014) (Obs.Metrics.histogram_sum h);
+        let dump = Obs.Metrics.dump_json () in
+        let hj = J.get "test.obs.h" (J.get "histograms" dump) in
+        check "count in dump" true (J.to_int (J.get "count" hj) = Some (base_count + 6));
+        match J.to_list (J.get "buckets" hj) with
+        | Some (_ :: _) -> ()
+        | _ -> Alcotest.fail "buckets missing");
+    Alcotest.test_case "dump_json has the documented envelope and polls probes" `Quick
+      (fun () ->
+        let cell = ref 7 in
+        Obs.Metrics.probe "test.obs.probe" (fun () -> !cell);
+        cell := 11;
+        let dump = Obs.Metrics.dump_json () in
+        List.iter
+          (fun k ->
+            match J.member k dump with
+            | Some (J.Obj _) -> ()
+            | _ -> Alcotest.failf "missing %s" k)
+          [ "counters"; "gauges"; "histograms" ];
+        check "probe polled at dump time" true
+          (J.to_int (J.get "test.obs.probe" (J.get "gauges" dump)) = Some 11));
+    Alcotest.test_case "reset zeroes values but keeps registrations" `Quick (fun () ->
+        let c = Obs.Metrics.counter "test.obs.reset" in
+        Obs.Metrics.add c 9;
+        Obs.Metrics.reset ();
+        Alcotest.(check int) "zeroed" 0 (Obs.Metrics.counter_value c);
+        Obs.Metrics.incr c;
+        Alcotest.(check int) "still live" 1 (Obs.Metrics.counter_value c));
+    Alcotest.test_case "engine runs move the engine.* metrics" `Quick (fun () ->
+        let runs = Obs.Metrics.counter "engine.runs" in
+        let writes = Obs.Metrics.counter "engine.writes" in
+        let before_runs = Obs.Metrics.counter_value runs in
+        let before_writes = Obs.Metrics.counter_value writes in
+        let g = G.Gen.random_tree (Prng.create 3) 12 in
+        let run = Engine.run_packed Wb_protocols.Build_forest.protocol g Adversary.min_id in
+        check "ran" true (Engine.succeeded run);
+        Alcotest.(check int) "runs +1" (before_runs + 1) (Obs.Metrics.counter_value runs);
+        Alcotest.(check int) "writes +12" (before_writes + 12) (Obs.Metrics.counter_value writes));
+    Alcotest.test_case "PRNG draws are visible through the probe" `Quick (fun () ->
+        let before = Wb_support.Prng.total_draws () in
+        let rng = Prng.create 1 in
+        let _ = Prng.int rng 100 in
+        check "draws advanced" true (Wb_support.Prng.total_draws () > before);
+        let dump = Obs.Metrics.dump_json () in
+        check "probe registered" true (J.member "prng.draws" (J.get "gauges" dump) <> None)) ]
+
+(* --- engine stream: ordering invariants and exporter round-trips ------ *)
+
+let assert_stream_invariants name ?n evs =
+  (match List.rev evs with
+  | E.Run_end _ :: rest ->
+    check (name ^ ": run_end unique") true
+      (List.for_all (function E.Run_end _ -> false | _ -> true) rest)
+  | _ -> Alcotest.failf "%s: last event is not Run_end" name);
+  let activated = Hashtbl.create 16 in
+  List.iter
+    (function
+      | E.Activate { node; _ } -> Hashtbl.replace activated node ()
+      | E.Write { node; _ } ->
+        check (name ^ ": no write before activate") true (Hashtbl.mem activated node)
+      | _ -> ())
+    evs;
+  let last_start = ref 0 in
+  List.iter
+    (function
+      | E.Round_start { round } ->
+        check (name ^ ": round starts strictly increase") true (round > !last_start);
+        last_start := round
+      | _ -> ())
+    evs;
+  let last_round = ref 0 in
+  List.iter
+    (fun ev ->
+      let r = E.round ev in
+      check (name ^ ": event rounds nondecreasing") true (r >= !last_round);
+      last_round := r)
+    evs;
+  let last_board = ref 0 in
+  List.iter
+    (function
+      | E.Write { board_bits; bits; _ } ->
+        check (name ^ ": board grows by each write") true (board_bits = !last_board + bits);
+        last_board := board_bits
+      | _ -> ())
+    evs;
+  match n with
+  | None -> ()
+  | Some n ->
+    let writes =
+      List.length (List.filter (function E.Write _ -> true | _ -> false) evs)
+    in
+    Alcotest.(check int) (name ^ ": n writes") n writes
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let with_temp_file suffix f =
+  let path = Filename.temp_file "wb_obs_test" suffix in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let traced_bfs_64 () =
+  let g = G.Gen.random_connected (Prng.create 41) 64 0.08 in
+  let collect, events = Obs.Trace.collector () in
+  let run =
+    Engine.run_packed ~trace:collect Wb_protocols.Bfs_sync.protocol g Adversary.min_id
+  in
+  check "succeeded" true (Engine.succeeded run);
+  (run, events ())
+
+let engine_stream_tests =
+  [ Alcotest.test_case "SYNC BFS n=64 stream satisfies the ordering invariants" `Quick
+      (fun () ->
+        let _, evs = traced_bfs_64 () in
+        assert_stream_invariants "live" ~n:64 evs);
+    Alcotest.test_case "SYNC BFS n=64 round-trips through the JSONL exporter" `Quick
+      (fun () ->
+        with_temp_file ".jsonl" (fun path ->
+            let oc = open_out path in
+            let jsonl = Obs.Trace.jsonl_writer oc in
+            let collect, events = Obs.Trace.collector () in
+            let g = G.Gen.random_connected (Prng.create 41) 64 0.08 in
+            let run =
+              Engine.run_packed
+                ~trace:(Obs.Trace.tee [ jsonl; collect ])
+                Wb_protocols.Bfs_sync.protocol g Adversary.min_id
+            in
+            Obs.Trace.close jsonl;
+            close_out oc;
+            check "succeeded" true (Engine.succeeded run);
+            let decoded =
+              List.map
+                (fun line ->
+                  match E.of_json (J.of_string_exn line) with
+                  | Ok ev -> ev
+                  | Error msg -> Alcotest.failf "bad line %S: %s" line msg)
+                (read_lines path)
+            in
+            check "decoded stream equals the live stream" true (decoded = events ());
+            assert_stream_invariants "jsonl" ~n:64 decoded));
+    Alcotest.test_case "Chrome export is valid JSON with one slice per node" `Quick
+      (fun () ->
+        with_temp_file ".json" (fun path ->
+            let oc = open_out path in
+            let chrome = Obs.Chrome.writer oc in
+            let g = G.Gen.random_connected (Prng.create 41) 64 0.08 in
+            let run =
+              Engine.run_packed ~trace:chrome Wb_protocols.Bfs_sync.protocol g
+                Adversary.min_id
+            in
+            Obs.Trace.close chrome;
+            close_out oc;
+            check "succeeded" true (Engine.succeeded run);
+            let ic = open_in path in
+            let len = in_channel_length ic in
+            let body = really_input_string ic len in
+            close_in ic;
+            let v = J.of_string_exn body in
+            let events = Option.get (J.to_list (J.get "traceEvents" v)) in
+            let phase e = J.to_str (J.get "ph" e) in
+            let slices = List.filter (fun e -> phase e = Some "X") events in
+            Alcotest.(check int) "64 node lifetime slices" 64 (List.length slices);
+            List.iter
+              (fun e ->
+                List.iter
+                  (fun k ->
+                    if J.member k e = None then
+                      Alcotest.failf "trace event missing %S in %s" k (J.to_string e))
+                  [ "name"; "ph"; "ts"; "pid"; "tid" ])
+              events));
+    Alcotest.test_case "attaching a trace does not change the run" `Quick (fun () ->
+        let g = G.Gen.random_connected (Prng.create 17) 32 0.1 in
+        let plain = Engine.run_packed Wb_protocols.Bfs_sync.protocol g Adversary.min_id in
+        let tr, _ = Obs.Trace.collector () in
+        let traced =
+          Engine.run_packed ~trace:tr Wb_protocols.Bfs_sync.protocol g Adversary.min_id
+        in
+        check "identical run records" true (plain = traced));
+    Alcotest.test_case "events_of_run matches the live stream's activate/write skeleton"
+      `Quick (fun () ->
+        let run, evs = traced_bfs_64 () in
+        let skeleton =
+          List.filter
+            (function
+              | E.Activate _ | E.Write _ | E.Deadlock_detected _ | E.Run_end _ -> true
+              | E.Round_start _ | E.Compose _ | E.Adversary_pick _ -> false)
+            evs
+        in
+        check "skeleton equality" true (Report.events_of_run run = skeleton));
+    Alcotest.test_case "explore emits one Run_end per visited execution" `Quick (fun () ->
+        let g = G.Gen.random_ktree (Prng.create 5) 5 ~k:2 in
+        let tr, events = Obs.Trace.collector () in
+        let ok, count =
+          Engine.explore_packed ~trace:tr Wb_protocols.Build_forest.protocol g (fun r ->
+              Engine.succeeded r)
+        in
+        check "all succeed" true ok;
+        let ends =
+          List.length (List.filter (function E.Run_end _ -> true | _ -> false) (events ()))
+        in
+        Alcotest.(check int) "run ends" count ends) ]
+
+(* --- satellite 1: timeline and summary agree on the deadlock round ---- *)
+
+(* Triangle 0-1-2 plus tail 1-3-4: the within-layer edge starves node 4's
+   layer-completion certificate, so every schedule deadlocks (Section 6). *)
+let deadlock_graph () = G.Graph.of_edges 5 [ (0, 1); (0, 2); (1, 2); (1, 3); (3, 4) ]
+
+let deadlock_run () =
+  Engine.run_packed Wb_protocols.Bfs_bipartite_async.protocol (deadlock_graph ())
+    Adversary.min_id
+
+let contains haystack needle =
+  let n = String.length needle in
+  let rec scan i =
+    i + n <= String.length haystack && (String.sub haystack i n = needle || scan (i + 1))
+  in
+  scan 0
+
+let timeline_tests =
+  [ Alcotest.test_case "deadlocked timeline shows the detection round of the summary"
+      `Quick (fun () ->
+        let run = deadlock_run () in
+        check "deadlocks" true (run.Engine.outcome = Engine.Deadlock);
+        let rounds = run.Engine.stats.rounds in
+        let evs = Report.events_of_run run in
+        check "deadlock event carries the summary's round count" true
+          (List.exists
+             (function E.Deadlock_detected { round } -> round = rounds | _ -> false)
+             evs);
+        let timeline = Report.timeline run in
+        check "summary line mentions the round count" true
+          (contains timeline (Printf.sprintf "%d rounds" rounds));
+        check "DEADLOCK row rendered" true (contains timeline "DEADLOCK"));
+    Alcotest.test_case "live trace and record-derived timeline agree row by row" `Quick
+      (fun () ->
+        let g = deadlock_graph () in
+        let tr, events = Obs.Trace.collector () in
+        let run =
+          Engine.run_packed ~trace:tr Wb_protocols.Bfs_bipartite_async.protocol g
+            Adversary.min_id
+        in
+        let strip_live =
+          List.filter
+            (function
+              | E.Activate _ | E.Write _ | E.Deadlock_detected _ | E.Run_end _ -> true
+              | _ -> false)
+            (events ())
+        in
+        check "same skeleton" true (Report.events_of_run run = strip_live)) ]
+
+(* --- satellite 2: compose counts, property-tested ---------------------- *)
+
+let compose_matches_trace protocol g adversary =
+  let tr, events = Obs.Trace.collector () in
+  let run = Engine.run_packed ~trace:tr protocol g adversary in
+  let n = Array.length run.Engine.compose_count in
+  let from_trace = Array.make n 0 in
+  List.iter
+    (function
+      | E.Compose { node; _ } -> from_trace.(node) <- from_trace.(node) + 1
+      | _ -> ())
+    (events ());
+  (run, run.Engine.compose_count = from_trace)
+
+let compose_tests =
+  [ qtest
+      (QCheck.Test.make ~name:"frozen models compose exactly once per activated node"
+         ~count:40
+         QCheck.(pair small_int small_int)
+         (fun (seed, size) ->
+           let n = 3 + (abs size mod 28) in
+           let rng = Prng.create (1 + abs seed) in
+           let g, protocol =
+             if seed mod 2 = 0 then
+               (G.Gen.random_tree rng n, Wb_protocols.Build_forest.protocol)
+             else (G.Gen.random_eob rng n 0.3, Wb_protocols.Eob_bfs_async.protocol)
+           in
+           let run, agrees = compose_matches_trace protocol g (Adversary.random rng) in
+           agrees
+           && Array.for_all2
+                (fun c a -> c = if a >= 0 then 1 else 0)
+                run.Engine.compose_count run.Engine.activation_round));
+    qtest
+      (QCheck.Test.make
+         ~name:"sync models: compose count = rounds spent as a write candidate" ~count:40
+         QCheck.(pair small_int small_int)
+         (fun (seed, size) ->
+           let n = 3 + (abs size mod 28) in
+           let rng = Prng.create (1 + abs seed) in
+           let g, protocol =
+             if seed mod 2 = 0 then
+               (G.Gen.random_gnp rng n 0.2, Wb_protocols.Mis_simsync.protocol ~root:0)
+             else (G.Gen.random_connected rng n 0.2, Wb_protocols.Bfs_sync.protocol)
+           in
+           let run, agrees = compose_matches_trace protocol g (Adversary.random rng) in
+           agrees
+           && Array.for_all
+                (fun v ->
+                  let a = run.Engine.activation_round.(v) in
+                  let w = run.Engine.write_round.(v) in
+                  w < 0 || run.Engine.compose_count.(v) = w - a)
+                (Array.init n Fun.id)));
+    Alcotest.test_case "engine.recompositions counter totals the compose events" `Quick
+      (fun () ->
+        let recomp = Obs.Metrics.counter "engine.recompositions" in
+        let before = Obs.Metrics.counter_value recomp in
+        let g = G.Gen.grid 4 4 in
+        let run, agrees =
+          compose_matches_trace Wb_protocols.Bfs_sync.protocol g Adversary.min_id
+        in
+        check "trace agrees with record" true agrees;
+        let total = Array.fold_left ( + ) 0 run.Engine.compose_count in
+        Alcotest.(check int) "counter delta" (before + total)
+          (Obs.Metrics.counter_value recomp)) ]
+
+let suites =
+  [ ("obs.json", json_tests);
+    ("obs.event", event_tests);
+    ("obs.trace", trace_tests);
+    ("obs.metrics", metrics_tests);
+    ("obs.engine-stream", engine_stream_tests);
+    ("obs.timeline", timeline_tests);
+    ("obs.compose-count", compose_tests) ]
