@@ -6,9 +6,16 @@
      run                            run one protocol on a generated graph
      trace                          run with full telemetry (JSONL + Chrome trace + metrics)
      explore                        exhaustively check all schedules
+     serve                          host a networked referee (wb_net server)
+     join                           speak for one node of a remote session
+     remote-run                     server + n clients in one process (loopback or sockets)
      synth                          minimal-alphabet synthesis at tiny n
      counting                       Lemma 3 information floors
-     graph                          generate a graph and print it (graph6) *)
+     graph                          generate a graph and print it (graph6)
+
+   Exit codes: 0 success, 1 usage/setup error, 2 the execution failed
+   (deadlock, size violation, output error, or a failed differential
+   check) — so scripts can branch on the outcome. *)
 
 open Cmdliner
 module P = Wb_model
@@ -108,6 +115,8 @@ let protocols_cmd =
   in
   Cmd.v (Cmd.info "protocols" ~doc:"List registered protocols") Term.(const run $ const ())
 
+(* Prints the run and returns the process exit code: unsuccessful outcomes
+   exit 2 so scripting against the CLI is sound. *)
 let print_run g problem (run : P.Engine.run) =
   Printf.printf "rounds: %d   max message: %d bits   board total: %d bits\n"
     run.P.Engine.stats.rounds run.P.Engine.stats.max_message_bits run.P.Engine.stats.total_bits;
@@ -116,11 +125,17 @@ let print_run g problem (run : P.Engine.run) =
   match run.P.Engine.outcome with
   | P.Engine.Success a ->
     Format.printf "answer: %a@." P.Answer.pp a;
-    Printf.printf "valid: %b\n" (P.Problems.valid_answer problem g a)
-  | P.Engine.Deadlock -> print_endline "outcome: DEADLOCK (corrupted final configuration)"
+    Printf.printf "valid: %b\n" (P.Problems.valid_answer problem g a);
+    0
+  | P.Engine.Deadlock ->
+    print_endline "outcome: DEADLOCK (corrupted final configuration)";
+    2
   | P.Engine.Size_violation { node; bits; bound } ->
-    Printf.printf "outcome: SIZE VIOLATION node %d wrote %d bits (bound %d)\n" (node + 1) bits bound
-  | P.Engine.Output_error e -> Printf.printf "outcome: OUTPUT ERROR %s\n" e
+    Printf.printf "outcome: SIZE VIOLATION node %d wrote %d bits (bound %d)\n" (node + 1) bits bound;
+    2
+  | P.Engine.Output_error e ->
+    Printf.printf "outcome: OUTPUT ERROR %s\n" e;
+    2
 
 let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc:"Print the round-by-round execution timeline")
@@ -174,8 +189,9 @@ let run_cmd =
           print_newline ();
           print_string (P.Report.timeline_of_events ~n:(G.Graph.n g) (events ()))
         end;
-        print_run g (e.problem (G.Graph.n g)) result;
-        write_metrics_json metrics_json)
+        let code = print_run g (e.problem (G.Graph.n g)) result in
+        write_metrics_json metrics_json;
+        if code <> 0 then exit code)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a protocol on a generated graph")
@@ -219,11 +235,12 @@ let trace_cmd =
         print_string (P.Report.summary result);
         print_newline ();
         print_string (P.Report.timeline_of_events ~n:(G.Graph.n g) (events ()));
-        print_run g (e.problem (G.Graph.n g)) result;
+        let code = print_run g (e.problem (G.Graph.n g)) result in
         Printf.printf "\nevents: %d -> %s%s\n" (List.length (events ())) out
           (match chrome with Some f -> "  (chrome: " ^ f ^ ")" | None -> "");
         Format.printf "@.%a" Obs.Metrics.pp_table ();
-        write_metrics_json metrics_json)
+        write_metrics_json metrics_json;
+        if code <> 0 then exit code)
   in
   Cmd.v
     (Cmd.info "trace"
@@ -281,6 +298,176 @@ let explore_cmd =
     Term.(
       const run $ key_arg $ family_arg $ n_arg $ p_arg $ seed_arg $ metrics_json_arg $ sample_arg
       $ sample_out_arg)
+
+(* ---- networked whiteboard (wb_net) ----------------------------------- *)
+
+module Net = Wb_net
+
+let timeout_arg =
+  Arg.(
+    value & opt float 5.0
+    & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-connection read timeout")
+
+let max_rounds_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-rounds" ] ~docv:"R" ~doc:"Round cutoff (default 2n+8)")
+
+let session_arg =
+  Arg.(value & opt string "main" & info [ "session" ] ~docv:"NAME" ~doc:"Session name")
+
+let serve_cmd =
+  let port_arg =
+    Arg.(value & opt int 7117 & info [ "port" ] ~docv:"PORT" ~doc:"TCP port (0 = ephemeral)")
+  in
+  let max_sessions_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-sessions" ] ~docv:"K" ~doc:"Exit after $(docv) completed sessions")
+  in
+  let run key family n p seed adv port timeout max_sessions max_rounds =
+    with_entry key (fun e ->
+        let g = make_graph ~family ~n ~p ~seed in
+        let spec =
+          { Net.Server.key;
+            protocol = e.protocol;
+            graph = g;
+            make_adversary = (fun () -> make_adversary adv g seed);
+            max_rounds;
+            timeout }
+        in
+        match Net.Server.create ~port spec with
+        | exception Unix.Unix_error (err, _, _) ->
+          Printf.eprintf "wbctl: cannot listen on port %d: %s\n" port (Unix.error_message err);
+          exit 1
+        | server ->
+          Printf.printf
+            "refereeing %s on %s (%d nodes, seed %d, adversary %s) — listening on port %d\n%!" key
+            family (G.Graph.n g) seed adv (Net.Server.port server);
+          Net.Server.serve ?max_sessions server)
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Host a networked referee: the board lives here, nodes join remotely")
+    Term.(
+      const run $ key_arg $ family_arg $ n_arg $ p_arg $ seed_arg $ adversary_arg $ port_arg
+      $ timeout_arg $ max_sessions_arg $ max_rounds_arg)
+
+let join_cmd =
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Referee host")
+  in
+  let port_arg = Arg.(value & opt int 7117 & info [ "port" ] ~docv:"PORT" ~doc:"Referee port") in
+  let node_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "node" ] ~docv:"ID" ~doc:"Claim this node (1-based; default: server picks)")
+  in
+  let run key host port session node timeout =
+    with_entry key (fun e ->
+        let node_pref =
+          match node with
+          | None -> None
+          | Some v when v >= 1 -> Some (v - 1)
+          | Some v ->
+            Printf.eprintf "wbctl: --node %d: node ids are 1-based\n" v;
+            exit 1
+        in
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port)) with
+        | exception Unix.Unix_error (err, _, _) ->
+          Printf.eprintf "wbctl: cannot connect to %s:%d: %s\n" host port
+            (Unix.error_message err);
+          exit 1
+        | () -> ());
+        let conn = Net.Conn.of_fd ~timeout ~peer:(Printf.sprintf "%s:%d" host port) fd in
+        let client = Net.Client.create ~protocol:e.protocol ~key ~session ?node_pref () in
+        match Net.Client.run client conn with
+        | Error msg ->
+          Printf.eprintf "wbctl: session failed: %s\n" msg;
+          exit 1
+        | Ok fin ->
+          (match Net.Client.node_id client with
+          | Some v -> Printf.printf "joined %s as node %d\n" session (v + 1)
+          | None -> ());
+          Printf.printf "outcome: %s (%s) after %d rounds\n" fin.Net.Client.outcome
+            fin.Net.Client.detail fin.Net.Client.rounds;
+          (match Net.Client.board client with
+          | Some b ->
+            Printf.printf "final board: %d messages, %d bits\n" (P.Board.length b)
+              (P.Board.total_bits b)
+          | None -> ());
+          if fin.Net.Client.outcome <> "success" then exit 2)
+  in
+  Cmd.v
+    (Cmd.info "join" ~doc:"Join a remote session, speaking for exactly one node")
+    Term.(const run $ key_arg $ host_arg $ port_arg $ session_arg $ node_arg $ timeout_arg)
+
+let remote_run_cmd =
+  let transport_arg =
+    Arg.(
+      value & opt string "loopback"
+      & info [ "transport" ] ~docv:"T" ~doc:"loopback (deterministic, in-process) or socket")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Differential check: the networked run must equal Engine.run under the same seed")
+  in
+  let run key family n p seed adv transport check timeout max_rounds =
+    with_entry key (fun e ->
+        let g = make_graph ~family ~n ~p ~seed in
+        Printf.printf "graph: %s on %d nodes, %d edges (seed %d)   transport: %s\n" family
+          (G.Graph.n g) (G.Graph.num_edges g) seed transport;
+        let result =
+          match transport with
+          | "loopback" ->
+            Ok (Net.Remote.run_loopback ~protocol:e.protocol ?max_rounds g (make_adversary adv g seed))
+          | "socket" ->
+            Net.Remote.run_socket ~timeout ?max_rounds ~key ~protocol:e.protocol ~graph:g
+              ~make_adversary:(fun () -> make_adversary adv g seed)
+              ()
+          | other ->
+            Printf.eprintf "wbctl: unknown transport %s (loopback or socket)\n" other;
+            exit 1
+        in
+        match result with
+        | Error msg ->
+          Printf.eprintf "wbctl: remote run failed: %s\n" msg;
+          exit 1
+        | Ok { Net.Session.run = remote; faults } ->
+          List.iter
+            (fun (v, fault) ->
+              Printf.printf "node %d fault: %s\n" (v + 1) (Net.Session.fault_to_string fault))
+            faults;
+          let code = print_run g (e.problem (G.Graph.n g)) remote in
+          let code =
+            if not check then code
+            else begin
+              let local = P.Engine.run_packed ?max_rounds e.protocol g (make_adversary adv g seed) in
+              match Net.Remote.diff_runs remote local with
+              | [] ->
+                print_endline "differential vs Engine.run: identical";
+                code
+              | issues ->
+                print_endline "differential vs Engine.run: MISMATCH";
+                List.iter (fun i -> print_endline ("  " ^ i)) issues;
+                2
+            end
+          in
+          if code <> 0 then exit code)
+  in
+  Cmd.v
+    (Cmd.info "remote-run"
+       ~doc:
+         "Run a session through the wb_net referee with n in-process clients and print the usual \
+          report")
+    Term.(
+      const run $ key_arg $ family_arg $ n_arg $ p_arg $ seed_arg $ adversary_arg $ transport_arg
+      $ check_arg $ timeout_arg $ max_rounds_arg)
 
 let synth_cmd =
   let problem_arg =
@@ -356,5 +543,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default
           (Cmd.info "wbctl" ~version:"1.0.0" ~doc:"Shared-whiteboard distributed computing laboratory")
-          [ models_cmd; protocols_cmd; run_cmd; trace_cmd; explore_cmd; synth_cmd; counting_cmd;
-            graph_cmd ]))
+          [ models_cmd; protocols_cmd; run_cmd; trace_cmd; explore_cmd; serve_cmd; join_cmd;
+            remote_run_cmd; synth_cmd; counting_cmd; graph_cmd ]))

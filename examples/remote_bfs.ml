@@ -1,0 +1,60 @@
+(* The same BFS-layer picture as bfs_layers.ml, but nobody shares an
+   address space: the board lives in a wb_net referee and each of the 20
+   nodes is a Client answering ACTIVATE/COMPOSE queries over the wire
+   protocol, with its own board replica fed by BOARD-DELTA frames.  The
+   deterministic loopback transport keeps the demo single-threaded while
+   exercising the full codec path; the final table is identical to the
+   in-process engine's, and diff_runs proves it field by field.
+
+     dune exec examples/remote_bfs.exe *)
+
+module P = Wb_model
+module G = Wb_graph
+module Net = Wb_net
+
+let show_layers g (run : P.Engine.run) =
+  match run.P.Engine.outcome with
+  | P.Engine.Success (P.Answer.Forest parent) ->
+    let depth = Array.make (Array.length parent) 0 in
+    let rec d v = if parent.(v) < 0 then 0 else 1 + d parent.(v) in
+    Array.iteri (fun v _ -> depth.(v) <- d v) parent;
+    let max_depth = Array.fold_left max 0 depth in
+    for layer = 0 to max_depth do
+      let members =
+        List.filter (fun v -> depth.(v) = layer) (List.init (Array.length parent) Fun.id)
+      in
+      Printf.printf "  layer %d: %s\n" layer
+        (String.concat " " (List.map (fun v -> string_of_int (v + 1)) members))
+    done;
+    Printf.printf "  valid BFS forest: %b\n" (G.Algo.is_valid_bfs_forest g parent)
+  | P.Engine.Deadlock -> print_endline "  DEADLOCK"
+  | _ -> print_endline "  failed"
+
+let () =
+  let g = G.Gen.grid 4 5 in
+  let adversary () = P.Adversary.last_writer_neighbor_avoider g in
+  print_endline "SYNC BFS on a 4x5 grid, spiteful adversary — over the wire protocol:";
+  let remote =
+    Net.Remote.run_loopback ~protocol:Wb_protocols.Bfs_sync.protocol g (adversary ())
+  in
+  show_layers g remote.Net.Session.run;
+  Printf.printf "  node faults: %d\n" (List.length remote.Net.Session.faults);
+  Printf.printf "  writes followed layer order despite the adversary: %s\n"
+    (String.concat " "
+       (List.map
+          (fun v -> string_of_int (v + 1))
+          (Array.to_list remote.Net.Session.run.P.Engine.writes)));
+  let frames = Wb_obs.Metrics.counter_value (Net.Conn.Metrics.frames_sent) in
+  let bytes = Wb_obs.Metrics.counter_value (Net.Conn.Metrics.bytes_sent) in
+  Printf.printf "  wire traffic: %d frames, %d bytes\n\n" frames bytes;
+
+  print_endline "The same run in-process, and the differential between the two:";
+  let local = P.Engine.run_packed Wb_protocols.Bfs_sync.protocol g (adversary ()) in
+  show_layers g local;
+  (match Net.Remote.diff_runs remote.Net.Session.run local with
+  | [] ->
+    print_endline
+      "  -> identical: board, write order, per-node bits, rounds all agree\n\
+      \     (the referee replicates Engine semantics exactly — Section 2's\n\
+      \     model does not care where the whiteboard physically lives)"
+  | issues -> List.iter (fun i -> Printf.printf "  MISMATCH: %s\n" i) issues)

@@ -51,6 +51,15 @@ let truncate b len =
 
 let generation b = b.gen
 
+let equal a b =
+  a.size = b.size
+  && length a = length b
+  && (let same = ref true in
+      for i = 0 to length a - 1 do
+        if not (Message.equal (get a i) (get b i)) then same := false
+      done;
+      !same)
+
 let total_bits b = fold (fun acc m -> acc + Message.size_bits m) 0 b
 
 let max_message_bits b = fold (fun acc m -> max acc (Message.size_bits m)) 0 b

@@ -33,6 +33,10 @@ val snapshot_length : t -> int
 val truncate : t -> int -> unit
 (** Engine use only (backtracking exhaustive exploration). *)
 
+val equal : t -> t -> bool
+(** Same size and the same messages (author and payload bits) in the same
+    write order — the equality the remote-vs-local differential checks use. *)
+
 val generation : t -> int
 (** Bumped on every [truncate]: lets incremental observers detect that
     previously-read positions may have been rewritten. *)

@@ -16,7 +16,10 @@ type run = {
   write_round : int array;
   message_bits : int array;
   compose_count : int array;
+  board : Board.t;
 }
+
+let default_max_rounds n = (2 * n) + 8
 
 let succeeded r = match r.outcome with Success _ -> true | Deadlock | Size_violation _ | Output_error _ -> false
 
@@ -184,7 +187,8 @@ module Make (P : Protocol.S) = struct
       activation_round = Array.copy st.activation_round;
       write_round = Array.copy st.write_round;
       message_bits;
-      compose_count = Array.copy st.compose_count }
+      compose_count = Array.copy st.compose_count;
+      board = st.board }
 
   let success_outcome st =
     match P.output ~n:st.size st.board with
@@ -211,7 +215,9 @@ module Make (P : Protocol.S) = struct
 
   let run ?max_rounds ?trace g adv =
     let st = initial ?trace g in
-    let max_rounds = match max_rounds with Some r -> r | None -> (2 * st.size) + 8 in
+    let max_rounds =
+      match max_rounds with Some r -> r | None -> default_max_rounds st.size
+    in
     let rec loop () =
       match advance st max_rounds with
       | `Success -> finish st (success_outcome st)
@@ -265,7 +271,7 @@ module Make (P : Protocol.S) = struct
 
   let explore ?(limit = 1_000_000) ?trace g check =
     let st = initial ?trace g in
-    let max_rounds = (2 * st.size) + 8 in
+    let max_rounds = default_max_rounds st.size in
     let executions = ref 0 in
     let complete outcome =
       incr executions;

@@ -41,7 +41,17 @@ type run = {
   compose_count : int array;
       (** compositions per node: 1 for every writing node in frozen models;
           in synchronous models, the rounds it spent as a candidate. *)
+  board : Board.t;
+      (** The final whiteboard — what the networked referee serves and the
+          differential checks compare.  In [run] this is the execution's own
+          board; in [explore] it aliases the {e live} backtracking board, so
+          it is only meaningful inside the check callback. *)
 }
+
+val default_max_rounds : int -> int
+(** [2n + 8] — any legal execution fits; exceeding it counts as deadlock.
+    Shared with the networked referee ({!Wb_net.Session}) so local and
+    remote runs agree on the cutoff. *)
 
 val succeeded : run -> bool
 val answer : run -> Answer.t option

@@ -8,6 +8,8 @@ let payload m = m.payload
 
 let size_bits m = Array.length m.payload
 
+let equal a b = a.author = b.author && a.payload = b.payload
+
 let reader m = Wb_support.Bitbuf.Reader.of_bits m.payload
 
 let of_writer ~author w = { author; payload = Wb_support.Bitbuf.Writer.contents w }

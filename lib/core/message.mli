@@ -11,6 +11,7 @@ val make : author:int -> payload:bool array -> t
 val author : t -> int
 val payload : t -> bool array
 val size_bits : t -> int
+val equal : t -> t -> bool
 val reader : t -> Wb_support.Bitbuf.Reader.t
 (** Fresh reader over the payload. *)
 

@@ -1,0 +1,43 @@
+(** The node side of a networked whiteboard session: drives one registered
+    {!Wb_model.Protocol.S} node against a remote referee.
+
+    The client is a pure frame-in/frames-out state machine ({!handle}), so
+    the deterministic loopback transport runs it inline with no threads and
+    the socket loop ({!run}) is a trivial recv/handle/send pump around the
+    very same code.  It keeps a local replica of the board, applied from
+    BOARD-DELTA frames, and answers ACTIVATE/COMPOSE queries by running the
+    protocol's [wants_to_activate]/[compose] on that replica — the referee
+    never sees protocol state, only payload bits. *)
+
+type t
+
+type finished = { outcome : string; detail : string; rounds : int }
+
+type phase =
+  | Joining  (** HELLO sent (or pending), waiting for HELLO-ACK. *)
+  | Running of int  (** joined as this node id. *)
+  | Finished of finished  (** RUN-END received. *)
+  | Failed of string  (** server ERROR frame or protocol confusion. *)
+
+val create : protocol:Wb_model.Protocol.t -> key:string -> session:string -> ?node_pref:int -> unit -> t
+(** [key] is the registry key announced in HELLO (the server checks it names
+    the same protocol it is refereeing). *)
+
+val hello : t -> Wire.frame
+val handle : t -> Wire.frame -> Wire.frame list
+(** Feed one server frame; returns the replies to send back (never raises on
+    unexpected frames — the client moves to [Failed] and returns an ERROR
+    frame instead). *)
+
+val phase : t -> phase
+val node_id : t -> int option
+val board : t -> Wb_model.Board.t option
+(** The local replica (present once joined). *)
+
+val composes : t -> int
+(** COMPOSE-requests served so far. *)
+
+val run : t -> Conn.t -> (finished, string) result
+(** Blocking driver for real transports: sends {!hello}, then pumps
+    recv/handle/send until RUN-END, an ERROR frame, or a transport fault.
+    Closes the connection before returning. *)

@@ -1,0 +1,67 @@
+(** One framed, bidirectional connection to a peer, with the [net.*]
+    transport metrics.
+
+    The referee session layer and the client loop are written against this
+    record, so the same code runs over real sockets ({!of_fd}) and over the
+    deterministic in-process loopback ({!loopback_served}) used by every
+    test that does not need the network.  All faults are typed values, never
+    exceptions: a connection that times out, closes, or produces undecodable
+    bytes reports it through the [result] and is dead from then on. *)
+
+type fault =
+  | Timeout  (** no complete frame within the read timeout. *)
+  | Closed  (** peer disconnected (or loopback handler hung up). *)
+  | Bad_frame of Wire.error  (** undecodable or oversized bytes. *)
+
+type t
+
+val peer : t -> string
+
+val make :
+  peer:string ->
+  send:(Wire.frame -> (unit, fault) result) ->
+  recv:(unit -> (Wire.frame, fault) result) ->
+  close:(unit -> unit) ->
+  t
+(** Assemble a connection from raw operations (tests use this for fault
+    injection).  Metrics wrapping is applied by {!send}/{!recv}. *)
+
+val send : t -> Wire.frame -> (unit, fault) result
+val recv : t -> (Wire.frame, fault) result
+val close : t -> unit
+(** Idempotent. *)
+
+val is_closed : t -> bool
+
+val of_fd : ?timeout:float -> peer:string -> Unix.file_descr -> t
+(** Socket transport.  [timeout] (default 5s) bounds every {!recv}; the
+    frame length declared in a header is validated against
+    {!Wire.max_frame_bytes} {e before} the body is read, so an oversized
+    frame costs nothing and reports [Bad_frame (Oversized _)].  [close]
+    shuts the descriptor down. *)
+
+exception Hangup
+(** A loopback handler raises this to simulate the peer vanishing
+    mid-conversation; the connection then reports {!Closed}. *)
+
+val loopback_served : peer:string -> handler:(Wire.frame -> Wire.frame list) -> t
+(** Deterministic in-process transport: [send f] encodes [f], decodes it
+    back (so the codec is on the path exactly as over a socket) and hands
+    it to [handler], queueing the handler's replies — also round-tripped —
+    for subsequent {!recv}s.  Single-threaded and scheduling-free: a [recv]
+    with no queued reply reports [Closed] rather than blocking. *)
+
+val fault_to_string : fault -> string
+
+(** The transport metric instruments, exposed for the server layer
+    ([net.connections], [net.sessions.*]) and the tests. *)
+module Metrics : sig
+  val connections : Wb_obs.Metrics.counter
+  val frames_sent : Wb_obs.Metrics.counter
+  val frames_received : Wb_obs.Metrics.counter
+  val bytes_sent : Wb_obs.Metrics.counter
+  val bytes_received : Wb_obs.Metrics.counter
+  val malformed_frames : Wb_obs.Metrics.counter
+  val timeouts : Wb_obs.Metrics.counter
+  val disconnects : Wb_obs.Metrics.counter
+end

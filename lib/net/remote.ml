@@ -1,0 +1,118 @@
+module M = Wb_model
+module G = Wb_graph.Graph
+
+let run_loopback ?trace ?max_rounds ~protocol g adversary =
+  let n = G.n g in
+  let conns =
+    Array.init n (fun v ->
+        let client =
+          Client.create ~protocol ~key:"loopback" ~session:"loopback" ~node_pref:v ()
+        in
+        let conn =
+          Conn.loopback_served ~peer:(Printf.sprintf "node-%d" v) ~handler:(Client.handle client)
+        in
+        (* Handshake inline: the referee expects already-joined connections. *)
+        (match
+           Conn.send conn
+             (Wire.Hello_ack
+                { session = "loopback";
+                  node = v;
+                  n;
+                  neighbors = G.neighbors g v;
+                  bound =
+                    (let module P = (val protocol : M.Protocol.S) in
+                     P.message_bound ~n) })
+         with
+        | Ok () -> ()
+        | Error f -> failwith ("loopback handshake failed: " ^ Conn.fault_to_string f));
+        conn)
+  in
+  Session.run { Session.protocol; graph = g; adversary; max_rounds; trace } conns
+
+let run_socket ?(timeout = 5.0) ?max_rounds ~key ~protocol ~graph ~make_adversary () =
+  let n = G.n graph in
+  let spec =
+    { Server.key; protocol; graph; make_adversary; max_rounds; timeout }
+  in
+  match Server.create ~port:0 spec with
+  | exception Unix.Unix_error (err, _, _) ->
+    Error ("cannot bind referee server: " ^ Unix.error_message err)
+  | server ->
+    let server_thread = Server.serve_in_thread ~max_sessions:1 server in
+    let session = "socket-pair" in
+    let join v =
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      match
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", Server.port server))
+      with
+      | exception Unix.Unix_error (err, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error (Printf.sprintf "node %d cannot connect: %s" v (Unix.error_message err))
+      | () ->
+        let conn = Conn.of_fd ~timeout ~peer:(Printf.sprintf "node-%d" v) fd in
+        let client = Client.create ~protocol ~key ~session ~node_pref:v () in
+        (match Client.run client conn with
+        | Ok _ -> Ok ()
+        | Error msg -> Error (Printf.sprintf "node %d: %s" v msg))
+    in
+    let failures = Array.make n None in
+    let threads =
+      List.init n (fun v ->
+          Thread.create
+            (fun () ->
+              match join v with Ok () -> () | Error msg -> failures.(v) <- Some msg)
+            ())
+    in
+    List.iter Thread.join threads;
+    let result = Server.take_result server session in
+    Server.stop server;
+    Thread.join server_thread;
+    let client_failures =
+      Array.to_list failures |> List.filter_map Fun.id |> String.concat "; "
+    in
+    (match result with
+    | Some r ->
+      (* Client-side failures matter only if the referee also saw a fault;
+         a clean session result is authoritative. *)
+      Ok r
+    | None ->
+      Error
+        (if client_failures = "" then "server stopped without completing the session"
+         else client_failures))
+
+let diff_runs (remote : M.Engine.run) (local : M.Engine.run) =
+  let issues = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> issues := s :: !issues) fmt in
+  let outcome_desc (r : M.Engine.run) =
+    match r.outcome with
+    | M.Engine.Success a -> Format.asprintf "success (%a)" M.Answer.pp a
+    | o -> M.Engine.outcome_tag o
+  in
+  (match (remote.outcome, local.outcome) with
+  | M.Engine.Success a, M.Engine.Success b when M.Answer.equal a b -> ()
+  | M.Engine.Deadlock, M.Engine.Deadlock -> ()
+  | ( M.Engine.Size_violation { node = n1; bits = b1; bound = d1 },
+      M.Engine.Size_violation { node = n2; bits = b2; bound = d2 } )
+    when n1 = n2 && b1 = b2 && d1 = d2 -> ()
+  | M.Engine.Output_error a, M.Engine.Output_error b when a = b -> ()
+  | _ -> add "outcome: remote %s vs local %s" (outcome_desc remote) (outcome_desc local));
+  if not (M.Board.equal remote.board local.board) then
+    add "board contents differ (remote %d messages / %d bits, local %d messages / %d bits)"
+      (M.Board.length remote.board) (M.Board.total_bits remote.board)
+      (M.Board.length local.board) (M.Board.total_bits local.board);
+  let int_array name a b =
+    if a <> b then
+      add "%s: remote [%s] vs local [%s]" name
+        (String.concat " " (List.map string_of_int (Array.to_list a)))
+        (String.concat " " (List.map string_of_int (Array.to_list b)))
+  in
+  int_array "write order" remote.writes local.writes;
+  int_array "message bits" remote.message_bits local.message_bits;
+  int_array "activation rounds" remote.activation_round local.activation_round;
+  int_array "write rounds" remote.write_round local.write_round;
+  int_array "compose counts" remote.compose_count local.compose_count;
+  if remote.stats <> local.stats then
+    add "stats: remote %d rounds/%d max/%d total vs local %d rounds/%d max/%d total"
+      remote.stats.rounds remote.stats.max_message_bits remote.stats.total_bits
+      local.stats.rounds local.stats.max_message_bits local.stats.total_bits;
+  List.rev !issues

@@ -1,0 +1,37 @@
+(** Whole-system drivers: spin up a referee plus n node clients and run a
+    session end to end, over the deterministic loopback or over real
+    sockets, and check the result against the in-process engine.
+
+    The differential contract — the reason this module exists — is that a
+    fault-free networked run is {e indistinguishable} from
+    {!Wb_model.Engine.run}: same board contents, same outcome, same
+    per-node message bits, rounds and compose counts, under the same graph,
+    seed and adversary.  {!diff_runs} spells out any divergence. *)
+
+val run_loopback :
+  ?trace:Wb_obs.Trace.t ->
+  ?max_rounds:int ->
+  protocol:Wb_model.Protocol.t ->
+  Wb_graph.Graph.t ->
+  Wb_model.Adversary.t ->
+  Session.result
+(** Referee and n in-process clients over {!Conn.loopback_served}: fully
+    deterministic, no threads, no sockets — the transport every test uses. *)
+
+val run_socket :
+  ?timeout:float ->
+  ?max_rounds:int ->
+  key:string ->
+  protocol:Wb_model.Protocol.t ->
+  graph:Wb_graph.Graph.t ->
+  make_adversary:(unit -> Wb_model.Adversary.t) ->
+  unit ->
+  (Session.result, string) result
+(** One real TCP session on 127.0.0.1: starts a {!Server} on an ephemeral
+    port, connects one socket client thread per node (each claiming its
+    node id), joins everything and returns the referee's result. *)
+
+val diff_runs : Wb_model.Engine.run -> Wb_model.Engine.run -> string list
+(** [diff_runs remote local] is the list of human-readable mismatches
+    (empty = identical): outcome, board contents, write order, per-node
+    message bits, activation/write rounds, compose counts, round count. *)

@@ -1,0 +1,207 @@
+module M = Wb_model
+module G = Wb_graph.Graph
+module Obs = Wb_obs
+
+type spec = {
+  key : string;
+  protocol : M.Protocol.t;
+  graph : Wb_graph.Graph.t;
+  make_adversary : unit -> M.Adversary.t;
+  max_rounds : int option;
+  timeout : float;
+}
+
+type t = {
+  spec : spec;
+  fd : Unix.file_descr;
+  port_no : int;
+  lock : Mutex.t;
+  cond : Condition.t;
+  pending : (string, Conn.t option array) Hashtbl.t;
+  mutable results : (string * Session.result) list;
+  mutable completed : int;
+  mutable stopped : bool;
+}
+
+let create ?(addr = "127.0.0.1") ~port spec =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
+  Unix.listen fd (max 16 (G.n spec.graph));
+  let port_no =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | Unix.ADDR_UNIX _ -> port
+  in
+  { spec;
+    fd;
+    port_no;
+    lock = Mutex.create ();
+    cond = Condition.create ();
+    pending = Hashtbl.create 8;
+    results = [];
+    completed = 0;
+    stopped = false }
+
+let port t = t.port_no
+
+(* [stop] must not touch the descriptor at all: a stop can be issued from a
+   session thread that lingers past [serve]'s own close, by which point the
+   fd number may have been reused by an unrelated socket — a delayed
+   shutdown would then kill a stranger's listener.  Setting the flag is
+   enough; [serve]'s poll loop notices it within one tick and closes the
+   descriptor itself, the only place that ever does. *)
+let stop t =
+  Mutex.lock t.lock;
+  t.stopped <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.lock
+
+let take_result t name =
+  Mutex.lock t.lock;
+  let rec wait () =
+    match List.assoc_opt name t.results with
+    | Some r ->
+      t.results <- List.remove_assoc name t.results;
+      Some r
+    | None ->
+      if t.stopped then None
+      else begin
+        Condition.wait t.cond t.lock;
+        wait ()
+      end
+  in
+  let r = wait () in
+  Mutex.unlock t.lock;
+  r
+
+let reject conn code detail =
+  ignore (Conn.send conn (Wire.Error { code; detail }));
+  Conn.close conn
+
+(* Claim a slot for [session]; the caller holds no lock.  Returns the node
+   id plus, when this join completed the roster, the full connection
+   array — the claimer then referees the session on its own thread. *)
+let claim t ~session ~node_pref conn =
+  let n = G.n t.spec.graph in
+  Mutex.lock t.lock;
+  let result =
+    match List.assoc_opt session t.results with
+    | Some _ -> Result.Error (Wire.Session_busy, "session already completed")
+    | None -> (
+      let slots =
+        match Hashtbl.find_opt t.pending session with
+        | Some s -> s
+        | None ->
+          let s = Array.make n None in
+          Hashtbl.add t.pending session s;
+          s
+      in
+      let free = ref [] in
+      for v = n - 1 downto 0 do
+        if slots.(v) = None then free := v :: !free
+      done;
+      match (node_pref, !free) with
+      | _, [] -> Result.Error (Wire.Session_busy, "session already full")
+      | Some v, _ when v < 0 || v >= n ->
+        Result.Error (Wire.Node_taken, Printf.sprintf "node %d out of range [0,%d)" v n)
+      | Some v, _ when slots.(v) <> None ->
+        Result.Error (Wire.Node_taken, Printf.sprintf "node %d already claimed" v)
+      | pref, first_free :: _ ->
+        let v = match pref with Some v -> v | None -> first_free in
+        slots.(v) <- Some conn;
+        if Array.for_all Option.is_some slots then begin
+          Hashtbl.remove t.pending session;
+          Ok (v, Some (Array.map Option.get slots))
+        end
+        else Ok (v, None))
+  in
+  Mutex.unlock t.lock;
+  result
+
+let record_result t ~max_sessions session result =
+  Mutex.lock t.lock;
+  t.results <- (session, result) :: t.results;
+  t.completed <- t.completed + 1;
+  let enough = match max_sessions with Some k -> t.completed >= k | None -> false in
+  Condition.broadcast t.cond;
+  Mutex.unlock t.lock;
+  if enough then stop t
+
+let handshake t ~max_sessions conn =
+  match Conn.recv conn with
+  | Error (Conn.Bad_frame e) -> reject conn Wire.Malformed (Wire.error_to_string e)
+  | Error Conn.Timeout -> reject conn Wire.Timed_out "no HELLO before the read timeout"
+  | Error Conn.Closed -> Conn.close conn
+  | Ok (Wire.Hello { session; protocol; node_pref }) ->
+    if protocol <> t.spec.key then
+      reject conn Wire.Protocol_mismatch
+        (Printf.sprintf "this server referees %S, not %S" t.spec.key protocol)
+    else begin
+      match claim t ~session ~node_pref conn with
+      | Result.Error (code, detail) -> reject conn code detail
+      | Ok (node, completion) -> (
+        let ack =
+          Wire.Hello_ack
+            { session;
+              node;
+              n = G.n t.spec.graph;
+              neighbors = G.neighbors t.spec.graph node;
+              bound =
+                (let module P = (val t.spec.protocol : M.Protocol.S) in
+                 P.message_bound ~n:(G.n t.spec.graph)) }
+        in
+        ignore (Conn.send conn ack);
+        match completion with
+        | None -> ()
+        | Some conns ->
+          let result =
+            Session.run
+              { Session.protocol = t.spec.protocol;
+                graph = t.spec.graph;
+                adversary = t.spec.make_adversary ();
+                max_rounds = t.spec.max_rounds;
+                trace = None }
+              conns
+          in
+          record_result t ~max_sessions session result)
+    end
+  | Ok f -> reject conn Wire.Bad_hello ("expected HELLO, got " ^ Wire.opcode_name f)
+
+let serve ?max_sessions t =
+  let stopped () =
+    Mutex.lock t.lock;
+    let s = t.stopped in
+    Mutex.unlock t.lock;
+    s
+  in
+  let rec loop () =
+    if not (stopped ()) then begin
+      match Unix.select [ t.fd ] [] [] 0.05 with
+      | [], _, _ -> loop ()
+      | _ :: _, _, _ -> (
+        match Unix.accept t.fd with
+        | client_fd, addr ->
+          Obs.Metrics.incr Conn.Metrics.connections;
+          let peer =
+            match addr with
+            | Unix.ADDR_INET (host, p) ->
+              Printf.sprintf "%s:%d" (Unix.string_of_inet_addr host) p
+            | Unix.ADDR_UNIX path -> path
+          in
+          let conn = Conn.of_fd ~timeout:t.spec.timeout ~peer client_fd in
+          ignore (Thread.create (fun () -> handshake t ~max_sessions conn) ());
+          loop ()
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> loop ()
+        | exception Unix.Unix_error (_, _, _) -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error (_, _, _) -> ()
+    end
+  in
+  loop ();
+  (try Unix.close t.fd with Unix.Unix_error _ -> ());
+  (* Wake any take_result waiting on a session that will never finish. *)
+  Mutex.lock t.lock;
+  t.stopped <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.lock
+
+let serve_in_thread ?max_sessions t = Thread.create (fun () -> serve ?max_sessions t) ()

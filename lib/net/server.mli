@@ -1,0 +1,48 @@
+(** The referee server: a concurrent accept loop hosting named sessions
+    over TCP.
+
+    Each connection's first frame must be a HELLO naming a session; the
+    server creates the session on first join (from the single {!spec} it
+    serves), assigns the node id (the client's preference when free, the
+    smallest free id otherwise), and answers HELLO-ACK with the node's
+    local view.  When the [n]-th node joins, that handshake thread runs the
+    {!Session} referee to completion, so independent sessions progress
+    concurrently while each session stays strictly sequential (the engine's
+    semantics are a sequential object).  Handshake failures — malformed
+    bytes, wrong protocol key, full or running session, taken node id —
+    are answered with a typed ERROR frame and a close, and never disturb
+    other sessions. *)
+
+type spec = {
+  key : string;  (** registry key clients must announce. *)
+  protocol : Wb_model.Protocol.t;
+  graph : Wb_graph.Graph.t;
+  make_adversary : unit -> Wb_model.Adversary.t;
+      (** fresh scheduler per session (stateful adversaries). *)
+  max_rounds : int option;
+  timeout : float;  (** per-connection read timeout, seconds. *)
+}
+
+type t
+
+val create : ?addr:string -> port:int -> spec -> t
+(** Bind and listen ([addr] defaults to ["127.0.0.1"]; [port = 0] picks an
+    ephemeral port — read it back with {!port}). *)
+
+val port : t -> int
+
+val serve : ?max_sessions:int -> t -> unit
+(** Run the accept loop on the calling thread until {!stop} (or, with
+    [max_sessions], until that many sessions have completed).  Session
+    outcomes are reported through {!take_result} and the [net.*] metrics. *)
+
+val serve_in_thread : ?max_sessions:int -> t -> Thread.t
+
+val stop : t -> unit
+(** Ask the accept loop to exit; [serve] notices within one poll tick,
+    closes the listening socket itself and returns.  Safe from any thread
+    at any time (it only sets a flag). *)
+
+val take_result : t -> string -> Session.result option
+(** [take_result t session] blocks until [session] completes and removes
+    its result; [None] once the server has stopped without completing it. *)

@@ -1,0 +1,47 @@
+(** The referee: server-side execution of one whiteboard session over an
+    array of node connections.
+
+    [run] replicates {!Wb_model.Engine}'s operational semantics exactly —
+    same round structure, same activation/composition order, same deadlock
+    and size-violation rules, same [max_rounds] default, same
+    {!Wb_obs.Event} stream — but every [wants_to_activate]/[compose] call
+    becomes an RPC to the connection owning that node, preceded by a
+    BOARD-DELTA bringing its replica up to date.  On a fault-free run the
+    result's {!Wb_model.Engine.run} is {e identical} to [Engine.run] under
+    the same graph, adversary and protocol (the differential tests pin
+    this); model semantics are enforced here, server-side — a client that
+    lies about its model cannot get a second write or an oversized message
+    past the referee.
+
+    {b Failure semantics.}  A connection that times out, disconnects, or
+    sends malformed/unexpected frames marks its node {e dead}: the node
+    never activates again and is excluded from the candidate set, so a
+    vanished node starves the run into the paper's corrupted final
+    configuration — reported as [Deadlock], with the fault recorded.  The
+    session itself never raises on transport behaviour. *)
+
+type fault =
+  | Transport of Conn.fault  (** timeout, disconnect, or undecodable bytes. *)
+  | Confused of string  (** well-formed frame that violates the RPC state. *)
+
+type config = {
+  protocol : Wb_model.Protocol.t;
+  graph : Wb_graph.Graph.t;
+  adversary : Wb_model.Adversary.t;
+  max_rounds : int option;  (** default {!Wb_model.Engine.default_max_rounds}. *)
+  trace : Wb_obs.Trace.t option;
+}
+
+type result = {
+  run : Wb_model.Engine.run;
+  faults : (int * fault) list;  (** in occurrence order. *)
+}
+
+val run : config -> Conn.t array -> result
+(** [run config conns] referees one session; [conns.(v)] must already be
+    joined (HELLO handled by the caller) and speaks for node [v].  Every
+    connection receives a final BOARD-DELTA and RUN-END, then is closed.
+    @raise Invalid_argument if the connection count differs from the graph
+    size. *)
+
+val fault_to_string : fault -> string

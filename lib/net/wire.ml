@@ -1,0 +1,363 @@
+module Bitbuf = Wb_support.Bitbuf
+
+let version = 1
+let max_frame_bytes = 1 lsl 20
+let header_bytes = 9
+
+type error_code =
+  | Bad_hello
+  | Unknown_protocol
+  | Protocol_mismatch
+  | Session_busy
+  | Node_taken
+  | Unexpected_frame
+  | Malformed
+  | Timed_out
+  | Server_error
+
+type frame =
+  | Hello of { session : string; protocol : string; node_pref : int option }
+  | Hello_ack of { session : string; node : int; n : int; neighbors : int array; bound : int }
+  | Activate_query of { round : int }
+  | Activate_reply of { round : int; activate : bool }
+  | Compose_request of { round : int }
+  | Compose_reply of { round : int; payload : bool array }
+  | Write_grant of { round : int; position : int }
+  | Board_delta of { from_pos : int; generation : int; messages : (int * bool array) list }
+  | Run_end of { outcome : string; detail : string; rounds : int }
+  | Error of { code : error_code; detail : string }
+
+type error =
+  | Short_frame of int
+  | Bad_version of int
+  | Oversized of int
+  | Length_mismatch of { declared : int; actual : int }
+  | Crc_mismatch
+  | Unknown_opcode of int
+  | Malformed_body of string
+
+(* ---- CRC-32 (IEEE 802.3 polynomial, reflected) ------------------------ *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter (fun ch -> c := (!c lsr 8) lxor table.((!c lxor Char.code ch) land 0xff)) s;
+  !c lxor 0xFFFFFFFF
+
+(* ---- bit-level field codecs ------------------------------------------- *)
+
+exception Bad of string
+
+let fail msg = raise (Bad msg)
+
+let put_nat w v = if v < 0 then fail "negative natural" else Bitbuf.Writer.nat w v
+
+let put_string w s =
+  put_nat w (String.length s);
+  String.iter (fun c -> Bitbuf.Writer.fixed w ~width:8 (Char.code c)) s
+
+let put_bools w bits =
+  put_nat w (Array.length bits);
+  Array.iter (Bitbuf.Writer.bit w) bits
+
+let get_nat r = Bitbuf.Reader.nat r
+
+let get_string r =
+  let len = get_nat r in
+  if len * 8 > Bitbuf.Reader.remaining r then fail "string length overruns frame";
+  String.init len (fun _ -> Char.chr (Bitbuf.Reader.fixed r ~width:8))
+
+let get_bools r =
+  let len = get_nat r in
+  if len > Bitbuf.Reader.remaining r then fail "bit-string length overruns frame";
+  Array.init len (fun _ -> Bitbuf.Reader.bit r)
+
+(* ---- opcodes ---------------------------------------------------------- *)
+
+let opcode = function
+  | Hello _ -> 1
+  | Hello_ack _ -> 2
+  | Activate_query _ -> 3
+  | Activate_reply _ -> 4
+  | Compose_request _ -> 5
+  | Compose_reply _ -> 6
+  | Write_grant _ -> 7
+  | Board_delta _ -> 8
+  | Run_end _ -> 9
+  | Error _ -> 10
+
+let opcode_name = function
+  | Hello _ -> "HELLO"
+  | Hello_ack _ -> "HELLO-ACK"
+  | Activate_query _ -> "ACTIVATE?"
+  | Activate_reply _ -> "ACTIVATE"
+  | Compose_request _ -> "COMPOSE?"
+  | Compose_reply _ -> "COMPOSE"
+  | Write_grant _ -> "WRITE-GRANT"
+  | Board_delta _ -> "BOARD-DELTA"
+  | Run_end _ -> "RUN-END"
+  | Error _ -> "ERROR"
+
+let error_code_to_int = function
+  | Bad_hello -> 0
+  | Unknown_protocol -> 1
+  | Protocol_mismatch -> 2
+  | Session_busy -> 3
+  | Node_taken -> 4
+  | Unexpected_frame -> 5
+  | Malformed -> 6
+  | Timed_out -> 7
+  | Server_error -> 8
+
+let error_code_of_int = function
+  | 0 -> Bad_hello
+  | 1 -> Unknown_protocol
+  | 2 -> Protocol_mismatch
+  | 3 -> Session_busy
+  | 4 -> Node_taken
+  | 5 -> Unexpected_frame
+  | 6 -> Malformed
+  | 7 -> Timed_out
+  | 8 -> Server_error
+  | n -> fail (Printf.sprintf "unknown error code %d" n)
+
+let error_code_name = function
+  | Bad_hello -> "bad-hello"
+  | Unknown_protocol -> "unknown-protocol"
+  | Protocol_mismatch -> "protocol-mismatch"
+  | Session_busy -> "session-busy"
+  | Node_taken -> "node-taken"
+  | Unexpected_frame -> "unexpected-frame"
+  | Malformed -> "malformed"
+  | Timed_out -> "timed-out"
+  | Server_error -> "server-error"
+
+(* ---- frame payloads --------------------------------------------------- *)
+
+let put_payload w = function
+  | Hello { session; protocol; node_pref } ->
+    put_string w session;
+    put_string w protocol;
+    (match node_pref with
+    | None -> Bitbuf.Writer.bit w false
+    | Some v ->
+      Bitbuf.Writer.bit w true;
+      put_nat w v)
+  | Hello_ack { session; node; n; neighbors; bound } ->
+    put_string w session;
+    put_nat w node;
+    put_nat w n;
+    put_nat w (Array.length neighbors);
+    Array.iter (put_nat w) neighbors;
+    put_nat w bound
+  | Activate_query { round } -> put_nat w round
+  | Activate_reply { round; activate } ->
+    put_nat w round;
+    Bitbuf.Writer.bit w activate
+  | Compose_request { round } -> put_nat w round
+  | Compose_reply { round; payload } ->
+    put_nat w round;
+    put_bools w payload
+  | Write_grant { round; position } ->
+    put_nat w round;
+    put_nat w position
+  | Board_delta { from_pos; generation; messages } ->
+    put_nat w from_pos;
+    put_nat w generation;
+    put_nat w (List.length messages);
+    List.iter
+      (fun (author, payload) ->
+        put_nat w author;
+        put_bools w payload)
+      messages
+  | Run_end { outcome; detail; rounds } ->
+    put_string w outcome;
+    put_string w detail;
+    put_nat w rounds
+  | Error { code; detail } ->
+    put_nat w (error_code_to_int code);
+    put_string w detail
+
+let get_payload op r =
+  match op with
+  | 1 ->
+    let session = get_string r in
+    let protocol = get_string r in
+    let node_pref = if Bitbuf.Reader.bit r then Some (get_nat r) else None in
+    Hello { session; protocol; node_pref }
+  | 2 ->
+    let session = get_string r in
+    let node = get_nat r in
+    let n = get_nat r in
+    let deg = get_nat r in
+    if deg > Bitbuf.Reader.remaining r then fail "neighbor count overruns frame";
+    let neighbors = Array.init deg (fun _ -> get_nat r) in
+    let bound = get_nat r in
+    Hello_ack { session; node; n; neighbors; bound }
+  | 3 -> Activate_query { round = get_nat r }
+  | 4 ->
+    let round = get_nat r in
+    Activate_reply { round; activate = Bitbuf.Reader.bit r }
+  | 5 -> Compose_request { round = get_nat r }
+  | 6 ->
+    let round = get_nat r in
+    Compose_reply { round; payload = get_bools r }
+  | 7 ->
+    let round = get_nat r in
+    Write_grant { round; position = get_nat r }
+  | 8 ->
+    let from_pos = get_nat r in
+    let generation = get_nat r in
+    let count = get_nat r in
+    if count > Bitbuf.Reader.remaining r then fail "message count overruns frame";
+    let messages =
+      List.init count (fun _ ->
+          let author = get_nat r in
+          (author, get_bools r))
+    in
+    Board_delta { from_pos; generation; messages }
+  | 9 ->
+    let outcome = get_string r in
+    let detail = get_string r in
+    Run_end { outcome; detail; rounds = get_nat r }
+  | 10 ->
+    let code = error_code_of_int (get_nat r) in
+    Error { code; detail = get_string r }
+  | _ -> assert false
+
+(* ---- framing ---------------------------------------------------------- *)
+
+let pack_bits bits =
+  let nbits = Array.length bits in
+  let bytes = Bytes.make ((nbits + 7) / 8) '\000' in
+  Array.iteri
+    (fun i b ->
+      if b then
+        Bytes.set bytes (i / 8)
+          (Char.chr (Char.code (Bytes.get bytes (i / 8)) lor (1 lsl (i mod 8)))))
+    bits;
+  Bytes.unsafe_to_string bytes
+
+let unpack_bits nbits s =
+  Array.init nbits (fun i -> Char.code s.[i / 8] land (1 lsl (i mod 8)) <> 0)
+
+let be32 v = String.init 4 (fun i -> Char.chr ((v lsr (8 * (3 - i))) land 0xff))
+
+let read_be32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let encode frame =
+  let w = Bitbuf.Writer.create () in
+  put_payload w frame;
+  let bits = Bitbuf.Writer.contents w in
+  let nbits = Array.length bits in
+  let body =
+    Printf.sprintf "%c%s%s" (Char.chr (opcode frame)) (be32 nbits) (pack_bits bits)
+  in
+  if String.length body > max_frame_bytes then
+    invalid_arg (Printf.sprintf "Wire.encode: %s frame exceeds %d bytes" (opcode_name frame)
+                   max_frame_bytes);
+  String.concat "" [ String.make 1 (Char.chr version); be32 (String.length body); be32 (crc32 body); body ]
+
+let decode_header s =
+  if String.length s < header_bytes then Result.Error (Short_frame (String.length s))
+  else begin
+    let v = Char.code s.[0] in
+    if v <> version then Result.Error (Bad_version v)
+    else begin
+      let body_len = read_be32 s 1 in
+      if body_len > max_frame_bytes then Result.Error (Oversized body_len)
+      else Ok (body_len, read_be32 s 5)
+    end
+  end
+
+let decode_body ~crc body =
+  if crc32 body <> crc then Result.Error Crc_mismatch
+  else if String.length body < 5 then Result.Error (Malformed_body "body shorter than opcode header")
+  else begin
+    let op = Char.code body.[0] in
+    if op < 1 || op > 10 then Result.Error (Unknown_opcode op)
+    else begin
+      let nbits = read_be32 body 1 in
+      let packed = String.length body - 5 in
+      if packed <> (nbits + 7) / 8 then
+        Result.Error
+          (Malformed_body (Printf.sprintf "declared %d bits but %d packed bytes" nbits packed))
+      else begin
+        let bits = unpack_bits nbits (String.sub body 5 packed) in
+        (* canonical padding: bits beyond [nbits] in the last byte are zero *)
+        let padding_clear =
+          nbits mod 8 = 0 || Char.code body.[String.length body - 1] lsr (nbits mod 8) = 0
+        in
+        if not padding_clear then Result.Error (Malformed_body "nonzero padding bits")
+        else begin
+          let r = Bitbuf.Reader.of_bits bits in
+          match get_payload op r with
+          | frame ->
+            if Bitbuf.Reader.remaining r <> 0 then
+              Result.Error
+                (Malformed_body (Printf.sprintf "%d trailing bits" (Bitbuf.Reader.remaining r)))
+            else Ok frame
+          | exception Bad msg -> Result.Error (Malformed_body msg)
+          | exception Bitbuf.Reader.Underflow -> Result.Error (Malformed_body "payload underflow")
+          | exception Invalid_argument msg -> Result.Error (Malformed_body msg)
+        end
+      end
+    end
+  end
+
+let decode s =
+  match decode_header s with
+  | Result.Error e -> Result.Error e
+  | Ok (body_len, crc) ->
+    let actual = String.length s - header_bytes in
+    if actual <> body_len then Result.Error (Length_mismatch { declared = body_len; actual })
+    else decode_body ~crc (String.sub s header_bytes body_len)
+
+(* ---- printing --------------------------------------------------------- *)
+
+let error_to_string = function
+  | Short_frame n -> Printf.sprintf "short frame (%d bytes)" n
+  | Bad_version v -> Printf.sprintf "unsupported wire version %d" v
+  | Oversized n -> Printf.sprintf "oversized frame (%d-byte body)" n
+  | Length_mismatch { declared; actual } ->
+    Printf.sprintf "length mismatch (declared %d, actual %d)" declared actual
+  | Crc_mismatch -> "CRC mismatch"
+  | Unknown_opcode op -> Printf.sprintf "unknown opcode %d" op
+  | Malformed_body msg -> "malformed body: " ^ msg
+
+let pp ppf frame =
+  match frame with
+  | Hello { session; protocol; node_pref } ->
+    Format.fprintf ppf "HELLO session=%s protocol=%s%s" session protocol
+      (match node_pref with None -> "" | Some v -> Printf.sprintf " node=%d" v)
+  | Hello_ack { session; node; n; neighbors; bound } ->
+    Format.fprintf ppf "HELLO-ACK session=%s node=%d n=%d degree=%d bound=%d" session node n
+      (Array.length neighbors) bound
+  | Activate_query { round } -> Format.fprintf ppf "ACTIVATE? round=%d" round
+  | Activate_reply { round; activate } ->
+    Format.fprintf ppf "ACTIVATE round=%d %b" round activate
+  | Compose_request { round } -> Format.fprintf ppf "COMPOSE? round=%d" round
+  | Compose_reply { round; payload } ->
+    Format.fprintf ppf "COMPOSE round=%d %d bits" round (Array.length payload)
+  | Write_grant { round; position } ->
+    Format.fprintf ppf "WRITE-GRANT round=%d position=%d" round position
+  | Board_delta { from_pos; generation; messages } ->
+    Format.fprintf ppf "BOARD-DELTA from=%d gen=%d +%d messages" from_pos generation
+      (List.length messages)
+  | Run_end { outcome; detail = _; rounds } ->
+    Format.fprintf ppf "RUN-END outcome=%s rounds=%d" outcome rounds
+  | Error { code; detail } ->
+    Format.fprintf ppf "ERROR %s %s" (error_code_name code) detail

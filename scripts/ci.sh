@@ -1,0 +1,11 @@
+#!/bin/sh
+# Full CI pipeline: build everything, run the unit/property suites, then
+# the two end-to-end aliases (telemetry artifacts, networked sessions).
+# The aliases are --force'd so the e2e paths re-run even on a warm _build.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+dune build @check-obs @check-net --force

@@ -12,4 +12,5 @@ let () =
          Test_congest.suites;
          Test_extensions.suites;
          Test_robustness.suites;
-         Test_obs.suites ])
+         Test_obs.suites;
+         Test_net.suites ])

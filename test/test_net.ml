@@ -1,0 +1,625 @@
+(* The networked whiteboard service: the wire codec (unit round-trips plus
+   qcheck properties — random frames survive, corrupted bytes always yield a
+   typed error), board truncation generations as seen by incremental
+   readers, the loopback differential against Engine.run for every model,
+   the failure semantics (malformed frames, mid-run hangups, read timeouts
+   all starve the run into a deadlocked configuration with the fault
+   recorded), and real TCP sessions against the referee server. *)
+
+open Wb_model
+module G = Wb_graph
+module Prng = Wb_support.Prng
+module Obs = Wb_obs
+module Net = Wb_net
+module Wire = Wb_net.Wire
+module R = Wb_protocols.Registry
+
+let qtest = QCheck_alcotest.to_alcotest
+let check = Alcotest.(check bool)
+
+let bound_of protocol ~n =
+  let module P = (val protocol : Protocol.S) in
+  P.message_bound ~n
+
+(* --- wire codec: unit round-trips and crafted corruptions -------------- *)
+
+let sample_frames =
+  [ Wire.Hello { session = "main"; protocol = "bfs"; node_pref = None };
+    Wire.Hello { session = ""; protocol = "x"; node_pref = Some 0 };
+    Wire.Hello { session = "s\000binary\255"; protocol = "two-cliques"; node_pref = Some 41 };
+    Wire.Hello_ack { session = "main"; node = 3; n = 16; neighbors = [| 0; 7; 15 |]; bound = 37 };
+    Wire.Hello_ack { session = "m"; node = 0; n = 1; neighbors = [||]; bound = 0 };
+    Wire.Activate_query { round = 1 };
+    Wire.Activate_reply { round = 12; activate = true };
+    Wire.Activate_reply { round = 1; activate = false };
+    Wire.Compose_request { round = 40 };
+    Wire.Compose_reply { round = 2; payload = [||] };
+    Wire.Compose_reply { round = 7; payload = [| true; false; true; true |] };
+    Wire.Write_grant { round = 3; position = 0 };
+    Wire.Board_delta { from_pos = 0; generation = 0; messages = [] };
+    Wire.Board_delta
+      { from_pos = 2;
+        generation = 5;
+        messages = [ (0, [| true |]); (9, [||]); (3, Array.make 19 false) ] };
+    Wire.Run_end { outcome = "success"; detail = "forest[0;1]"; rounds = 9 };
+    Wire.Run_end { outcome = "deadlock"; detail = ""; rounds = 40 };
+    Wire.Error { code = Wire.Node_taken; detail = "node 3 already claimed" };
+    Wire.Error { code = Wire.Server_error; detail = "" } ]
+
+let be32 v = String.init 4 (fun i -> Char.chr ((v lsr (8 * (3 - i))) land 0xff))
+
+let read_be32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+(* Reassemble a frame around a hand-tampered body. *)
+let reframe body = Printf.sprintf "\001%s%s%s" (be32 (String.length body)) (be32 (Wire.crc32 body)) body
+
+let expect_error name s pred =
+  match Wire.decode s with
+  | Ok f -> Alcotest.failf "%s: decoded %s" name (Wire.opcode_name f)
+  | Error e -> check name true (pred e)
+
+let wire_tests =
+  [ Alcotest.test_case "every frame shape round-trips" `Quick (fun () ->
+        List.iter
+          (fun f ->
+            match Wire.decode (Wire.encode f) with
+            | Ok f' ->
+              check (Format.asprintf "%a" Wire.pp f) true (f' = f)
+            | Error e -> Alcotest.failf "decode failed: %s" (Wire.error_to_string e))
+          sample_frames);
+    Alcotest.test_case "header corruptions yield the right typed errors" `Quick (fun () ->
+        let s = Wire.encode (Wire.Activate_query { round = 7 }) in
+        expect_error "short" (String.sub s 0 5) (function Wire.Short_frame 5 -> true | _ -> false);
+        expect_error "empty" "" (function Wire.Short_frame 0 -> true | _ -> false);
+        let bad_version = "\002" ^ String.sub s 1 (String.length s - 1) in
+        expect_error "version" bad_version (function Wire.Bad_version 2 -> true | _ -> false);
+        let oversized = "\001" ^ be32 (Wire.max_frame_bytes + 1) ^ String.sub s 5 4 in
+        expect_error "oversized" oversized (function
+          | Wire.Oversized n -> n = Wire.max_frame_bytes + 1
+          | _ -> false);
+        expect_error "truncated body" (String.sub s 0 (String.length s - 1)) (function
+          | Wire.Length_mismatch _ -> true
+          | _ -> false);
+        expect_error "trailing bytes" (s ^ "\000") (function
+          | Wire.Length_mismatch _ -> true
+          | _ -> false));
+    Alcotest.test_case "body corruptions yield the right typed errors" `Quick (fun () ->
+        let s = Wire.encode (Wire.Run_end { outcome = "success"; detail = "d"; rounds = 3 }) in
+        let body = String.sub s Wire.header_bytes (String.length s - Wire.header_bytes) in
+        let flipped = Bytes.of_string body in
+        Bytes.set flipped 6 (Char.chr (Char.code (Bytes.get flipped 6) lxor 1));
+        expect_error "crc catches a payload flip"
+          ("\001" ^ be32 (String.length body) ^ be32 (Wire.crc32 body) ^ Bytes.to_string flipped)
+          (function Wire.Crc_mismatch -> true | _ -> false);
+        let unknown_op = "\011" ^ be32 0 in
+        expect_error "unknown opcode" (reframe unknown_op) (function
+          | Wire.Unknown_opcode 11 -> true
+          | _ -> false);
+        let empty_body = "\003" ^ be32 0 in
+        (* opcode 3 wants a round number; zero payload bits underflow. *)
+        expect_error "payload underflow" (reframe empty_body) (function
+          | Wire.Malformed_body _ -> true
+          | _ -> false));
+    Alcotest.test_case "non-canonical encodings are rejected" `Quick (fun () ->
+        (* find a frame whose payload does not end on a byte boundary *)
+        let frame =
+          List.find
+            (fun f ->
+              let s = Wire.encode f in
+              read_be32 s (Wire.header_bytes + 1) mod 8 <> 0)
+            sample_frames
+        in
+        let s = Wire.encode frame in
+        let body = Bytes.of_string (String.sub s Wire.header_bytes (String.length s - Wire.header_bytes)) in
+        let nbits = read_be32 (Bytes.to_string body) 1 in
+        let last = Bytes.length body - 1 in
+        Bytes.set body last (Char.chr (Char.code (Bytes.get body last) lor (1 lsl (nbits mod 8))));
+        expect_error "nonzero padding" (reframe (Bytes.to_string body)) (function
+          | Wire.Malformed_body _ -> true
+          | _ -> false);
+        (* declaring 8 extra zero bits leaves trailing payload *)
+        let body = String.sub s Wire.header_bytes (String.length s - Wire.header_bytes) in
+        let padded =
+          Printf.sprintf "%c%s%s\000" body.[0] (be32 (nbits + 8))
+            (String.sub body 5 (String.length body - 5))
+        in
+        expect_error "trailing bits" (reframe padded) (function
+          | Wire.Malformed_body _ -> true
+          | _ -> false));
+    Alcotest.test_case "encode refuses frames above the size bound" `Quick (fun () ->
+        check "raises" true
+          (match Wire.encode (Wire.Run_end { outcome = "x"; detail = String.make Wire.max_frame_bytes 'a'; rounds = 1 }) with
+          | exception Invalid_argument _ -> true
+          | _ -> false)) ]
+
+(* --- wire codec: properties -------------------------------------------- *)
+
+let gen_frame =
+  let open QCheck.Gen in
+  let nat = frequency [ (6, 0 -- 60); (1, return 0); (1, 1000 -- 2_000_000) ] in
+  let str = string_size ~gen:(map Char.chr (0 -- 255)) (0 -- 12) in
+  let bits = map Array.of_list (list_size (0 -- 48) bool) in
+  let code =
+    oneofl
+      [ Wire.Bad_hello; Wire.Unknown_protocol; Wire.Protocol_mismatch; Wire.Session_busy;
+        Wire.Node_taken; Wire.Unexpected_frame; Wire.Malformed; Wire.Timed_out;
+        Wire.Server_error ]
+  in
+  oneof
+    [ (str >>= fun session -> str >>= fun protocol -> opt nat >>= fun node_pref ->
+       return (Wire.Hello { session; protocol; node_pref }));
+      (str >>= fun session -> nat >>= fun node -> nat >>= fun n ->
+       list_size (0 -- 8) nat >>= fun neighbors -> nat >>= fun bound ->
+       return (Wire.Hello_ack { session; node; n; neighbors = Array.of_list neighbors; bound }));
+      (nat >>= fun round -> return (Wire.Activate_query { round }));
+      (nat >>= fun round -> bool >>= fun activate -> return (Wire.Activate_reply { round; activate }));
+      (nat >>= fun round -> return (Wire.Compose_request { round }));
+      (nat >>= fun round -> bits >>= fun payload -> return (Wire.Compose_reply { round; payload }));
+      (nat >>= fun round -> nat >>= fun position -> return (Wire.Write_grant { round; position }));
+      (nat >>= fun from_pos -> nat >>= fun generation ->
+       list_size (0 -- 6) (nat >>= fun a -> bits >>= fun p -> return (a, p)) >>= fun messages ->
+       return (Wire.Board_delta { from_pos; generation; messages }));
+      (str >>= fun outcome -> str >>= fun detail -> nat >>= fun rounds ->
+       return (Wire.Run_end { outcome; detail; rounds }));
+      (code >>= fun code -> str >>= fun detail -> return (Wire.Error { code; detail })) ]
+
+let frame_arb = QCheck.make ~print:(Format.asprintf "%a" Wire.pp) gen_frame
+
+let frame_and_index =
+  QCheck.make
+    ~print:(fun (f, i) -> Printf.sprintf "%s @ %d" (Format.asprintf "%a" Wire.pp f) i)
+    QCheck.Gen.(pair gen_frame (0 -- 100_000))
+
+let flip_bit s i =
+  let b = Bytes.of_string s in
+  let byte = i / 8 in
+  Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl (i mod 8))));
+  Bytes.to_string b
+
+let typed_error_only s =
+  match Wire.decode s with Ok _ -> false | Error _ -> true | exception _ -> false
+
+let wire_prop_tests =
+  [ qtest
+      (QCheck.Test.make ~name:"random frames round-trip exactly" ~count:300 frame_arb
+         (fun f -> Wire.decode (Wire.encode f) = Ok f));
+    qtest
+      (QCheck.Test.make ~name:"every strict prefix is a typed error, never an exception"
+         ~count:200 frame_and_index (fun (f, i) ->
+           let s = Wire.encode f in
+           typed_error_only (String.sub s 0 (i mod String.length s))));
+    qtest
+      (QCheck.Test.make ~name:"any single flipped bit is a typed error, never an exception"
+         ~count:400 frame_and_index (fun (f, i) ->
+           let s = Wire.encode f in
+           typed_error_only (flip_bit s (i mod (String.length s * 8)))));
+    qtest
+      (QCheck.Test.make ~name:"arbitrary bytes never raise" ~count:300
+         QCheck.(string_gen QCheck.Gen.(map Char.chr (0 -- 255)))
+         (fun junk ->
+           (* with and without a plausible version byte in front *)
+           (match Wire.decode junk with Ok _ | Error _ -> true | exception _ -> false)
+           && match Wire.decode ("\001" ^ junk) with Ok _ | Error _ -> true | exception _ -> false)) ]
+
+(* --- board generations under truncation (incremental readers) ---------- *)
+
+let message v bits = Message.make ~author:v ~payload:(Array.of_list bits)
+
+let board_tests =
+  [ Alcotest.test_case "truncate rewinds length and bumps the generation" `Quick (fun () ->
+        let b = Board.create 4 in
+        let g0 = Board.generation b in
+        Board.append b (message 0 [ true ]);
+        Board.append b (message 1 [ false; true ]);
+        Board.append b (message 2 []);
+        check "appends keep the generation" true (Board.generation b = g0);
+        Board.truncate b 1;
+        Alcotest.(check int) "length rewound" 1 (Board.length b);
+        check "generation bumped" true (Board.generation b > g0);
+        let g1 = Board.generation b in
+        Board.append b (message 3 [ true; true ]);
+        check "append after truncate keeps generation" true (Board.generation b = g1);
+        check "author slot freed by truncate is reusable" true
+          (match Board.append b (message 1 [ true ]) with () -> true));
+    Alcotest.test_case "an incremental reader detects rewrites via the generation" `Quick
+      (fun () ->
+        let b = Board.create 4 in
+        (* the reader's replica: (position, generation) plus copied messages *)
+        let replica = ref [] and pos = ref 0 and gen = ref (Board.generation b) in
+        let catch_up () =
+          if Board.generation b <> !gen then begin
+            (* stale replica: positions below [pos] may have been rewritten *)
+            replica := [];
+            pos := 0;
+            gen := Board.generation b
+          end;
+          while !pos < Board.length b do
+            replica := Board.get b !pos :: !replica;
+            incr pos
+          done
+        in
+        Board.append b (message 0 [ true ]);
+        Board.append b (message 1 [] );
+        catch_up ();
+        Alcotest.(check int) "read both" 2 (List.length !replica);
+        Board.truncate b 1;
+        Board.append b (message 2 [ false ]);
+        Board.append b (message 1 [ true; true ]);
+        catch_up ();
+        let names = List.rev_map (fun m -> Message.author m) !replica in
+        check "replica equals the rewritten board" true (names = [ 0; 2; 1 ]);
+        check "replica payloads match" true
+          (List.for_all2
+             (fun m i -> Message.equal m (Board.get b i))
+             (List.rev !replica) [ 0; 1; 2 ]));
+    Alcotest.test_case "Board.equal compares authors and payloads in write order" `Quick
+      (fun () ->
+        let fill msgs =
+          let b = Board.create 3 in
+          List.iter (Board.append b) msgs;
+          b
+        in
+        let a = fill [ message 0 [ true ]; message 2 [] ] in
+        check "equal" true (Board.equal a (fill [ message 0 [ true ]; message 2 [] ]));
+        check "payload differs" false (Board.equal a (fill [ message 0 [ false ]; message 2 [] ]));
+        check "order differs" false (Board.equal a (fill [ message 2 []; message 0 [ true ] ]));
+        check "length differs" false (Board.equal a (fill [ message 0 [ true ] ])));
+    Alcotest.test_case "a client rejects an incremental delta across a generation change"
+      `Quick (fun () ->
+        let entry = Option.get (R.find "bfs") in
+        let client = Net.Client.create ~protocol:entry.R.protocol ~key:"bfs" ~session:"s" () in
+        let ack =
+          Wire.Hello_ack { session = "s"; node = 0; n = 3; neighbors = [| 1 |]; bound = 64 }
+        in
+        check "joined quietly" true (Net.Client.handle client ack = []);
+        check "first delta ok" true
+          (Net.Client.handle client
+             (Wire.Board_delta { from_pos = 0; generation = 0; messages = [ (1, [| true |]) ] })
+          = []);
+        check "same-generation increment ok" true
+          (Net.Client.handle client
+             (Wire.Board_delta { from_pos = 1; generation = 0; messages = [ (2, [||]) ] })
+          = []);
+        let replies =
+          Net.Client.handle client
+            (Wire.Board_delta { from_pos = 2; generation = 1; messages = [ (0, [||]) ] })
+        in
+        check "incremental delta across generations refused" true
+          (match (Net.Client.phase client, replies) with
+          | Net.Client.Failed _, [ Wire.Error _ ] -> true
+          | _ -> false)) ]
+
+(* --- the loopback differential: remote == Engine.run, all four models -- *)
+
+let differential ?(adv = fun () -> Adversary.min_id) key g =
+  match R.find key with
+  | None -> Alcotest.failf "unknown protocol %S" key
+  | Some entry ->
+    check (key ^ ": graph satisfies the promise") true
+      (R.satisfies_promise entry.R.promise g);
+    let local = Engine.run_packed entry.R.protocol g (adv ()) in
+    let remote = Net.Remote.run_loopback ~protocol:entry.R.protocol g (adv ()) in
+    check (key ^ ": fault-free") true (remote.Net.Session.faults = []);
+    (match Net.Remote.diff_runs remote.Net.Session.run local with
+    | [] -> ()
+    | issues -> Alcotest.failf "%s: %s" key (String.concat "; " issues))
+
+let loopback_tests =
+  [ Alcotest.test_case "SIMASYNC: build-naive and subgraph-sqrt" `Quick (fun () ->
+        differential "build-naive" (G.Gen.random_gnp (Prng.create 3) 12 0.3);
+        differential "subgraph-sqrt" (G.Gen.random_gnp (Prng.create 8) 12 0.25));
+    Alcotest.test_case "SIMASYNC: build-forest on a random tree" `Quick (fun () ->
+        differential "build-forest" (G.Gen.random_tree (Prng.create 11) 14));
+    Alcotest.test_case "SIMSYNC: mis and two-cliques" `Quick (fun () ->
+        differential "mis" (G.Gen.random_gnp (Prng.create 5) 13 0.25);
+        differential "two-cliques" (G.Gen.two_cliques_shuffled (Prng.create 6) 7));
+    Alcotest.test_case "ASYNC: eob-bfs and bfs-bipartite" `Quick (fun () ->
+        differential "eob-bfs" (G.Gen.random_eob (Prng.create 4) 12 0.3);
+        differential "bfs-bipartite" (G.Gen.random_bipartite (Prng.create 9) 6 6 0.4));
+    Alcotest.test_case "SYNC: bfs, connectivity and spanning-forest" `Quick (fun () ->
+        differential "bfs" (G.Gen.random_connected (Prng.create 7) 14 0.2);
+        differential "connectivity" (G.Gen.random_gnp (Prng.create 10) 14 0.15);
+        differential "spanning-forest" (G.Gen.random_gnp (Prng.create 12) 14 0.2));
+    Alcotest.test_case "differential holds under a randomized adversary" `Quick (fun () ->
+        differential "bfs" ~adv:(fun () -> Adversary.random (Prng.create 21))
+          (G.Gen.random_connected (Prng.create 20) 12 0.25);
+        differential "build-naive" ~adv:(fun () -> Adversary.random (Prng.create 23))
+          (G.Gen.random_gnp (Prng.create 22) 12 0.3));
+    Alcotest.test_case "loopback runs move the net.* metrics" `Quick (fun () ->
+        let sessions = Obs.Metrics.counter "net.sessions" in
+        let frames = Obs.Metrics.counter "net.frames_sent" in
+        let before_s = Obs.Metrics.counter_value sessions in
+        let before_f = Obs.Metrics.counter_value frames in
+        let entry = Option.get (R.find "bfs") in
+        let g = G.Gen.random_connected (Prng.create 2) 8 0.3 in
+        let r = Net.Remote.run_loopback ~protocol:entry.R.protocol g Adversary.min_id in
+        check "succeeded" true (Engine.succeeded r.Net.Session.run);
+        Alcotest.(check int) "one more session" (before_s + 1)
+          (Obs.Metrics.counter_value sessions);
+        check "frames were counted" true (Obs.Metrics.counter_value frames > before_f)) ]
+
+(* --- failure semantics: dead nodes starve the run into a deadlock ------ *)
+
+(* Loopback connections like Remote.run_loopback's, but [tamper v] may wrap
+   node [v]'s frame handler for fault injection. *)
+let tampered_conns ?(tamper = fun _ handler -> handler) ~protocol g =
+  let n = G.Graph.n g in
+  Array.init n (fun v ->
+      let client = Net.Client.create ~protocol ~key:"k" ~session:"s" ~node_pref:v () in
+      let handler = tamper v (Net.Client.handle client) in
+      let conn = Net.Conn.loopback_served ~peer:(Printf.sprintf "node-%d" v) ~handler in
+      (match
+         Net.Conn.send conn
+           (Wire.Hello_ack
+              { session = "s"; node = v; n; neighbors = G.Graph.neighbors g v; bound = bound_of protocol ~n })
+       with
+      | Ok () -> ()
+      | Error f -> Alcotest.failf "handshake: %s" (Net.Conn.fault_to_string f));
+      (client, conn))
+
+let run_session ~protocol g conns =
+  Net.Session.run
+    { Net.Session.protocol; graph = g; adversary = Adversary.min_id; max_rounds = None; trace = None }
+    (Array.map snd conns)
+
+let fault_tests =
+  [ Alcotest.test_case "a node hanging up mid-run yields a deadlocked configuration" `Quick
+      (fun () ->
+        let entry = Option.get (R.find "bfs") in
+        let g = G.Gen.random_connected (Prng.create 13) 8 0.3 in
+        let tamper v handler =
+          if v <> 0 then handler
+          else begin
+            (* survive the handshake and one query, then vanish *)
+            let calls = ref 0 in
+            fun frame ->
+              incr calls;
+              if !calls > 2 then raise Net.Conn.Hangup else handler frame
+          end
+        in
+        let conns = tampered_conns ~tamper ~protocol:entry.R.protocol g in
+        let r = run_session ~protocol:entry.R.protocol g conns in
+        check "deadlock" true (r.Net.Session.run.Engine.outcome = Engine.Deadlock);
+        check "the hangup is recorded against node 0" true
+          (match r.Net.Session.faults with
+          | [ (0, Net.Session.Transport Net.Conn.Closed) ] -> true
+          | _ -> false);
+        check "node 0 never wrote" true (not (Board.has_author r.Net.Session.run.Engine.board 0));
+        (* the survivors were told about the deadlock *)
+        Array.iteri
+          (fun v (client, _) ->
+            if v <> 0 then
+              check (Printf.sprintf "node %d saw RUN-END" v) true
+                (match Net.Client.phase client with
+                | Net.Client.Finished { outcome = "deadlock"; _ } -> true
+                | _ -> false))
+          conns);
+    Alcotest.test_case "malformed frames from a node are a typed fault, not an exception"
+      `Quick (fun () ->
+        let entry = Option.get (R.find "bfs") in
+        let g = G.Gen.path 4 in
+        let malformed = Obs.Metrics.counter "net.malformed_frames" in
+        let before = Obs.Metrics.counter_value malformed in
+        let conns = tampered_conns ~protocol:entry.R.protocol g in
+        let bad =
+          Net.Conn.make ~peer:"node-2-evil"
+            ~send:(fun _ -> Ok ())
+            ~recv:(fun () -> Error (Net.Conn.Bad_frame Wire.Crc_mismatch))
+            ~close:(fun () -> ())
+        in
+        let conns = Array.mapi (fun v (c, conn) -> (c, if v = 2 then bad else conn)) conns in
+        let r = run_session ~protocol:entry.R.protocol g conns in
+        check "deadlock" true (r.Net.Session.run.Engine.outcome = Engine.Deadlock);
+        check "CRC fault recorded against node 2" true
+          (match r.Net.Session.faults with
+          | [ (2, Net.Session.Transport (Net.Conn.Bad_frame Wire.Crc_mismatch)) ] -> true
+          | _ -> false);
+        check "malformed-frame metric moved" true
+          (Obs.Metrics.counter_value malformed > before));
+    Alcotest.test_case "a confused peer (wrong reply opcode) is marked dead" `Quick (fun () ->
+        let entry = Option.get (R.find "bfs") in
+        let g = G.Gen.path 3 in
+        let tamper v handler =
+          if v <> 1 then handler
+          else
+            fun frame ->
+              List.map
+                (function
+                  | Wire.Activate_reply { round; _ } -> Wire.Write_grant { round; position = 0 }
+                  | f -> f)
+                (handler frame)
+        in
+        let conns = tampered_conns ~tamper ~protocol:entry.R.protocol g in
+        let r = run_session ~protocol:entry.R.protocol g conns in
+        check "deadlock" true (r.Net.Session.run.Engine.outcome = Engine.Deadlock);
+        check "confusion recorded against node 1" true
+          (match r.Net.Session.faults with
+          | [ (1, Net.Session.Confused _) ] -> true
+          | _ -> false)) ]
+
+(* --- real sockets ------------------------------------------------------ *)
+
+let connect_local port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let write_raw fd s =
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < Bytes.length b then go (off + Unix.write fd b off (Bytes.length b - off))
+  in
+  go 0
+
+let spec_of entry g ~timeout =
+  { Net.Server.key = "bfs";
+    protocol = entry.R.protocol;
+    graph = g;
+    make_adversary = (fun () -> Adversary.min_id);
+    max_rounds = None;
+    timeout }
+
+(* Join all n nodes of [session] from client threads; returns per-node
+   outcomes. *)
+let join_all ~port ~protocol ~session n =
+  let outcomes = Array.make n (Error "never ran") in
+  let threads =
+    List.init n (fun v ->
+        Thread.create
+          (fun () ->
+            let fd = connect_local port in
+            let conn = Net.Conn.of_fd ~timeout:10.0 ~peer:(Printf.sprintf "c%d" v) fd in
+            let client = Net.Client.create ~protocol ~key:"bfs" ~session ~node_pref:v () in
+            outcomes.(v) <- Net.Client.run client conn)
+          ())
+  in
+  List.iter Thread.join threads;
+  outcomes
+
+let socket_tests =
+  [ Alcotest.test_case "socket session at n=16 matches Engine.run exactly" `Quick (fun () ->
+        let entry = Option.get (R.find "bfs") in
+        let g = G.Gen.grid 4 4 in
+        let local = Engine.run_packed entry.R.protocol g Adversary.min_id in
+        match
+          Net.Remote.run_socket ~key:"bfs" ~protocol:entry.R.protocol ~graph:g
+            ~make_adversary:(fun () -> Adversary.min_id) ()
+        with
+        | Error msg -> Alcotest.failf "socket run failed: %s" msg
+        | Ok r ->
+          check "fault-free" true (r.Net.Session.faults = []);
+          (match Net.Remote.diff_runs r.Net.Session.run local with
+          | [] -> ()
+          | issues -> Alcotest.failf "socket differential: %s" (String.concat "; " issues)));
+    Alcotest.test_case "handshake rejections are typed and leave the server clean" `Quick
+      (fun () ->
+        let entry = Option.get (R.find "bfs") in
+        let g = G.Gen.grid 3 3 in
+        let server = Net.Server.create ~port:0 (spec_of entry g ~timeout:2.0) in
+        let st = Net.Server.serve_in_thread ~max_sessions:1 server in
+        let port = Net.Server.port server in
+        let expect_reject name bytes pred =
+          let fd = connect_local port in
+          write_raw fd bytes;
+          let conn = Net.Conn.of_fd ~timeout:2.0 ~peer:name fd in
+          (match Net.Conn.recv conn with
+          | Ok (Wire.Error { code; detail }) ->
+            check name true (pred code detail)
+          | Ok f -> Alcotest.failf "%s: server answered %s" name (Wire.opcode_name f)
+          | Error f -> Alcotest.failf "%s: %s" name (Net.Conn.fault_to_string f));
+          Net.Conn.close conn
+        in
+        expect_reject "garbage bytes" "this is not a frame at all."
+          (fun code _ -> code = Wire.Malformed);
+        expect_reject "oversized declared length"
+          ("\001" ^ be32 (4 * Wire.max_frame_bytes) ^ be32 0)
+          (fun code detail ->
+            code = Wire.Malformed
+            && (match String.index_opt detail 'o' with Some _ -> true | None -> false));
+        expect_reject "non-HELLO first frame"
+          (Wire.encode (Wire.Activate_reply { round = 1; activate = true }))
+          (fun code _ -> code = Wire.Bad_hello);
+        expect_reject "wrong protocol key"
+          (Wire.encode (Wire.Hello { session = "main"; protocol = "mis"; node_pref = None }))
+          (fun code _ -> code = Wire.Protocol_mismatch);
+        (* claim node 0 of a probe session, then try to claim it again *)
+        let fd0 = connect_local port in
+        let probe = Net.Conn.of_fd ~timeout:2.0 ~peer:"probe" fd0 in
+        (match Net.Conn.send probe (Wire.Hello { session = "probe"; protocol = "bfs"; node_pref = Some 0 }) with
+        | Ok () -> ()
+        | Error f -> Alcotest.failf "probe hello: %s" (Net.Conn.fault_to_string f));
+        (match Net.Conn.recv probe with
+        | Ok (Wire.Hello_ack { node = 0; n = 9; _ }) -> ()
+        | Ok f -> Alcotest.failf "probe expected HELLO-ACK, got %s" (Wire.opcode_name f)
+        | Error f -> Alcotest.failf "probe: %s" (Net.Conn.fault_to_string f));
+        expect_reject "node already claimed"
+          (Wire.encode (Wire.Hello { session = "probe"; protocol = "bfs"; node_pref = Some 0 }))
+          (fun code _ -> code = Wire.Node_taken);
+        (* after all that abuse, a full session still runs to completion *)
+        let outcomes = join_all ~port ~protocol:entry.R.protocol ~session:"main" 9 in
+        Array.iteri
+          (fun v o ->
+            match o with
+            | Ok fin -> check (Printf.sprintf "node %d succeeded" v) true (fin.Net.Client.outcome = "success")
+            | Error msg -> Alcotest.failf "node %d: %s" v msg)
+          outcomes;
+        (match Net.Server.take_result server "main" with
+        | Some r ->
+          check "clean session" true (r.Net.Session.faults = []);
+          let local = Engine.run_packed entry.R.protocol g Adversary.min_id in
+          (match Net.Remote.diff_runs r.Net.Session.run local with
+          | [] -> ()
+          | issues -> Alcotest.failf "differential: %s" (String.concat "; " issues))
+        | None -> Alcotest.fail "server stopped without the session result");
+        Net.Conn.close probe;
+        Net.Server.stop server;
+        Thread.join st);
+    Alcotest.test_case "a silent node trips the read timeout and deadlocks the run" `Quick
+      (fun () ->
+        let entry = Option.get (R.find "bfs") in
+        let g = G.Gen.path 3 in
+        let server = Net.Server.create ~port:0 (spec_of entry g ~timeout:0.4) in
+        let st = Net.Server.serve_in_thread ~max_sessions:1 server in
+        let port = Net.Server.port server in
+        (* node 2 joins, then never answers another frame *)
+        let fd = connect_local port in
+        let mute = Net.Conn.of_fd ~timeout:5.0 ~peer:"mute" fd in
+        (match Net.Conn.send mute (Wire.Hello { session = "main"; protocol = "bfs"; node_pref = Some 2 }) with
+        | Ok () -> ()
+        | Error f -> Alcotest.failf "mute hello: %s" (Net.Conn.fault_to_string f));
+        (match Net.Conn.recv mute with
+        | Ok (Wire.Hello_ack { node = 2; _ }) -> ()
+        | Ok f -> Alcotest.failf "mute expected HELLO-ACK, got %s" (Wire.opcode_name f)
+        | Error f -> Alcotest.failf "mute: %s" (Net.Conn.fault_to_string f));
+        let outcomes = join_all ~port ~protocol:entry.R.protocol ~session:"main" 2 in
+        (match Net.Server.take_result server "main" with
+        | Some r ->
+          check "deadlock" true (r.Net.Session.run.Engine.outcome = Engine.Deadlock);
+          check "timeout recorded against node 2" true
+            (match r.Net.Session.faults with
+            | [ (2, Net.Session.Transport Net.Conn.Timeout) ] -> true
+            | _ -> false)
+        | None -> Alcotest.fail "server stopped without the session result");
+        (* the live nodes were told the run deadlocked *)
+        Array.iteri
+          (fun v o ->
+            match o with
+            | Ok fin ->
+              check (Printf.sprintf "node %d saw the deadlock" v) true
+                (fin.Net.Client.outcome = "deadlock")
+            | Error msg -> Alcotest.failf "node %d: %s" v msg)
+          outcomes;
+        Net.Conn.close mute;
+        Net.Server.stop server;
+        Thread.join st);
+    Alcotest.test_case "one server referees two named sessions" `Quick (fun () ->
+        let entry = Option.get (R.find "bfs") in
+        let g = G.Gen.grid 3 3 in
+        let server = Net.Server.create ~port:0 (spec_of entry g ~timeout:2.0) in
+        let st = Net.Server.serve_in_thread ~max_sessions:2 server in
+        let port = Net.Server.port server in
+        let local = Engine.run_packed entry.R.protocol g Adversary.min_id in
+        List.iter
+          (fun session ->
+            ignore (join_all ~port ~protocol:entry.R.protocol ~session 9);
+            match Net.Server.take_result server session with
+            | Some r ->
+              check (session ^ " fault-free") true (r.Net.Session.faults = []);
+              (match Net.Remote.diff_runs r.Net.Session.run local with
+              | [] -> ()
+              | issues -> Alcotest.failf "%s: %s" session (String.concat "; " issues))
+            | None -> Alcotest.failf "no result for session %s" session)
+          [ "alpha"; "beta" ];
+        Thread.join st) ]
+
+let suites =
+  [ ("net.wire", wire_tests);
+    ("net.wire-prop", wire_prop_tests);
+    ("net.board", board_tests);
+    ("net.loopback", loopback_tests);
+    ("net.faults", fault_tests);
+    ("net.socket", socket_tests) ]
