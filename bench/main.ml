@@ -39,7 +39,7 @@ let () =
     else
       List.filter (fun (name, _) -> List.mem name requested) sections
   in
-  if chosen = [] then begin
+  if List.is_empty chosen then begin
     Printf.eprintf "unknown section(s); available: %s\n"
       (String.concat " " (List.map fst sections));
     exit 1

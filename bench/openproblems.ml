@@ -31,7 +31,7 @@ let deadlock () =
   let odd = G.Graph.of_edges 5 [ (0, 1); (0, 2); (1, 2); (1, 3); (3, 4) ] in
   let ok, schedules =
     P.Engine.explore_packed Wb_protocols.Bfs_bipartite_async.protocol odd (fun r ->
-        r.P.Engine.outcome = P.Engine.Deadlock)
+        P.Engine.outcome_equal r.P.Engine.outcome P.Engine.Deadlock)
   in
   Printf.printf
     "ASYNC layer protocol on triangle+tail: deadlocks under all %d schedules  [%s]\n" schedules

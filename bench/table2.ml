@@ -92,8 +92,9 @@ let refute_triangle_simasync () =
   let transformed = R.Triangle_reduction.transform R.Oracles.triangle_simasync in
   let g = G.Gen.random_bipartite rng 4 4 0.5 in
   let sim_ok =
-    (P.Engine.run_packed transformed g (P.Adversary.random rng)).P.Engine.outcome
-    = P.Engine.Success (P.Answer.Graph g)
+    P.Engine.outcome_equal
+      (P.Engine.run_packed transformed g (P.Adversary.random rng)).P.Engine.outcome
+      (P.Engine.Success (P.Answer.Graph g))
   in
   let n = 4096 in
   let floor = R.Counting.min_message_bits R.Counting.balanced_bipartite n in
@@ -112,8 +113,9 @@ let refute_mis_simasync () =
   in
   let g = G.Gen.random_gnp rng 7 0.35 in
   let sim_ok =
-    (P.Engine.run_packed transformed g (P.Adversary.random rng)).P.Engine.outcome
-    = P.Engine.Success (P.Answer.Graph g)
+    P.Engine.outcome_equal
+      (P.Engine.run_packed transformed g (P.Adversary.random rng)).P.Engine.outcome
+      (P.Engine.Success (P.Answer.Graph g))
   in
   let n = 4096 in
   let floor = R.Counting.min_message_bits R.Counting.all_graphs n in
@@ -129,8 +131,9 @@ let refute_eob_bfs_simsync () =
   in
   let transformed = R.Eob_bfs_reduction.transform R.Oracles.eob_bfs_simsync in
   let sim_ok =
-    (P.Engine.run_packed transformed g (P.Adversary.random rng)).P.Engine.outcome
-    = P.Engine.Success (P.Answer.Graph g)
+    P.Engine.outcome_equal
+      (P.Engine.run_packed transformed g (P.Adversary.random rng)).P.Engine.outcome
+      (P.Engine.Success (P.Answer.Graph g))
   in
   let n = 4096 in
   let floor = R.Counting.min_message_bits R.Counting.even_odd_bipartite n in
@@ -144,7 +147,10 @@ let triangle_claim () =
   let p = Wb_protocols.Triangle_degenerate.protocol ~k:3 in
   let g = G.Gen.random_kdegenerate rng 24 ~k:3 in
   let run = P.Engine.run_packed p g (P.Adversary.random rng) in
-  let ok = run.P.Engine.outcome = P.Engine.Success (P.Answer.Bool (G.Algo.has_triangle g)) in
+  let ok =
+    P.Engine.outcome_equal run.P.Engine.outcome
+      (P.Engine.Success (P.Answer.Bool (G.Algo.has_triangle g)))
+  in
   ( ok,
     "paper asserts a protocol exists (none given); verified on the bounded-degeneracy promise \
      class, and SIMSYNC synthesis at n=4 finds a 2-letter protocol where SIMASYNC needs 3" )

@@ -90,4 +90,4 @@ let print () =
       in
       Harness.Emit.row "timing" ~name [ ("ns_per_run", Wb_obs.Json.Float estimate) ];
       Printf.printf "%-45s %12.0f ns/run\n" name estimate)
-    (List.sort compare rows)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)

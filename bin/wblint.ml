@@ -1,0 +1,87 @@
+(* wblint — static analysis enforcing the repo's determinism, comparison,
+   lock and error-hygiene disciplines.  See docs/LINTING.md.
+
+   Exit codes: 0 clean, 1 unsuppressed findings, 2 usage/internal error. *)
+
+let usage =
+  "usage: wblint [--json] [--out FILE] [--build-dir DIR] [--no-typed] [--rules] \
+   [-q] ROOT...\n\
+   Scans every .ml under the ROOTs (tier A: Parsetree rules), pairs sources \
+   with the .cmt files under the build dir (tier B: typed rules), and reports \
+   findings as a human table or --json."
+
+let () =
+  let json = ref false in
+  let out = ref None in
+  let build_dir = ref None in
+  let no_typed = ref false in
+  let quiet = ref false in
+  let list_rules = ref false in
+  let roots = ref [] in
+  let spec =
+    [ ("--json", Arg.Set json, " emit the report as JSON instead of a table");
+      ("--out", Arg.String (fun f -> out := Some f), "FILE write the report to FILE");
+      ( "--build-dir",
+        Arg.String (fun d -> build_dir := Some d),
+        "DIR where dune put the .cmt files (default: _build/default if present)" );
+      ("--no-typed", Arg.Set no_typed, " skip the typed tier even if .cmt files exist");
+      ("--rules", Arg.Set list_rules, " print the rule catalog and exit");
+      ("-q", Arg.Set quiet, " suppress the summary on stderr") ]
+  in
+  (try Arg.parse (Arg.align spec) (fun r -> roots := r :: !roots) usage
+   with _ -> exit 2);
+  if !list_rules then begin
+    List.iter
+      (fun (r : Wb_lint.Rules.info) ->
+        let tier =
+          match r.tier with
+          | Wb_lint.Rules.Syntactic -> "syntactic"
+          | Wb_lint.Rules.Typed -> "typed"
+          | Wb_lint.Rules.Project -> "project"
+        in
+        Printf.printf "%-20s %-10s %s\n" r.id tier r.summary)
+      Wb_lint.Rules.catalog;
+    exit 0
+  end;
+  let roots = List.rev !roots in
+  if roots = [] then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  (* A typo'd root must not pass as "clean, 0 files scanned". *)
+  (match List.filter (fun r -> not (Sys.file_exists r)) roots with
+  | [] -> ()
+  | missing ->
+    List.iter (Printf.eprintf "wblint: no such root: %s\n") missing;
+    exit 2);
+  let build_dir =
+    if !no_typed then None
+    else
+      match !build_dir with
+      | Some d -> Some d
+      | None -> if Sys.file_exists "_build/default" then Some "_build/default" else None
+  in
+  match Wb_lint.Driver.run ?build_dir ~roots () with
+  | exception e ->
+    Printf.eprintf "wblint: %s\n" (Printexc.to_string e);
+    exit 2
+  | report ->
+    let render ppf =
+      if !json then
+        Format.fprintf ppf "%s@." (Wb_obs.Json.to_string (Wb_lint.Driver.to_json report))
+      else Wb_lint.Driver.render_human ppf report
+    in
+    (match !out with
+    | None -> render Format.std_formatter
+    | Some file ->
+      let oc = open_out file in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> render (Format.formatter_of_out_channel oc)));
+    if (not !quiet) && !out <> None then
+      Printf.eprintf "wblint: %d findings (%d files, %d typed) -> %s\n"
+        (List.length report.Wb_lint.Driver.findings)
+        (List.length report.Wb_lint.Driver.files)
+        (List.length report.Wb_lint.Driver.typed)
+        (Option.get !out);
+    exit (match report.Wb_lint.Driver.findings with [] -> 0 | _ :: _ -> 1)

@@ -21,7 +21,7 @@ let find_author b v =
   if v < 0 || v >= b.size then invalid_arg "Board.find_author";
   if b.by_author.(v) < 0 then None else Some (get b b.by_author.(v))
 
-let has_author b v = find_author b v <> None
+let has_author b v = Option.is_some (find_author b v)
 
 let last b = if length b = 0 then None else Some (Dynarray.last b.messages)
 

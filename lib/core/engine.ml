@@ -31,6 +31,20 @@ let outcome_tag = function
   | Size_violation _ -> "size_violation"
   | Output_error _ -> "output_error"
 
+let outcome_equal a b =
+  match (a, b) with
+  | Success x, Success y -> Answer.equal x y
+  | Deadlock, Deadlock -> true
+  | Size_violation x, Size_violation y ->
+    x.node = y.node && x.bits = y.bits && x.bound = y.bound
+  | Output_error x, Output_error y -> String.equal x y
+  | (Success _ | Deadlock | Size_violation _ | Output_error _), _ -> false
+
+let stats_equal a b =
+  a.rounds = b.rounds
+  && a.max_message_bits = b.max_message_bits
+  && a.total_bits = b.total_bits
+
 type status = Awake | Active | Terminated
 
 (* Registry entries are process-global and idempotent: every Engine.Make

@@ -60,6 +60,13 @@ val outcome_tag : outcome -> string
 (** The wire name used in {!Wb_obs.Event.Run_end}: ["success"],
     ["deadlock"], ["size_violation"] or ["output_error"]. *)
 
+val outcome_equal : outcome -> outcome -> bool
+(** Structural, via {!Answer.equal} — what the benches and differential
+    checks compare with instead of polymorphic [=] (answers may carry
+    graphs and big naturals). *)
+
+val stats_equal : stats -> stats -> bool
+
 module Make (P : Protocol.S) : sig
   val run : ?max_rounds:int -> ?trace:Wb_obs.Trace.t -> Wb_graph.Graph.t -> Adversary.t -> run
   (** Execute under one adversary.  [max_rounds] defaults to [2n + 8]

@@ -1,0 +1,95 @@
+type entry = { rule : string; loc : Location.t; mutable used : bool }
+
+type key = string * int * int
+
+let key_of_loc (loc : Location.t) =
+  ( loc.loc_start.Lexing.pos_fname,
+    loc.loc_start.Lexing.pos_lnum,
+    loc.loc_start.Lexing.pos_cnum - loc.loc_start.Lexing.pos_bol )
+
+type ctx = {
+  mutable active : entry list;
+  (* all well-formed entries ever pushed, deduped across tiers by location
+     and rule so "used" marks from either walk accumulate. *)
+  entries : (key * string, entry) Hashtbl.t;
+  mutable order : entry list;  (* insertion order, for stable reporting *)
+  malformed : (key, Finding.t) Hashtbl.t;
+}
+
+let create () =
+  { active = []; entries = Hashtbl.create 8; order = []; malformed = Hashtbl.create 4 }
+
+let payload_string (attr : Parsetree.attribute) =
+  match attr.attr_payload with
+  | PStr
+      [ { pstr_desc =
+            Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _ } ] ->
+    Some s
+  | _ -> None
+
+let record_malformed ctx loc detail =
+  let k = key_of_loc loc in
+  if not (Hashtbl.mem ctx.malformed k) then
+    Hashtbl.add ctx.malformed k
+      (Finding.make ~rule:Rules.lint_allow ~loc
+         (Printf.sprintf
+            "malformed suppression: %s; write [@wb.lint.allow \"rule-id: why the \
+             rule is sound to silence here\"]"
+            detail))
+
+let intern ctx (attr : Parsetree.attribute) =
+  if not (String.equal attr.attr_name.txt "wb.lint.allow") then None
+  else
+    let loc = attr.attr_loc in
+    match payload_string attr with
+    | None -> record_malformed ctx loc "payload is not a string literal"; None
+    | Some s -> (
+      match String.index_opt s ':' with
+      | None -> record_malformed ctx loc "missing \": explanation\" after the rule id"; None
+      | Some i ->
+        let rule = String.trim (String.sub s 0 i) in
+        let reason = String.trim (String.sub s (i + 1) (String.length s - i - 1)) in
+        if String.equal rule "" || String.equal reason "" then begin
+          record_malformed ctx loc "empty rule id or empty explanation"; None
+        end
+        else if not (List.exists (fun (r : Rules.info) -> String.equal r.id rule) Rules.catalog)
+        then begin
+          record_malformed ctx loc (Printf.sprintf "unknown rule id %S" rule); None
+        end
+        else begin
+          let k = (key_of_loc loc, rule) in
+          match Hashtbl.find_opt ctx.entries k with
+          | Some e -> Some e
+          | None ->
+            let e = { rule; loc; used = false } in
+            Hashtbl.add ctx.entries k e;
+            ctx.order <- e :: ctx.order;
+            Some e
+        end)
+
+let with_attrs ctx attrs f =
+  let saved = ctx.active in
+  List.iter (fun a -> match intern ctx a with Some e -> ctx.active <- e :: ctx.active | None -> ()) attrs;
+  Fun.protect ~finally:(fun () -> ctx.active <- saved) f
+
+let suppressed ctx ~rule =
+  match List.find_opt (fun e -> String.equal e.rule rule) ctx.active with
+  | Some e -> e.used <- true; true
+  | None -> false
+
+let malformed_findings ctx =
+  Hashtbl.fold (fun _ f acc -> f :: acc) ctx.malformed [] |> List.sort Finding.compare
+
+let unused_findings ~typed_ran ctx =
+  List.rev ctx.order
+  |> List.filter_map (fun e ->
+         if e.used then None
+         else if (not typed_ran) && Rules.is_typed e.rule then None
+         else
+           Some
+             (Finding.make ~rule:Rules.lint_allow ~loc:e.loc
+                (Printf.sprintf
+                   "suppression for %S suppresses nothing; delete it (the \
+                    suppression set must stay minimal)"
+                   e.rule)))

@@ -1,0 +1,32 @@
+(** Per-expression suppressions: [[@wb.lint.allow "rule-id: explanation"]].
+
+    The payload is one string: the rule id, a colon, and a non-empty
+    explanation of why the rule is sound to silence there — an allow
+    without a written justification is itself a finding, as is one that
+    suppresses nothing (the suppression set must stay minimal).
+
+    One [ctx] lives per source file and is shared by the syntactic and the
+    typed walk of that file: both tiers see the same attributes (the
+    typechecker preserves them), so entries are deduplicated by location
+    and their "was used" marks accumulate across tiers. *)
+
+type ctx
+
+val create : unit -> ctx
+
+val with_attrs : ctx -> Parsetree.attributes -> (unit -> unit) -> unit
+(** Push any [wb.lint.allow] attributes for the dynamic extent of the
+    callback (malformed ones are recorded instead), then restore. *)
+
+val suppressed : ctx -> rule:string -> bool
+(** Is [rule] allowed by an attribute in scope?  Marks the innermost
+    matching entry as used. *)
+
+val malformed_findings : ctx -> Finding.t list
+(** [lint-allow] findings for attributes whose payload is not
+    ["rule-id: explanation"] with both parts non-empty. *)
+
+val unused_findings : typed_ran:bool -> ctx -> Finding.t list
+(** [lint-allow] findings for well-formed attributes that suppressed
+    nothing.  When [typed_ran] is false, allows for typed-tier rules are
+    skipped rather than called unused. *)

@@ -1,0 +1,152 @@
+module J = Wb_obs.Json
+
+type report = { findings : Finding.t list; files : string list; typed : string list }
+
+(* ---- file discovery ----------------------------------------------------- *)
+
+let source_skip name =
+  String.equal name "" || name.[0] = '.' || name.[0] = '_'
+
+let rec walk ~skip acc path =
+  match (Unix.stat path).Unix.st_kind with
+  | Unix.S_DIR ->
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           if skip entry then acc else walk ~skip acc (Filename.concat path entry))
+         acc
+  | Unix.S_REG -> path :: acc
+  | _ | (exception Unix.Unix_error _) -> acc
+
+let discover ~skip roots =
+  List.fold_left (walk ~skip) [] roots |> List.sort String.compare
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Normalised relative path: strip leading "./", collapse separators. *)
+let norm p = String.concat "/" (Rules.components p)
+
+(* ---- the run ------------------------------------------------------------ *)
+
+let run ?build_dir ~roots () =
+  let all = discover ~skip:source_skip roots in
+  let mls = List.filter (fun f -> Filename.check_suffix f ".ml" && not (Filename.check_suffix f ".pp.ml")) all in
+  let contexts : (string, Allow.ctx) Hashtbl.t = Hashtbl.create 64 in
+  let ctx_of file =
+    match Hashtbl.find_opt contexts (norm file) with
+    | Some c -> c
+    | None ->
+      let c = Allow.create () in
+      Hashtbl.add contexts (norm file) c;
+      c
+  in
+  (* Tier A over every source. *)
+  let syntactic =
+    List.concat_map
+      (fun file ->
+        let ctx = ctx_of file in
+        match read_file file with
+        | src -> Syntactic.lint_source ~path:file ~ctx src
+        | exception Sys_error e ->
+          [ Finding.make ~rule:Rules.parse_error ~loc:(Location.in_file file)
+              (Printf.sprintf "unreadable: %s" e) ])
+      mls
+  in
+  (* Interface coverage: every .ml under a lib directory has a .mli. *)
+  let interface =
+    List.filter_map
+      (fun file ->
+        if Rules.needs_interface file && not (Sys.file_exists (Filename.remove_extension file ^ ".mli"))
+        then
+          Some
+            (Finding.make ~rule:Rules.interface_coverage ~loc:(Location.in_file file)
+               "no matching .mli: every module under lib/ seals its surface with \
+                an interface")
+        else None)
+      mls
+  in
+  (* Tier B: pair .cmt files with the scanned sources. *)
+  let typed_files = ref [] in
+  let typed =
+    match build_dir with
+    | None -> []
+    | Some dir ->
+      let wanted = Hashtbl.create 64 in
+      List.iter (fun f -> Hashtbl.replace wanted (norm f) f) mls;
+      (* dune keeps .cmt files inside dot-directories (.objs); skip nothing. *)
+      discover ~skip:(fun _ -> false) [ dir ]
+      |> List.filter (fun f -> Filename.check_suffix f ".cmt")
+      |> List.concat_map (fun cmt_path ->
+             match Typed.read cmt_path with
+             | Error _ -> []
+             | Ok cmt -> (
+               match Option.map norm cmt.Typed.source with
+               | Some src when Hashtbl.mem wanted src ->
+                 typed_files := src :: !typed_files;
+                 Typed.lint ~load_root:dir ~ctx:(ctx_of src) cmt
+                 |> List.map (fun (f : Finding.t) -> { f with file = src })
+               | _ -> []))
+  in
+  (* Suppression hygiene, once both tiers have marked usage. *)
+  let typed_set = !typed_files in
+  let allows =
+    Hashtbl.fold
+      (fun file ctx acc ->
+        let typed_ran = List.mem file typed_set in
+        Allow.malformed_findings ctx
+        @ Allow.unused_findings ~typed_ran ctx
+        @ acc)
+      contexts []
+  in
+  let findings =
+    List.sort_uniq Finding.compare (syntactic @ interface @ typed @ allows)
+  in
+  { findings;
+    files = List.map norm mls;
+    typed = List.sort_uniq String.compare typed_set }
+
+let lint_string ~path source =
+  let ctx = Allow.create () in
+  let findings = Syntactic.lint_source ~path ~ctx source in
+  List.sort_uniq Finding.compare (findings @ Allow.malformed_findings ctx)
+
+(* ---- rendering ----------------------------------------------------------- *)
+
+let to_json r =
+  let untyped = List.filter (fun f -> not (List.mem f r.typed)) r.files in
+  J.Obj
+    [ ("version", J.Int 1);
+      ("files_scanned", J.Int (List.length r.files));
+      ("files_typed", J.Int (List.length r.typed));
+      (* no silent coverage gaps: name every file the typed tier missed *)
+      ("typed_missing", J.List (List.map (fun f -> J.String f) untyped));
+      ("findings", J.List (List.map Finding.to_json r.findings)) ]
+
+let render_human ppf r =
+  let count = List.length r.findings in
+  if count = 0 then
+    Format.fprintf ppf "wblint: clean — %d files scanned, %d with typed coverage@."
+      (List.length r.files) (List.length r.typed)
+  else begin
+    let loc_width =
+      List.fold_left
+        (fun w (f : Finding.t) ->
+          max w (String.length (Printf.sprintf "%s:%d:%d" f.file f.line f.col)))
+        0 r.findings
+    and rule_width =
+      List.fold_left (fun w (f : Finding.t) -> max w (String.length f.rule)) 0 r.findings
+    in
+    List.iter
+      (fun (f : Finding.t) ->
+        Format.fprintf ppf "%-*s  %-*s  %s@."
+          loc_width (Printf.sprintf "%s:%d:%d" f.file f.line f.col)
+          rule_width f.rule f.message)
+      r.findings;
+    Format.fprintf ppf "wblint: %d finding%s in %d files (%d typed)@." count
+      (if count = 1 then "" else "s")
+      (List.length r.files) (List.length r.typed)
+  end

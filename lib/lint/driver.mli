@@ -1,0 +1,30 @@
+(** Orchestration: discover sources, run both tiers, merge findings.
+
+    The driver walks the given roots for [.ml] files, runs the syntactic
+    tier on each, checks {!Rules.interface_coverage}, then (when a build
+    directory is available) pairs every discovered source with the [.cmt]
+    dune emitted for it — matched by the [cmt_sourcefile] each [.cmt]
+    records — and runs the typed tier with the same per-file suppression
+    context, so one [@wb.lint.allow] scopes over both tiers.  Last, any
+    malformed or unused suppression becomes a {!Rules.lint_allow}
+    finding. *)
+
+type report = {
+  findings : Finding.t list;  (** sorted by {!Finding.compare}, deduped. *)
+  files : string list;  (** [.ml] files scanned, sorted. *)
+  typed : string list;  (** the subset that had a [.cmt] (typed coverage). *)
+}
+
+val run : ?build_dir:string -> roots:string list -> unit -> report
+(** Scan [roots] (files or directories; ["_"]/dot-directories are
+    skipped).  [build_dir] is searched recursively for [.cmt] files; omit
+    it to skip the typed tier entirely. *)
+
+val lint_string : path:string -> string -> Finding.t list
+(** Tier A only, on an in-memory snippet; [path] drives the per-path rule
+    policies (allowlists, decode-file detection).  Malformed-suppression
+    findings are included; unused-suppression ones are not (no typed tier
+    ran).  Used by the tests. *)
+
+val to_json : report -> Wb_obs.Json.t
+val render_human : Format.formatter -> report -> unit

@@ -1,0 +1,44 @@
+module J = Wb_obs.Json
+
+type t = { rule : string; file : string; line : int; col : int; message : string }
+
+let make ~rule ~loc message =
+  let p = loc.Location.loc_start in
+  { rule;
+    file = p.Lexing.pos_fname;
+    line = max 1 p.Lexing.pos_lnum;
+    col = max 0 (p.Lexing.pos_cnum - p.Lexing.pos_bol);
+    message }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.message b.message
+
+let to_string f = Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.message
+
+let to_json f =
+  J.Obj
+    [ ("rule", J.String f.rule);
+      ("file", J.String f.file);
+      ("line", J.Int f.line);
+      ("col", J.Int f.col);
+      ("message", J.String f.message) ]
+
+let of_json j =
+  match
+    ( J.member "rule" j, J.member "file" j, J.member "line" j, J.member "col" j,
+      J.member "message" j )
+  with
+  | Some (J.String rule), Some (J.String file), Some (J.Int line), Some (J.Int col),
+    Some (J.String message) ->
+    Some { rule; file; line; col; message }
+  | _ -> None

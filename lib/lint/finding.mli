@@ -1,0 +1,28 @@
+(** One lint finding: a rule violated at a source location.
+
+    Findings are data, not text — the CLI renders them as a human table or
+    as JSON ({!to_json}), and the tests compare them structurally, so both
+    output formats are projections of the same list and cannot disagree. *)
+
+type t = {
+  rule : string;  (** rule identifier, e.g. ["determinism"]. *)
+  file : string;  (** path as scanned, relative to the scan root. *)
+  line : int;  (** 1-based. *)
+  col : int;  (** 0-based, matching compiler diagnostics. *)
+  message : string;
+}
+
+val make : rule:string -> loc:Location.t -> string -> t
+(** Position is taken from [loc.loc_start]. *)
+
+val compare : t -> t -> int
+(** Order by file, line, column, rule, message. *)
+
+val to_string : t -> string
+(** [file:line:col: [rule] message] — one line, compiler-style. *)
+
+val to_json : t -> Wb_obs.Json.t
+
+val of_json : Wb_obs.Json.t -> t option
+(** Inverse of {!to_json}; [None] on shape mismatch (used by the tests to
+    check that the two output formats agree). *)

@@ -1,0 +1,17 @@
+(** Tier A: rules decidable on the Parsetree alone.
+
+    Covers {!Rules.determinism} (banned randomness / clock identifiers,
+    with the path allowlist), {!Rules.lock_discipline} (raw
+    [Mutex.lock]/[unlock]; blocking [Unix] calls lexically inside a
+    [with_lock] critical section) and {!Rules.decode_hygiene}
+    (exception-raising and partial stdlib idents inside decode functions
+    of the two decode-surface files). *)
+
+val lint_structure :
+  path:string -> ctx:Allow.ctx -> Parsetree.structure -> Finding.t list
+(** Findings come back unsorted; suppressions in [ctx] are honoured and
+    marked used. *)
+
+val lint_source : path:string -> ctx:Allow.ctx -> string -> Finding.t list
+(** Parse [source] (locations report [path]) and lint it.  A syntax error
+    yields a single {!Rules.parse_error} finding. *)

@@ -1,0 +1,164 @@
+open Types
+
+type cmt = { source : string option; path : string; infos : Cmt_format.cmt_infos }
+
+let read path =
+  match Cmt_format.read_cmt path with
+  | infos -> Ok { source = infos.Cmt_format.cmt_sourcefile; path; infos }
+  | exception exn -> Error (Printf.sprintf "%s: %s" path (Printexc.to_string exn))
+
+(* ---- classification of flagged identifiers ----------------------------- *)
+
+let compare_like = [ "="; "<>"; "compare"; "min"; "max" ]
+let hashtbl_keyed = [ "add"; "replace"; "find"; "find_opt"; "find_all"; "mem"; "remove" ]
+let list_member = [ "mem"; "assoc"; "assoc_opt"; "mem_assoc"; "remove_assoc" ]
+
+type flagged =
+  | Compare of string  (** polymorphic comparison; check first argument type. *)
+  | Hashtbl_op of string  (** structural key hashing; check the table's key type. *)
+
+let classify p =
+  match String.split_on_char '.' (Path.name p) with
+  | [ "Stdlib"; f ] when List.mem f compare_like -> Some (Compare f)
+  | [ "Stdlib"; "Hashtbl"; f ] when List.mem f hashtbl_keyed -> Some (Hashtbl_op f)
+  | [ "Stdlib"; "List"; f ] when List.mem f list_member -> Some (Compare ("List." ^ f))
+  | [ "Stdlib"; "Array"; "mem" ] -> Some (Compare "Array.mem")
+  | _ -> None
+
+(* ---- comparison safety of a type --------------------------------------- *)
+
+let scalars =
+  [ "int"; "char"; "bool"; "unit"; "string"; "bytes"; "float"; "int32"; "int64";
+    "nativeint" ]
+
+let containers = [ "option"; "list"; "array"; "result"; "lazy_t"; "Stdlib.ref"; "ref" ]
+
+let expand env ty = try Ctype.expand_head env ty with _ -> ty
+
+let rec safe env depth ty =
+  if depth > 10 then false
+  else
+    match get_desc (expand env ty) with
+    | Tvar _ | Tunivar _ -> true
+    | Ttuple tys -> List.for_all (safe env (depth + 1)) tys
+    | Tpoly (t, _) -> safe env (depth + 1) t
+    | Tvariant row ->
+      (* polymorphic variants with only constant tags compare like ints *)
+      List.for_all
+        (fun (_, f) ->
+          match row_field_repr f with
+          | Rpresent None -> true
+          | Rpresent (Some _) -> false
+          | Reither (const, args, _) -> (
+            const && match args with [] -> true | _ :: _ -> false)
+          | Rabsent -> true)
+        (row_fields row)
+    | Tconstr (p, args, _) -> (
+      let name = Path.name p in
+      if List.mem name scalars then true
+      else if List.mem name containers then List.for_all (safe env (depth + 1)) args
+      else
+        (* enum-like variants (all constructors constant) compare like ints *)
+        match Env.find_type p env with
+        | { type_kind = Type_variant (cds, _); _ } ->
+          List.for_all
+            (fun cd -> match cd.cd_args with Cstr_tuple [] -> true | _ -> false)
+            cds
+        | _ -> false
+        | exception Not_found -> false)
+    | _ -> false
+
+let first_arg env ty =
+  match get_desc (expand env ty) with Tarrow (_, a, _, _) -> Some a | _ -> None
+
+(* [expand_head] normalises the path through the [module Hashtbl =
+   Stdlib__Hashtbl] alias, so the constructor can print under either
+   name, and on the raw or the expanded type. *)
+let hashtbl_key env ty =
+  let key t =
+    match get_desc t with
+    | Tconstr (p, [ k; _ ], _)
+      when let n = Path.name p in
+           String.equal n "Stdlib.Hashtbl.t" || String.equal n "Stdlib__Hashtbl.t" ->
+      Some k
+    | _ -> None
+  in
+  match key ty with Some k -> Some k | None -> key (expand env ty)
+
+let show_type ty = Format.asprintf "%a" Printtyp.type_expr ty
+
+(* ---- the walk ----------------------------------------------------------- *)
+
+let lint_structure ~ctx str =
+  let findings = ref [] in
+  let add loc msg =
+    if not (Allow.suppressed ctx ~rule:Rules.poly_compare) then
+      findings := Finding.make ~rule:Rules.poly_compare ~loc msg :: !findings
+  in
+  let full_env e =
+    try Envaux.env_of_only_summary e.Typedtree.exp_env
+    with _ -> e.Typedtree.exp_env
+  in
+  let check_ident (e : Typedtree.expression) loc p =
+    match classify p with
+    | None -> ()
+    | Some (Compare f) -> (
+      let env = full_env e in
+      match first_arg env e.exp_type with
+      | Some arg when not (safe env 0 arg) ->
+        add loc
+          (Printf.sprintf
+             "polymorphic %s at type %s: structural comparison here is a silent \
+              correctness hazard; use a dedicated equal/compare (Board.equal, \
+              Message.equal, Nat.compare, ...) or match explicitly"
+             f (show_type arg))
+      | _ -> ())
+    | Some (Hashtbl_op f) -> (
+      let env = full_env e in
+      match Option.bind (first_arg env e.exp_type) (hashtbl_key env) with
+      | Some key when not (safe env 0 key) ->
+        add loc
+          (Printf.sprintf
+             "polymorphic Hashtbl.%s with key type %s hashes structurally \
+              (Hashtbl.hash); key by a scalar or use a dedicated table"
+             f (show_type key))
+      | _ -> ())
+  in
+  let super = Tast_iterator.default_iterator in
+  let expr it (e : Typedtree.expression) =
+    Allow.with_attrs ctx e.exp_attributes (fun () ->
+        (match e.exp_desc with
+        | Texp_ident (p, { loc; _ }, _) -> check_ident e loc p
+        | _ -> ());
+        super.expr it e)
+  in
+  let value_binding it (vb : Typedtree.value_binding) =
+    Allow.with_attrs ctx vb.vb_attributes (fun () -> super.value_binding it vb)
+  in
+  let iter = { super with expr; value_binding } in
+  iter.structure iter str;
+  !findings
+
+let lint ?(load_root = ".") ~ctx cmt =
+  match cmt.infos.Cmt_format.cmt_annots with
+  | Cmt_format.Implementation str ->
+    (* Rebuild environments against the load path this .cmt was compiled
+       with, so aliases expand and declarations resolve.  Dune records the
+       entries relative to the build root; anchor them at [load_root] so
+       the tool works from the repo root too, not only from inside
+       [_build/default]. *)
+    let resolve p =
+      if String.equal p "" then load_root
+      else if Filename.is_relative p then Filename.concat load_root p
+      else p
+    in
+    Load_path.init ~auto_include:Load_path.no_auto_include
+      (List.map resolve cmt.infos.Cmt_format.cmt_loadpath);
+    Env.reset_cache ();
+    lint_structure ~ctx str
+  | _ -> []
+
+let lint_cmt_file ?load_root path =
+  match read path with
+  | Error _ as e -> e
+  | Ok cmt -> Ok (lint ?load_root ~ctx:(Allow.create ()) cmt)

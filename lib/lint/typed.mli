@@ -1,0 +1,37 @@
+(** Tier B: the {!Rules.poly_compare} rule, decided on the Typedtree.
+
+    Works from the [.cmt] files dune already emits, so a flagged [=] is a
+    real polymorphic comparison at a real inferred type — not a syntactic
+    guess.  Flagged identifiers: [Stdlib.(=)]/[(<>)], [compare], [min],
+    [max], the key-hashing [Hashtbl] operations, and the [List]
+    membership/assoc family — whenever the element (first-argument) type
+    is not comparison-safe.
+
+    Comparison-safe types: the built-in scalars ([int], [char], [bool],
+    [string], [bytes], [float], boxed ints, [unit]), enum-like variants
+    whose constructors are all constant (they compare like ints), and
+    [option]/[list]/[array]/[ref]/[result]/[lazy_t]/tuples of safe types.
+    Type variables are left alone: a genuinely polymorphic context cannot
+    be judged.  Everything else — records, payload-carrying variants,
+    arrows, abstract types like [Nat.t] — is a finding. *)
+
+type cmt = {
+  source : string option;
+      (** [cmt_sourcefile], relative to the dune build root. *)
+  path : string;  (** path the [.cmt] was read from. *)
+  infos : Cmt_format.cmt_infos;
+}
+
+val read : string -> (cmt, string) result
+(** Load one [.cmt]; [Error] carries a human-readable reason (corrupt
+    file, wrong compiler magic, ...). *)
+
+val lint : ?load_root:string -> ctx:Allow.ctx -> cmt -> Finding.t list
+(** Walk the implementation (non-implementation [.cmt]s yield []).
+    Initialises the compiler load path from the [.cmt]'s recorded one so
+    environments can be rebuilt and type aliases expanded; relative
+    entries (dune records them against the build root) are anchored at
+    [load_root] (default ["."], i.e. assume we run from the build root). *)
+
+val lint_cmt_file : ?load_root:string -> string -> (Finding.t list, string) result
+(** Convenience for tests: {!read} + {!lint} with a fresh context. *)

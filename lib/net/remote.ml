@@ -111,7 +111,7 @@ let diff_runs (remote : M.Engine.run) (local : M.Engine.run) =
   int_array "activation rounds" remote.activation_round local.activation_round;
   int_array "write rounds" remote.write_round local.write_round;
   int_array "compose counts" remote.compose_count local.compose_count;
-  if remote.stats <> local.stats then
+  if not (M.Engine.stats_equal remote.stats local.stats) then
     add "stats: remote %d rounds/%d max/%d total vs local %d rounds/%d max/%d total"
       remote.stats.rounds remote.stats.max_message_bits remote.stats.total_bits
       local.stats.rounds local.stats.max_message_bits local.stats.total_bits;

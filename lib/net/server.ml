@@ -50,28 +50,25 @@ let port t = t.port_no
    enough; [serve]'s poll loop notices it within one tick and closes the
    descriptor itself, the only place that ever does. *)
 let stop t =
-  Mutex.lock t.lock;
-  t.stopped <- true;
-  Condition.broadcast t.cond;
-  Mutex.unlock t.lock
+  Sync.with_lock t.lock (fun () ->
+      t.stopped <- true;
+      Condition.broadcast t.cond)
 
 let take_result t name =
-  Mutex.lock t.lock;
-  let rec wait () =
-    match List.assoc_opt name t.results with
-    | Some r ->
-      t.results <- List.remove_assoc name t.results;
-      Some r
-    | None ->
-      if t.stopped then None
-      else begin
-        Condition.wait t.cond t.lock;
-        wait ()
-      end
-  in
-  let r = wait () in
-  Mutex.unlock t.lock;
-  r
+  Sync.with_lock t.lock (fun () ->
+      let rec wait () =
+        match List.assoc_opt name t.results with
+        | Some r ->
+          t.results <- List.remove_assoc name t.results;
+          Some r
+        | None ->
+          if t.stopped then None
+          else begin
+            Condition.wait t.cond t.lock;
+            wait ()
+          end
+      in
+      wait ())
 
 let reject conn code detail =
   ignore (Conn.send conn (Wire.Error { code; detail }));
@@ -82,8 +79,7 @@ let reject conn code detail =
    array — the claimer then referees the session on its own thread. *)
 let claim t ~session ~node_pref conn =
   let n = G.n t.spec.graph in
-  Mutex.lock t.lock;
-  let result =
+  Sync.with_lock t.lock (fun () ->
     match List.assoc_opt session t.results with
     | Some _ -> Result.Error (Wire.Session_busy, "session already completed")
     | None -> (
@@ -97,13 +93,13 @@ let claim t ~session ~node_pref conn =
       in
       let free = ref [] in
       for v = n - 1 downto 0 do
-        if slots.(v) = None then free := v :: !free
+        if Option.is_none slots.(v) then free := v :: !free
       done;
       match (node_pref, !free) with
       | _, [] -> Result.Error (Wire.Session_busy, "session already full")
       | Some v, _ when v < 0 || v >= n ->
         Result.Error (Wire.Node_taken, Printf.sprintf "node %d out of range [0,%d)" v n)
-      | Some v, _ when slots.(v) <> None ->
+      | Some v, _ when Option.is_some slots.(v) ->
         Result.Error (Wire.Node_taken, Printf.sprintf "node %d already claimed" v)
       | pref, first_free :: _ ->
         let v = match pref with Some v -> v | None -> first_free in
@@ -112,18 +108,16 @@ let claim t ~session ~node_pref conn =
           Hashtbl.remove t.pending session;
           Ok (v, Some (Array.map Option.get slots))
         end
-        else Ok (v, None))
-  in
-  Mutex.unlock t.lock;
-  result
+        else Ok (v, None)))
 
 let record_result t ~max_sessions session result =
-  Mutex.lock t.lock;
-  t.results <- (session, result) :: t.results;
-  t.completed <- t.completed + 1;
-  let enough = match max_sessions with Some k -> t.completed >= k | None -> false in
-  Condition.broadcast t.cond;
-  Mutex.unlock t.lock;
+  let enough =
+    Sync.with_lock t.lock (fun () ->
+        t.results <- (session, result) :: t.results;
+        t.completed <- t.completed + 1;
+        Condition.broadcast t.cond;
+        match max_sessions with Some k -> t.completed >= k | None -> false)
+  in
   if enough then stop t
 
 let handshake t ~max_sessions conn =
@@ -167,12 +161,7 @@ let handshake t ~max_sessions conn =
   | Ok f -> reject conn Wire.Bad_hello ("expected HELLO, got " ^ Wire.opcode_name f)
 
 let serve ?max_sessions t =
-  let stopped () =
-    Mutex.lock t.lock;
-    let s = t.stopped in
-    Mutex.unlock t.lock;
-    s
-  in
+  let stopped () = Sync.with_lock t.lock (fun () -> t.stopped) in
   let rec loop () =
     if not (stopped ()) then begin
       match Unix.select [ t.fd ] [] [] 0.05 with
@@ -199,9 +188,8 @@ let serve ?max_sessions t =
   loop ();
   (try Unix.close t.fd with Unix.Unix_error _ -> ());
   (* Wake any take_result waiting on a session that will never finish. *)
-  Mutex.lock t.lock;
-  t.stopped <- true;
-  Condition.broadcast t.cond;
-  Mutex.unlock t.lock
+  Sync.with_lock t.lock (fun () ->
+      t.stopped <- true;
+      Condition.broadcast t.cond)
 
 let serve_in_thread ?max_sessions t = Thread.create (fun () -> serve ?max_sessions t) ()

@@ -138,7 +138,7 @@ let run cfg conns =
     if not frozen then List.iter compose_now !candidates;
     (* A node that died mid-compose has no trustworthy message: drop it from
        the adversary's menu (on fault-free runs this filter is identity). *)
-    (List.filter (fun v -> status.(v) = Active && memory.(v) <> None) !candidates, !activated)
+    (List.filter (fun v -> status.(v) = Active && Option.is_some memory.(v)) !candidates, !activated)
   in
   let rec advance () =
     if M.Board.length board = n then `Success
@@ -200,7 +200,7 @@ let run cfg conns =
     done;
     Obs.Metrics.incr m_sessions;
     Obs.Metrics.incr (m_outcome tag);
-    if !faults <> [] then Obs.Metrics.incr m_faulted;
+    if not (List.is_empty !faults) then Obs.Metrics.incr m_faulted;
     { run =
         { M.Engine.outcome;
           writes = M.Board.authors_in_order board;

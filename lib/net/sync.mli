@@ -1,0 +1,13 @@
+(** Lock discipline for the referee: critical sections that cannot leak.
+
+    [with_lock m f] runs [f ()] with [m] held and releases [m] on every
+    exit path, including exceptions ([Fun.protect]).  All of [wb_net]'s
+    shared-state access goes through this combinator — the
+    [lock-discipline] lint rule bans raw [Mutex.lock]/[Mutex.unlock]
+    everywhere except this module's implementation.
+
+    [Condition.wait] is safe inside the callback: it atomically releases
+    and reacquires the same mutex, so the ownership invariant assumed by
+    the final unlock still holds. *)
+
+val with_lock : Mutex.t -> (unit -> 'a) -> 'a

@@ -232,7 +232,9 @@ let get_payload op r =
   | 10 ->
     let code = error_code_of_int (get_nat r) in
     Error { code; detail = get_string r }
-  | _ -> assert false
+  (* The caller range-checks [op], but a decode path never asserts: if the
+     guard and this table ever disagree, that is a typed error too. *)
+  | op -> fail (Printf.sprintf "opcode %d has no payload decoder" op)
 
 (* ---- framing ---------------------------------------------------------- *)
 

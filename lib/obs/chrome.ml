@@ -11,7 +11,7 @@ let common ~name ~ph ~ts ~tid extra =
 
 let instant ~name ~round ~tid args =
   common ~name ~ph:"i" ~ts:(ts_of_round round) ~tid
-    (("s", Json.String "t") :: (if args = [] then [] else [ ("args", Json.Obj args) ]))
+    (("s", Json.String "t") :: (if List.is_empty args then [] else [ ("args", Json.Obj args) ]))
 
 let convert events =
   (* Pass 1: node lifetimes (activation round -> write round) and the last

@@ -85,7 +85,9 @@ let histogram_count h = h.count
 let histogram_sum h = h.sum
 
 let sorted () =
-  List.sort compare (Hashtbl.fold (fun name (help, m) acc -> (name, help, m) :: acc) registry [])
+  List.sort
+    (fun (a, _, _) (b, _, _) -> String.compare a b)
+    (Hashtbl.fold (fun name (help, m) acc -> (name, help, m) :: acc) registry [])
 
 let histogram_json h =
   let buckets =

@@ -4,6 +4,8 @@ module R = Wb_support.Bitbuf.Reader
 
 type variant = { with_d0 : bool; check_parity : bool }
 
+let variant_equal a b = a.with_d0 = b.with_d0 && a.check_parity = b.check_parity
+
 type entry =
   | Invalid of int
   | Node of { id : int; layer : int; parent : int; dm : int; d0 : int; dp : int }
@@ -108,7 +110,7 @@ module Analysis = struct
     let current =
       match !cache with
       | Some t
-        when t.board == board && t.variant = variant
+        when t.board == board && variant_equal t.variant variant
              && t.board_gen = P.Board.generation board
              && t.parsed <= P.Board.length board -> t
       | Some _ | None ->

@@ -53,7 +53,7 @@ let encode ~n spec ~alphabet =
       if spec.conflict universe.(i) universe.(j) then begin
         let differing = ref [] in
         for v = 0 to n - 1 do
-          if vectors.(i).(v) <> vectors.(j).(v) then
+          if not (Views.equal vectors.(i).(v) vectors.(j).(v)) then
             differing := diff_var vectors.(i).(v) vectors.(j).(v) :: !differing
         done;
         (* Identical vectors on conflicting graphs: impossible instance
@@ -80,7 +80,7 @@ let message_function ~n spec ~alphabet =
         in
         find 0)
 
-let exists_protocol ~n spec ~alphabet = message_function ~n spec ~alphabet <> None
+let exists_protocol ~n spec ~alphabet = Option.is_some (message_function ~n spec ~alphabet)
 
 let min_alphabet ~n spec ~max =
   let rec go b = if b > max then None else if exists_protocol ~n spec ~alphabet:b then Some b else go (b + 1) in

@@ -1,5 +1,7 @@
 type t = { id : int; mask : int }
 
+let equal a b = a.id = b.id && a.mask = b.mask
+
 let all ~n =
   List.concat_map
     (fun id ->

@@ -4,6 +4,8 @@
 
 type t = { id : int; mask : int  (** neighbourhood bitmask over [0..n-1]. *) }
 
+val equal : t -> t -> bool
+
 val all : n:int -> t list
 (** All [n * 2^(n-1)] views (bit [id] never set in [mask]). *)
 

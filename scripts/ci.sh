@@ -9,3 +9,7 @@ cd "$(dirname "$0")/.."
 dune build
 dune runtest
 dune build @check-obs @check-net --force
+
+# Static analysis: the tree must lint clean (both tiers), and the linter
+# itself must keep finding the seeded fixture violations.
+dune build @lint @check-lint --force

@@ -1,0 +1,53 @@
+(* Validate the wblint --json artifact that the @check-lint alias produces
+   from the fixture tree: exact per-rule finding counts, no findings
+   outside the pinned rules, and the coverage counters.  Companion to
+   check_trace.ml; keep the numbers in sync with test_lint.ml's
+   [expected_fixture_counts]. *)
+
+module J = Wb_obs.Json
+
+let expected =
+  [ ("determinism", 5);
+    ("lock-discipline", 3);
+    ("decode-hygiene", 3);
+    ("interface-coverage", 1);
+    ("lint-allow", 2) ]
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("check_lint: " ^ s); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else fail "usage: check_lint FILE.json" in
+  let json =
+    match J.of_string (read_file path) with
+    | Ok j -> j
+    | Error e -> fail "%s does not parse as JSON: %s" path e
+  in
+  let findings =
+    match J.to_list (J.get "findings" json) with
+    | Some l -> l
+    | None -> fail "%s: findings is not a list" path
+  in
+  let rule_of f =
+    match J.member "rule" f with
+    | Some (J.String s) -> s
+    | _ -> fail "%s: finding without a rule field" path
+  in
+  List.iter
+    (fun (rule, n) ->
+      let got = List.length (List.filter (fun f -> String.equal (rule_of f) rule) findings) in
+      if got <> n then fail "rule %s: expected %d findings, got %d" rule n got)
+    expected;
+  let total = List.length findings in
+  let sum = List.fold_left (fun a (_, n) -> a + n) 0 expected in
+  if total <> sum then fail "%d findings outside the pinned rules" (total - sum);
+  (match J.to_int (J.get "files_scanned" json) with
+  | Some 6 -> ()
+  | Some n -> fail "files_scanned: expected 6, got %d" n
+  | None -> fail "files_scanned missing");
+  Printf.printf "check_lint: %s ok — %d findings, all accounted for\n" path total

@@ -1,0 +1,5 @@
+(* Tier A fixture: malformed suppressions are findings themselves, and a
+   malformed suppression suppresses nothing (the Random below still fires). *)
+let no_reason () = (Random.int 3) [@wb.lint.allow "determinism"]
+
+let unknown_rule = (1 + 1) [@wb.lint.allow "no-such-rule: not a rule id"]

@@ -1,0 +1,5 @@
+(* Tier A fixture: every binding below trips the determinism rule. *)
+let jitter () = Random.int 10
+let bucket x = Hashtbl.hash x
+let stamp () = Unix.gettimeofday ()
+let elapsed () = Sys.time ()

@@ -1,0 +1,2 @@
+(* Tier A fixture: nothing to report. *)
+let add a b = a + b

@@ -1,0 +1,8 @@
+(* Tier A fixture: decode-path hygiene violations, plus a missing .mli —
+   the path ends in lib/net/wire.ml, so both path-scoped rules apply. *)
+let decode_frame s =
+  if String.length s = 0 then failwith "empty frame";
+  ignore (List.hd [ s ]);
+  assert false
+
+let encode_frame s = s ^ "!" (* encode path: not checked *)

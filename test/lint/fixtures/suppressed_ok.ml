@@ -1,0 +1,4 @@
+(* Tier A fixture: a well-formed suppression — must lint clean. *)
+let seeded () =
+  (Random.int 5)
+  [@wb.lint.allow "determinism: fixture - demonstrates a suppression"]

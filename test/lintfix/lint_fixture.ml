@@ -1,0 +1,23 @@
+(* Compiled fixture for the linter's typed-tier tests.  test_lint.ml
+   locates this module's .cmt file and asserts findings by LINE NUMBER —
+   keep the layout stable, or update [poly_eq_line]/[lookup_line]/
+   [suppressed_line] in test/test_lint.ml to match. *)
+
+type r = { tag : int; label : string }
+
+let poly_eq (x : r) (y : r) = x = y (* line 8: poly-compare finding *)
+
+let mono_eq (x : r) (y : r) = x.tag = y.tag && String.equal x.label y.label
+
+let suppressed_eq (x : r) (y : r) =
+  (x = y) (* line 13: suppressed, must NOT be a finding *)
+  [@wb.lint.allow
+    "poly-compare: fixture - r is two scalars; structural equality is sound"]
+
+let table : (r, int) Hashtbl.t = Hashtbl.create 3
+
+let lookup k = Hashtbl.find_opt table k (* line 19: poly-compare finding *)
+
+let generic_mem x l = List.mem x l (* clean: genuinely polymorphic *)
+
+let int_mem (x : int) l = List.mem x l (* clean: int elements *)

@@ -13,4 +13,5 @@ let () =
          Test_extensions.suites;
          Test_robustness.suites;
          Test_obs.suites;
-         Test_net.suites ])
+         Test_net.suites;
+         Test_lint.suites ])
