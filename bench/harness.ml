@@ -83,9 +83,11 @@ let verify protocol problem graphs ~exhaustive_below =
         (fun adv -> if not (validate (P.Engine.run_packed protocol g adv)) then ok := false)
         strategies;
       if G.Graph.n g <= exhaustive_below then begin
-        let all_ok, count = P.Engine.explore_packed ~limit:200_000 protocol g validate in
-        ignore count;
-        if not all_ok then ok := false
+        match P.Engine.explore_packed ~limit:200_000 protocol g validate with
+        | Ok (all_ok, _count) -> if not all_ok then ok := false
+        | Error (`Limit limit) ->
+          Printf.printf "  !! exploration exceeded %d executions\n" limit;
+          ok := false
       end)
     graphs;
   (!ok, !runs, !max_bits)

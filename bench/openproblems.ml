@@ -30,18 +30,26 @@ let deadlock () =
   Harness.subsection "Open Problem 3 — why ASYNC seems too weak for BFS";
   let odd = G.Graph.of_edges 5 [ (0, 1); (0, 2); (1, 2); (1, 3); (3, 4) ] in
   let ok, schedules =
-    P.Engine.explore_packed Wb_protocols.Bfs_bipartite_async.protocol odd (fun r ->
-        P.Engine.outcome_equal r.P.Engine.outcome P.Engine.Deadlock)
+    match
+      P.Engine.explore_packed Wb_protocols.Bfs_bipartite_async.protocol odd (fun r ->
+          P.Engine.outcome_equal r.P.Engine.outcome P.Engine.Deadlock)
+    with
+    | Ok r -> r
+    | Error (`Limit _) -> (false, 0)
   in
   Printf.printf
     "ASYNC layer protocol on triangle+tail: deadlocks under all %d schedules  [%s]\n" schedules
     (Harness.tick ok);
   let even = G.Gen.cycle 6 in
-  let ok2, _ =
-    P.Engine.explore_packed Wb_protocols.Bfs_bipartite_async.protocol even (fun r ->
-        match r.P.Engine.outcome with
-        | P.Engine.Success a -> P.Problems.valid_answer P.Problems.Bfs even a
-        | _ -> false)
+  let ok2 =
+    match
+      P.Engine.explore_packed Wb_protocols.Bfs_bipartite_async.protocol even (fun r ->
+          match r.P.Engine.outcome with
+          | P.Engine.Success a -> P.Problems.valid_answer P.Problems.Bfs even a
+          | _ -> false)
+    with
+    | Ok (ok2, _) -> ok2
+    | Error (`Limit _) -> false
   in
   Printf.printf "same protocol on C6 (bipartite): succeeds under all schedules       [%s]\n"
     (Harness.tick ok2)

@@ -265,7 +265,18 @@ let explore_cmd =
       & opt string "explore-trace.jsonl"
       & info [ "sample-out" ] ~docv:"FILE" ~doc:"Destination of the sampled trace")
   in
-  let run key family n p seed metrics_json sample sample_out =
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Split the schedule tree over N worker domains.  The verdict and \
+             execution count are identical to the sequential exploration; \
+             incompatible with --sample-trace (parallel workers interleave \
+             events with no meaningful order)")
+  in
+  let run key family n p seed metrics_json sample sample_out jobs =
     with_entry key (fun e ->
         let g = make_graph ~family ~n ~p ~seed in
         let problem = e.problem (G.Graph.n g) in
@@ -274,6 +285,14 @@ let explore_cmd =
           prerr_endline "wbctl: --sample-trace K must be positive";
           exit 1
         | _ -> ());
+        if jobs < 1 then begin
+          prerr_endline "wbctl: --jobs N must be positive";
+          exit 1
+        end;
+        if jobs > 1 && sample <> None then begin
+          prerr_endline "wbctl: --sample-trace requires a sequential exploration (drop --jobs)";
+          exit 1
+        end;
         let sink, oc =
           match sample with
           | None -> (None, None)
@@ -281,23 +300,31 @@ let explore_cmd =
             let oc = open_out_or_die sample_out in
             (Some (Obs.Trace.sample ~every:k (Obs.Trace.jsonl_writer oc)), Some oc)
         in
-        let ok, count =
-          P.Engine.explore_packed ?trace:sink e.protocol g (fun r ->
-              match r.P.Engine.outcome with
-              | P.Engine.Success a -> P.Problems.valid_answer problem g a
-              | _ -> false)
+        let check r =
+          match r.P.Engine.outcome with
+          | P.Engine.Success a -> P.Problems.valid_answer problem g a
+          | _ -> false
+        in
+        let result =
+          if jobs > 1 then P.Engine.explore_par_packed ~jobs e.protocol g check
+          else P.Engine.explore_packed ?trace:sink e.protocol g check
         in
         Option.iter Obs.Trace.close sink;
         Option.iter close_out oc;
-        Printf.printf "schedules explored: %d   all valid: %b\n" count ok;
-        if sample <> None then Printf.printf "sampled trace: %s\n" sample_out;
-        write_metrics_json metrics_json)
+        match result with
+        | Error (`Limit limit) ->
+          Printf.eprintf "wbctl: exploration exceeded the execution limit (%d)\n" limit;
+          exit 2
+        | Ok (ok, count) ->
+          Printf.printf "schedules explored: %d   all valid: %b\n" count ok;
+          if sample <> None then Printf.printf "sampled trace: %s\n" sample_out;
+          write_metrics_json metrics_json)
   in
   Cmd.v
     (Cmd.info "explore" ~doc:"Check a protocol under every adversarial schedule (small n!)")
     Term.(
       const run $ key_arg $ family_arg $ n_arg $ p_arg $ seed_arg $ metrics_json_arg $ sample_arg
-      $ sample_out_arg)
+      $ sample_out_arg $ jobs_arg)
 
 (* ---- networked whiteboard (wb_net) ----------------------------------- *)
 

@@ -1,14 +1,14 @@
 module Obs = Wb_obs
 
-type outcome =
+type outcome = Machine.outcome =
   | Success of Answer.t
   | Deadlock
   | Size_violation of { node : int; bits : int; bound : int }
   | Output_error of string
 
-type stats = { rounds : int; max_message_bits : int; total_bits : int }
+type stats = Machine.stats = { rounds : int; max_message_bits : int; total_bits : int }
 
-type run = {
+type run = Machine.run = {
   outcome : outcome;
   writes : int array;
   stats : stats;
@@ -19,306 +19,198 @@ type run = {
   board : Board.t;
 }
 
-let default_max_rounds n = (2 * n) + 8
-
-let succeeded r = match r.outcome with Success _ -> true | Deadlock | Size_violation _ | Output_error _ -> false
-
-let answer r = match r.outcome with Success a -> Some a | Deadlock | Size_violation _ | Output_error _ -> None
-
-let outcome_tag = function
-  | Success _ -> "success"
-  | Deadlock -> "deadlock"
-  | Size_violation _ -> "size_violation"
-  | Output_error _ -> "output_error"
-
-let outcome_equal a b =
-  match (a, b) with
-  | Success x, Success y -> Answer.equal x y
-  | Deadlock, Deadlock -> true
-  | Size_violation x, Size_violation y ->
-    x.node = y.node && x.bits = y.bits && x.bound = y.bound
-  | Output_error x, Output_error y -> String.equal x y
-  | (Success _ | Deadlock | Size_violation _ | Output_error _), _ -> false
-
-let stats_equal a b =
-  a.rounds = b.rounds
-  && a.max_message_bits = b.max_message_bits
-  && a.total_bits = b.total_bits
-
-type status = Awake | Active | Terminated
+let default_max_rounds = Machine.default_max_rounds
+let succeeded = Machine.succeeded
+let answer = Machine.answer
+let outcome_tag = Machine.outcome_tag
+let outcome_equal = Machine.outcome_equal
+let stats_equal = Machine.stats_equal
 
 (* Registry entries are process-global and idempotent: every Engine.Make
-   instantiation shares them. *)
+   instantiation shares them.  The per-round engine.* metrics live with the
+   kernel in {!Machine}; the per-driver ones are here. *)
 let m_runs = Obs.Metrics.counter ~help:"completed Engine.run executions" "engine.runs"
-let m_rounds = Obs.Metrics.counter ~help:"rounds across all executions" "engine.rounds"
-let m_writes = Obs.Metrics.counter ~help:"messages appended to boards" "engine.writes"
-
-let m_composes =
-  Obs.Metrics.counter ~help:"message compositions incl. synchronous recompositions"
-    "engine.recompositions"
-
-let m_compose_per_node =
-  Obs.Metrics.histogram ~help:"compositions per node per execution" "engine.compose_per_node"
-
-let m_candidates =
-  Obs.Metrics.histogram ~help:"write-candidate set size per round" "engine.candidates_per_round"
-
-let m_board_bits = Obs.Metrics.gauge ~help:"board total bits after last write" "engine.board_bits"
-let m_deadlocks = Obs.Metrics.counter ~help:"executions ending in deadlock" "engine.deadlocks"
 
 let m_explore_execs =
   Obs.Metrics.counter ~help:"complete executions visited by explore" "engine.explore_executions"
 
 let () = Obs.Metrics.probe ~help:"total 64-bit PRNG draws" "prng.draws" Wb_support.Prng.total_draws
 
+exception Limit_exceeded
+
 module Make (P : Protocol.S) = struct
-  module G = Wb_graph.Graph
+  module N = struct
+    let model = P.model
+    let message_bound = P.message_bound
 
-  type state = {
-    g : G.t;
-    size : int;
-    bound : int;
-    views : View.t array;
-    board : Board.t;
-    trace : Obs.Trace.t option;
-    mutable status : status array;
-    mutable locals : P.local array;
-    mutable memory : Message.t option array;
-    mutable activation_round : int array;
-    mutable write_round : int array;
-    mutable compose_count : int array;
-    mutable round : int;
-  }
+    type local = P.local
 
-  let initial ?trace g =
-    let size = G.n g in
-    let views = Array.init size (View.make g) in
-    { g;
-      size;
-      bound = P.message_bound ~n:size;
-      views;
-      board = Board.create size;
-      trace;
-      status = Array.make size Awake;
-      locals = Array.map P.init views;
-      memory = Array.make size None;
-      activation_round = Array.make size (-1);
-      write_round = Array.make size (-1);
-      compose_count = Array.make size 0;
-      round = 0 }
+    let init = P.init
+    let wants_to_activate ~round:_ view board local = P.wants_to_activate view board local
 
-  let frozen = Model.frozen_at_activation P.model
+    let compose ~round:_ view board local =
+      let writer, local = P.compose view board local in
+      Some (Message.of_writer ~author:(View.id view) writer, local)
 
-  let simultaneous = Model.simultaneous P.model
+    let output = P.output
+  end
 
-  let compose_now st v =
-    let writer, local = P.compose st.views.(v) st.board st.locals.(v) in
-    st.locals.(v) <- local;
-    let m = Message.of_writer ~author:v writer in
-    st.memory.(v) <- Some m;
-    st.compose_count.(v) <- st.compose_count.(v) + 1;
-    Obs.Metrics.incr m_composes;
-    match st.trace with
-    | None -> ()
-    | Some tr ->
-      Obs.Trace.emit tr
-        (Obs.Event.Compose { node = v; round = st.round; bits = Message.size_bits m })
-
-  (* One deterministic round prefix: terminations, candidate collection,
-     activations, synchronous recomposition.  Returns the candidates. *)
-  let round_prefix st =
-    st.round <- st.round + 1;
-    (match st.trace with
-    | None -> ()
-    | Some tr -> Obs.Trace.emit tr (Obs.Event.Round_start { round = st.round }));
-    let activated = ref false in
-    for v = 0 to st.size - 1 do
-      if st.status.(v) = Active && Board.has_author st.board v then st.status.(v) <- Terminated
-    done;
-    let candidates = ref [] in
-    for v = st.size - 1 downto 0 do
-      if st.status.(v) = Active then candidates := v :: !candidates
-    done;
-    Obs.Metrics.observe m_candidates (List.length !candidates);
-    for v = 0 to st.size - 1 do
-      if st.status.(v) = Awake then begin
-        let goes =
-          if simultaneous then st.round = 1
-          else P.wants_to_activate st.views.(v) st.board st.locals.(v)
-        in
-        if goes then begin
-          st.status.(v) <- Active;
-          st.activation_round.(v) <- st.round;
-          activated := true;
-          (match st.trace with
-          | None -> ()
-          | Some tr -> Obs.Trace.emit tr (Obs.Event.Activate { node = v; round = st.round }));
-          if frozen then compose_now st v
-        end
-      end
-    done;
-    if not frozen then List.iter (compose_now st) !candidates;
-    (!candidates, !activated)
-
-  let do_write st v =
-    match st.memory.(v) with
-    | None -> assert false
-    | Some m ->
-      Board.append st.board m;
-      st.write_round.(v) <- st.round;
-      Obs.Metrics.incr m_writes;
-      Obs.Metrics.set m_board_bits (Board.total_bits st.board);
-      (match st.trace with
-      | None -> ()
-      | Some tr ->
-        Obs.Trace.emit tr
-          (Obs.Event.Write
-             { node = v;
-               round = st.round;
-               bits = Message.size_bits m;
-               board_bits = Board.total_bits st.board }));
-      m
-
-  let finish st outcome =
-    let message_bits = Array.make st.size (-1) in
-    Board.iter (fun m -> message_bits.(Message.author m) <- Message.size_bits m) st.board;
-    Obs.Metrics.add m_rounds st.round;
-    Array.iter (Obs.Metrics.observe m_compose_per_node) st.compose_count;
-    (match outcome with Deadlock -> Obs.Metrics.incr m_deadlocks | _ -> ());
-    (match st.trace with
-    | None -> ()
-    | Some tr ->
-      (match outcome with
-      | Deadlock -> Obs.Trace.emit tr (Obs.Event.Deadlock_detected { round = st.round })
-      | _ -> ());
-      Obs.Trace.emit tr (Obs.Event.Run_end { round = st.round; outcome = outcome_tag outcome }));
-    { outcome;
-      writes = Board.authors_in_order st.board;
-      stats =
-        { rounds = st.round;
-          max_message_bits = Board.max_message_bits st.board;
-          total_bits = Board.total_bits st.board };
-      activation_round = Array.copy st.activation_round;
-      write_round = Array.copy st.write_round;
-      message_bits;
-      compose_count = Array.copy st.compose_count;
-      board = st.board }
-
-  let success_outcome st =
-    match P.output ~n:st.size st.board with
-    | answer -> Success answer
-    | exception e -> Output_error (Printexc.to_string e)
-
-  (* Advance through rounds until a scheduling choice, success or deadlock. *)
-  let rec advance st max_rounds =
-    if Board.length st.board = st.size then `Success
-    else if st.round >= max_rounds then `Deadlock
-    else begin
-      match round_prefix st with
-      | [], false -> `Deadlock
-      | [], true -> advance st max_rounds
-      | candidates, _ -> `Choices candidates
-    end
-
-  let check_size st v =
-    match st.memory.(v) with
-    | None -> None
-    | Some m ->
-      let bits = Message.size_bits m in
-      if bits > st.bound then Some (Size_violation { node = v; bits; bound = st.bound }) else None
+  module M = Machine.Make (N)
 
   let run ?max_rounds ?trace g adv =
-    let st = initial ?trace g in
-    let max_rounds =
-      match max_rounds with Some r -> r | None -> default_max_rounds st.size
-    in
+    let m = M.init ?max_rounds ?trace g in
     let rec loop () =
-      match advance st max_rounds with
-      | `Success -> finish st (success_outcome st)
-      | `Deadlock -> finish st Deadlock
+      match M.step m with
       | `Choices candidates ->
-        let v = Adversary.choose adv st.board candidates in
-        (match st.trace with
-        | None -> ()
-        | Some tr ->
-          Obs.Trace.emit tr (Obs.Event.Adversary_pick { node = v; round = st.round; candidates }));
-        (match check_size st v with
-        | Some violation -> finish st violation
-        | None ->
-          ignore (do_write st v);
-          loop ())
+        M.pick m (Adversary.choose adv (M.board m) candidates);
+        loop ()
+      | `Write _ -> loop ()
+      | `Done run -> run
     in
     let result = loop () in
     Obs.Metrics.incr m_runs;
     result
 
-  type snapshot = {
-    s_status : status array;
-    s_locals : P.local array;
-    s_memory : Message.t option array;
-    s_activation : int array;
-    s_write : int array;
-    s_compose : int array;
-    s_round : int;
-    s_board_len : int;
-  }
-
-  let snapshot st =
-    { s_status = Array.copy st.status;
-      s_locals = Array.copy st.locals;
-      s_memory = Array.copy st.memory;
-      s_activation = Array.copy st.activation_round;
-      s_write = Array.copy st.write_round;
-      s_compose = Array.copy st.compose_count;
-      s_round = st.round;
-      s_board_len = Board.snapshot_length st.board }
-
-  let restore st s =
-    st.status <- Array.copy s.s_status;
-    st.locals <- Array.copy s.s_locals;
-    st.memory <- Array.copy s.s_memory;
-    st.activation_round <- Array.copy s.s_activation;
-    st.write_round <- Array.copy s.s_write;
-    st.compose_count <- Array.copy s.s_compose;
-    st.round <- s.s_round;
-    Board.truncate st.board s.s_board_len
-
+  (* Depth-first enumeration of every adversarial schedule over one live
+     machine, snapshot/restore at each choice point.  [List.for_all]
+     short-circuits on the first failing subtree, so the execution count on
+     a failing check depends on candidate order — [explore_par] never
+     short-circuits; see docs/EXPLORATION.md. *)
   let explore ?(limit = 1_000_000) ?trace g check =
-    let st = initial ?trace g in
-    let max_rounds = default_max_rounds st.size in
+    let m = M.init ?trace g in
     let executions = ref 0 in
-    let complete outcome =
+    let complete run =
       incr executions;
       Obs.Metrics.incr m_explore_execs;
-      if !executions > limit then failwith "Engine.explore: execution limit exceeded";
-      check (finish st outcome)
+      if !executions > limit then raise Limit_exceeded;
+      check run
     in
     let rec go () =
-      match advance st max_rounds with
-      | `Success -> complete (success_outcome st)
-      | `Deadlock -> complete Deadlock
+      match M.step m with
+      | `Write _ -> go ()
+      | `Done run -> complete run
       | `Choices candidates ->
         List.for_all
           (fun v ->
-            let saved = snapshot st in
-            let ok =
-              match check_size st v with
-              | Some violation -> complete violation
-              | None ->
-                (match st.trace with
-                | None -> ()
-                | Some tr ->
-                  Obs.Trace.emit tr
-                    (Obs.Event.Adversary_pick { node = v; round = st.round; candidates }));
-                ignore (do_write st v);
-                go ()
-            in
-            restore st saved;
+            let saved = M.snapshot m in
+            M.pick m v;
+            let ok = go () in
+            M.restore m saved;
             ok)
           candidates
     in
-    let all_ok = go () in
-    (all_ok, !executions)
+    match go () with
+    | all_ok -> Ok (all_ok, !executions)
+    | exception Limit_exceeded -> Error (`Limit limit)
+
+  let explore_exn ?limit ?trace g check =
+    match explore ?limit ?trace g check with
+    | Ok r -> r
+    | Error (`Limit _) -> failwith "Engine.explore: execution limit exceeded"
+
+  (* Exhaustive walk of the subtree under the machine's current state with
+     {e no} short-circuit: the visit count is the subtree size, independent
+     of check results and of how subtrees are distributed over workers. *)
+  let rec walk_subtree m complete =
+    match M.step m with
+    | `Write _ -> walk_subtree m complete
+    | `Done run ->
+      let ok = complete run in
+      (ok, 1)
+    | `Choices candidates ->
+      List.fold_left
+        (fun (ok, count) v ->
+          let saved = M.snapshot m in
+          M.pick m v;
+          let ok', count' = walk_subtree m complete in
+          M.restore m saved;
+          (ok && ok', count + count'))
+        (true, 0) candidates
+
+  let explore_par ?(limit = 1_000_000) ~jobs g check =
+    if jobs < 1 then invalid_arg "Engine.explore_par: jobs must be >= 1";
+    let total = Atomic.make 0 in
+    let over = Atomic.make false in
+    let complete run =
+      let seen = 1 + Atomic.fetch_and_add total 1 in
+      Obs.Metrics.incr m_explore_execs;
+      if seen > limit then begin
+        Atomic.set over true;
+        raise Limit_exceeded
+      end;
+      check run
+    in
+    (* Replay a pick-prefix on a fresh machine, stopping at the choice
+       point it leads to.  Prefixes always end strictly before a [`Done],
+       so replay cannot run off the end of the execution. *)
+    let replay prefix =
+      let m = M.init g in
+      let rec feed picks =
+        match (M.step m, picks) with
+        | `Write _, _ -> feed picks
+        | `Choices _, v :: rest ->
+          M.pick m v;
+          feed rest
+        | `Choices candidates, [] -> `Choices (m, candidates)
+        | `Done run, [] -> `Done run
+        | `Done _, _ :: _ -> assert false
+      in
+      feed prefix
+    in
+    (* Sequential breadth-first prefix expansion: split the schedule tree
+       into enough independent subtrees to keep [jobs] workers busy.
+       Executions that complete during expansion are checked inline. *)
+    let prefix_results = ref [] in
+    let expand_one prefix =
+      match replay prefix with
+      | `Done run -> (
+        match complete run with
+        | ok ->
+          prefix_results := ok :: !prefix_results;
+          []
+        | exception Limit_exceeded -> [])
+      | `Choices (_, candidates) -> List.map (fun v -> prefix @ [ v ]) candidates
+    in
+    let target = jobs * 4 in
+    let rec grow depth frontier =
+      if Atomic.get over || depth >= 8 || List.length frontier >= target then frontier
+      else
+        match List.concat_map expand_one frontier with
+        | [] -> []
+        | next -> grow (depth + 1) next
+    in
+    let items = Array.of_list (grow 0 [ [] ]) in
+    let results = Array.make (Array.length items) (true, 0) in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec claim () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < Array.length items && not (Atomic.get over) then begin
+          (match replay items.(i) with
+          | `Done _ -> assert false
+          | `Choices (m, _) -> results.(i) <- walk_subtree m complete);
+          claim ()
+        end
+      in
+      try claim () with Limit_exceeded -> ()
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    if Atomic.get over then Error (`Limit limit)
+    else begin
+      (* Merge in deterministic order: prefix-phase completions first, then
+         the work items by index.  [&&] over booleans and [+] over counts
+         commute, so the verdict and count are independent of [jobs]. *)
+      let ok0 = List.for_all Fun.id (List.rev !prefix_results) in
+      let ok, count =
+        Array.fold_left
+          (fun (ok, count) (ok', count') -> (ok && ok', count + count'))
+          (ok0, List.length !prefix_results)
+          results
+      in
+      Ok (ok, count)
+    end
 end
 
 let run_packed ?max_rounds ?trace (module P : Protocol.S) g adv =
@@ -328,3 +220,11 @@ let run_packed ?max_rounds ?trace (module P : Protocol.S) g adv =
 let explore_packed ?limit ?trace (module P : Protocol.S) g check =
   let module E = Make (P) in
   E.explore ?limit ?trace g check
+
+let explore_packed_exn ?limit ?trace (module P : Protocol.S) g check =
+  let module E = Make (P) in
+  E.explore_exn ?limit ?trace g check
+
+let explore_par_packed ?limit ~jobs (module P : Protocol.S) g check =
+  let module E = Make (P) in
+  E.explore_par ?limit ~jobs g check

@@ -1,37 +1,36 @@
-(** Round-based interpreter for whiteboard protocols.
+(** Drivers for the round-based execution kernel ({!Machine}).
 
-    Operational semantics (one round):
-    + nodes whose message appears on the board become [terminated];
-    + the {e write candidates} are the nodes already active at the start of
-      the round (a node never activates and writes in the same round, per
-      the paper's successor-configuration rule);
-    + awake nodes may activate — all of them in round one under simultaneous
-      models, by [wants_to_activate] otherwise; in frozen models the
-      activating node composes its message now, from the current board, and
-      the message never changes;
-    + in synchronous models every candidate recomposes its message from the
-      current board;
-    + the adversary picks one candidate and its current message is appended.
+    The operational semantics — rounds, activation, frozen vs synchronous
+    composition, write candidates, deadlock — live in {!Machine}; this
+    module adapts a {!Protocol.S} onto the kernel's hook signature and
+    provides the three in-process driving disciplines:
 
-    The run succeeds when all [n] messages are on the board, and deadlocks
-    when no candidate exists and no awake node activates.
+    - {!Make.run} — one execution under one {!Adversary.t};
+    - {!Make.explore} — depth-first enumeration of {e every} adversarial
+      schedule, backtracking over a single live machine;
+    - {!Make.explore_par} — the same enumeration split over multicore
+      workers ([Domain.spawn]), with a verdict and execution count that are
+      deterministic in the number of workers.
 
-    {b Observability.}  With [?trace] attached the engine emits the full
+    The networked referee ([Wb_net.Session]) is the fourth consumer of the
+    same kernel; it adds transport and fault handling but no semantics.
+
+    {b Observability.}  With [?trace] attached the kernel emits the full
     {!Wb_obs.Event} stream (round starts, activations, every composition,
-    adversary picks, writes, deadlock, run end); with it omitted no event is
-    ever constructed.  A handful of process-global {!Wb_obs.Metrics} are
+    adversary picks, writes, deadlock, run end); with it omitted no event
+    is ever constructed.  A handful of process-global {!Wb_obs.Metrics} are
     always maintained ([engine.*]: runs, rounds, writes, recompositions,
     candidate-set sizes, board bits, deadlocks, explore executions). *)
 
-type outcome =
+type outcome = Machine.outcome =
   | Success of Answer.t
   | Deadlock  (** corrupted final configuration: non-terminated nodes remain. *)
   | Size_violation of { node : int; bits : int; bound : int }
   | Output_error of string  (** the output function raised. *)
 
-type stats = { rounds : int; max_message_bits : int; total_bits : int }
+type stats = Machine.stats = { rounds : int; max_message_bits : int; total_bits : int }
 
-type run = {
+type run = Machine.run = {
   outcome : outcome;
   writes : int array;  (** authors in write order. *)
   stats : stats;
@@ -75,18 +74,65 @@ module Make (P : Protocol.S) : sig
       closed — the caller owns it. *)
 
   val explore :
-    ?limit:int -> ?trace:Wb_obs.Trace.t -> Wb_graph.Graph.t -> (run -> bool) -> bool * int
+    ?limit:int ->
+    ?trace:Wb_obs.Trace.t ->
+    Wb_graph.Graph.t ->
+    (run -> bool) ->
+    (bool * int, [ `Limit of int ]) result
   (** [explore g check] enumerates {e every} adversarial schedule, calling
-      [check] on each complete execution.  Returns [(all passed, number of
-      executions)].  [trace] observes the depth-first event stream — shared
-      schedule prefixes are {e not} replayed, so consecutive [Run_end]
-      windows are deltas; wrap the sink in {!Wb_obs.Trace.sample} to keep
-      every k-th window.  @raise Failure when more than [limit] (default
-      10^6) executions would be visited. *)
+      [check] on each complete execution.  Returns [Ok (all passed, number
+      of executions)], or [Error (`Limit limit)] when more than [limit]
+      (default 10^6) executions would be visited.  Short-circuits on the
+      first failing [check], so the count on a failing verdict depends on
+      schedule order ({!explore_par} never short-circuits).  [trace]
+      observes the depth-first event stream — shared schedule prefixes are
+      {e not} replayed, so consecutive [Run_end] windows are deltas; wrap
+      the sink in {!Wb_obs.Trace.sample} to keep every k-th window. *)
+
+  val explore_exn :
+    ?limit:int -> ?trace:Wb_obs.Trace.t -> Wb_graph.Graph.t -> (run -> bool) -> bool * int
+  (** {!explore}, raising [Failure] on [`Limit] — for call sites that treat
+      hitting the limit as a bug. *)
+
+  val explore_par :
+    ?limit:int ->
+    jobs:int ->
+    Wb_graph.Graph.t ->
+    (run -> bool) ->
+    (bool * int, [ `Limit of int ]) result
+  (** {!explore} fanned out over [jobs] domains: the schedule tree is split
+      into pick-prefix work items (breadth-first, in the main domain), each
+      worker replays claimed prefixes on its own fresh machine and walks
+      the subtree exhaustively.  The verdict and the execution count are
+      independent of [jobs] because workers never short-circuit — on an
+      all-pass tree the count equals {!explore}'s; on a failing tree it is
+      the full tree size, where {!explore} stops early.  [check] runs
+      concurrently from several domains and must be domain-safe (the
+      differential predicates here are pure).  No [?trace]: interleaved
+      worker events have no meaningful order — trace with the sequential
+      {!explore}.  [Error (`Limit _)] is returned iff the tree exceeds
+      [limit], again independent of [jobs].
+      @raise Invalid_argument when [jobs < 1]. *)
 end
 
 val run_packed :
   ?max_rounds:int -> ?trace:Wb_obs.Trace.t -> Protocol.t -> Wb_graph.Graph.t -> Adversary.t -> run
 
 val explore_packed :
+  ?limit:int ->
+  ?trace:Wb_obs.Trace.t ->
+  Protocol.t ->
+  Wb_graph.Graph.t ->
+  (run -> bool) ->
+  (bool * int, [ `Limit of int ]) result
+
+val explore_packed_exn :
   ?limit:int -> ?trace:Wb_obs.Trace.t -> Protocol.t -> Wb_graph.Graph.t -> (run -> bool) -> bool * int
+
+val explore_par_packed :
+  ?limit:int ->
+  jobs:int ->
+  Protocol.t ->
+  Wb_graph.Graph.t ->
+  (run -> bool) ->
+  (bool * int, [ `Limit of int ]) result

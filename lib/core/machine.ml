@@ -1,0 +1,309 @@
+module Obs = Wb_obs
+module G = Wb_graph.Graph
+
+type status = Awake | Active | Terminated | Dead
+
+type outcome =
+  | Success of Answer.t
+  | Deadlock
+  | Size_violation of { node : int; bits : int; bound : int }
+  | Output_error of string
+
+type stats = { rounds : int; max_message_bits : int; total_bits : int }
+
+type run = {
+  outcome : outcome;
+  writes : int array;
+  stats : stats;
+  activation_round : int array;
+  write_round : int array;
+  message_bits : int array;
+  compose_count : int array;
+  board : Board.t;
+}
+
+let default_max_rounds n = (2 * n) + 8
+
+let succeeded r = match r.outcome with Success _ -> true | Deadlock | Size_violation _ | Output_error _ -> false
+
+let answer r = match r.outcome with Success a -> Some a | Deadlock | Size_violation _ | Output_error _ -> None
+
+let outcome_tag = function
+  | Success _ -> "success"
+  | Deadlock -> "deadlock"
+  | Size_violation _ -> "size_violation"
+  | Output_error _ -> "output_error"
+
+let outcome_equal a b =
+  match (a, b) with
+  | Success x, Success y -> Answer.equal x y
+  | Deadlock, Deadlock -> true
+  | Size_violation x, Size_violation y ->
+    x.node = y.node && x.bits = y.bits && x.bound = y.bound
+  | Output_error x, Output_error y -> String.equal x y
+  | (Success _ | Deadlock | Size_violation _ | Output_error _), _ -> false
+
+let stats_equal a b =
+  a.rounds = b.rounds
+  && a.max_message_bits = b.max_message_bits
+  && a.total_bits = b.total_bits
+
+(* Registry entries are process-global and idempotent: every Machine.Make
+   instantiation shares them.  All values are atomic (Wb_obs.Metrics), so
+   parallel exploration workers instrument safely. *)
+let m_rounds = Obs.Metrics.counter ~help:"rounds across all executions" "engine.rounds"
+let m_writes = Obs.Metrics.counter ~help:"messages appended to boards" "engine.writes"
+
+let m_composes =
+  Obs.Metrics.counter ~help:"message compositions incl. synchronous recompositions"
+    "engine.recompositions"
+
+let m_compose_per_node =
+  Obs.Metrics.histogram ~help:"compositions per node per execution" "engine.compose_per_node"
+
+let m_candidates =
+  Obs.Metrics.histogram ~help:"write-candidate set size per round" "engine.candidates_per_round"
+
+let m_board_bits = Obs.Metrics.gauge ~help:"board total bits after last write" "engine.board_bits"
+let m_deadlocks = Obs.Metrics.counter ~help:"executions ending in deadlock" "engine.deadlocks"
+
+module type NODE = sig
+  val model : Model.t
+  val message_bound : n:int -> int
+
+  type local
+
+  val init : View.t -> local
+  val wants_to_activate : round:int -> View.t -> Board.t -> local -> bool
+  val compose : round:int -> View.t -> Board.t -> local -> (Message.t * local) option
+  val output : n:int -> Board.t -> Answer.t
+end
+
+module Make (N : NODE) = struct
+  (* What the machine is waiting for between [step]s. *)
+  type pending =
+    | Idle  (** advance through rounds on the next [step]. *)
+    | Waiting of int list  (** a scheduling choice is open. *)
+    | Chosen of int  (** [pick]ed; validate and append on the next [step]. *)
+
+  type t = {
+    size : int;
+    bound : int;
+    max_rounds : int;
+    views : View.t array;
+    board : Board.t;
+    trace : Obs.Trace.t option;
+    mutable status : status array;
+    mutable locals : N.local array;
+    mutable memory : Message.t option array;
+    mutable activation_round : int array;
+    mutable write_round : int array;
+    mutable compose_count : int array;
+    mutable round : int;
+    mutable pending : pending;
+    mutable finished : run option;
+  }
+
+  let frozen = Model.frozen_at_activation N.model
+
+  let simultaneous = Model.simultaneous N.model
+
+  let init ?max_rounds ?trace g =
+    let size = G.n g in
+    let views = Array.init size (View.make g) in
+    { size;
+      bound = N.message_bound ~n:size;
+      max_rounds = (match max_rounds with Some r -> r | None -> default_max_rounds size);
+      views;
+      board = Board.create size;
+      trace;
+      status = Array.make size Awake;
+      locals = Array.map N.init views;
+      memory = Array.make size None;
+      activation_round = Array.make size (-1);
+      write_round = Array.make size (-1);
+      compose_count = Array.make size 0;
+      round = 0;
+      pending = Idle;
+      finished = None }
+
+  let board t = t.board
+
+  let round t = t.round
+
+  let emit t ev = match t.trace with None -> () | Some tr -> Obs.Trace.emit tr ev
+
+  let kill t v = if t.status.(v) <> Dead then t.status.(v) <- Dead
+
+  let compose_now t v =
+    match N.compose ~round:t.round t.views.(v) t.board t.locals.(v) with
+    | None -> kill t v
+    | Some (m, local) ->
+      t.locals.(v) <- local;
+      t.memory.(v) <- Some m;
+      t.compose_count.(v) <- t.compose_count.(v) + 1;
+      Obs.Metrics.incr m_composes;
+      emit t (Obs.Event.Compose { node = v; round = t.round; bits = Message.size_bits m })
+
+  (* One deterministic round prefix: terminations, candidate collection,
+     activations, synchronous recomposition.  Returns the write candidates
+     (filtered to live nodes holding a message — the filter is identity on
+     fault-free executions) and whether anyone activated. *)
+  let round_prefix t =
+    t.round <- t.round + 1;
+    emit t (Obs.Event.Round_start { round = t.round });
+    for v = 0 to t.size - 1 do
+      if t.status.(v) = Active && Board.has_author t.board v then t.status.(v) <- Terminated
+    done;
+    let candidates = ref [] in
+    for v = t.size - 1 downto 0 do
+      if t.status.(v) = Active then candidates := v :: !candidates
+    done;
+    Obs.Metrics.observe m_candidates (List.length !candidates);
+    let activated = ref false in
+    for v = 0 to t.size - 1 do
+      if t.status.(v) = Awake then begin
+        let goes =
+          if simultaneous then t.round = 1
+          else N.wants_to_activate ~round:t.round t.views.(v) t.board t.locals.(v)
+        in
+        (* [wants_to_activate] may kill the node (a faulted query): a dead
+           node never activates, however it answered. *)
+        if goes && t.status.(v) = Awake then begin
+          t.status.(v) <- Active;
+          t.activation_round.(v) <- t.round;
+          activated := true;
+          emit t (Obs.Event.Activate { node = v; round = t.round });
+          if frozen then compose_now t v
+        end
+      end
+    done;
+    if not frozen then
+      List.iter (fun v -> if t.status.(v) = Active then compose_now t v) !candidates;
+    ( List.filter (fun v -> t.status.(v) = Active && Option.is_some t.memory.(v)) !candidates,
+      !activated )
+
+  let do_write t v =
+    match t.memory.(v) with
+    | None -> assert false
+    | Some m ->
+      Board.append t.board m;
+      t.write_round.(v) <- t.round;
+      Obs.Metrics.incr m_writes;
+      Obs.Metrics.set m_board_bits (Board.total_bits t.board);
+      emit t
+        (Obs.Event.Write
+           { node = v;
+             round = t.round;
+             bits = Message.size_bits m;
+             board_bits = Board.total_bits t.board })
+
+  let finish t outcome =
+    let message_bits = Array.make t.size (-1) in
+    Board.iter (fun m -> message_bits.(Message.author m) <- Message.size_bits m) t.board;
+    Obs.Metrics.add m_rounds t.round;
+    Array.iter (Obs.Metrics.observe m_compose_per_node) t.compose_count;
+    (match outcome with Deadlock -> Obs.Metrics.incr m_deadlocks | _ -> ());
+    (match outcome with
+    | Deadlock -> emit t (Obs.Event.Deadlock_detected { round = t.round })
+    | _ -> ());
+    emit t (Obs.Event.Run_end { round = t.round; outcome = outcome_tag outcome });
+    let run =
+      { outcome;
+        writes = Board.authors_in_order t.board;
+        stats =
+          { rounds = t.round;
+            max_message_bits = Board.max_message_bits t.board;
+            total_bits = Board.total_bits t.board };
+        activation_round = Array.copy t.activation_round;
+        write_round = Array.copy t.write_round;
+        message_bits;
+        compose_count = Array.copy t.compose_count;
+        board = t.board }
+    in
+    t.pending <- Idle;
+    t.finished <- Some run;
+    run
+
+  let success_outcome t =
+    match N.output ~n:t.size t.board with
+    | answer -> Success answer
+    | exception e -> Output_error (Printexc.to_string e)
+
+  let check_size t v =
+    match t.memory.(v) with
+    | None -> None
+    | Some m ->
+      let bits = Message.size_bits m in
+      if bits > t.bound then Some (Size_violation { node = v; bits; bound = t.bound }) else None
+
+  let step t =
+    match t.finished with
+    | Some run -> `Done run
+    | None -> (
+      match t.pending with
+      | Waiting candidates -> `Choices candidates
+      | Chosen v -> (
+        t.pending <- Idle;
+        match check_size t v with
+        | Some violation -> `Done (finish t violation)
+        | None ->
+          do_write t v;
+          `Write v)
+      | Idle ->
+        let rec advance () =
+          if Board.length t.board = t.size then `Done (finish t (success_outcome t))
+          else if t.round >= t.max_rounds then `Done (finish t Deadlock)
+          else
+            match round_prefix t with
+            | [], false -> `Done (finish t Deadlock)
+            | [], true -> advance ()
+            | candidates, _ ->
+              t.pending <- Waiting candidates;
+              `Choices candidates
+        in
+        advance ())
+
+  let pick t v =
+    match t.pending with
+    | Waiting candidates when List.exists (Int.equal v) candidates ->
+      emit t (Obs.Event.Adversary_pick { node = v; round = t.round; candidates });
+      t.pending <- Chosen v
+    | Waiting _ -> invalid_arg "Machine.pick: not a candidate"
+    | Idle | Chosen _ -> invalid_arg "Machine.pick: no scheduling choice is open"
+
+  type snapshot = {
+    s_status : status array;
+    s_locals : N.local array;
+    s_memory : Message.t option array;
+    s_activation : int array;
+    s_write : int array;
+    s_compose : int array;
+    s_round : int;
+    s_board_len : int;
+    s_pending : pending;
+  }
+
+  let snapshot t =
+    { s_status = Array.copy t.status;
+      s_locals = Array.copy t.locals;
+      s_memory = Array.copy t.memory;
+      s_activation = Array.copy t.activation_round;
+      s_write = Array.copy t.write_round;
+      s_compose = Array.copy t.compose_count;
+      s_round = t.round;
+      s_board_len = Board.snapshot_length t.board;
+      s_pending = t.pending }
+
+  let restore t s =
+    t.status <- Array.copy s.s_status;
+    t.locals <- Array.copy s.s_locals;
+    t.memory <- Array.copy s.s_memory;
+    t.activation_round <- Array.copy s.s_activation;
+    t.write_round <- Array.copy s.s_write;
+    t.compose_count <- Array.copy s.s_compose;
+    t.round <- s.s_round;
+    Board.truncate t.board s.s_board_len;
+    t.pending <- s.s_pending;
+    t.finished <- None
+end

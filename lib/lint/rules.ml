@@ -71,7 +71,8 @@ let determinism_exempt p =
   let cs = components p in
   has_infix [ "lib"; "obs" ] cs || has_infix [ "lib"; "net" ] cs || has_infix [ "bench" ] cs
 
-let lock_exempt p = has_suffix [ "lib"; "net"; "sync.ml" ] p
+let lock_exempt p =
+  has_suffix [ "lib"; "support"; "sync.ml" ] p || has_suffix [ "lib"; "net"; "sync.ml" ] p
 
 let is_decode_file p =
   has_suffix [ "lib"; "net"; "wire.ml" ] p || has_suffix [ "lib"; "protocols"; "codec.ml" ] p

@@ -46,8 +46,9 @@ val determinism_exempt : string -> bool
     [bench/] (wall-clock measurement) may read clocks; nothing else. *)
 
 val lock_exempt : string -> bool
-(** Only [lib/net/sync.ml], the [with_lock] combinator's own definition,
-    may touch [Mutex.lock]/[Mutex.unlock] directly. *)
+(** Only the [with_lock] combinator's own definition —
+    [lib/support/sync.ml] and its historical re-export in
+    [lib/net/sync.ml] — may touch [Mutex.lock]/[Mutex.unlock] directly. *)
 
 val is_decode_file : string -> bool
 (** The two decode surfaces with a typed-error contract:

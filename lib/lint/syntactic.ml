@@ -54,7 +54,7 @@ let lint_structure ~path ~ctx str =
          add Rules.lock_discipline loc
            (Printf.sprintf
               "raw Mutex.%s leaks the lock if the critical section raises; use \
-               with_lock (lib/net/sync.ml)"
+               with_lock (lib/support/sync.ml)"
               (List.nth comps 1))
        | _ -> ());
     (if !in_critical then

@@ -18,8 +18,6 @@ let fault_to_string = function
   | Transport f -> Conn.fault_to_string f
   | Confused msg -> "confused peer: " ^ msg
 
-type status = Awake | Active | Terminated | Dead
-
 let m_sessions = Obs.Metrics.counter ~help:"referee sessions completed" "net.sessions"
 
 let m_outcome tag = Obs.Metrics.counter ~help:"referee sessions by outcome" ("net.sessions." ^ tag)
@@ -27,6 +25,12 @@ let m_outcome tag = Obs.Metrics.counter ~help:"referee sessions by outcome" ("ne
 let m_faulted =
   Obs.Metrics.counter ~help:"referee sessions that recorded a node fault" "net.sessions.faulted"
 
+(* The round semantics live entirely in {!Wb_model.Machine}; this module
+   only supplies the transport: each kernel hook becomes an RPC to the
+   connection owning that node (preceded by a BOARD-DELTA bringing its
+   replica up to date), and any transport or protocol fault marks the node
+   dead — in the kernel via [Machine.kill], and here so its socket is
+   closed exactly once. *)
 let run cfg conns =
   let module P = (val cfg.protocol : M.Protocol.S) in
   let g = cfg.graph in
@@ -34,27 +38,18 @@ let run cfg conns =
   if Array.length conns <> n then
     invalid_arg
       (Printf.sprintf "Session.run: %d connections for a %d-node graph" (Array.length conns) n);
-  let board = M.Board.create n in
-  let bound = P.message_bound ~n in
-  let frozen = M.Model.frozen_at_activation P.model in
-  let simultaneous = M.Model.simultaneous P.model in
-  let status = Array.make n Awake in
-  let memory = Array.make n None in
-  let synced = Array.make n 0 in
-  let activation_round = Array.make n (-1) in
-  let write_round = Array.make n (-1) in
-  let compose_count = Array.make n 0 in
   let faults = ref [] in
-  let round = ref 0 in
-  let max_rounds =
-    match cfg.max_rounds with Some r -> r | None -> M.Engine.default_max_rounds n
-  in
-  let emit ev = match cfg.trace with None -> () | Some tr -> Obs.Trace.emit tr ev in
+  let dead = Array.make n false in
+  let synced = Array.make n 0 in
+  (* Forward reference: the hooks below must kill kernel-side, but the
+     machine is built from the hooks. *)
+  let kill_ref = ref (fun (_ : int) -> ()) in
   let fail_node v fault =
-    if status.(v) <> Dead then begin
+    if not dead.(v) then begin
+      dead.(v) <- true;
       faults := (v, fault) :: !faults;
-      status.(v) <- Dead;
-      Conn.close conns.(v)
+      Conn.close conns.(v);
+      !kill_ref v
     end
   in
   let send v frame =
@@ -64,7 +59,7 @@ let run cfg conns =
       fail_node v (Transport f);
       false
   in
-  let sync v =
+  let sync board v =
     let len = M.Board.length board in
     if synced.(v) < len then begin
       let messages = ref [] in
@@ -80,11 +75,11 @@ let run cfg conns =
     end
   in
   (* One query round-trip: sync the replica, send, await the reply. *)
-  let rpc v frame =
-    if status.(v) = Dead then None
+  let rpc board v frame =
+    if dead.(v) then None
     else begin
-      sync v;
-      if status.(v) = Dead || not (send v frame) then None
+      sync board v;
+      if dead.(v) || not (send v frame) then None
       else
         match Conn.recv conns.(v) with
         | Ok reply -> Some reply
@@ -93,139 +88,67 @@ let run cfg conns =
           None
     end
   in
-  let ask_activate v =
-    match rpc v (Wire.Activate_query { round = !round }) with
-    | None -> false
-    | Some (Wire.Activate_reply { round = r; activate }) when r = !round -> activate
-    | Some f ->
-      fail_node v (Confused ("expected ACTIVATE reply, got " ^ Wire.opcode_name f));
-      false
+  let module N = struct
+    let model = P.model
+    let message_bound = P.message_bound
+
+    type local = unit
+
+    let init _ = ()
+
+    let wants_to_activate ~round view board () =
+      let v = M.View.id view in
+      match rpc board v (Wire.Activate_query { round }) with
+      | None -> false
+      | Some (Wire.Activate_reply { round = r; activate }) when r = round -> activate
+      | Some f ->
+        fail_node v (Confused ("expected ACTIVATE reply, got " ^ Wire.opcode_name f));
+        false
+
+    let compose ~round view board () =
+      let v = M.View.id view in
+      match rpc board v (Wire.Compose_request { round }) with
+      | None -> None
+      | Some (Wire.Compose_reply { round = r; payload }) when r = round ->
+        Some (M.Message.make ~author:v ~payload, ())
+      | Some f ->
+        fail_node v (Confused ("expected COMPOSE reply, got " ^ Wire.opcode_name f));
+        None
+
+    let output = P.output
+  end in
+  let module Mach = M.Machine.Make (N) in
+  let m = Mach.init ?max_rounds:cfg.max_rounds ?trace:cfg.trace g in
+  kill_ref := Mach.kill m;
+  let rec drive () =
+    match Mach.step m with
+    | `Choices candidates ->
+      Mach.pick m (M.Adversary.choose cfg.adversary (Mach.board m) candidates);
+      drive ()
+    | `Write v ->
+      let board = Mach.board m in
+      ignore (send v (Wire.Write_grant { round = Mach.round m; position = M.Board.length board - 1 }));
+      drive ()
+    | `Done run -> run
   in
-  let compose_now v =
-    match rpc v (Wire.Compose_request { round = !round }) with
-    | None -> ()
-    | Some (Wire.Compose_reply { round = r; payload }) when r = !round ->
-      let m = M.Message.make ~author:v ~payload in
-      memory.(v) <- Some m;
-      compose_count.(v) <- compose_count.(v) + 1;
-      emit (Obs.Event.Compose { node = v; round = !round; bits = M.Message.size_bits m })
-    | Some f -> fail_node v (Confused ("expected COMPOSE reply, got " ^ Wire.opcode_name f))
+  let run = drive () in
+  let tag = M.Engine.outcome_tag run.M.Engine.outcome in
+  let detail =
+    match run.M.Engine.outcome with
+    | M.Engine.Success a -> Format.asprintf "%a" M.Answer.pp a
+    | M.Engine.Deadlock -> "corrupted final configuration"
+    | M.Engine.Size_violation { node; bits; bound } ->
+      Printf.sprintf "node %d wrote %d bits (bound %d)" (node + 1) bits bound
+    | M.Engine.Output_error e -> e
   in
-  (* Mirror of Engine.round_prefix, with RPCs in place of direct calls. *)
-  let round_prefix () =
-    incr round;
-    emit (Obs.Event.Round_start { round = !round });
-    for v = 0 to n - 1 do
-      if status.(v) = Active && M.Board.has_author board v then status.(v) <- Terminated
-    done;
-    let candidates = ref [] in
-    for v = n - 1 downto 0 do
-      if status.(v) = Active then candidates := v :: !candidates
-    done;
-    let activated = ref false in
-    for v = 0 to n - 1 do
-      if status.(v) = Awake then begin
-        let goes = if simultaneous then !round = 1 else ask_activate v in
-        if goes then begin
-          status.(v) <- Active;
-          activation_round.(v) <- !round;
-          activated := true;
-          emit (Obs.Event.Activate { node = v; round = !round });
-          if frozen then compose_now v
-        end
-      end
-    done;
-    if not frozen then List.iter compose_now !candidates;
-    (* A node that died mid-compose has no trustworthy message: drop it from
-       the adversary's menu (on fault-free runs this filter is identity). *)
-    (List.filter (fun v -> status.(v) = Active && Option.is_some memory.(v)) !candidates, !activated)
-  in
-  let rec advance () =
-    if M.Board.length board = n then `Success
-    else if !round >= max_rounds then `Deadlock
-    else
-      match round_prefix () with
-      | [], false -> `Deadlock
-      | [], true -> advance ()
-      | candidates, _ -> `Choices candidates
-  in
-  let do_write v =
-    match memory.(v) with
-    | None -> assert false
-    | Some m ->
-      M.Board.append board m;
-      write_round.(v) <- !round;
-      emit
-        (Obs.Event.Write
-           { node = v;
-             round = !round;
-             bits = M.Message.size_bits m;
-             board_bits = M.Board.total_bits board });
-      ignore (send v (Wire.Write_grant { round = !round; position = M.Board.length board - 1 }))
-  in
-  let check_size v =
-    match memory.(v) with
-    | None -> None
-    | Some m ->
-      let bits = M.Message.size_bits m in
-      if bits > bound then Some (M.Engine.Size_violation { node = v; bits; bound }) else None
-  in
-  let success_outcome () =
-    match P.output ~n board with
-    | answer -> M.Engine.Success answer
-    | exception e -> M.Engine.Output_error (Printexc.to_string e)
-  in
-  let finish outcome =
-    let message_bits = Array.make n (-1) in
-    M.Board.iter (fun m -> message_bits.(M.Message.author m) <- M.Message.size_bits m) board;
-    (match outcome with
-    | M.Engine.Deadlock -> emit (Obs.Event.Deadlock_detected { round = !round })
-    | _ -> ());
-    let tag = M.Engine.outcome_tag outcome in
-    emit (Obs.Event.Run_end { round = !round; outcome = tag });
-    let detail =
-      match outcome with
-      | M.Engine.Success a -> Format.asprintf "%a" M.Answer.pp a
-      | M.Engine.Deadlock -> "corrupted final configuration"
-      | M.Engine.Size_violation { node; bits; bound } ->
-        Printf.sprintf "node %d wrote %d bits (bound %d)" (node + 1) bits bound
-      | M.Engine.Output_error e -> e
-    in
-    for v = 0 to n - 1 do
-      if status.(v) <> Dead then begin
-        sync v;
-        ignore (send v (Wire.Run_end { outcome = tag; detail; rounds = !round }));
-        Conn.close conns.(v)
-      end
-    done;
-    Obs.Metrics.incr m_sessions;
-    Obs.Metrics.incr (m_outcome tag);
-    if not (List.is_empty !faults) then Obs.Metrics.incr m_faulted;
-    { run =
-        { M.Engine.outcome;
-          writes = M.Board.authors_in_order board;
-          stats =
-            { M.Engine.rounds = !round;
-              max_message_bits = M.Board.max_message_bits board;
-              total_bits = M.Board.total_bits board };
-          activation_round;
-          write_round;
-          message_bits;
-          compose_count;
-          board };
-      faults = List.rev !faults }
-  in
-  let rec loop () =
-    match advance () with
-    | `Success -> finish (success_outcome ())
-    | `Deadlock -> finish M.Engine.Deadlock
-    | `Choices candidates -> (
-      let v = M.Adversary.choose cfg.adversary board candidates in
-      emit (Obs.Event.Adversary_pick { node = v; round = !round; candidates });
-      match check_size v with
-      | Some violation -> finish violation
-      | None ->
-        do_write v;
-        loop ())
-  in
-  loop ()
+  for v = 0 to n - 1 do
+    if not dead.(v) then begin
+      sync run.M.Engine.board v;
+      ignore (send v (Wire.Run_end { outcome = tag; detail; rounds = run.M.Engine.stats.rounds }));
+      Conn.close conns.(v)
+    end
+  done;
+  Obs.Metrics.incr m_sessions;
+  Obs.Metrics.incr (m_outcome tag);
+  if not (List.is_empty !faults) then Obs.Metrics.incr m_faulted;
+  { run; faults = List.rev !faults }

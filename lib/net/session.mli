@@ -1,17 +1,18 @@
 (** The referee: server-side execution of one whiteboard session over an
     array of node connections.
 
-    [run] replicates {!Wb_model.Engine}'s operational semantics exactly —
-    same round structure, same activation/composition order, same deadlock
-    and size-violation rules, same [max_rounds] default, same
-    {!Wb_obs.Event} stream — but every [wants_to_activate]/[compose] call
-    becomes an RPC to the connection owning that node, preceded by a
-    BOARD-DELTA bringing its replica up to date.  On a fault-free run the
-    result's {!Wb_model.Engine.run} is {e identical} to [Engine.run] under
-    the same graph, adversary and protocol (the differential tests pin
-    this); model semantics are enforced here, server-side — a client that
-    lies about its model cannot get a second write or an oversized message
-    past the referee.
+    [run] drives the {e same} execution kernel as the in-process engine —
+    it instantiates {!Wb_model.Machine.Make} with hooks that turn every
+    [wants_to_activate]/[compose] call into an RPC to the connection owning
+    that node, preceded by a BOARD-DELTA bringing its replica up to date.
+    There is no second copy of the round semantics here: round structure,
+    activation/composition order, deadlock and size-violation rules, the
+    [max_rounds] default and the {!Wb_obs.Event} stream all come from the
+    kernel.  On a fault-free run the result's {!Wb_model.Engine.run} is
+    {e identical} to [Engine.run] under the same graph, adversary and
+    protocol (the differential tests pin this); model semantics are
+    enforced kernel-side on the referee — a client that lies about its
+    model cannot get a second write or an oversized message past it.
 
     {b Failure semantics.}  A connection that times out, disconnects, or
     sends malformed/unexpected frames marks its node {e dead}: the node

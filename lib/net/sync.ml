@@ -1,3 +1,1 @@
-let with_lock m f =
-  Mutex.lock m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+let with_lock = Wb_support.Sync.with_lock

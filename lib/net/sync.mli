@@ -1,10 +1,15 @@
 (** Lock discipline for the referee: critical sections that cannot leak.
 
+    A re-export of {!Wb_support.Sync.with_lock}, kept so [wb_net] code can
+    keep writing [Sync.with_lock] unqualified.  The combinator itself lives
+    in the support layer because the domain-safe metrics registry
+    ([wb_obs]) needs it too, and [wb_obs] cannot depend on [wb_net].
+
     [with_lock m f] runs [f ()] with [m] held and releases [m] on every
-    exit path, including exceptions ([Fun.protect]).  All of [wb_net]'s
-    shared-state access goes through this combinator — the
-    [lock-discipline] lint rule bans raw [Mutex.lock]/[Mutex.unlock]
-    everywhere except this module's implementation.
+    exit path, including exceptions ([Fun.protect]).  All shared-state
+    access goes through this combinator — the [lock-discipline] lint rule
+    bans raw [Mutex.lock]/[Mutex.unlock] everywhere except the two [Sync]
+    implementations.
 
     [Condition.wait] is safe inside the callback: it atomically releases
     and reacquires the same mutex, so the ownership invariant assumed by

@@ -1,13 +1,21 @@
-type counter = { mutable c : int }
-type gauge = { mutable g : int }
+(* Domain-safe: every value cell is an [Atomic.t] (counters, gauges,
+   histogram buckets and moments), and the name->metric table is guarded by
+   a mutex, so parallel exploration workers ([Wb_model.Engine.explore_par])
+   can instrument concurrently without corrupting the registry.  Histogram
+   snapshots read one atomic at a time, so a dump taken mid-update may be
+   momentarily inconsistent between [count] and [sum] — fine for telemetry,
+   which is the only reader. *)
+
+type counter = int Atomic.t
+type gauge = int Atomic.t
 
 (* 1 + 63 buckets: index 0 for the value 0, index w for bit width w. *)
 type histogram = {
-  buckets : int array;
-  mutable count : int;
-  mutable sum : int;
-  mutable min_v : int;
-  mutable max_v : int;
+  buckets : int Atomic.t array;
+  count : int Atomic.t;
+  sum : int Atomic.t;
+  min_v : int Atomic.t;
+  max_v : int Atomic.t;
 }
 
 type metric =
@@ -18,41 +26,47 @@ type metric =
 
 let registry : (string, string * metric) Hashtbl.t = Hashtbl.create 64
 
+let registry_lock = Mutex.create ()
+
+let locked f = Wb_support.Sync.with_lock registry_lock f
+
 let register name help make match_existing =
-  match Hashtbl.find_opt registry name with
-  | Some (_, existing) -> (
-    match match_existing existing with
-    | Some v -> v
-    | None -> invalid_arg (Printf.sprintf "Metrics: %S already registered as another kind" name))
-  | None ->
-    let v, m = make () in
-    Hashtbl.replace registry name (help, m);
-    v
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (_, existing) -> (
+        match match_existing existing with
+        | Some v -> v
+        | None ->
+          invalid_arg (Printf.sprintf "Metrics: %S already registered as another kind" name))
+      | None ->
+        let v, m = make () in
+        Hashtbl.replace registry name (help, m);
+        v)
 
 let counter ?(help = "") name =
   register name help
     (fun () ->
-      let c = { c = 0 } in
+      let c = Atomic.make 0 in
       (c, Counter c))
     (function Counter c -> Some c | _ -> None)
 
-let incr c = c.c <- c.c + 1
+let incr c = Atomic.incr c
 
 let add c n =
   if n < 0 then invalid_arg "Metrics.add: negative amount";
-  c.c <- c.c + n
+  ignore (Atomic.fetch_and_add c n)
 
-let counter_value c = c.c
+let counter_value c = Atomic.get c
 
 let gauge ?(help = "") name =
   register name help
     (fun () ->
-      let g = { g = 0 } in
+      let g = Atomic.make 0 in
       (g, Gauge g))
     (function Gauge g -> Some g | _ -> None)
 
-let set g v = g.g <- v
-let gauge_value g = g.g
+let set g v = Atomic.set g v
+let gauge_value g = Atomic.get g
 
 let probe ?(help = "") name thunk =
   ignore
@@ -67,44 +81,59 @@ let probe ?(help = "") name thunk =
 let histogram ?(help = "") name =
   register name help
     (fun () ->
-      let h = { buckets = Array.make 64 0; count = 0; sum = 0; min_v = max_int; max_v = min_int } in
+      let h =
+        { buckets = Array.init 64 (fun _ -> Atomic.make 0);
+          count = Atomic.make 0;
+          sum = Atomic.make 0;
+          min_v = Atomic.make max_int;
+          max_v = Atomic.make min_int }
+      in
       (h, Histogram h))
     (function Histogram h -> Some h | _ -> None)
 
 let bucket_of v = Wb_support.Bitbuf.width_of v
 
+(* Lock-free monotone update: retry the CAS until our candidate no longer
+   improves on the published value. *)
+let rec fold_extremum better cell v =
+  let cur = Atomic.get cell in
+  if better v cur && not (Atomic.compare_and_set cell cur v) then fold_extremum better cell v
+
 let observe h v =
   let v = if v < 0 then 0 else v in
-  h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
-  h.count <- h.count + 1;
-  h.sum <- h.sum + v;
-  if v < h.min_v then h.min_v <- v;
-  if v > h.max_v then h.max_v <- v
+  Atomic.incr h.buckets.(bucket_of v);
+  Atomic.incr h.count;
+  ignore (Atomic.fetch_and_add h.sum v);
+  fold_extremum ( < ) h.min_v v;
+  fold_extremum ( > ) h.max_v v
 
-let histogram_count h = h.count
-let histogram_sum h = h.sum
+let histogram_count h = Atomic.get h.count
+let histogram_sum h = Atomic.get h.sum
 
 let sorted () =
-  List.sort
-    (fun (a, _, _) (b, _, _) -> String.compare a b)
-    (Hashtbl.fold (fun name (help, m) acc -> (name, help, m) :: acc) registry [])
+  locked (fun () ->
+      List.sort
+        (fun (a, _, _) (b, _, _) -> String.compare a b)
+        (Hashtbl.fold (fun name (help, m) acc -> (name, help, m) :: acc) registry []))
 
 let histogram_json h =
+  let count = Atomic.get h.count in
   let buckets =
     List.filter_map
       (fun w ->
-        if h.buckets.(w) = 0 then None
+        let c = Atomic.get h.buckets.(w) in
+        if c = 0 then None
         else
           (* upper bound (exclusive) of bucket w: 2^w, except bucket 0
              which holds only the value 0 (upper bound 1). *)
-          Some (Json.List [ Json.Int (1 lsl w); Json.Int h.buckets.(w) ]))
+          Some (Json.List [ Json.Int (1 lsl w); Json.Int c ]))
       (List.init 64 Fun.id)
   in
   Json.Obj
-    [ ("count", Json.Int h.count);
-      ("sum", Json.Int h.sum);
-      ("min", if h.count = 0 then Json.Null else Json.Int h.min_v);
-      ("max", if h.count = 0 then Json.Null else Json.Int h.max_v);
+    [ ("count", Json.Int count);
+      ("sum", Json.Int (Atomic.get h.sum));
+      ("min", if count = 0 then Json.Null else Json.Int (Atomic.get h.min_v));
+      ("max", if count = 0 then Json.Null else Json.Int (Atomic.get h.max_v));
       ("buckets", Json.List buckets) ]
 
 let dump_json () =
@@ -112,8 +141,8 @@ let dump_json () =
   List.iter
     (fun (name, _help, m) ->
       match m with
-      | Counter c -> counters := (name, Json.Int c.c) :: !counters
-      | Gauge g -> gauges := (name, Json.Int g.g) :: !gauges
+      | Counter c -> counters := (name, Json.Int (Atomic.get c)) :: !counters
+      | Gauge g -> gauges := (name, Json.Int (Atomic.get g)) :: !gauges
       | Probe r -> gauges := (name, Json.Int (!r ())) :: !gauges
       | Histogram h -> histograms := (name, histogram_json h) :: !histograms)
     (sorted ());
@@ -128,32 +157,35 @@ let pp_table ppf () =
     (fun (name, help, m) ->
       let kind, value =
         match m with
-        | Counter c -> ("counter", string_of_int c.c)
-        | Gauge g -> ("gauge", string_of_int g.g)
+        | Counter c -> ("counter", string_of_int (Atomic.get c))
+        | Gauge g -> ("gauge", string_of_int (Atomic.get g))
         | Probe r -> ("probe", string_of_int (!r ()))
         | Histogram h ->
           ( "histogram",
-            if h.count = 0 then "empty"
+            let count = Atomic.get h.count in
+            if count = 0 then "empty"
             else
-              Printf.sprintf "count %d  sum %d  min %d  max %d  mean %.1f" h.count h.sum h.min_v
-                h.max_v
-                (float_of_int h.sum /. float_of_int h.count) )
+              let sum = Atomic.get h.sum in
+              Printf.sprintf "count %d  sum %d  min %d  max %d  mean %.1f" count sum
+                (Atomic.get h.min_v) (Atomic.get h.max_v)
+                (float_of_int sum /. float_of_int count) )
       in
       Format.fprintf ppf "%-36s %-10s %s%s@." name kind value
         (if help = "" then "" else "   (" ^ help ^ ")"))
     (sorted ())
 
 let reset () =
-  Hashtbl.iter
-    (fun _ (_, m) ->
-      match m with
-      | Counter c -> c.c <- 0
-      | Gauge g -> g.g <- 0
-      | Probe _ -> ()
-      | Histogram h ->
-        Array.fill h.buckets 0 (Array.length h.buckets) 0;
-        h.count <- 0;
-        h.sum <- 0;
-        h.min_v <- max_int;
-        h.max_v <- min_int)
-    registry
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ (_, m) ->
+          match m with
+          | Counter c -> Atomic.set c 0
+          | Gauge g -> Atomic.set g 0
+          | Probe _ -> ()
+          | Histogram h ->
+            Array.iter (fun b -> Atomic.set b 0) h.buckets;
+            Atomic.set h.count 0;
+            Atomic.set h.sum 0;
+            Atomic.set h.min_v max_int;
+            Atomic.set h.max_v min_int)
+        registry)

@@ -3,9 +3,17 @@
 
     Registration is explicit and idempotent — [counter "engine.writes"]
     returns the same counter everywhere, so instrumentation sites register
-    at module initialisation and pay one array/int update per observation on
+    at module initialisation and pay one atomic update per observation on
     the hot path.  Re-registering a name as a {e different} kind is a
     programming error.
+
+    {b Domain safety.}  Every value cell is an [Atomic.t] and the registry
+    table is mutex-guarded, so concurrent domains — the
+    {!Wb_model.Engine} [explore_par] workers in particular — may increment,
+    observe and even register without corrupting anything.  Histogram
+    observations are per-field atomic: a {!dump_json} racing an [observe]
+    may see [count] and [sum] one update apart, which is acceptable for
+    telemetry (the only reader).
 
     Because the registry is process-global, tests that assert exact values
     should call {!reset} first (it zeroes values but keeps registrations)

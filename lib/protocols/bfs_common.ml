@@ -102,11 +102,13 @@ module Analysis = struct
     done;
     t.parsed <- len
 
-  (* One live digest per (board, variant); a shrunken board (exhaustive
-     exploration backtracked) forces a rebuild. *)
-  let cache : t option ref = ref None
+  (* One live digest per (board, variant) and per domain — domain-local so
+     parallel exploration workers never share a digest; a shrunken board
+     (exhaustive exploration backtracked) forces a rebuild. *)
+  let cache : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
 
   let get variant board =
+    let cache = Domain.DLS.get cache in
     let current =
       match !cache with
       | Some t

@@ -2,9 +2,13 @@ module P = Wb_model
 module W = Wb_support.Bitbuf.Writer
 module Nat = Wb_bignum.Nat
 
-let table_cache : (int * int, Decode.Table.t) Hashtbl.t = Hashtbl.create 8
+(* Domain-local so parallel exploration workers never mutate a shared
+   table concurrently; each domain rebuilds the (cheap) tables it needs. *)
+let table_cache : (int * int, Decode.Table.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
 
 let table_for ~n ~k =
+  let table_cache = Domain.DLS.get table_cache in
   match Hashtbl.find_opt table_cache (n, k) with
   | Some t -> t
   | None ->

@@ -22,16 +22,17 @@ let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
 
 let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
-(* Process-wide draw counter.  Kept here as a bare int (not a Wb_obs metric)
-   so the support layer stays dependency-free; observability polls it via a
-   probe. *)
-let draws = ref 0
+(* Process-wide draw counter.  Kept here (not as a Wb_obs metric) so the
+   support layer stays dependency-free; observability polls it via a probe.
+   Atomic so that parallel exploration workers drawing from their own
+   generators never lose counts. *)
+let draws = Atomic.make 0
 
-let total_draws () = !draws
+let total_draws () = Atomic.get draws
 
 (* xoshiro256** *)
 let bits64 g =
-  incr draws;
+  Atomic.incr draws;
   let result = Int64.mul (rotl (Int64.mul g.s1 5L) 7) 9L in
   let t = Int64.shift_left g.s1 17 in
   g.s2 <- Int64.logxor g.s2 g.s0;

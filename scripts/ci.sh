@@ -1,14 +1,15 @@
 #!/bin/sh
 # Full CI pipeline: build everything, run the unit/property suites, then
-# the two end-to-end aliases (telemetry artifacts, networked sessions).
-# The aliases are --force'd so the e2e paths re-run even on a warm _build.
+# the end-to-end aliases (telemetry artifacts, networked sessions, the
+# parallel-vs-sequential exploration differential).  The aliases are
+# --force'd so the e2e paths re-run even on a warm _build.
 set -eux
 
 cd "$(dirname "$0")/.."
 
 dune build
 dune runtest
-dune build @check-obs @check-net --force
+dune build @check-obs @check-net @check-par --force
 
 # Static analysis: the tree must lint clean (both tiers), and the linter
 # itself must keep finding the seeded fixture violations.

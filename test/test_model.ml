@@ -185,9 +185,9 @@ let explore_tests =
           let activate_when _ _ = true
         end) in
         let module E = Engine.Make (P) in
-        let _, count = E.explore (G.Gen.cycle 4) (fun _ -> true) in
+        let _, count = E.explore_exn (G.Gen.cycle 4) (fun _ -> true) in
         Alcotest.(check int) "4!" 24 count;
-        let _, count = E.explore (G.Gen.complete 5) (fun _ -> true) in
+        let _, count = E.explore_exn (G.Gen.complete 5) (fun _ -> true) in
         Alcotest.(check int) "5!" 120 count);
     Alcotest.test_case "explore agrees with run on every schedule" `Quick (fun () ->
         (* SIMSYNC probe boards always read 0,1,2,...  regardless of order. *)
@@ -197,22 +197,87 @@ let explore_tests =
           let activate_when _ _ = true
         end) in
         let module E = Engine.Make (P) in
-        let ok, count = E.explore (G.Gen.path 4) (fun r ->
+        let ok, count = E.explore_exn (G.Gen.path 4) (fun r ->
             match r.Engine.outcome with
             | Engine.Success (Answer.Node_set l) -> List.sort compare l = [ 0; 1; 2; 3 ]
             | _ -> false)
         in
         check "all ok" true ok;
         Alcotest.(check int) "24 schedules" 24 count);
-    Alcotest.test_case "explore limit raises" `Quick (fun () ->
+    Alcotest.test_case "explore limit is a typed error" `Quick (fun () ->
         let module P = Probe (struct
           let model = Model.Sim_async
 
           let activate_when _ _ = true
         end) in
         let module E = Engine.Make (P) in
-        Alcotest.check_raises "limit" (Failure "Engine.explore: execution limit exceeded")
-          (fun () -> ignore (E.explore ~limit:10 (G.Gen.complete 5) (fun _ -> true)))) ]
+        (match E.explore ~limit:10 (G.Gen.complete 5) (fun _ -> true) with
+        | Error (`Limit 10) -> ()
+        | Error (`Limit l) -> Alcotest.failf "wrong limit payload: %d" l
+        | Ok _ -> Alcotest.fail "expected Error (`Limit _)");
+        (match E.explore_par ~limit:10 ~jobs:2 (G.Gen.complete 5) (fun _ -> true) with
+        | Error (`Limit 10) -> ()
+        | Error (`Limit l) -> Alcotest.failf "wrong parallel limit payload: %d" l
+        | Ok _ -> Alcotest.fail "expected parallel Error (`Limit _)");
+        Alcotest.check_raises "exn variant" (Failure "Engine.explore: execution limit exceeded")
+          (fun () -> ignore (E.explore_exn ~limit:10 (G.Gen.complete 5) (fun _ -> true)))) ]
+
+let explore_par_tests =
+  let arb_instance =
+    QCheck.make
+      ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+      QCheck.Gen.(pair (2 -- 5) (0 -- 9999))
+  in
+  let models = [ Model.Sim_async; Model.Sim_sync; Model.Async; Model.Sync ] in
+  (* The parallel explorer must agree with the sequential one on the verdict
+     always, and on the execution count whenever the verdict is true (on a
+     failing verdict the sequential explorer short-circuits, so its count is
+     order-dependent by design). *)
+  let agree (n, seed) =
+    List.for_all
+      (fun model ->
+        let module P = Probe (struct
+          let model = model
+
+          let activate_when view board = Board.length board * 2 >= View.id view
+        end) in
+        let module E = Engine.Make (P) in
+        let g = G.Gen.random_gnp (Wb_support.Prng.create seed) n 0.5 in
+        let pass r = Engine.succeeded r in
+        let counts_agree =
+          match (E.explore g pass, E.explore_par ~jobs:4 g pass) with
+          | Ok (ok_s, count_s), Ok (ok_p, count_p) ->
+            ok_s = ok_p && ((not ok_s) || count_s = count_p)
+          | Error (`Limit _), Error (`Limit _) -> true
+          | Ok _, Error _ | Error _, Ok _ -> false
+        in
+        let fail r = Array.length r.Engine.writes > 0 && r.Engine.writes.(0) = 0 in
+        let verdicts_agree =
+          match (E.explore g fail, E.explore_par ~jobs:3 g fail) with
+          | Ok (ok_s, _), Ok (ok_p, _) -> ok_s = ok_p
+          | Error (`Limit _), Error (`Limit _) -> true
+          | Ok _, Error _ | Error _, Ok _ -> false
+        in
+        counts_agree && verdicts_agree)
+      models
+  in
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"explore_par agrees with explore across all four models" ~count:20
+         arb_instance agree);
+    Alcotest.test_case "explore_par count and verdict are independent of jobs" `Quick (fun () ->
+        let module P = Probe (struct
+          let model = Model.Sim_async
+
+          let activate_when _ _ = true
+        end) in
+        let module E = Engine.Make (P) in
+        let seq = E.explore_exn (G.Gen.complete 5) (fun _ -> true) in
+        List.iter
+          (fun jobs ->
+            match E.explore_par ~jobs (G.Gen.complete 5) (fun _ -> true) with
+            | Ok par -> Alcotest.(check (pair bool int)) (Printf.sprintf "jobs=%d" jobs) seq par
+            | Error (`Limit _) -> Alcotest.fail "unexpected limit")
+          [ 1; 2; 4 ]) ]
 
 let board_tests =
   [ Alcotest.test_case "append/find/truncate/generation" `Quick (fun () ->
@@ -319,6 +384,7 @@ let suites =
   [ ("model.message-timing", message_timing_tests);
     ("model.lifecycle", lifecycle_tests);
     ("model.explore", explore_tests);
+    ("model.explore-par", explore_par_tests);
     ("model.board", board_tests);
     ("model.adversary", adversary_tests);
     ("model.meta", model_meta_tests);

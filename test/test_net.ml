@@ -329,6 +329,17 @@ let loopback_tests =
           (G.Gen.random_connected (Prng.create 20) 12 0.25);
         differential "build-naive" ~adv:(fun () -> Adversary.random (Prng.create 23))
           (G.Gen.random_gnp (Prng.create 22) 12 0.3));
+    qtest
+      (QCheck.Test.make ~name:"loopback differential on random graphs across all four models"
+         ~count:10
+         (QCheck.make
+            ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+            QCheck.Gen.(pair (4 -- 9) (0 -- 9999)))
+         (fun (n, seed) ->
+           let g = G.Gen.random_gnp (Prng.create seed) n 0.4 in
+           (* one Any_graph protocol per model: SIMASYNC, SIMSYNC, ASYNC, SYNC *)
+           List.iter (fun key -> differential key g) [ "build-naive"; "mis"; "eob-bfs"; "bfs" ];
+           true));
     Alcotest.test_case "loopback runs move the net.* metrics" `Quick (fun () ->
         let sessions = Obs.Metrics.counter "net.sessions" in
         let frames = Obs.Metrics.counter "net.frames_sent" in

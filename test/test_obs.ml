@@ -359,7 +359,7 @@ let engine_stream_tests =
         let g = G.Gen.random_ktree (Prng.create 5) 5 ~k:2 in
         let tr, events = Obs.Trace.collector () in
         let ok, count =
-          Engine.explore_packed ~trace:tr Wb_protocols.Build_forest.protocol g (fun r ->
+          Engine.explore_packed_exn ~trace:tr Wb_protocols.Build_forest.protocol g (fun r ->
               Engine.succeeded r)
         in
         check "all succeed" true ok;

@@ -20,7 +20,7 @@ let run_valid protocol problem g seed =
 (* Validate under EVERY adversarial schedule (small n only). *)
 let explore_valid ?limit protocol problem g =
   let ok, _count =
-    Engine.explore_packed ?limit protocol g (fun r ->
+    Engine.explore_packed_exn ?limit protocol g (fun r ->
         match r.Engine.outcome with
         | Engine.Success a -> Problems.valid_answer problem g a
         | Engine.Deadlock | Engine.Size_violation _ | Engine.Output_error _ -> false)
@@ -292,7 +292,7 @@ let bipartite_async_tests =
            corrupted configurations of Section 6. *)
         let g = G.Graph.of_edges 5 [ (0, 1); (0, 2); (1, 2); (1, 3); (3, 4) ] in
         let ok, _ =
-          Engine.explore_packed bip g (fun r -> r.Engine.outcome = Engine.Deadlock)
+          Engine.explore_packed_exn bip g (fun r -> r.Engine.outcome = Engine.Deadlock)
         in
         check "every schedule deadlocks" true ok);
     Alcotest.test_case "exhaustive schedules on even cycles" `Quick (fun () ->

@@ -175,7 +175,7 @@ let registry_explore_tests =
               in
               let problem = e.problem (G.Graph.n g) in
               let ok, _ =
-                Engine.explore_packed e.protocol g (fun r ->
+                Engine.explore_packed_exn e.protocol g (fun r ->
                     match r.Engine.outcome with
                     | Engine.Success a -> Problems.valid_answer problem g a
                     | _ -> false)
@@ -192,7 +192,7 @@ let semantics_regression_tests =
            must agree exactly, and so must explore vs single runs. *)
         let g = G.Graph.of_edges 6 [ (0, 1); (0, 2); (1, 2); (1, 3); (3, 4); (0, 5) ] in
         let go () =
-          Engine.explore_packed Wb_protocols.Bfs_sync.protocol g (fun r ->
+          Engine.explore_packed_exn Wb_protocols.Bfs_sync.protocol g (fun r ->
               match r.Engine.outcome with
               | Engine.Success a -> Problems.valid_answer Problems.Bfs g a
               | _ -> false)
@@ -218,7 +218,7 @@ let semantics_regression_tests =
         let g = G.Gen.path 4 in
         let answers = Hashtbl.create 4 in
         let _ =
-          Engine.explore_packed (Wb_protocols.Mis_simsync.protocol ~root:0) g (fun r ->
+          Engine.explore_packed_exn (Wb_protocols.Mis_simsync.protocol ~root:0) g (fun r ->
               (match r.Engine.outcome with
               | Engine.Success (Answer.Node_set s) -> Hashtbl.replace answers (List.sort compare s) ()
               | _ -> ());
