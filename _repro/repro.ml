@@ -1,0 +1,33 @@
+open Wb_model
+module G = Wb_graph
+module W = Wb_support.Bitbuf.Writer
+
+module Probe = struct
+  let name = "probe"
+  let model = Model.Async
+  let message_bound ~n = 64 + n
+  type local = unit
+  let init _ = ()
+  (* sequential activation chain: exactly one candidate per choice *)
+  let wants_to_activate view board () = Board.length board >= View.id view
+  let compose _view board () =
+    let w = W.create () in
+    W.nat w (Board.length board);
+    (w, ())
+  let output ~n:_ board =
+    Answer.Node_set
+      (Board.fold (fun acc m -> Wb_support.Bitbuf.Reader.nat (Message.reader m) :: acc) [] board)
+end
+
+module E = Engine.Make (Probe)
+
+let () =
+  (* n=8: every execution has exactly 8 picks; single-candidate chain keeps
+     the frontier at size 1 so grow hits the depth cap (8) with a complete
+     execution as a work item. *)
+  let g = G.Gen.complete 8 in
+  let seq = E.explore_exn g (fun _ -> true) in
+  Printf.printf "seq: ok=%b count=%d\n%!" (fst seq) (snd seq);
+  (match E.explore_par ~jobs:2 g (fun _ -> true) with
+  | Ok (ok, count) -> Printf.printf "par: ok=%b count=%d\n%!" ok count
+  | Error (`Limit l) -> Printf.printf "par: limit %d\n%!" l)
