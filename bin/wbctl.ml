@@ -9,6 +9,7 @@
      serve                          host a networked referee (wb_net server)
      join                           speak for one node of a remote session
      remote-run                     server + n clients in one process (loopback or sockets)
+     top                            live metrics from a running referee (TELEMETRY RPC)
      synth                          minimal-alphabet synthesis at tiny n
      counting                       Lemma 3 information floors
      graph                          generate a graph and print it (graph6)
@@ -22,6 +23,7 @@ module P = Wb_model
 module G = Wb_graph
 module Obs = Wb_obs
 module Prng = Wb_support.Prng
+module Net = Wb_net
 
 (* ---- shared argument parsing ---------------------------------------- *)
 
@@ -161,6 +163,75 @@ let write_metrics_json = function
     close_out oc;
     Printf.printf "metrics snapshot: %s\n" file
 
+(* ---- telemetry over the wire (TELEMETRY RPC) -------------------------- *)
+
+let parse_host_port s =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+    match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+    | Some port -> Some (String.sub s 0 i, port)
+    | None -> None)
+  | None -> None
+
+(* One TELEMETRY round-trip: the server answers on the handshake and closes,
+   so every probe is a fresh connection. *)
+let fetch_telemetry ~host ~port ~timeout ~tail =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port)) with
+  | exception Unix.Unix_error (err, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Printf.sprintf "cannot connect to %s:%d: %s" host port (Unix.error_message err))
+  | () -> (
+    let conn = Net.Conn.of_fd ~timeout ~peer:(Printf.sprintf "%s:%d" host port) fd in
+    let finish r =
+      Net.Conn.close conn;
+      r
+    in
+    match Net.Conn.send conn (Net.Wire.Telemetry_request { tail }) with
+    | Error f -> finish (Error (Net.Conn.fault_to_string f))
+    | Ok () -> (
+      match Net.Conn.recv conn with
+      | Ok (Net.Wire.Telemetry_reply { metrics; events; dropped }) ->
+        finish (Ok (metrics, events, dropped))
+      | Ok f -> finish (Error ("unexpected reply: " ^ Net.Wire.opcode_name f))
+      | Error f -> finish (Error (Net.Conn.fault_to_string f))))
+
+let print_telemetry metrics_str =
+  match Obs.Json.of_string metrics_str with
+  | Error e ->
+    Printf.eprintf "wbctl: malformed metrics from server: %s\n" e;
+    exit 2
+  | Ok j ->
+    let section name =
+      match Obs.Json.member name j with Some (Obs.Json.Obj kvs) -> kvs | _ -> []
+    in
+    let scalars = section "counters" @ section "gauges" in
+    List.iter
+      (fun (k, v) ->
+        match v with Obs.Json.Int i -> Printf.printf "%-38s %10d\n" k i | _ -> ())
+      scalars;
+    let hists = section "histograms" in
+    if not (List.is_empty hists) then
+      Printf.printf "%-38s %10s %8s %8s %8s %8s\n" "histogram" "count" "p50" "p95" "p99" "max";
+    List.iter
+      (fun (k, h) ->
+        let cell key =
+          match Obs.Json.member key h with
+          | Some (Obs.Json.Int i) -> string_of_int i
+          | _ -> "-"
+        in
+        Printf.printf "%-38s %10s %8s %8s %8s %8s\n" k (cell "count") (cell "p50") (cell "p95")
+          (cell "p99") (cell "max"))
+      hists
+
+let write_chrome_merge file shards =
+  let shards = List.filter (fun (_, events) -> not (List.is_empty events)) shards in
+  let oc = open_out_or_die file in
+  Obs.Json.to_channel oc (Obs.Chrome.merge shards);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "chrome trace: %s (%d shards)\n" file (List.length shards)
+
 let key_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"PROTOCOL" ~doc:"Registry key")
 
@@ -199,6 +270,18 @@ let run_cmd =
       const run $ key_arg $ family_arg $ n_arg $ p_arg $ seed_arg $ adversary_arg $ trace_arg
       $ metrics_json_arg)
 
+(* Span endpoints carry wall-clock timestamps, but the JSONL artifacts
+   promise byte-determinism at a fixed seed — so they keep the classic
+   event stream only.  Spans still reach the Chrome artifacts, which render
+   them on the deterministic round axis (single-run) or as an explicitly
+   wall-clock merge. *)
+let classic_only sink =
+  Obs.Trace.of_fn
+    ~close:(fun () -> Obs.Trace.close sink)
+    (function
+      | Obs.Event.Span_start _ | Obs.Event.Span_stop _ -> ()
+      | ev -> Obs.Trace.emit sink ev)
+
 let trace_cmd =
   let out_arg =
     Arg.(
@@ -212,7 +295,46 @@ let trace_cmd =
       & info [ "chrome" ] ~docv:"FILE"
           ~doc:"Also write a Chrome trace_event file (open in about:tracing or Perfetto)")
   in
-  let run key family n p seed adv out chrome metrics_json =
+  let remote_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "remote" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Instead of running locally, fetch a running referee's flight-recorder tail over \
+             the TELEMETRY RPC and write it as JSONL to --out (no PROTOCOL needed)")
+  in
+  let tail_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "tail" ] ~docv:"K" ~doc:"With --remote: request the last $(docv) events")
+  in
+  let key_opt_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"PROTOCOL" ~doc:"Registry key")
+  in
+  let run_remote ~out ~tail spec =
+    match parse_host_port spec with
+    | None ->
+      Printf.eprintf "wbctl: --remote wants HOST:PORT, got %s\n" spec;
+      exit 1
+    | Some (host, port) -> (
+      match fetch_telemetry ~host ~port ~timeout:5.0 ~tail with
+      | Error msg ->
+        Printf.eprintf "wbctl: %s\n" msg;
+        exit 1
+      | Ok (metrics, events, dropped) ->
+        let oc = open_out_or_die out in
+        List.iter
+          (fun line ->
+            output_string oc line;
+            output_char oc '\n')
+          events;
+        close_out oc;
+        Printf.printf "remote flight recorder: %d events -> %s (%d dropped or withheld)\n\n"
+          (List.length events) out dropped;
+        print_telemetry metrics)
+  in
+  let run_local key family n p seed adv out chrome metrics_json =
     with_entry key (fun e ->
         let g = make_graph ~family ~n ~p ~seed in
         Printf.printf "graph: %s on %d nodes, %d edges (seed %d)\n" family (G.Graph.n g)
@@ -224,7 +346,7 @@ let trace_cmd =
         let chrome_oc = Option.map open_out_or_die chrome in
         let collector, events = Obs.Trace.collector () in
         let sinks =
-          [ Obs.Trace.jsonl_writer jsonl_oc; collector ]
+          [ classic_only (Obs.Trace.tee [ Obs.Trace.jsonl_writer jsonl_oc; collector ]) ]
           @ (match chrome_oc with Some oc -> [ Obs.Chrome.writer oc ] | None -> [])
         in
         let sink = Obs.Trace.tee sinks in
@@ -242,14 +364,22 @@ let trace_cmd =
         write_metrics_json metrics_json;
         if code <> 0 then exit code)
   in
+  let run key family n p seed adv out chrome metrics_json remote tail =
+    match (remote, key) with
+    | Some spec, _ -> run_remote ~out ~tail spec
+    | None, Some key -> run_local key family n p seed adv out chrome metrics_json
+    | None, None ->
+      prerr_endline "wbctl: a PROTOCOL argument is required unless --remote is given";
+      exit 1
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
          "Run a protocol with full telemetry: JSONL event stream, optional Chrome trace, metrics \
-          table")
+          table — or, with --remote, pull a live referee's flight recorder")
     Term.(
-      const run $ key_arg $ family_arg $ n_arg $ p_arg $ seed_arg $ adversary_arg $ out_arg
-      $ chrome_arg $ metrics_json_arg)
+      const run $ key_opt_arg $ family_arg $ n_arg $ p_arg $ seed_arg $ adversary_arg $ out_arg
+      $ chrome_arg $ metrics_json_arg $ remote_arg $ tail_arg)
 
 let explore_cmd =
   let sample_arg =
@@ -276,7 +406,18 @@ let explore_cmd =
              incompatible with --sample-trace (parallel workers interleave \
              events with no meaningful order)")
   in
-  let run key family n p seed metrics_json sample sample_out jobs =
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a merged per-domain Chrome trace of the exploration to $(docv): each worker \
+             streams spans into its own flight-recorder ring, stitched into one Catapult file \
+             (routes through the parallel explorer even at --jobs 1)")
+  in
+  let explore_ring_capacity = 65536 in
+  let run key family n p seed metrics_json sample sample_out jobs trace_out =
     with_entry key (fun e ->
         let g = make_graph ~family ~n ~p ~seed in
         let problem = e.problem (G.Graph.n g) in
@@ -293,12 +434,22 @@ let explore_cmd =
           prerr_endline "wbctl: --sample-trace requires a sequential exploration (drop --jobs)";
           exit 1
         end;
+        if trace_out <> None && sample <> None then begin
+          prerr_endline "wbctl: --trace and --sample-trace are mutually exclusive";
+          exit 1
+        end;
         let sink, oc =
           match sample with
           | None -> (None, None)
           | Some k ->
             let oc = open_out_or_die sample_out in
-            (Some (Obs.Trace.sample ~every:k (Obs.Trace.jsonl_writer oc)), Some oc)
+            (Some (classic_only (Obs.Trace.sample ~every:k (Obs.Trace.jsonl_writer oc))), Some oc)
+        in
+        let shards =
+          match trace_out with
+          | None -> None
+          | Some _ ->
+            Some (Array.init jobs (fun _ -> Obs.Trace.Ring.create ~capacity:explore_ring_capacity))
         in
         let check r =
           match r.P.Engine.outcome with
@@ -306,7 +457,8 @@ let explore_cmd =
           | _ -> false
         in
         let result =
-          if jobs > 1 then P.Engine.explore_par_packed ~jobs e.protocol g check
+          if jobs > 1 || Option.is_some shards then
+            P.Engine.explore_par_packed ?shards ~jobs e.protocol g check
           else P.Engine.explore_packed ?trace:sink e.protocol g check
         in
         Option.iter Obs.Trace.close sink;
@@ -318,17 +470,30 @@ let explore_cmd =
         | Ok (ok, count) ->
           Printf.printf "schedules explored: %d   all valid: %b\n" count ok;
           if sample <> None then Printf.printf "sampled trace: %s\n" sample_out;
+          (match (trace_out, shards) with
+          | Some file, Some rings ->
+            Array.iteri
+              (fun k r ->
+                let d = Obs.Trace.Ring.dropped r in
+                if d > 0 then
+                  Printf.printf "warning: domain %d ring dropped %d events (capacity %d)\n" k d
+                    explore_ring_capacity)
+              rings;
+            write_chrome_merge file
+              (Array.to_list
+                 (Array.mapi
+                    (fun k r -> (Printf.sprintf "domain-%d" k, Obs.Trace.Ring.to_list r))
+                    rings))
+          | _ -> ());
           write_metrics_json metrics_json)
   in
   Cmd.v
     (Cmd.info "explore" ~doc:"Check a protocol under every adversarial schedule (small n!)")
     Term.(
       const run $ key_arg $ family_arg $ n_arg $ p_arg $ seed_arg $ metrics_json_arg $ sample_arg
-      $ sample_out_arg $ jobs_arg)
+      $ sample_out_arg $ jobs_arg $ trace_out_arg)
 
 (* ---- networked whiteboard (wb_net) ----------------------------------- *)
-
-module Net = Wb_net
 
 let timeout_arg =
   Arg.(
@@ -363,7 +528,8 @@ let serve_cmd =
             graph = g;
             make_adversary = (fun () -> make_adversary adv g seed);
             max_rounds;
-            timeout }
+            timeout;
+            trace = None }
         in
         match Net.Server.create ~port spec with
         | exception Unix.Unix_error (err, _, _) ->
@@ -444,17 +610,51 @@ let remote_run_cmd =
       & info [ "check" ]
           ~doc:"Differential check: the networked run must equal Engine.run under the same seed")
   in
-  let run key family n p seed adv transport check timeout max_rounds =
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a merged Chrome trace of the whole run to $(docv): one lane for the driver, \
+             one for the referee (its RPC spans), one per node client, causally linked through \
+             the wire's trace-context field")
+  in
+  let flight_tail = 512 in
+  let run key family n p seed adv transport check timeout max_rounds trace_out =
     with_entry key (fun e ->
         let g = make_graph ~family ~n ~p ~seed in
+        let n_nodes = G.Graph.n g in
         Printf.printf "graph: %s on %d nodes, %d edges (seed %d)   transport: %s\n" family
-          (G.Graph.n g) (G.Graph.num_edges g) seed transport;
+          n_nodes (G.Graph.num_edges g) seed transport;
+        let tracing = trace_out <> None in
+        (* The referee collector is always attached: it doubles as the flight
+           recorder dumped when the run deadlocks or diverges. *)
+        let session_sink, session_events = Obs.Trace.collector () in
+        let driver_sink, driver_events = Obs.Trace.collector () in
+        let minter = Obs.Span.minter ~seed:(seed lxor 0x5eed) () in
+        let root =
+          if tracing then
+            Some
+              (Obs.Span.start
+                 ~attrs:[ ("transport", transport); ("protocol", key) ]
+                 minter driver_sink "remote-run")
+          else None
+        in
+        let parent = Option.map Obs.Span.context root in
+        let client_sinks =
+          Array.init n_nodes (fun _ -> if tracing then Some (Obs.Trace.collector ()) else None)
+        in
+        let client_trace v = Option.map fst client_sinks.(v) in
         let result =
           match transport with
           | "loopback" ->
-            Ok (Net.Remote.run_loopback ~protocol:e.protocol ?max_rounds g (make_adversary adv g seed))
+            Ok
+              (Net.Remote.run_loopback ~protocol:e.protocol ?max_rounds ~trace:session_sink
+                 ?parent ~client_trace g (make_adversary adv g seed))
           | "socket" ->
-            Net.Remote.run_socket ~timeout ?max_rounds ~key ~protocol:e.protocol ~graph:g
+            Net.Remote.run_socket ~timeout ?max_rounds ~trace:session_sink ?parent ~client_trace
+              ~key ~protocol:e.protocol ~graph:g
               ~make_adversary:(fun () -> make_adversary adv g seed)
               ()
           | other ->
@@ -470,7 +670,7 @@ let remote_run_cmd =
             (fun (v, fault) ->
               Printf.printf "node %d fault: %s\n" (v + 1) (Net.Session.fault_to_string fault))
             faults;
-          let code = print_run g (e.problem (G.Graph.n g)) remote in
+          let code = print_run g (e.problem n_nodes) remote in
           let code =
             if not check then code
             else begin
@@ -485,7 +685,44 @@ let remote_run_cmd =
                 2
             end
           in
-          if code <> 0 then exit code)
+          (match root with
+          | Some s -> Obs.Span.finish ~round:remote.P.Engine.stats.rounds driver_sink s
+          | None -> ());
+          (match trace_out with
+          | None -> ()
+          | Some file ->
+            write_chrome_merge file
+              (("driver", driver_events ())
+              :: ("referee", session_events ())
+              :: List.init n_nodes (fun v ->
+                     ( Printf.sprintf "node-%d" (v + 1),
+                       match client_sinks.(v) with Some (_, events) -> events () | None -> [] ))));
+          if code <> 0 then begin
+            (* Flight recorder: the referee's event tail, JSONL, next to the
+               report — enough to see which node starved the run. *)
+            let flight =
+              match trace_out with
+              | Some f -> Filename.remove_extension f ^ ".flight.jsonl"
+              | None -> "wbctl-remote-run.flight.jsonl"
+            in
+            let events = session_events () in
+            let total = List.length events in
+            let events =
+              if total > flight_tail then
+                List.filteri (fun i _ -> i >= total - flight_tail) events
+              else events
+            in
+            let oc = open_out_or_die flight in
+            List.iter
+              (fun ev ->
+                Obs.Json.to_channel oc (Obs.Event.to_json ev);
+                output_char oc '\n')
+              events;
+            close_out oc;
+            Printf.printf "flight recorder: %s (last %d of %d referee events)\n" flight
+              (List.length events) total;
+            exit code
+          end)
   in
   Cmd.v
     (Cmd.info "remote-run"
@@ -494,7 +731,48 @@ let remote_run_cmd =
           report")
     Term.(
       const run $ key_arg $ family_arg $ n_arg $ p_arg $ seed_arg $ adversary_arg $ transport_arg
-      $ check_arg $ timeout_arg $ max_rounds_arg)
+      $ check_arg $ timeout_arg $ max_rounds_arg $ trace_out_arg)
+
+let top_cmd =
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Referee host")
+  in
+  let port_arg = Arg.(value & opt int 7117 & info [ "port" ] ~docv:"PORT" ~doc:"Referee port") in
+  let watch_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "watch" ] ~docv:"SECONDS" ~doc:"Refresh every $(docv) seconds until interrupted")
+  in
+  let run host port timeout watch =
+    let once () =
+      match fetch_telemetry ~host ~port ~timeout ~tail:0 with
+      | Error msg ->
+        Printf.eprintf "wbctl: %s\n" msg;
+        exit 1
+      | Ok (metrics, _, _) -> print_telemetry metrics
+    in
+    match watch with
+    | None -> once ()
+    | Some secs when secs <= 0. ->
+      prerr_endline "wbctl: --watch SECONDS must be positive";
+      exit 1
+    | Some secs ->
+      let rec loop () =
+        once ();
+        print_newline ();
+        flush stdout;
+        Unix.sleepf secs;
+        loop ()
+      in
+      loop ()
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live metrics from a running referee over the TELEMETRY RPC: counters, gauges, and the \
+          net.rpc.* latency percentiles")
+    Term.(const run $ host_arg $ port_arg $ timeout_arg $ watch_arg)
 
 let synth_cmd =
   let problem_arg =
@@ -571,4 +849,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "wbctl" ~version:"1.0.0" ~doc:"Shared-whiteboard distributed computing laboratory")
           [ models_cmd; protocols_cmd; run_cmd; trace_cmd; explore_cmd; serve_cmd; join_cmd;
-            remote_run_cmd; synth_cmd; counting_cmd; graph_cmd ]))
+            remote_run_cmd; top_cmd; synth_cmd; counting_cmd; graph_cmd ]))

@@ -57,8 +57,8 @@ module Make (P : Protocol.S) = struct
 
   module M = Machine.Make (N)
 
-  let run ?max_rounds ?trace g adv =
-    let m = M.init ?max_rounds ?trace g in
+  let run ?max_rounds ?trace ?span g adv =
+    let m = M.init ?max_rounds ?trace ?span g in
     let rec loop () =
       match M.step m with
       | `Choices candidates ->
@@ -127,8 +127,12 @@ module Make (P : Protocol.S) = struct
           (ok && ok', count + count'))
         (true, 0) candidates
 
-  let explore_par ?(limit = 1_000_000) ~jobs g check =
+  let explore_par ?(limit = 1_000_000) ?shards ~jobs g check =
     if jobs < 1 then invalid_arg "Engine.explore_par: jobs must be >= 1";
+    (match shards with
+    | Some a when Array.length a <> jobs ->
+      invalid_arg "Engine.explore_par: shards array length must equal jobs"
+    | _ -> ());
     let total = Atomic.make 0 in
     let over = Atomic.make false in
     let complete run =
@@ -143,8 +147,8 @@ module Make (P : Protocol.S) = struct
     (* Replay a pick-prefix on a fresh machine, stopping at the choice
        point it leads to.  Prefixes always end strictly before a [`Done],
        so replay cannot run off the end of the execution. *)
-    let replay prefix =
-      let m = M.init g in
+    let replay ?trace ?span ?salt prefix =
+      let m = M.init ?trace ?span ?salt g in
       let rec feed picks =
         match (M.step m, picks) with
         | `Write _, _ -> feed picks
@@ -182,20 +186,37 @@ module Make (P : Protocol.S) = struct
     let items = Array.of_list (grow 0 [ [] ]) in
     let results = Array.make (Array.length items) (true, 0) in
     let next = Atomic.make 0 in
-    let worker () =
+    (* Worker [k] streams into its own ring (single-writer, so the
+       non-thread-safe Ring is fine) under a per-domain "worker" root span;
+       every replayed machine then roots its "run" span below it.  The
+       prefix-expansion phase above runs untraced — its completions are a
+       jobs-independent implementation detail, not a worker's work. *)
+    let worker k =
+      let trace = Option.map (fun a -> Obs.Trace.Ring.sink a.(k)) shards in
+      let wroot =
+        match trace with
+        | None -> None
+        | Some tr ->
+          let minter = Obs.Span.minter ~seed:(k + 1) () in
+          Some (tr, Obs.Span.start ~attrs:[ ("domain", string_of_int k) ] minter tr "worker")
+      in
+      let span = Option.map (fun (_, s) -> Obs.Span.context s) wroot in
       let rec claim () =
         let i = Atomic.fetch_and_add next 1 in
         if i < Array.length items && not (Atomic.get over) then begin
-          (match replay items.(i) with
+          (* The item index is globally unique across workers, so it salts
+             each replayed machine's minter below the shared worker span. *)
+          (match replay ?trace ?span ~salt:(i + 1) items.(i) with
           | `Done _ -> assert false
           | `Choices (m, _) -> results.(i) <- walk_subtree m complete);
           claim ()
         end
       in
-      try claim () with Limit_exceeded -> ()
+      (try claim () with Limit_exceeded -> ());
+      match wroot with None -> () | Some (tr, s) -> Obs.Span.finish tr s
     in
-    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    let domains = List.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1))) in
+    worker 0;
     List.iter Domain.join domains;
     if Atomic.get over then Error (`Limit limit)
     else begin
@@ -213,9 +234,9 @@ module Make (P : Protocol.S) = struct
     end
 end
 
-let run_packed ?max_rounds ?trace (module P : Protocol.S) g adv =
+let run_packed ?max_rounds ?trace ?span (module P : Protocol.S) g adv =
   let module E = Make (P) in
-  E.run ?max_rounds ?trace g adv
+  E.run ?max_rounds ?trace ?span g adv
 
 let explore_packed ?limit ?trace (module P : Protocol.S) g check =
   let module E = Make (P) in
@@ -225,6 +246,6 @@ let explore_packed_exn ?limit ?trace (module P : Protocol.S) g check =
   let module E = Make (P) in
   E.explore_exn ?limit ?trace g check
 
-let explore_par_packed ?limit ~jobs (module P : Protocol.S) g check =
+let explore_par_packed ?limit ?shards ~jobs (module P : Protocol.S) g check =
   let module E = Make (P) in
-  E.explore_par ?limit ~jobs g check
+  E.explore_par ?limit ?shards ~jobs g check

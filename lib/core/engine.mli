@@ -67,11 +67,18 @@ val outcome_equal : outcome -> outcome -> bool
 val stats_equal : stats -> stats -> bool
 
 module Make (P : Protocol.S) : sig
-  val run : ?max_rounds:int -> ?trace:Wb_obs.Trace.t -> Wb_graph.Graph.t -> Adversary.t -> run
+  val run :
+    ?max_rounds:int ->
+    ?trace:Wb_obs.Trace.t ->
+    ?span:Wb_obs.Span.context ->
+    Wb_graph.Graph.t ->
+    Adversary.t ->
+    run
   (** Execute under one adversary.  [max_rounds] defaults to [2n + 8]
       (any legal execution fits; exceeding it is reported as [Deadlock]).
       [trace] receives the execution's event stream; the sink is {e not}
-      closed — the caller owns it. *)
+      closed — the caller owns it.  [span] parents the traced run's root
+      span (see {!Machine.Make.init}). *)
 
   val explore :
     ?limit:int ->
@@ -96,6 +103,7 @@ module Make (P : Protocol.S) : sig
 
   val explore_par :
     ?limit:int ->
+    ?shards:Wb_obs.Trace.Ring.buffer array ->
     jobs:int ->
     Wb_graph.Graph.t ->
     (run -> bool) ->
@@ -108,15 +116,29 @@ module Make (P : Protocol.S) : sig
       all-pass tree the count equals {!explore}'s; on a failing tree it is
       the full tree size, where {!explore} stops early.  [check] runs
       concurrently from several domains and must be domain-safe (the
-      differential predicates here are pure).  No [?trace]: interleaved
-      worker events have no meaningful order — trace with the sequential
-      {!explore}.  [Error (`Limit _)] is returned iff the tree exceeds
-      [limit], again independent of [jobs].
-      @raise Invalid_argument when [jobs < 1]. *)
+      differential predicates here are pure).
+
+      Instead of a shared [?trace] (interleaved worker events have no
+      meaningful order), [shards] gives each worker its own flight-recorder
+      ring: worker [k] streams into [shards.(k)] under a per-domain
+      ["worker"] root span (attr ["domain"]), with every replayed
+      execution's ["run"] span a child of it — stitch the shards into one
+      Catapult file with {!Wb_obs.Chrome.merge}.  The sequential
+      prefix-expansion phase is untraced (its completions belong to no
+      worker).  [Error (`Limit _)] is returned iff the tree exceeds
+      [limit], independent of [jobs].
+      @raise Invalid_argument when [jobs < 1] or when [shards] is given
+      with length [<> jobs]. *)
 end
 
 val run_packed :
-  ?max_rounds:int -> ?trace:Wb_obs.Trace.t -> Protocol.t -> Wb_graph.Graph.t -> Adversary.t -> run
+  ?max_rounds:int ->
+  ?trace:Wb_obs.Trace.t ->
+  ?span:Wb_obs.Span.context ->
+  Protocol.t ->
+  Wb_graph.Graph.t ->
+  Adversary.t ->
+  run
 
 val explore_packed :
   ?limit:int ->
@@ -131,6 +153,7 @@ val explore_packed_exn :
 
 val explore_par_packed :
   ?limit:int ->
+  ?shards:Wb_obs.Trace.Ring.buffer array ->
   jobs:int ->
   Protocol.t ->
   Wb_graph.Graph.t ->

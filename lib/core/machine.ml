@@ -93,6 +93,10 @@ module Make (N : NODE) = struct
     views : View.t array;
     board : Board.t;
     trace : Obs.Trace.t option;
+    minter : Obs.Span.minter;
+    root_ctx : Obs.Span.context option;  (* parent for per-round spans *)
+    mutable span_root : Obs.Span.t option;
+    mutable span_round : Obs.Span.t option;
     mutable status : status array;
     mutable locals : N.local array;
     mutable memory : Message.t option array;
@@ -108,15 +112,37 @@ module Make (N : NODE) = struct
 
   let simultaneous = Model.simultaneous N.model
 
-  let init ?max_rounds ?trace g =
+  let init ?max_rounds ?trace ?span ?(salt = 0) g =
     let size = G.n g in
     let views = Array.init size (View.make g) in
+    (* Seeded from the parent context (or 0), so span ids — and with them
+       the whole trace tree — are reproducible run over run.  [salt]
+       distinguishes sibling machines under the same parent (the parallel
+       explorer replays many machines below one "worker" span; without a
+       salt they would all mint identical id streams). *)
+    let minter =
+      Obs.Span.minter
+        ~seed:
+          ((match span with Some c -> c.Obs.Span.trace lxor c.Obs.Span.span | None -> 0)
+          lxor (salt * 0x9e3779b9))
+        ()
+    in
+    let span_root =
+      match trace with
+      | None -> None
+      | Some tr ->
+        Some (Obs.Span.start ?parent:span ~attrs:[ ("n", string_of_int size) ] minter tr "run")
+    in
     { size;
       bound = N.message_bound ~n:size;
       max_rounds = (match max_rounds with Some r -> r | None -> default_max_rounds size);
       views;
       board = Board.create size;
       trace;
+      minter;
+      root_ctx = Option.map Obs.Span.context span_root;
+      span_root;
+      span_round = None;
       status = Array.make size Awake;
       locals = Array.map N.init views;
       memory = Array.make size None;
@@ -133,25 +159,53 @@ module Make (N : NODE) = struct
 
   let emit t ev = match t.trace with None -> () | Some tr -> Obs.Trace.emit tr ev
 
-  let kill t v = if t.status.(v) <> Dead then t.status.(v) <- Dead
+  let span_start t ?parent ?attrs name =
+    match t.trace with
+    | None -> None
+    | Some tr -> Some (Obs.Span.start ?parent ?attrs ~round:t.round t.minter tr name)
+
+  let span_finish t s =
+    match (t.trace, s) with
+    | Some tr, Some sp -> Obs.Span.finish ~round:t.round tr sp
+    | _ -> ()
+
+  (* Children of the current round when one is open, of the run otherwise
+     (faults reported between rounds, e.g. a handshake that never ran). *)
+  let inner_parent t =
+    match t.span_round with Some s -> Some (Obs.Span.context s) | None -> t.root_ctx
+
+  let kill t v =
+    if t.status.(v) <> Dead then begin
+      t.status.(v) <- Dead;
+      let parent = inner_parent t in
+      span_finish t (span_start t ?parent ~attrs:[ ("node", string_of_int (v + 1)) ] "fault")
+    end
 
   let compose_now t v =
-    match N.compose ~round:t.round t.views.(v) t.board t.locals.(v) with
+    let parent = inner_parent t in
+    let sp = span_start t ?parent ~attrs:[ ("node", string_of_int (v + 1)) ] "compose" in
+    (match N.compose ~round:t.round t.views.(v) t.board t.locals.(v) with
     | None -> kill t v
     | Some (m, local) ->
       t.locals.(v) <- local;
       t.memory.(v) <- Some m;
       t.compose_count.(v) <- t.compose_count.(v) + 1;
       Obs.Metrics.incr m_composes;
-      emit t (Obs.Event.Compose { node = v; round = t.round; bits = Message.size_bits m })
+      emit t (Obs.Event.Compose { node = v; round = t.round; bits = Message.size_bits m }));
+    span_finish t sp
 
   (* One deterministic round prefix: terminations, candidate collection,
      activations, synchronous recomposition.  Returns the write candidates
      (filtered to live nodes holding a message — the filter is identity on
      fault-free executions) and whether anyone activated. *)
   let round_prefix t =
+    (* Close the previous round's span while its round number is still
+       current, so span events keep the stream's round monotonicity. *)
+    span_finish t t.span_round;
+    t.span_round <- None;
     t.round <- t.round + 1;
     emit t (Obs.Event.Round_start { round = t.round });
+    t.span_round <- span_start t ?parent:t.root_ctx "round";
     for v = 0 to t.size - 1 do
       if t.status.(v) = Active && Board.has_author t.board v then t.status.(v) <- Terminated
     done;
@@ -207,6 +261,11 @@ module Make (N : NODE) = struct
     (match outcome with
     | Deadlock -> emit t (Obs.Event.Deadlock_detected { round = t.round })
     | _ -> ());
+    (* Spans close before the terminal event: Run_end stays last. *)
+    span_finish t t.span_round;
+    t.span_round <- None;
+    span_finish t t.span_root;
+    t.span_root <- None;
     emit t (Obs.Event.Run_end { round = t.round; outcome = outcome_tag outcome });
     let run =
       { outcome;
@@ -305,5 +364,9 @@ module Make (N : NODE) = struct
     t.round <- s.s_round;
     Board.truncate t.board s.s_board_len;
     t.pending <- s.s_pending;
+    (* A restore rewinds logical time, so stopping the open round span here
+       would emit a stop at an earlier round than its start; drop it
+       unstopped instead (the exporters tolerate unclosed spans). *)
+    t.span_round <- None;
     t.finished <- None
 end

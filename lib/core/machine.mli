@@ -104,10 +104,21 @@ end
 module Make (N : NODE) : sig
   type t
 
-  val init : ?max_rounds:int -> ?trace:Wb_obs.Trace.t -> Wb_graph.Graph.t -> t
+  val init :
+    ?max_rounds:int ->
+    ?trace:Wb_obs.Trace.t ->
+    ?span:Wb_obs.Span.context ->
+    ?salt:int ->
+    Wb_graph.Graph.t ->
+    t
   (** [max_rounds] defaults to {!default_max_rounds}.  [trace] receives the
       execution's event stream; the sink is {e not} closed — the caller
-      owns it. *)
+      owns it.  When traced, the kernel opens a ["run"] root span (a child
+      of [span] when given — how a networked session joins its driver's
+      trace) and child spans per round, compose and fault; span ids are
+      minted deterministically from [span] (or seed 0) and [salt]
+      (default 0), so the trace tree is reproducible.  Give sibling
+      machines sharing one parent distinct salts or their ids collide. *)
 
   val step : t -> [ `Choices of int list | `Write of int | `Done of run ]
   (** Advance until something needs the driver:

@@ -1,4 +1,5 @@
 module M = Wb_model
+module Obs = Wb_obs
 
 type finished = { outcome : string; detail : string; rounds : int }
 
@@ -21,13 +22,27 @@ type t = {
   key : string;
   session : string;
   node_pref : int option;
+  trace : Obs.Trace.t option;
+  parent : Obs.Span.context option;
+  mutable minter : Obs.Span.minter;
   mutable phase : phase;
   mutable joined : joined option;
   mutable composes : int;
 }
 
-let create ~protocol ~key ~session ?node_pref () =
-  { protocol; key; session; node_pref; phase = Joining; joined = None; composes = 0 }
+let minter_seed parent = match parent with Some c -> c.Obs.Span.trace lxor c.Obs.Span.span | None -> 2
+
+let create ~protocol ~key ~session ?node_pref ?trace ?parent () =
+  { protocol;
+    key;
+    session;
+    node_pref;
+    trace;
+    parent;
+    minter = Obs.Span.minter ~seed:(minter_seed parent) ();
+    phase = Joining;
+    joined = None;
+    composes = 0 }
 
 let hello t = Wire.Hello { session = t.session; protocol = t.key; node_pref = t.node_pref }
 
@@ -52,7 +67,24 @@ let fail t msg =
   t.phase <- Failed msg;
   [ Wire.Error { code = Wire.Unexpected_frame; detail = msg } ]
 
-let handle t frame =
+(* A handler span parents under the incoming RPC's context when the frame
+   carries one (the referee's net.rpc.* span), falling back to the client's
+   own configured parent — that link is what stitches client work into the
+   driver's trace across the wire. *)
+let with_span t ~ctx ~round name f =
+  match t.trace with
+  | None -> f ()
+  | Some tr ->
+    let parent = match ctx with Some _ -> ctx | None -> t.parent in
+    let attrs =
+      match node_id t with None -> [] | Some v -> [ ("node", string_of_int (v + 1)) ]
+    in
+    let sp = Obs.Span.start ?parent ~attrs ~round t.minter tr name in
+    let result = f () in
+    Obs.Span.finish ~round tr sp;
+    result
+
+let handle t ~ctx frame =
   match (t.phase, frame) with
   | (Finished _ | Failed _), _ -> []
   | Joining, Wire.Hello_ack { session; node; n; neighbors; bound = _ } ->
@@ -67,6 +99,11 @@ let handle t frame =
             generation = None;
             written_at = None };
       t.phase <- Running node;
+      (* Every client of a session shares the driver's parent context, so a
+         parent-derived seed alone would mint the same ids on every node;
+         salt with the node id now that it is known. *)
+      t.minter <-
+        Obs.Span.minter ~seed:(minter_seed t.parent lxor ((node + 1) * 0x9e3779b9)) ();
       []
     end
   | Joining, Wire.Error { code; detail } ->
@@ -96,11 +133,13 @@ let handle t frame =
     end
   | Running _, Wire.Activate_query { round } ->
     let j = Option.get t.joined in
-    [ Wire.Activate_reply { round; activate = j.driver.wants j.replica } ]
+    with_span t ~ctx ~round "client.activate" (fun () ->
+        [ Wire.Activate_reply { round; activate = j.driver.wants j.replica } ])
   | Running _, Wire.Compose_request { round } ->
     let j = Option.get t.joined in
     t.composes <- t.composes + 1;
-    [ Wire.Compose_reply { round; payload = j.driver.compose j.replica } ]
+    with_span t ~ctx ~round "client.compose" (fun () ->
+        [ Wire.Compose_reply { round; payload = j.driver.compose j.replica } ])
   | Running _, Wire.Write_grant { round = _; position } ->
     (Option.get t.joined).written_at <- Some position;
     []
@@ -117,14 +156,14 @@ let run t conn =
     Conn.close conn;
     r
   in
-  match Conn.send conn (hello t) with
+  match Conn.send ?ctx:t.parent conn (hello t) with
   | Error f -> finish (Error (Conn.fault_to_string f))
   | Ok () ->
     let rec pump () =
-      match Conn.recv conn with
+      match Conn.recv_ctx conn with
       | Error f -> finish (Error (Conn.fault_to_string f))
-      | Ok frame -> (
-        let replies = handle t frame in
+      | Ok (frame, ctx) -> (
+        let replies = handle t ~ctx frame in
         let send_failure =
           List.fold_left
             (fun acc reply ->

@@ -19,15 +19,27 @@ type phase =
   | Finished of finished  (** RUN-END received. *)
   | Failed of string  (** server ERROR frame or protocol confusion. *)
 
-val create : protocol:Wb_model.Protocol.t -> key:string -> session:string -> ?node_pref:int -> unit -> t
+val create :
+  protocol:Wb_model.Protocol.t ->
+  key:string ->
+  session:string ->
+  ?node_pref:int ->
+  ?trace:Wb_obs.Trace.t ->
+  ?parent:Wb_obs.Span.context ->
+  unit ->
+  t
 (** [key] is the registry key announced in HELLO (the server checks it names
-    the same protocol it is refereeing). *)
+    the same protocol it is refereeing).  With [trace], the client emits a
+    [client.activate]/[client.compose] span per query it answers, parented
+    under the incoming frame's trace context (the referee's RPC span) when
+    present, else under [parent].  [parent] also rides the HELLO {!run}
+    sends, telling the server which trace this session belongs to. *)
 
 val hello : t -> Wire.frame
-val handle : t -> Wire.frame -> Wire.frame list
-(** Feed one server frame; returns the replies to send back (never raises on
-    unexpected frames — the client moves to [Failed] and returns an ERROR
-    frame instead). *)
+val handle : t -> ctx:Wb_obs.Span.context option -> Wire.frame -> Wire.frame list
+(** Feed one server frame and the trace context it carried; returns the
+    replies to send back (never raises on unexpected frames — the client
+    moves to [Failed] and returns an ERROR frame instead). *)
 
 val phase : t -> phase
 val node_id : t -> int option

@@ -18,26 +18,34 @@ end
 
 type t = {
   peer_name : string;
-  send_fn : Wire.frame -> (unit, fault) result;
-  recv_fn : unit -> (Wire.frame, fault) result;
+  send_fn : Obs.Span.context option -> Wire.frame -> (unit, fault) result;
+  recv_fn : unit -> (Wire.frame * Obs.Span.context option, fault) result;
   close_fn : unit -> unit;
   mutable closed : bool;
 }
 
 let peer c = c.peer_name
 
-let make ~peer ~send ~recv ~close =
+let make_ctx ~peer ~send ~recv ~close =
   { peer_name = peer; send_fn = send; recv_fn = recv; close_fn = close; closed = false }
+
+(* Context-blind assembly for fault-injection tests: outgoing contexts are
+   dropped, incoming frames carry none. *)
+let make ~peer ~send ~recv ~close =
+  make_ctx ~peer
+    ~send:(fun _ctx frame -> send frame)
+    ~recv:(fun () -> Result.map (fun f -> (f, None)) (recv ()))
+    ~close
 
 let note_fault = function
   | Timeout -> Obs.Metrics.incr Metrics.timeouts
   | Closed -> Obs.Metrics.incr Metrics.disconnects
   | Bad_frame _ -> Obs.Metrics.incr Metrics.malformed_frames
 
-let send c frame =
+let send ?ctx c frame =
   if c.closed then Error Closed
   else
-    match c.send_fn frame with
+    match c.send_fn ctx frame with
     | Ok () ->
       Obs.Metrics.incr Metrics.frames_sent;
       Ok ()
@@ -45,16 +53,18 @@ let send c frame =
       note_fault f;
       Error f
 
-let recv c =
+let recv_ctx c =
   if c.closed then Error Closed
   else
     match c.recv_fn () with
-    | Ok frame ->
+    | Ok pair ->
       Obs.Metrics.incr Metrics.frames_received;
-      Ok frame
+      Ok pair
     | Error f ->
       note_fault f;
       Error f
+
+let recv c = Result.map fst (recv_ctx c)
 
 let close c =
   if not c.closed then begin
@@ -107,8 +117,8 @@ let of_fd ?(timeout = 5.0) ~peer fd =
      (~40ms), which multiplies into seconds per session and trips read
      timeouts on long-idle nodes. *)
   (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
-  let send frame =
-    let bytes = Wire.encode frame in
+  let send ctx frame =
+    let bytes = Wire.encode ?ctx frame in
     match write_all fd (Bytes.unsafe_of_string bytes) 0 (String.length bytes) with
     | () ->
       Obs.Metrics.add Metrics.bytes_sent (String.length bytes);
@@ -124,22 +134,22 @@ let of_fd ?(timeout = 5.0) ~peer fd =
       Obs.Metrics.add Metrics.bytes_received Wire.header_bytes;
       match Wire.decode_header (Bytes.unsafe_to_string header) with
       | Error e -> Error (Bad_frame e)
-      | Ok (body_len, crc) -> (
+      | Ok (version, body_len, crc) -> (
         let body = Bytes.create body_len in
         match read_exact fd body body_len with
         | `Eof -> Error Closed
         | `Timeout -> Error Timeout
         | `Ok -> (
           Obs.Metrics.add Metrics.bytes_received body_len;
-          match Wire.decode_body ~crc (Bytes.unsafe_to_string body) with
-          | Ok frame -> Ok frame
+          match Wire.decode_body ~version ~crc (Bytes.unsafe_to_string body) with
+          | Ok pair -> Ok pair
           | Error e -> Error (Bad_frame e))))
   in
   let close () =
     (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
     try Unix.close fd with Unix.Unix_error _ -> ()
   in
-  make ~peer ~send ~recv ~close
+  make_ctx ~peer ~send ~recv ~close
 
 (* ---- deterministic loopback ------------------------------------------- *)
 
@@ -148,26 +158,28 @@ exception Hangup
 let loopback_served ~peer ~handler =
   let inbox = Queue.create () in
   let hung_up = ref false in
-  let roundtrip frame =
-    let bytes = Wire.encode frame in
+  let roundtrip ?ctx frame =
+    let bytes = Wire.encode ?ctx frame in
     Obs.Metrics.add Metrics.bytes_sent (String.length bytes);
     Obs.Metrics.add Metrics.bytes_received (String.length bytes);
-    match Wire.decode bytes with
-    | Ok f -> f
+    match Wire.decode_ctx bytes with
+    | Ok pair -> pair
     | Error e -> raise (Failure ("loopback codec violation: " ^ Wire.error_to_string e))
   in
-  let send frame =
+  let send ctx frame =
     if !hung_up then Error Closed
-    else
-      match handler (roundtrip frame) with
+    else begin
+      let frame, ctx = roundtrip ?ctx frame in
+      match handler ~ctx frame with
       | replies ->
         List.iter (fun f -> Queue.push (roundtrip f) inbox) replies;
         Ok ()
       | exception Hangup ->
         hung_up := true;
         Error Closed
+    end
   in
   let recv () =
     if Queue.is_empty inbox then Error Closed else Ok (Queue.pop inbox)
   in
-  make ~peer ~send ~recv ~close:(fun () -> ())
+  make_ctx ~peer ~send ~recv ~close:(fun () -> ())

@@ -24,10 +24,18 @@ val make :
   close:(unit -> unit) ->
   t
 (** Assemble a connection from raw operations (tests use this for fault
-    injection).  Metrics wrapping is applied by {!send}/{!recv}. *)
+    injection).  Metrics wrapping is applied by {!send}/{!recv}.  Assembled
+    connections are context-blind: outgoing trace contexts are dropped and
+    incoming frames report none. *)
 
-val send : t -> Wire.frame -> (unit, fault) result
+val send : ?ctx:Wb_obs.Span.context -> t -> Wire.frame -> (unit, fault) result
+(** [ctx] rides the version-2 frame prelude ({!Wire.encode}). *)
+
 val recv : t -> (Wire.frame, fault) result
+
+val recv_ctx : t -> (Wire.frame * Wb_obs.Span.context option, fault) result
+(** Like {!recv}, also yielding the sender's trace context, if any. *)
+
 val close : t -> unit
 (** Idempotent. *)
 
@@ -44,12 +52,14 @@ exception Hangup
 (** A loopback handler raises this to simulate the peer vanishing
     mid-conversation; the connection then reports {!Closed}. *)
 
-val loopback_served : peer:string -> handler:(Wire.frame -> Wire.frame list) -> t
-(** Deterministic in-process transport: [send f] encodes [f], decodes it
-    back (so the codec is on the path exactly as over a socket) and hands
-    it to [handler], queueing the handler's replies — also round-tripped —
-    for subsequent {!recv}s.  Single-threaded and scheduling-free: a [recv]
-    with no queued reply reports [Closed] rather than blocking. *)
+val loopback_served :
+  peer:string -> handler:(ctx:Wb_obs.Span.context option -> Wire.frame -> Wire.frame list) -> t
+(** Deterministic in-process transport: [send ?ctx f] encodes [f] (context
+    and all), decodes it back (so the codec is on the path exactly as over
+    a socket) and hands it to [handler], queueing the handler's replies —
+    also round-tripped — for subsequent {!recv}s.  Single-threaded and
+    scheduling-free: a [recv] with no queued reply reports [Closed] rather
+    than blocking. *)
 
 val fault_to_string : fault -> string
 

@@ -1,15 +1,20 @@
 module M = Wb_model
 module G = Wb_graph.Graph
 
-let run_loopback ?trace ?max_rounds ~protocol g adversary =
+let no_client_trace (_ : int) = None
+
+let run_loopback ?trace ?parent ?(client_trace = no_client_trace) ?max_rounds ~protocol g
+    adversary =
   let n = G.n g in
   let conns =
     Array.init n (fun v ->
         let client =
-          Client.create ~protocol ~key:"loopback" ~session:"loopback" ~node_pref:v ()
+          Client.create ~protocol ~key:"loopback" ~session:"loopback" ~node_pref:v
+            ?trace:(client_trace v) ?parent ()
         in
         let conn =
-          Conn.loopback_served ~peer:(Printf.sprintf "node-%d" v) ~handler:(Client.handle client)
+          Conn.loopback_served ~peer:(Printf.sprintf "node-%d" v)
+            ~handler:(fun ~ctx frame -> Client.handle client ~ctx frame)
         in
         (* Handshake inline: the referee expects already-joined connections. *)
         (match
@@ -27,12 +32,13 @@ let run_loopback ?trace ?max_rounds ~protocol g adversary =
         | Error f -> failwith ("loopback handshake failed: " ^ Conn.fault_to_string f));
         conn)
   in
-  Session.run { Session.protocol; graph = g; adversary; max_rounds; trace } conns
+  Session.run { Session.protocol; graph = g; adversary; max_rounds; trace; parent } conns
 
-let run_socket ?(timeout = 5.0) ?max_rounds ~key ~protocol ~graph ~make_adversary () =
+let run_socket ?(timeout = 5.0) ?max_rounds ?trace ?parent ?(client_trace = no_client_trace)
+    ~key ~protocol ~graph ~make_adversary () =
   let n = G.n graph in
   let spec =
-    { Server.key; protocol; graph; make_adversary; max_rounds; timeout }
+    { Server.key; protocol; graph; make_adversary; max_rounds; timeout; trace }
   in
   match Server.create ~port:0 spec with
   | exception Unix.Unix_error (err, _, _) ->
@@ -50,7 +56,9 @@ let run_socket ?(timeout = 5.0) ?max_rounds ~key ~protocol ~graph ~make_adversar
         Error (Printf.sprintf "node %d cannot connect: %s" v (Unix.error_message err))
       | () ->
         let conn = Conn.of_fd ~timeout ~peer:(Printf.sprintf "node-%d" v) fd in
-        let client = Client.create ~protocol ~key ~session ~node_pref:v () in
+        let client =
+          Client.create ~protocol ~key ~session ~node_pref:v ?trace:(client_trace v) ?parent ()
+        in
         (match Client.run client conn with
         | Ok _ -> Ok ()
         | Error msg -> Error (Printf.sprintf "node %d: %s" v msg))

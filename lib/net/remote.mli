@@ -10,17 +10,25 @@
 
 val run_loopback :
   ?trace:Wb_obs.Trace.t ->
+  ?parent:Wb_obs.Span.context ->
+  ?client_trace:(int -> Wb_obs.Trace.t option) ->
   ?max_rounds:int ->
   protocol:Wb_model.Protocol.t ->
   Wb_graph.Graph.t ->
   Wb_model.Adversary.t ->
   Session.result
 (** Referee and n in-process clients over {!Conn.loopback_served}: fully
-    deterministic, no threads, no sockets — the transport every test uses. *)
+    deterministic, no threads, no sockets — the transport every test uses.
+    [trace] receives the referee's events and spans, [parent] roots them
+    under the caller's span, and [client_trace v] (default [None]) gives
+    node [v]'s client its own sink for [client.*] handler spans. *)
 
 val run_socket :
   ?timeout:float ->
   ?max_rounds:int ->
+  ?trace:Wb_obs.Trace.t ->
+  ?parent:Wb_obs.Span.context ->
+  ?client_trace:(int -> Wb_obs.Trace.t option) ->
   key:string ->
   protocol:Wb_model.Protocol.t ->
   graph:Wb_graph.Graph.t ->
@@ -29,7 +37,11 @@ val run_socket :
   (Session.result, string) result
 (** One real TCP session on 127.0.0.1: starts a {!Server} on an ephemeral
     port, connects one socket client thread per node (each claiming its
-    node id), joins everything and returns the referee's result. *)
+    node id), joins everything and returns the referee's result.  The
+    telemetry options mirror {!run_loopback}: [trace] is teed into the
+    server's sessions (alongside its flight-recorder ring), and [parent]
+    rides each client's HELLO so the referee parents the session span under
+    the caller's trace. *)
 
 val diff_runs : Wb_model.Engine.run -> Wb_model.Engine.run -> string list
 (** [diff_runs remote local] is the list of human-readable mismatches

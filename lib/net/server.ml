@@ -9,7 +9,10 @@ type spec = {
   make_adversary : unit -> M.Adversary.t;
   max_rounds : int option;
   timeout : float;
+  trace : Obs.Trace.t option;
 }
+
+let ring_capacity = 4096
 
 type t = {
   spec : spec;
@@ -18,6 +21,9 @@ type t = {
   lock : Mutex.t;
   cond : Condition.t;
   pending : (string, Conn.t option array) Hashtbl.t;
+  ring : Obs.Trace.Ring.buffer;
+  ring_lock : Mutex.t;
+  session_sink : Obs.Trace.t;
   mutable results : (string * Session.result) list;
   mutable completed : int;
   mutable stopped : bool;
@@ -31,12 +37,27 @@ let create ?(addr = "127.0.0.1") ~port spec =
   let port_no =
     match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | Unix.ADDR_UNIX _ -> port
   in
+  (* Every session streams into the flight-recorder ring (served back by
+     TELEMETRY and dumped on failures); the ring itself is single-threaded,
+     so the sink is serialised — sessions run on handshake threads. *)
+  let ring = Obs.Trace.Ring.create ~capacity:ring_capacity in
+  let ring_lock = Mutex.create () in
+  let raw_ring = Obs.Trace.Ring.sink ring in
+  let locked_ring =
+    Obs.Trace.of_fn (fun ev -> Sync.with_lock ring_lock (fun () -> Obs.Trace.emit raw_ring ev))
+  in
+  let session_sink =
+    match spec.trace with None -> locked_ring | Some tr -> Obs.Trace.tee [ locked_ring; tr ]
+  in
   { spec;
     fd;
     port_no;
     lock = Mutex.create ();
     cond = Condition.create ();
     pending = Hashtbl.create 8;
+    ring;
+    ring_lock;
+    session_sink;
     results = [];
     completed = 0;
     stopped = false }
@@ -120,12 +141,41 @@ let record_result t ~max_sessions session result =
   in
   if enough then stop t
 
+(* Answer a TELEMETRY probe: the full metrics snapshot plus the newest ring
+   events that fit the frame budget.  [dropped] counts ring overwrites plus
+   any requested-but-withheld tail entries. *)
+let telemetry_reply t tail =
+  let metrics = Obs.Json.to_string (Obs.Metrics.dump_json ()) in
+  let events, ring_dropped =
+    Sync.with_lock t.ring_lock (fun () ->
+        (Obs.Trace.Ring.to_list t.ring, Obs.Trace.Ring.dropped t.ring))
+  in
+  let total = List.length events in
+  let want = min tail total in
+  let newest_first =
+    List.filteri (fun i _ -> i >= total - want) events
+    |> List.rev_map (fun ev -> Obs.Json.to_string (Obs.Event.to_json ev))
+  in
+  let budget = Wire.max_frame_bytes - String.length metrics - 4096 in
+  let kept, _ =
+    List.fold_left
+      (fun (kept, used) line ->
+        let used = used + String.length line + 8 in
+        if used > budget then (kept, used) else (line :: kept, used))
+      ([], 0) newest_first
+  in
+  Wire.Telemetry_reply
+    { metrics; events = kept; dropped = ring_dropped + (want - List.length kept) }
+
 let handshake t ~max_sessions conn =
-  match Conn.recv conn with
+  match Conn.recv_ctx conn with
   | Error (Conn.Bad_frame e) -> reject conn Wire.Malformed (Wire.error_to_string e)
   | Error Conn.Timeout -> reject conn Wire.Timed_out "no HELLO before the read timeout"
   | Error Conn.Closed -> Conn.close conn
-  | Ok (Wire.Hello { session; protocol; node_pref }) ->
+  | Ok (Wire.Telemetry_request { tail }, _) ->
+    ignore (Conn.send conn (telemetry_reply t tail));
+    Conn.close conn
+  | Ok (Wire.Hello { session; protocol; node_pref }, hello_ctx) ->
     if protocol <> t.spec.key then
       reject conn Wire.Protocol_mismatch
         (Printf.sprintf "this server referees %S, not %S" t.spec.key protocol)
@@ -147,18 +197,22 @@ let handshake t ~max_sessions conn =
         match completion with
         | None -> ()
         | Some conns ->
+          (* The roster-completing HELLO's context parents the session span:
+             a remote-run driver hands every client the same root, so any
+             join's context names the same trace. *)
           let result =
             Session.run
               { Session.protocol = t.spec.protocol;
                 graph = t.spec.graph;
                 adversary = t.spec.make_adversary ();
                 max_rounds = t.spec.max_rounds;
-                trace = None }
+                trace = Some t.session_sink;
+                parent = hello_ctx }
               conns
           in
           record_result t ~max_sessions session result)
     end
-  | Ok f -> reject conn Wire.Bad_hello ("expected HELLO, got " ^ Wire.opcode_name f)
+  | Ok (f, _) -> reject conn Wire.Bad_hello ("expected HELLO, got " ^ Wire.opcode_name f)
 
 let serve ?max_sessions t =
   let stopped () = Sync.with_lock t.lock (fun () -> t.stopped) in

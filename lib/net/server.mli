@@ -11,7 +11,15 @@
     semantics are a sequential object).  Handshake failures — malformed
     bytes, wrong protocol key, full or running session, taken node id —
     are answered with a typed ERROR frame and a close, and never disturb
-    other sessions. *)
+    other sessions.
+
+    {b Observability.}  Every session's event stream (spans included) is
+    teed into a fixed-capacity flight-recorder ring.  A connection whose
+    first frame is TELEMETRY gets back the process metrics snapshot plus
+    the newest ring events that fit one frame — this is what [wbctl top]
+    and [wbctl trace --remote] poll.  The context carried by the
+    roster-completing HELLO becomes the session's parent span, stitching
+    the referee's spans into the driver's trace. *)
 
 type spec = {
   key : string;  (** registry key clients must announce. *)
@@ -21,6 +29,9 @@ type spec = {
       (** fresh scheduler per session (stateful adversaries). *)
   max_rounds : int option;
   timeout : float;  (** per-connection read timeout, seconds. *)
+  trace : Wb_obs.Trace.t option;
+      (** extra sink teed alongside the flight-recorder ring; every
+          session's events (and spans) reach both. *)
 }
 
 type t

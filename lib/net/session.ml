@@ -10,6 +10,7 @@ type config = {
   adversary : M.Adversary.t;
   max_rounds : int option;
   trace : Obs.Trace.t option;
+  parent : Obs.Span.context option;
 }
 
 type result = { run : M.Engine.run; faults : (int * fault) list }
@@ -24,6 +25,14 @@ let m_outcome tag = Obs.Metrics.counter ~help:"referee sessions by outcome" ("ne
 
 let m_faulted =
   Obs.Metrics.counter ~help:"referee sessions that recorded a node fault" "net.sessions.faulted"
+
+(* RPC round-trip latency is observed unconditionally — tracing off or on —
+   so `wbctl top` always has percentiles to show. *)
+let m_rpc_activate =
+  Obs.Metrics.histogram ~help:"ACTIVATE RPC round-trip, microseconds" "net.rpc.activate_us"
+
+let m_rpc_compose =
+  Obs.Metrics.histogram ~help:"COMPOSE RPC round-trip, microseconds" "net.rpc.compose_us"
 
 (* The round semantics live entirely in {!Wb_model.Machine}; this module
    only supplies the transport: each kernel hook becomes an RPC to the
@@ -52,8 +61,22 @@ let run cfg conns =
       !kill_ref v
     end
   in
-  let send v frame =
-    match Conn.send conns.(v) frame with
+  (* Ids are minted from the parent context, so session span ids — like the
+     kernel's — reproduce under the same driver trace. *)
+  let minter =
+    Obs.Span.minter
+      ~seed:(match cfg.parent with Some c -> c.Obs.Span.trace lxor c.Obs.Span.span | None -> 1)
+      ()
+  in
+  let session_span =
+    match cfg.trace with
+    | None -> None
+    | Some tr ->
+      Some (Obs.Span.start ?parent:cfg.parent ~attrs:[ ("n", string_of_int n) ] minter tr "session")
+  in
+  let session_ctx = Option.map Obs.Span.context session_span in
+  let send ?ctx v frame =
+    match Conn.send ?ctx conns.(v) frame with
     | Ok () -> true
     | Error f ->
       fail_node v (Transport f);
@@ -74,18 +97,44 @@ let run cfg conns =
       then synced.(v) <- len
     end
   in
-  (* One query round-trip: sync the replica, send, await the reply. *)
-  let rpc board v frame =
+  (* One query round-trip: sync the replica, send (carrying the RPC span's
+     context so the client can parent its handler span under it), await the
+     reply, observe the latency. *)
+  let rpc ~round ~name ~hist board v frame =
     if dead.(v) then None
     else begin
       sync board v;
-      if dead.(v) || not (send v frame) then None
-      else
-        match Conn.recv conns.(v) with
-        | Ok reply -> Some reply
-        | Error f ->
-          fail_node v (Transport f);
-          None
+      if dead.(v) then None
+      else begin
+        let sp =
+          match cfg.trace with
+          | None -> None
+          | Some tr ->
+            Some
+              ( tr,
+                Obs.Span.start ?parent:session_ctx
+                  ~attrs:[ ("node", string_of_int (v + 1)) ]
+                  ~round minter tr name )
+        in
+        (* Without a session trace, forward the driver's context unchanged
+           so a tracing client still joins the right trace. *)
+        let ctx =
+          match sp with Some (_, s) -> Some (Obs.Span.context s) | None -> cfg.parent
+        in
+        let t0 = Obs.Span.now_us () in
+        let result =
+          if not (send ?ctx v frame) then None
+          else
+            match Conn.recv conns.(v) with
+            | Ok reply -> Some reply
+            | Error f ->
+              fail_node v (Transport f);
+              None
+        in
+        Obs.Metrics.observe hist (Obs.Span.now_us () - t0);
+        (match sp with Some (tr, s) -> Obs.Span.finish ~round tr s | None -> ());
+        result
+      end
     end
   in
   let module N = struct
@@ -98,7 +147,10 @@ let run cfg conns =
 
     let wants_to_activate ~round view board () =
       let v = M.View.id view in
-      match rpc board v (Wire.Activate_query { round }) with
+      match
+        rpc ~round ~name:"net.rpc.activate" ~hist:m_rpc_activate board v
+          (Wire.Activate_query { round })
+      with
       | None -> false
       | Some (Wire.Activate_reply { round = r; activate }) when r = round -> activate
       | Some f ->
@@ -107,7 +159,10 @@ let run cfg conns =
 
     let compose ~round view board () =
       let v = M.View.id view in
-      match rpc board v (Wire.Compose_request { round }) with
+      match
+        rpc ~round ~name:"net.rpc.compose" ~hist:m_rpc_compose board v
+          (Wire.Compose_request { round })
+      with
       | None -> None
       | Some (Wire.Compose_reply { round = r; payload }) when r = round ->
         Some (M.Message.make ~author:v ~payload, ())
@@ -118,7 +173,7 @@ let run cfg conns =
     let output = P.output
   end in
   let module Mach = M.Machine.Make (N) in
-  let m = Mach.init ?max_rounds:cfg.max_rounds ?trace:cfg.trace g in
+  let m = Mach.init ?max_rounds:cfg.max_rounds ?trace:cfg.trace ?span:session_ctx g in
   kill_ref := Mach.kill m;
   let rec drive () =
     match Mach.step m with
@@ -148,6 +203,9 @@ let run cfg conns =
       Conn.close conns.(v)
     end
   done;
+  (match (cfg.trace, session_span) with
+  | Some tr, Some s -> Obs.Span.finish ~round:run.M.Engine.stats.rounds tr s
+  | _ -> ());
   Obs.Metrics.incr m_sessions;
   Obs.Metrics.incr (m_outcome tag);
   if not (List.is_empty !faults) then Obs.Metrics.incr m_faulted;

@@ -8,7 +8,11 @@
     There is no second copy of the round semantics here: round structure,
     activation/composition order, deadlock and size-violation rules, the
     [max_rounds] default and the {!Wb_obs.Event} stream all come from the
-    kernel.  On a fault-free run the result's {!Wb_model.Engine.run} is
+    kernel.  With a trace attached the referee opens a ["session"] span
+    (child of [parent]) above the kernel's ["run"] span and one
+    [net.rpc.activate]/[net.rpc.compose] span per RPC, whose context rides
+    the outgoing frame; RPC round-trip latency feeds the [net.rpc.*_us]
+    histograms whether or not tracing is on.  On a fault-free run the result's {!Wb_model.Engine.run} is
     {e identical} to [Engine.run] under the same graph, adversary and
     protocol (the differential tests pin this); model semantics are
     enforced kernel-side on the referee — a client that lies about its
@@ -31,6 +35,11 @@ type config = {
   adversary : Wb_model.Adversary.t;
   max_rounds : int option;  (** default {!Wb_model.Engine.default_max_rounds}. *)
   trace : Wb_obs.Trace.t option;
+  parent : Wb_obs.Span.context option;
+      (** parents the session's root span (and, via the wire's version-2
+          context prelude, every RPC the referee sends) under the driver's
+          trace.  With [trace = None] the parent context is still forwarded
+          on RPCs, so tracing clients join the right trace. *)
 }
 
 type result = {

@@ -1,6 +1,7 @@
 module Bitbuf = Wb_support.Bitbuf
 
-let version = 1
+let version = 2
+let min_version = 1
 let max_frame_bytes = 1 lsl 20
 let header_bytes = 9
 
@@ -26,6 +27,8 @@ type frame =
   | Board_delta of { from_pos : int; generation : int; messages : (int * bool array) list }
   | Run_end of { outcome : string; detail : string; rounds : int }
   | Error of { code : error_code; detail : string }
+  | Telemetry_request of { tail : int }
+  | Telemetry_reply of { metrics : string; events : string list; dropped : int }
 
 type error =
   | Short_frame of int
@@ -94,6 +97,10 @@ let opcode = function
   | Board_delta _ -> 8
   | Run_end _ -> 9
   | Error _ -> 10
+  | Telemetry_request _ -> 11
+  | Telemetry_reply _ -> 12
+
+let max_opcode = 12
 
 let opcode_name = function
   | Hello _ -> "HELLO"
@@ -106,6 +113,8 @@ let opcode_name = function
   | Board_delta _ -> "BOARD-DELTA"
   | Run_end _ -> "RUN-END"
   | Error _ -> "ERROR"
+  | Telemetry_request _ -> "TELEMETRY?"
+  | Telemetry_reply _ -> "TELEMETRY"
 
 let error_code_to_int = function
   | Bad_hello -> 0
@@ -186,6 +195,12 @@ let put_payload w = function
   | Error { code; detail } ->
     put_nat w (error_code_to_int code);
     put_string w detail
+  | Telemetry_request { tail } -> put_nat w tail
+  | Telemetry_reply { metrics; events; dropped } ->
+    put_string w metrics;
+    put_nat w (List.length events);
+    List.iter (put_string w) events;
+    put_nat w dropped
 
 let get_payload op r =
   match op with
@@ -232,6 +247,13 @@ let get_payload op r =
   | 10 ->
     let code = error_code_of_int (get_nat r) in
     Error { code; detail = get_string r }
+  | 11 -> Telemetry_request { tail = get_nat r }
+  | 12 ->
+    let metrics = get_string r in
+    let count = get_nat r in
+    if count > Bitbuf.Reader.remaining r then fail "event count overruns frame";
+    let events = List.init count (fun _ -> get_string r) in
+    Telemetry_reply { metrics; events; dropped = get_nat r }
   (* The caller range-checks [op], but a decode path never asserts: if the
      guard and this table ever disagree, that is a typed error too. *)
   | op -> fail (Printf.sprintf "opcode %d has no payload decoder" op)
@@ -260,8 +282,34 @@ let read_be32 s off =
   lor (Char.code s.[off + 2] lsl 8)
   lor Char.code s.[off + 3]
 
-let encode frame =
+(* The version-2 bitstream prefixes the payload with a trace-context
+   prelude: one presence bit, then (trace, span) as naturals when set.
+   Version-1 bodies are payload-only, so every v1 frame decodes with no
+   context — the compatibility contract the old-peer tests pin. *)
+
+let put_ctx w = function
+  | None -> Bitbuf.Writer.bit w false
+  | Some { Wb_obs.Span.trace; span } ->
+    if trace <= 0 || span <= 0 then invalid_arg "Wire.encode: zero trace-context id";
+    Bitbuf.Writer.bit w true;
+    put_nat w trace;
+    put_nat w span
+
+let get_ctx r =
+  if not (Bitbuf.Reader.bit r) then None
+  else begin
+    let trace = get_nat r in
+    let span = get_nat r in
+    if trace = 0 || span = 0 then fail "zero trace-context id";
+    if trace lsr 48 <> 0 || span lsr 48 <> 0 then fail "trace-context id overflow";
+    Some { Wb_obs.Span.trace; span }
+  end
+
+let encode_at ~version:v ?ctx frame =
+  if v = 1 && opcode frame > 10 then
+    invalid_arg (Printf.sprintf "Wire.encode: %s frame has no version-1 encoding" (opcode_name frame));
   let w = Bitbuf.Writer.create () in
+  if v >= 2 then put_ctx w ctx;
   put_payload w frame;
   let bits = Bitbuf.Writer.contents w in
   let nbits = Array.length bits in
@@ -271,26 +319,29 @@ let encode frame =
   if String.length body > max_frame_bytes then
     invalid_arg (Printf.sprintf "Wire.encode: %s frame exceeds %d bytes" (opcode_name frame)
                    max_frame_bytes);
-  String.concat "" [ String.make 1 (Char.chr version); be32 (String.length body); be32 (crc32 body); body ]
+  String.concat "" [ String.make 1 (Char.chr v); be32 (String.length body); be32 (crc32 body); body ]
+
+let encode ?ctx frame = encode_at ~version ?ctx frame
+let encode_v1 frame = encode_at ~version:1 frame
 
 let decode_header s =
   if String.length s < header_bytes then Result.Error (Short_frame (String.length s))
   else begin
     let v = Char.code s.[0] in
-    if v <> version then Result.Error (Bad_version v)
+    if v < min_version || v > version then Result.Error (Bad_version v)
     else begin
       let body_len = read_be32 s 1 in
       if body_len > max_frame_bytes then Result.Error (Oversized body_len)
-      else Ok (body_len, read_be32 s 5)
+      else Ok (v, body_len, read_be32 s 5)
     end
   end
 
-let decode_body ~crc body =
+let decode_body ~version:v ~crc body =
   if crc32 body <> crc then Result.Error Crc_mismatch
   else if String.length body < 5 then Result.Error (Malformed_body "body shorter than opcode header")
   else begin
     let op = Char.code body.[0] in
-    if op < 1 || op > 10 then Result.Error (Unknown_opcode op)
+    if op < 1 || op > max_opcode || (v = 1 && op > 10) then Result.Error (Unknown_opcode op)
     else begin
       let nbits = read_be32 body 1 in
       let packed = String.length body - 5 in
@@ -306,12 +357,15 @@ let decode_body ~crc body =
         if not padding_clear then Result.Error (Malformed_body "nonzero padding bits")
         else begin
           let r = Bitbuf.Reader.of_bits bits in
-          match get_payload op r with
-          | frame ->
+          match
+            let ctx = if v >= 2 then get_ctx r else None in
+            (get_payload op r, ctx)
+          with
+          | frame, ctx ->
             if Bitbuf.Reader.remaining r <> 0 then
               Result.Error
                 (Malformed_body (Printf.sprintf "%d trailing bits" (Bitbuf.Reader.remaining r)))
-            else Ok frame
+            else Ok (frame, ctx)
           | exception Bad msg -> Result.Error (Malformed_body msg)
           | exception Bitbuf.Reader.Underflow -> Result.Error (Malformed_body "payload underflow")
           | exception Invalid_argument msg -> Result.Error (Malformed_body msg)
@@ -320,13 +374,15 @@ let decode_body ~crc body =
     end
   end
 
-let decode s =
+let decode_ctx s =
   match decode_header s with
   | Result.Error e -> Result.Error e
-  | Ok (body_len, crc) ->
+  | Ok (v, body_len, crc) ->
     let actual = String.length s - header_bytes in
     if actual <> body_len then Result.Error (Length_mismatch { declared = body_len; actual })
-    else decode_body ~crc (String.sub s header_bytes body_len)
+    else decode_body ~version:v ~crc (String.sub s header_bytes body_len)
+
+let decode s = Result.map fst (decode_ctx s)
 
 (* ---- printing --------------------------------------------------------- *)
 
@@ -363,3 +419,7 @@ let pp ppf frame =
     Format.fprintf ppf "RUN-END outcome=%s rounds=%d" outcome rounds
   | Error { code; detail } ->
     Format.fprintf ppf "ERROR %s %s" (error_code_name code) detail
+  | Telemetry_request { tail } -> Format.fprintf ppf "TELEMETRY? tail=%d" tail
+  | Telemetry_reply { metrics; events; dropped } ->
+    Format.fprintf ppf "TELEMETRY %d metric bytes, %d events (%d dropped)"
+      (String.length metrics) (List.length events) dropped

@@ -3,7 +3,7 @@
     A frame on the wire is a 9-byte header followed by a body:
 
     {v
-    byte 0        protocol version (currently 1)
+    byte 0        protocol version (1 or 2; writers emit 2)
     bytes 1..4    body length in bytes, big-endian
     bytes 5..8    CRC-32 (IEEE) of the body, big-endian
     bytes 9..     body: opcode byte | u32be payload bit count | packed bits
@@ -15,9 +15,20 @@
     whiteboard messages survives the network unchanged.  Encodings are
     canonical: the padding bits of the last packed byte are zero and the
     payload consumes every declared bit, so [decode (encode f) = Ok f] and
-    any single corrupted bit yields a typed {!error}, never an exception. *)
+    any single corrupted bit yields a typed {!error}, never an exception.
+
+    {b Version 2} prefixes the bitstream with an optional trace context —
+    one presence bit, then [(trace, span)] as naturals — so every RPC can
+    carry the sender's {!Wb_obs.Span.context} and the receiver's spans
+    join the caller's trace.  Version-1 bodies are payload-only and still
+    decode (with context [None] — the receiver roots its own spans), which
+    is the old-peer compatibility contract. *)
 
 val version : int
+(** The version writers emit (2). *)
+
+val min_version : int
+(** The oldest version {!decode} accepts (1). *)
 
 val max_frame_bytes : int
 (** Upper bound on the body length accepted by {!decode} and the transport
@@ -60,6 +71,15 @@ type frame =
       (** server → client: session finished; [outcome] is an
           {!Wb_model.Engine.outcome_tag}. *)
   | Error of { code : error_code; detail : string }
+  | Telemetry_request of { tail : int }
+      (** client → server: dump metrics and the last [tail] flight-recorder
+          events.  Answered on the handshake, before any HELLO — a
+          monitoring probe, not a session member.  Version 2 only. *)
+  | Telemetry_reply of { metrics : string; events : string list; dropped : int }
+      (** server → client: [metrics] is {!Wb_obs.Metrics.dump_json} as a
+          string, [events] are JSONL-encoded {!Wb_obs.Event}s (oldest
+          first), [dropped] counts ring overwrites plus any tail entries
+          withheld to respect {!max_frame_bytes}.  Version 2 only. *)
 
 type error =
   | Short_frame of int  (** fewer bytes than a header. *)
@@ -70,19 +90,34 @@ type error =
   | Unknown_opcode of int
   | Malformed_body of string
 
-val encode : frame -> string
-(** @raise Invalid_argument if the frame would exceed {!max_frame_bytes}. *)
+val encode : ?ctx:Wb_obs.Span.context -> frame -> string
+(** Version-2 encoding; [ctx] (default none) is the trace context carried
+    in the prelude.
+    @raise Invalid_argument if the frame would exceed {!max_frame_bytes}
+    or [ctx] holds a non-positive id. *)
+
+val encode_v1 : frame -> string
+(** Version-1 encoding (no context prelude) — what an old peer sends; the
+    compatibility tests pin [decode (encode_v1 f) = Ok f].
+    @raise Invalid_argument on frames that do not exist in version 1
+    (TELEMETRY). *)
 
 val decode : string -> (frame, error) result
-(** Decode one complete frame (header + body, nothing trailing). *)
+(** Decode one complete frame (header + body, nothing trailing),
+    discarding any trace context. *)
 
-val decode_header : string -> (int * int, error) result
+val decode_ctx : string -> (frame * Wb_obs.Span.context option, error) result
+(** Like {!decode}, also yielding the trace context ([None] for version-1
+    frames and version-2 frames without one). *)
+
+val decode_header : string -> (int * int * int, error) result
 (** [decode_header h] parses the {!header_bytes}-byte prefix into
-    [(body_length, crc)], validating version and size bound — the streaming
-    entry point for socket transports. *)
+    [(version, body_length, crc)], validating version and size bound — the
+    streaming entry point for socket transports. *)
 
-val decode_body : crc:int -> string -> (frame, error) result
-(** Decode a body whose header declared [crc]. *)
+val decode_body :
+  version:int -> crc:int -> string -> (frame * Wb_obs.Span.context option, error) result
+(** Decode a body whose header declared [version] and [crc]. *)
 
 val crc32 : string -> int
 

@@ -9,6 +9,13 @@
     instant events on the node's row, and round starts / adversary picks /
     deadlock sit on the scheduler row [tid 0].
 
+    {!Span} events render as Catapult {e async} events ("b"/"e") keyed by
+    the span id, with [args.trace]/[args.span]/[args.parent] carried
+    verbatim ([parent: null] marks a trace root) — the shape the
+    [check_trace] validator checks causality on.  In the single-run
+    {!writer}/[convert] view they share the logical round axis; in {!merge}
+    they carry their real wall-clock endpoints.
+
     The exporter buffers: nothing is written until {!Trace.close}, because
     slice durations are only known once the run ends. *)
 
@@ -16,3 +23,13 @@ val writer : out_channel -> Trace.t
 (** On close, writes one JSON object [{"traceEvents": [...],
     "displayTimeUnit": "ms"}] and flushes (the channel stays open — the
     caller owns it). *)
+
+val merge : (string * Event.t list) list -> Json.t
+(** [merge [(label, events); ...]] stitches per-process / per-domain event
+    shards into one Catapult file: shard [i] becomes pid [i + 1] with a
+    [process_name] metadata record naming it [label].  Span events share
+    one wall-clock axis, normalised so the earliest span endpoint across
+    all shards is 0; classic events (which have no wall time) appear as
+    instants at their shard's latest span timestamp, preserving stream
+    order.  A [Span_stop] whose start is not in the same shard (ring
+    truncation) is dropped, so every "e" record has a matching "b". *)

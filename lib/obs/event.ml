@@ -6,6 +6,16 @@ type t =
   | Write of { node : int; round : int; bits : int; board_bits : int }
   | Deadlock_detected of { round : int }
   | Run_end of { round : int; outcome : string }
+  | Span_start of {
+      trace : int;
+      span : int;
+      parent : int option;
+      name : string;
+      round : int;
+      ts_us : int;
+      attrs : (string * string) list;
+    }
+  | Span_stop of { span : int; round : int; ts_us : int }
 
 let round = function
   | Round_start { round }
@@ -14,7 +24,9 @@ let round = function
   | Adversary_pick { round; _ }
   | Write { round; _ }
   | Deadlock_detected { round }
-  | Run_end { round; _ } -> round
+  | Run_end { round; _ }
+  | Span_start { round; _ }
+  | Span_stop { round; _ } -> round
 
 let to_json = function
   | Round_start { round } -> Json.Obj [ ("ev", Json.String "round_start"); ("round", Json.Int round) ]
@@ -44,6 +56,22 @@ let to_json = function
   | Run_end { round; outcome } ->
     Json.Obj
       [ ("ev", Json.String "run_end"); ("round", Json.Int round); ("outcome", Json.String outcome) ]
+  | Span_start { trace; span; parent; name; round; ts_us; attrs } ->
+    Json.Obj
+      ([ ("ev", Json.String "span_start");
+         ("trace", Json.Int trace);
+         ("span", Json.Int span) ]
+      @ (match parent with None -> [] | Some p -> [ ("parent", Json.Int p) ])
+      @ [ ("name", Json.String name); ("round", Json.Int round); ("ts_us", Json.Int ts_us) ]
+      @
+      if List.is_empty attrs then []
+      else [ ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) attrs)) ])
+  | Span_stop { span; round; ts_us } ->
+    Json.Obj
+      [ ("ev", Json.String "span_stop");
+        ("span", Json.Int span);
+        ("round", Json.Int round);
+        ("ts_us", Json.Int ts_us) ]
 
 let of_json j =
   let ( let* ) r f = Result.bind r f in
@@ -100,6 +128,37 @@ let of_json j =
     let* round = int "round" in
     let* outcome = str "outcome" in
     Ok (Run_end { round; outcome })
+  | "span_start" ->
+    let* trace = int "trace" in
+    let* span = int "span" in
+    let* parent =
+      match Json.member "parent" j with
+      | None -> Ok None
+      | Some (Json.Int p) -> Ok (Some p)
+      | Some _ -> Error "Event.of_json: non-int parent"
+    in
+    let* name = str "name" in
+    let* round = int "round" in
+    let* ts_us = int "ts_us" in
+    let* attrs =
+      match Json.member "attrs" j with
+      | None -> Ok []
+      | Some (Json.Obj fields) ->
+        List.fold_right
+          (fun (k, v) acc ->
+            match (v, acc) with
+            | Json.String s, Ok kvs -> Ok ((k, s) :: kvs)
+            | _, Error e -> Error e
+            | _, Ok _ -> Error "Event.of_json: non-string attr")
+          fields (Ok [])
+      | Some _ -> Error "Event.of_json: malformed attrs"
+    in
+    Ok (Span_start { trace; span; parent; name; round; ts_us; attrs })
+  | "span_stop" ->
+    let* span = int "span" in
+    let* round = int "round" in
+    let* ts_us = int "ts_us" in
+    Ok (Span_stop { span; round; ts_us })
   | other -> Error (Printf.sprintf "Event.of_json: unknown tag %S" other)
 
 let pp ppf e =
@@ -115,3 +174,7 @@ let pp ppf e =
     Format.fprintf ppf "r%d: write %d (%d bits, board %d)" round (node + 1) bits board_bits
   | Deadlock_detected { round } -> Format.fprintf ppf "r%d: deadlock" round
   | Run_end { round; outcome } -> Format.fprintf ppf "r%d: run end (%s)" round outcome
+  | Span_start { span; parent; name; round; _ } ->
+    Format.fprintf ppf "r%d: span %s start [%x%s]" round name span
+      (match parent with None -> "" | Some p -> Printf.sprintf " < %x" p)
+  | Span_stop { span; round; _ } -> Format.fprintf ppf "r%d: span stop [%x]" round span

@@ -24,13 +24,28 @@ type t =
   | Run_end of { round : int; outcome : string }
       (** [outcome] is one of ["success"], ["deadlock"], ["size_violation"],
           ["output_error"]. *)
+  | Span_start of {
+      trace : int;
+      span : int;
+      parent : int option;
+      name : string;
+      round : int;
+      ts_us : int;
+      attrs : (string * string) list;
+    }
+      (** A {!Span} opened: [trace]/[span] ids are minted by {!Span.minter}
+          (48-bit, nonzero), [parent = None] marks a trace root, [ts_us] is
+          wall-clock microseconds, and [round] anchors the span in logical
+          time so span events obey the same round monotonicity as the rest
+          of the stream. *)
+  | Span_stop of { span : int; round : int; ts_us : int }
 
 val round : t -> int
 
 val to_json : t -> Json.t
 (** Stable wire shape: an object whose ["ev"] member tags the constructor
     (["round_start"], ["activate"], ["compose"], ["adversary_pick"],
-    ["write"], ["deadlock"], ["run_end"]). *)
+    ["write"], ["deadlock"], ["run_end"], ["span_start"], ["span_stop"]). *)
 
 val of_json : Json.t -> (t, string) result
 (** Inverse of {!to_json} — the round-trip contract the exporter tests pin. *)

@@ -110,6 +110,27 @@ let observe h v =
 let histogram_count h = Atomic.get h.count
 let histogram_sum h = Atomic.get h.sum
 
+(* Percentile estimate from the log buckets: walk cumulative counts to the
+   bucket holding the rank and answer its inclusive upper bound (2^w - 1),
+   clamped by the observed maximum.  Exact for bucket 0 (the value 0); at
+   most one bit-width coarse elsewhere, which is all a telemetry histogram
+   promises. *)
+let percentile h p =
+  if not (p >= 0. && p <= 100.) then invalid_arg "Metrics.percentile: p outside [0,100]";
+  let count = Atomic.get h.count in
+  if count = 0 then 0
+  else begin
+    let rank = max 1 (int_of_float (ceil (p /. 100. *. float_of_int count))) in
+    let max_v = Atomic.get h.max_v in
+    let rec go w acc =
+      if w >= 64 then max_v
+      else
+        let acc = acc + Atomic.get h.buckets.(w) in
+        if acc >= rank then (if w = 0 then 0 else min max_v ((1 lsl w) - 1)) else go (w + 1) acc
+    in
+    go 0 0
+  end
+
 let sorted () =
   locked (fun () ->
       List.sort
@@ -134,6 +155,9 @@ let histogram_json h =
       ("sum", Json.Int (Atomic.get h.sum));
       ("min", if count = 0 then Json.Null else Json.Int (Atomic.get h.min_v));
       ("max", if count = 0 then Json.Null else Json.Int (Atomic.get h.max_v));
+      ("p50", if count = 0 then Json.Null else Json.Int (percentile h 50.));
+      ("p95", if count = 0 then Json.Null else Json.Int (percentile h 95.));
+      ("p99", if count = 0 then Json.Null else Json.Int (percentile h 99.));
       ("buckets", Json.List buckets) ]
 
 let dump_json () =

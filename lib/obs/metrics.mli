@@ -48,11 +48,18 @@ val observe : histogram -> int -> unit
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> int
 
+val percentile : histogram -> float -> int
+(** [percentile h p] estimates the [p]-th percentile ([0. <= p <= 100.])
+    from the log buckets: the inclusive upper bound of the bucket holding
+    that rank, clamped by the observed maximum — exact for 0, at most one
+    bit width coarse otherwise.  0 on an empty histogram.
+    @raise Invalid_argument when [p] is outside [\[0, 100\]]. *)
+
 val dump_json : unit -> Json.t
 (** Snapshot of every registered metric, sorted by name:
     [{"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
-    min, max, buckets: [[upper_exclusive, count], ...]}}}].  Probes are
-    polled and appear among the gauges. *)
+    min, max, p50, p95, p99, buckets: [[upper_exclusive, count], ...]}}}].
+    Probes are polled and appear among the gauges. *)
 
 val pp_table : Format.formatter -> unit -> unit
 (** Human-readable table of the same snapshot. *)

@@ -1,0 +1,53 @@
+(* Ids are masked to 48 bits so they survive every transport in the tree:
+   Bitbuf naturals, the JSON printer's OCaml [int], and Chrome's string ids
+   all round-trip them exactly.  0 is reserved as "no id" so a context can
+   never be confused with an absent one on the wire. *)
+
+type context = { trace : int; span : int }
+
+let id_bits = 48
+let id_mask = (1 lsl id_bits) - 1
+
+type minter = { prng : Wb_support.Prng.t; lock : Mutex.t }
+
+let minter ?(seed = 0) () = { prng = Wb_support.Prng.create seed; lock = Mutex.create () }
+
+let split t =
+  Wb_support.Sync.with_lock t.lock (fun () ->
+      { prng = Wb_support.Prng.split t.prng; lock = Mutex.create () })
+
+let mint t =
+  Wb_support.Sync.with_lock t.lock (fun () ->
+      let rec fresh () =
+        let id = Int64.to_int (Wb_support.Prng.bits64 t.prng) land id_mask in
+        if id = 0 then fresh () else id
+      in
+      fresh ())
+
+let now_us () = int_of_float (Unix.gettimeofday () *. 1e6)
+
+type t = { context : context; parent : int option; name : string }
+
+let context s = s.context
+let name s = s.name
+
+let start ?parent ?(attrs = []) ?(round = 0) minter trace name =
+  let trace_id, parent_id =
+    match parent with
+    | Some p -> (p.trace, Some p.span)
+    | None -> (mint minter, None)
+  in
+  let s = { context = { trace = trace_id; span = mint minter }; parent = parent_id; name } in
+  Trace.emit trace
+    (Event.Span_start
+       { trace = trace_id;
+         span = s.context.span;
+         parent = parent_id;
+         name;
+         round;
+         ts_us = now_us ();
+         attrs });
+  s
+
+let finish ?(round = 0) trace s =
+  Trace.emit trace (Event.Span_stop { span = s.context.span; round; ts_us = now_us () })

@@ -1,0 +1,62 @@
+(** Spans: causally linked intervals layered on the {!Event} stream.
+
+    A span is an interval with a name, wall-clock endpoints and a position
+    in a trace tree: every span belongs to a {e trace} (the unit of
+    observation — one run, one exploration, one networked session) and has
+    at most one parent span.  Opening and closing a span just emits
+    {!Event.Span_start}/{!Event.Span_stop} into an ordinary {!Trace.t}, so
+    spans ride every existing sink — collectors, rings, JSONL, sampling —
+    and cost nothing when no sink is attached.
+
+    Ids come from the deterministic PRNG ({!Wb_support.Prng}), not a
+    clock: a {!minter} seeded the same way mints the same ids, so the
+    {e structure} of a trace is reproducible run over run even though the
+    [ts_us] timestamps are wall time.  Ids are 48-bit and nonzero, which
+    keeps them exact across Bitbuf naturals, JSON ints and Chrome string
+    ids, and reserves 0 for "absent" on the wire.
+
+    A {!context} is the portable half of a span — the pair of ids a peer
+    needs to parent its own spans under ours.  [lib/net/wire.ml] carries
+    one per frame (version 2), which is how a referee RPC shows up as the
+    parent of the client-side handler span in a merged trace. *)
+
+type context = { trace : int; span : int }
+(** What crosses process boundaries: the trace id and the sender's current
+    span id.  Both in [\[1, 2^48)]. *)
+
+type minter
+(** A thread-safe id source (PRNG + mutex). *)
+
+val minter : ?seed:int -> unit -> minter
+(** [minter ~seed ()] mints a reproducible id stream; equal seeds give
+    equal ids (default seed 0). *)
+
+val split : minter -> minter
+(** An independent minter for a concurrent component (per-domain workers);
+    deterministic, like {!Wb_support.Prng.split}. *)
+
+val mint : minter -> int
+(** Next fresh id: uniform, nonzero, 48-bit. *)
+
+val now_us : unit -> int
+(** Wall-clock microseconds ([Unix.gettimeofday]).  The single clock used
+    for span endpoints — kept here so clock access stays inside [lib/obs]
+    where the determinism lint allows it. *)
+
+type t
+(** An open span. *)
+
+val start :
+  ?parent:context -> ?attrs:(string * string) list -> ?round:int -> minter -> Trace.t -> string -> t
+(** [start ?parent minter trace name] opens a span and emits its
+    {!Event.Span_start}.  With [parent], the span joins that trace under
+    the parent's span id; without, it roots a fresh trace.  [round]
+    (default 0) anchors the event in logical time. *)
+
+val context : t -> context
+(** The context to propagate to children — local or remote. *)
+
+val name : t -> string
+
+val finish : ?round:int -> Trace.t -> t -> unit
+(** Emit the matching {!Event.Span_stop}.  Not idempotent; call once. *)

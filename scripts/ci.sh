@@ -11,6 +11,11 @@ dune build
 dune runtest
 dune build @check-obs @check-net @check-par --force
 
+# Distributed tracing end to end: merged multi-process Chrome traces from
+# the loopback, socket and parallel-exploration paths, validated by
+# check_trace (causal structure must close).
+dune build @check-span --force
+
 # Static analysis: the tree must lint clean (both tiers), and the linter
 # itself must keep finding the seeded fixture violations.
 dune build @lint @check-lint --force

@@ -44,7 +44,14 @@ let sample_frames =
     Wire.Run_end { outcome = "success"; detail = "forest[0;1]"; rounds = 9 };
     Wire.Run_end { outcome = "deadlock"; detail = ""; rounds = 40 };
     Wire.Error { code = Wire.Node_taken; detail = "node 3 already claimed" };
-    Wire.Error { code = Wire.Server_error; detail = "" } ]
+    Wire.Error { code = Wire.Server_error; detail = "" };
+    Wire.Telemetry_request { tail = 0 };
+    Wire.Telemetry_request { tail = 4096 };
+    Wire.Telemetry_reply { metrics = "{}"; events = []; dropped = 0 };
+    Wire.Telemetry_reply
+      { metrics = "{\"counters\":{\"engine.runs\":3}}";
+        events = [ "{\"ev\":\"round_start\",\"round\":1}"; "" ];
+        dropped = 12 } ]
 
 let be32 v = String.init 4 (fun i -> Char.chr ((v lsr (8 * (3 - i))) land 0xff))
 
@@ -54,8 +61,12 @@ let read_be32 s off =
   lor (Char.code s.[off + 2] lsl 8)
   lor Char.code s.[off + 3]
 
-(* Reassemble a frame around a hand-tampered body. *)
-let reframe body = Printf.sprintf "\001%s%s%s" (be32 (String.length body)) (be32 (Wire.crc32 body)) body
+(* Reassemble a frame around a hand-tampered body, at the current version
+   (bodies produced by [Wire.encode] carry the v2 context prelude) or as a
+   version-1 frame (bare payload bits, no prelude). *)
+let reframe body = Printf.sprintf "\002%s%s%s" (be32 (String.length body)) (be32 (Wire.crc32 body)) body
+
+let reframe_v1 body = Printf.sprintf "\001%s%s%s" (be32 (String.length body)) (be32 (Wire.crc32 body)) body
 
 let expect_error name s pred =
   match Wire.decode s with
@@ -75,8 +86,8 @@ let wire_tests =
         let s = Wire.encode (Wire.Activate_query { round = 7 }) in
         expect_error "short" (String.sub s 0 5) (function Wire.Short_frame 5 -> true | _ -> false);
         expect_error "empty" "" (function Wire.Short_frame 0 -> true | _ -> false);
-        let bad_version = "\002" ^ String.sub s 1 (String.length s - 1) in
-        expect_error "version" bad_version (function Wire.Bad_version 2 -> true | _ -> false);
+        let bad_version = "\009" ^ String.sub s 1 (String.length s - 1) in
+        expect_error "version" bad_version (function Wire.Bad_version 9 -> true | _ -> false);
         let oversized = "\001" ^ be32 (Wire.max_frame_bytes + 1) ^ String.sub s 5 4 in
         expect_error "oversized" oversized (function
           | Wire.Oversized n -> n = Wire.max_frame_bytes + 1
@@ -95,8 +106,13 @@ let wire_tests =
         expect_error "crc catches a payload flip"
           ("\001" ^ be32 (String.length body) ^ be32 (Wire.crc32 body) ^ Bytes.to_string flipped)
           (function Wire.Crc_mismatch -> true | _ -> false);
-        let unknown_op = "\011" ^ be32 0 in
+        let unknown_op = "\013" ^ be32 0 in
         expect_error "unknown opcode" (reframe unknown_op) (function
+          | Wire.Unknown_opcode 13 -> true
+          | _ -> false);
+        (* the telemetry opcodes are v2-only: a v1 frame carrying one is
+           unknown, not misparsed *)
+        expect_error "telemetry opcode in a v1 frame" (reframe_v1 ("\011" ^ be32 0)) (function
           | Wire.Unknown_opcode 11 -> true
           | _ -> false);
         let empty_body = "\003" ^ be32 0 in
@@ -205,6 +221,64 @@ let wire_prop_tests =
            (match Wire.decode junk with Ok _ | Error _ -> true | exception _ -> false)
            && match Wire.decode ("\001" ^ junk) with Ok _ | Error _ -> true | exception _ -> false)) ]
 
+(* --- wire codec: the version-2 trace-context prelude -------------------- *)
+
+let gen_ctx =
+  QCheck.Gen.(
+    map2
+      (fun trace span -> { Obs.Span.trace = 1 + trace; span = 1 + span })
+      (0 -- 0xFF_FFFF) (0 -- 0xFF_FFFF))
+
+let frame_and_ctx =
+  QCheck.make
+    ~print:(fun (f, ctx) ->
+      Printf.sprintf "%s ctx{trace=%d; span=%d}" (Format.asprintf "%a" Wire.pp f)
+        ctx.Obs.Span.trace ctx.Obs.Span.span)
+    QCheck.Gen.(pair gen_frame gen_ctx)
+
+let ctx_tests =
+  [ qtest
+      (QCheck.Test.make ~name:"a trace context rides any frame and round-trips exactly"
+         ~count:300 frame_and_ctx (fun (f, ctx) ->
+           Wire.decode_ctx (Wire.encode ~ctx f) = Ok (f, Some ctx)));
+    qtest
+      (QCheck.Test.make ~name:"frames encoded without a context decode to none" ~count:200
+         frame_arb (fun f -> Wire.decode_ctx (Wire.encode f) = Ok (f, None)));
+    qtest
+      (QCheck.Test.make ~name:"version-1 encodings still decode, and never carry a context"
+         ~count:200 frame_arb (fun f -> Wire.decode_ctx (Wire.encode_v1 f) = Ok (f, None)));
+    qtest
+      (QCheck.Test.make
+         ~name:"every strict prefix of a context-carrying frame is a typed error" ~count:200
+         (QCheck.make
+            ~print:(fun ((f, ctx), i) ->
+              Printf.sprintf "%s ctx{%d;%d} @ %d" (Format.asprintf "%a" Wire.pp f)
+                ctx.Obs.Span.trace ctx.Obs.Span.span i)
+            QCheck.Gen.(pair (pair gen_frame gen_ctx) (0 -- 100_000)))
+         (fun ((f, ctx), i) ->
+           let s = Wire.encode ~ctx f in
+           match Wire.decode_ctx (String.sub s 0 (i mod String.length s)) with
+           | Ok _ -> false
+           | Error _ -> true
+           | exception _ -> false));
+    Alcotest.test_case "telemetry frames are version-2-only" `Quick (fun () ->
+        List.iter
+          (fun f ->
+            check (Wire.opcode_name f ^ " round-trips") true (Wire.decode (Wire.encode f) = Ok f);
+            check (Wire.opcode_name f ^ " has no v1 encoding") true
+              (match Wire.encode_v1 f with exception Invalid_argument _ -> true | _ -> false))
+          [ Wire.Telemetry_request { tail = 128 };
+            Wire.Telemetry_reply
+              { metrics = "{\"counters\":{}}"; events = [ "{\"ev\":\"x\"}" ]; dropped = 7 } ]);
+    Alcotest.test_case "a zero context id is refused at encode time" `Quick (fun () ->
+        List.iter
+          (fun ctx ->
+            check "raises" true
+              (match Wire.encode ~ctx (Wire.Activate_query { round = 1 }) with
+              | exception Invalid_argument _ -> true
+              | _ -> false))
+          [ { Obs.Span.trace = 0; span = 3 }; { Obs.Span.trace = 3; span = 0 } ]) ]
+
 (* --- board generations under truncation (incremental readers) ---------- *)
 
 let message v bits = Message.make ~author:v ~payload:(Array.of_list bits)
@@ -275,17 +349,17 @@ let board_tests =
         let ack =
           Wire.Hello_ack { session = "s"; node = 0; n = 3; neighbors = [| 1 |]; bound = 64 }
         in
-        check "joined quietly" true (Net.Client.handle client ack = []);
+        check "joined quietly" true (Net.Client.handle client ~ctx:None ack = []);
         check "first delta ok" true
-          (Net.Client.handle client
+          (Net.Client.handle client ~ctx:None
              (Wire.Board_delta { from_pos = 0; generation = 0; messages = [ (1, [| true |]) ] })
           = []);
         check "same-generation increment ok" true
-          (Net.Client.handle client
+          (Net.Client.handle client ~ctx:None
              (Wire.Board_delta { from_pos = 1; generation = 0; messages = [ (2, [||]) ] })
           = []);
         let replies =
-          Net.Client.handle client
+          Net.Client.handle client ~ctx:None
             (Wire.Board_delta { from_pos = 2; generation = 1; messages = [ (0, [||]) ] })
         in
         check "incremental delta across generations refused" true
@@ -361,8 +435,11 @@ let tampered_conns ?(tamper = fun _ handler -> handler) ~protocol g =
   let n = G.Graph.n g in
   Array.init n (fun v ->
       let client = Net.Client.create ~protocol ~key:"k" ~session:"s" ~node_pref:v () in
-      let handler = tamper v (Net.Client.handle client) in
-      let conn = Net.Conn.loopback_served ~peer:(Printf.sprintf "node-%d" v) ~handler in
+      let handler = tamper v (Net.Client.handle client ~ctx:None) in
+      let conn =
+        Net.Conn.loopback_served ~peer:(Printf.sprintf "node-%d" v)
+          ~handler:(fun ~ctx:_ frame -> handler frame)
+      in
       (match
          Net.Conn.send conn
            (Wire.Hello_ack
@@ -374,7 +451,12 @@ let tampered_conns ?(tamper = fun _ handler -> handler) ~protocol g =
 
 let run_session ~protocol g conns =
   Net.Session.run
-    { Net.Session.protocol; graph = g; adversary = Adversary.min_id; max_rounds = None; trace = None }
+    { Net.Session.protocol;
+      graph = g;
+      adversary = Adversary.min_id;
+      max_rounds = None;
+      trace = None;
+      parent = None }
     (Array.map snd conns)
 
 let fault_tests =
@@ -472,7 +554,8 @@ let spec_of entry g ~timeout =
     graph = g;
     make_adversary = (fun () -> Adversary.min_id);
     max_rounds = None;
-    timeout }
+    timeout;
+    trace = None }
 
 (* Join all n nodes of [session] from client threads; returns per-node
    outcomes. *)
@@ -627,10 +710,132 @@ let socket_tests =
           [ "alpha"; "beta" ];
         Thread.join st) ]
 
+(* --- telemetry: span propagation and the TELEMETRY RPC ------------------ *)
+
+let span_starts evs =
+  List.filter_map
+    (function
+      | Obs.Event.Span_start { trace; span; parent; name; _ } -> Some (trace, span, parent, name)
+      | _ -> None)
+    evs
+
+let telemetry_tests =
+  [ Alcotest.test_case "spans propagate driver -> referee -> clients over the loopback" `Quick
+      (fun () ->
+        let entry = Option.get (R.find "bfs") in
+        let g = G.Gen.grid 3 3 in
+        let n = G.Graph.n g in
+        let driver_sink, driver_events = Obs.Trace.collector () in
+        let minter = Obs.Span.minter ~seed:77 () in
+        let root = Obs.Span.start minter driver_sink "driver" in
+        let session_sink, session_events = Obs.Trace.collector () in
+        let clients = Array.init n (fun _ -> Obs.Trace.collector ()) in
+        let r =
+          Net.Remote.run_loopback ~trace:session_sink ~parent:(Obs.Span.context root)
+            ~client_trace:(fun v -> Some (fst clients.(v)))
+            ~protocol:entry.R.protocol g Adversary.min_id
+        in
+        Obs.Span.finish driver_sink root;
+        check "succeeded" true (Engine.succeeded r.Net.Session.run);
+        let root_ctx = Obs.Span.context root in
+        let referee = span_starts (session_events ()) in
+        let client_spans =
+          List.concat (List.init n (fun v -> span_starts ((snd clients.(v)) ())))
+        in
+        let all = span_starts (driver_events ()) @ referee @ client_spans in
+        check "spans were emitted on every side" true
+          ((not (List.is_empty referee)) && not (List.is_empty client_spans));
+        check "one trace id everywhere" true
+          (List.for_all (fun (trace, _, _, _) -> trace = root_ctx.Obs.Span.trace) all);
+        check "all span ids are distinct" true
+          (let ids = List.map (fun (_, span, _, _) -> span) all in
+           List.length (List.sort_uniq compare ids) = List.length ids);
+        check "the session span is a child of the driver root" true
+          (List.exists
+             (fun (_, _, parent, name) ->
+               name = "session" && parent = Some root_ctx.Obs.Span.span)
+             referee);
+        let rpc_ids =
+          List.filter_map
+            (fun (_, span, _, name) ->
+              if name = "net.rpc.activate" || name = "net.rpc.compose" then Some span else None)
+            referee
+        in
+        check "every client handler span hangs off a referee RPC span" true
+          (List.for_all
+             (fun (_, _, parent, _) ->
+               match parent with Some p -> List.mem p rpc_ids | None -> false)
+             client_spans);
+        (* each side's stream closes every span it opened *)
+        List.iter
+          (fun (label, evs) ->
+            let opened = List.map (fun (_, span, _, _) -> span) (span_starts evs) in
+            let closed =
+              List.filter_map
+                (function Obs.Event.Span_stop { span; _ } -> Some span | _ -> None)
+                evs
+            in
+            check (label ^ " closes what it opens") true
+              (List.sort compare opened = List.sort compare closed))
+          (("referee", session_events ())
+          :: List.init n (fun v -> (Printf.sprintf "client %d" v, (snd clients.(v)) ()))));
+    Alcotest.test_case "TELEMETRY serves metrics and the flight-recorder tail" `Quick
+      (fun () ->
+        let entry = Option.get (R.find "bfs") in
+        let g = G.Gen.grid 3 3 in
+        let server = Net.Server.create ~port:0 (spec_of entry g ~timeout:2.0) in
+        let st = Net.Server.serve_in_thread server in
+        let port = Net.Server.port server in
+        let probe tail =
+          let conn = Net.Conn.of_fd ~timeout:2.0 ~peer:"telemetry" (connect_local port) in
+          (match Net.Conn.send conn (Wire.Telemetry_request { tail }) with
+          | Ok () -> ()
+          | Error f -> Alcotest.failf "telemetry send: %s" (Net.Conn.fault_to_string f));
+          let r = Net.Conn.recv conn in
+          Net.Conn.close conn;
+          match r with
+          | Ok (Wire.Telemetry_reply { metrics; events; dropped }) -> (metrics, events, dropped)
+          | Ok f -> Alcotest.failf "telemetry reply: got %s" (Wire.opcode_name f)
+          | Error f -> Alcotest.failf "telemetry recv: %s" (Net.Conn.fault_to_string f)
+        in
+        (* before any session: the metrics parse, and tail 0 sends no events *)
+        let metrics, events, _ = probe 0 in
+        check "metrics parse as JSON" true
+          (match Obs.Json.of_string metrics with Ok _ -> true | Error _ -> false);
+        check "tail 0 sends no events" true (List.is_empty events);
+        (* a full session populates the ring; the tail is well-formed events *)
+        let outcomes = join_all ~port ~protocol:entry.R.protocol ~session:"t" 9 in
+        Array.iteri
+          (fun v o ->
+            match o with Ok _ -> () | Error msg -> Alcotest.failf "node %d: %s" v msg)
+          outcomes;
+        ignore (Net.Server.take_result server "t");
+        let metrics, events, dropped = probe 10_000 in
+        check "the ring served events" true (not (List.is_empty events));
+        check "dropped count is sane" true (dropped >= 0);
+        List.iter
+          (fun line ->
+            match Obs.Event.of_json (Obs.Json.of_string_exn line) with
+            | Ok _ -> ()
+            | Error msg -> Alcotest.failf "bad ring event %S: %s" line msg)
+          events;
+        (match Obs.Json.of_string metrics with
+        | Error msg -> Alcotest.failf "metrics: %s" msg
+        | Ok j ->
+          let hist =
+            Option.bind (Obs.Json.member "histograms" j)
+              (Obs.Json.member "net.rpc.activate_us")
+          in
+          check "the ACTIVATE RPC histogram is in the snapshot" true (Option.is_some hist));
+        Net.Server.stop server;
+        Thread.join st) ]
+
 let suites =
   [ ("net.wire", wire_tests);
     ("net.wire-prop", wire_prop_tests);
+    ("net.wire-ctx", ctx_tests);
     ("net.board", board_tests);
     ("net.loopback", loopback_tests);
     ("net.faults", fault_tests);
-    ("net.socket", socket_tests) ]
+    ("net.socket", socket_tests);
+    ("net.telemetry", telemetry_tests) ]

@@ -187,6 +187,34 @@ let metrics_tests =
         Alcotest.(check int) "zeroed" 0 (Obs.Metrics.counter_value c);
         Obs.Metrics.incr c;
         Alcotest.(check int) "still live" 1 (Obs.Metrics.counter_value c));
+    Alcotest.test_case "reset zeroes histograms down to percentiles and the dump" `Quick
+      (fun () ->
+        let h = Obs.Metrics.histogram "test.obs.reset-h" in
+        List.iter (Obs.Metrics.observe h) [ 1; 2; 4; 1000 ];
+        check "observed before reset" true (Obs.Metrics.histogram_count h >= 4);
+        Obs.Metrics.reset ();
+        Alcotest.(check int) "count zeroed" 0 (Obs.Metrics.histogram_count h);
+        Alcotest.(check int) "sum zeroed" 0 (Obs.Metrics.histogram_sum h);
+        Alcotest.(check int) "percentile of empty" 0 (Obs.Metrics.percentile h 99.);
+        let hj = J.get "test.obs.reset-h" (J.get "histograms" (Obs.Metrics.dump_json ())) in
+        check "count in dump zeroed" true (J.to_int (J.get "count" hj) = Some 0);
+        check "empty dump reports null percentiles" true (J.member "p50" hj = Some J.Null);
+        Obs.Metrics.observe h 8;
+        Alcotest.(check int) "registration survives" 1 (Obs.Metrics.histogram_count h));
+    Alcotest.test_case "percentile estimates from buckets, clamped by the observed max"
+      `Quick (fun () ->
+        let h = Obs.Metrics.histogram "test.obs.pct" in
+        Alcotest.(check int) "empty histogram" 0 (Obs.Metrics.percentile h 50.);
+        List.iter (Obs.Metrics.observe h) [ 0; 0; 0; 1000 ];
+        Alcotest.(check int) "p50 lands in the zero bucket" 0 (Obs.Metrics.percentile h 50.);
+        Alcotest.(check int) "p99 clamped to the max" 1000 (Obs.Metrics.percentile h 99.);
+        List.iter
+          (fun p ->
+            check (Printf.sprintf "p=%g rejected" p) true
+              (match Obs.Metrics.percentile h p with
+              | exception Invalid_argument _ -> true
+              | _ -> false))
+          [ -1.; 100.5 ]);
     Alcotest.test_case "engine runs move the engine.* metrics" `Quick (fun () ->
         let runs = Obs.Metrics.counter "engine.runs" in
         let writes = Obs.Metrics.counter "engine.writes" in
@@ -204,6 +232,128 @@ let metrics_tests =
         check "draws advanced" true (Wb_support.Prng.total_draws () > before);
         let dump = Obs.Metrics.dump_json () in
         check "probe registered" true (J.member "prng.draws" (J.get "gauges" dump) <> None)) ]
+
+(* --- spans: deterministic ids, linkage, and the Chrome merge ----------- *)
+
+let span_tests =
+  [ Alcotest.test_case "minted ids are deterministic, 48-bit and nonzero" `Quick (fun () ->
+        let stream seed =
+          let m = Obs.Span.minter ~seed () in
+          List.init 64 (fun _ -> Obs.Span.mint m)
+        in
+        check "equal seeds mint equal streams" true (stream 7 = stream 7);
+        check "different seeds diverge" true (stream 7 <> stream 8);
+        List.iter
+          (fun id -> check "48-bit nonzero" true (id > 0 && id < 1 lsl 48))
+          (stream 7 @ stream 0));
+    Alcotest.test_case "start/finish emit linked span events" `Quick (fun () ->
+        let tr, events = Obs.Trace.collector () in
+        let m = Obs.Span.minter ~seed:3 () in
+        let root = Obs.Span.start ~attrs:[ ("kind", "test") ] m tr "root" in
+        let ctx = Obs.Span.context root in
+        let child = Obs.Span.start ~parent:ctx ~round:2 m tr "child" in
+        Obs.Span.finish ~round:3 tr child;
+        Obs.Span.finish ~round:4 tr root;
+        match events () with
+        | [ E.Span_start { trace = t1; span = s1; parent = p1; name = n1; attrs; _ };
+            E.Span_start { trace = t2; span = s2; parent = p2; round = r2; _ };
+            E.Span_stop { span = e1; round = er1; _ };
+            E.Span_stop { span = e2; _ } ] ->
+          check "root has no parent" true (p1 = None);
+          check "root name" true (n1 = "root");
+          check "attrs carried" true (attrs = [ ("kind", "test") ]);
+          check "context exposes the ids" true
+            (ctx.Obs.Span.trace = t1 && ctx.Obs.Span.span = s1);
+          check "child shares the trace" true (t2 = t1);
+          check "child parented under root" true (p2 = Some s1);
+          check "child round carried" true (r2 = 2);
+          check "child closed first" true (e1 = s2 && er1 = 3);
+          check "root closed last" true (e2 = s1)
+        | evs -> Alcotest.failf "unexpected stream (%d events)" (List.length evs));
+    Alcotest.test_case "span events round-trip through JSON" `Quick (fun () ->
+        let tr, events = Obs.Trace.collector () in
+        let m = Obs.Span.minter ~seed:9 () in
+        let a = Obs.Span.start ~attrs:[ ("n", "16"); ("g", "grid") ] m tr "a" in
+        let b = Obs.Span.start ~parent:(Obs.Span.context a) ~round:1 m tr "b" in
+        Obs.Span.finish ~round:2 tr b;
+        Obs.Span.finish ~round:2 tr a;
+        List.iter
+          (fun ev ->
+            match E.of_json (J.of_string_exn (J.to_string (E.to_json ev))) with
+            | Ok ev' -> check (Format.asprintf "%a" E.pp ev) true (ev' = ev)
+            | Error msg -> Alcotest.failf "decode failed: %s" msg)
+          (events ()));
+    Alcotest.test_case "a traced run roots its spans under the caller's span" `Quick
+      (fun () ->
+        let tr, events = Obs.Trace.collector () in
+        let m = Obs.Span.minter ~seed:5 () in
+        let root = Obs.Span.start m tr "driver" in
+        let g = G.Gen.grid 3 3 in
+        let run =
+          Engine.run_packed ~trace:tr ~span:(Obs.Span.context root)
+            Wb_protocols.Bfs_sync.protocol g Adversary.min_id
+        in
+        Obs.Span.finish tr root;
+        check "succeeded" true (Engine.succeeded run);
+        let starts =
+          List.filter_map
+            (function
+              | E.Span_start { trace; span; parent; name; _ } ->
+                Some (trace, span, parent, name)
+              | _ -> None)
+            (events ())
+        in
+        let ctx = Obs.Span.context root in
+        check "every span shares the driver's trace id" true
+          (List.for_all (fun (t, _, _, _) -> t = ctx.Obs.Span.trace) starts);
+        check "exactly one root" true
+          (List.length (List.filter (fun (_, _, p, _) -> p = None) starts) = 1);
+        let ids = List.map (fun (_, s, _, _) -> s) starts in
+        check "ids distinct" true
+          (List.length (List.sort_uniq compare ids) = List.length ids);
+        check "the run span is a child of the driver span" true
+          (List.exists (fun (_, _, p, n) -> n = "run" && p = Some ctx.Obs.Span.span) starts);
+        check "every parent is a started span" true
+          (List.for_all
+             (fun (_, _, p, _) -> match p with None -> true | Some p -> List.mem p ids)
+             starts));
+    Alcotest.test_case "Chrome.merge names each shard and keeps b/e pairs matched" `Quick
+      (fun () ->
+        let shard seed name =
+          let tr, events = Obs.Trace.collector () in
+          let m = Obs.Span.minter ~seed () in
+          let s = Obs.Span.start m tr name in
+          let c = Obs.Span.start ~parent:(Obs.Span.context s) m tr (name ^ ".child") in
+          Obs.Span.finish tr c;
+          Obs.Span.finish tr s;
+          events ()
+        in
+        (* chop the root's Span_start off one shard: its orphaned Span_stop
+           (ring truncation in real life) must be dropped by the merge *)
+        let truncated = List.tl (shard 31 "late") in
+        let v =
+          Obs.Chrome.merge
+            [ ("alpha", shard 11 "alpha"); ("beta", shard 21 "beta"); ("late", truncated) ]
+        in
+        let events = Option.get (J.to_list (J.get "traceEvents" v)) in
+        let phase e = J.to_str (J.get "ph" e) in
+        let names =
+          List.filter_map
+            (fun e ->
+              if phase e = Some "M" && J.to_str (J.get "name" e) = Some "process_name" then
+                Option.bind (J.member "args" e) (fun a ->
+                    Option.bind (J.member "name" a) J.to_str)
+              else None)
+            events
+        in
+        check "every shard is a named process" true
+          (List.sort compare names = [ "alpha"; "beta"; "late" ]);
+        let count ph = List.length (List.filter (fun e -> phase e = Some ph) events) in
+        Alcotest.(check int) "begins: 2 + 2 + 1" 5 (count "b");
+        Alcotest.(check int) "every end has a begin" 5 (count "e");
+        let ts = List.filter_map (fun e -> Option.bind (J.member "ts" e) J.to_int) events in
+        check "timestamps normalised to zero" true
+          (List.exists (fun t -> t = 0) ts && List.for_all (fun t -> t >= 0) ts)) ]
 
 (* --- engine stream: ordering invariants and exporter round-trips ------ *)
 
@@ -351,7 +501,8 @@ let engine_stream_tests =
           List.filter
             (function
               | E.Activate _ | E.Write _ | E.Deadlock_detected _ | E.Run_end _ -> true
-              | E.Round_start _ | E.Compose _ | E.Adversary_pick _ -> false)
+              | E.Round_start _ | E.Compose _ | E.Adversary_pick _ | E.Span_start _
+              | E.Span_stop _ -> false)
             evs
         in
         check "skeleton equality" true (Report.events_of_run run = skeleton));
@@ -487,6 +638,7 @@ let suites =
     ("obs.event", event_tests);
     ("obs.trace", trace_tests);
     ("obs.metrics", metrics_tests);
+    ("obs.span", span_tests);
     ("obs.engine-stream", engine_stream_tests);
     ("obs.timeline", timeline_tests);
     ("obs.compose-count", compose_tests) ]
