@@ -1,0 +1,116 @@
+(* Run-to-run comparison over Report metric maps: the newest run's metrics
+   against the median of the prior runs, with a noise-aware threshold —
+   a metric only counts as regressed when it exceeds the baseline by more
+   than max(Y% of baseline, 3 * MAD of the priors).  The MAD floor keeps a
+   jittery metric from tripping a tight percentage gate; the percentage
+   keeps a rock-stable metric honest.
+
+   Gates are "PAT:+Y%" specs: every metric whose name contains PAT is
+   gated at +Y% (increase = regression; these are latency/allocation
+   metrics, where down is good).  Without a gate a row is report-only. *)
+
+type gate = { pat : string; pct : float }
+
+let parse_gate s =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i ->
+    let pat = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    let rest =
+      if String.length rest > 0 && rest.[0] = '+' then
+        String.sub rest 1 (String.length rest - 1)
+      else rest
+    in
+    let rest =
+      if String.length rest > 0 && rest.[String.length rest - 1] = '%' then
+        String.sub rest 0 (String.length rest - 1)
+      else rest
+    in
+    (match float_of_string_opt rest with
+    | Some pct when String.length pat > 0 && pct >= 0. -> Some { pat; pct }
+    | _ -> None)
+
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length hay && (String.equal (String.sub hay i n) needle || go (i + 1))
+  in
+  n = 0 || go 0
+
+let median xs =
+  match List.sort Float.compare xs with
+  | [] -> invalid_arg "Diff.median: empty"
+  | sorted ->
+    let n = List.length sorted in
+    let nth k = List.nth sorted k in
+    if n mod 2 = 1 then nth (n / 2) else (nth ((n / 2) - 1) +. nth (n / 2)) /. 2.
+
+(* Median absolute deviation — the robust noise estimate for the priors. *)
+let mad ?med xs =
+  let med = match med with Some m -> m | None -> median xs in
+  median (List.map (fun x -> Float.abs (x -. med)) xs)
+
+type row = {
+  metric : string;
+  prior_runs : int;
+  baseline : float;  (** median of the priors; meaningless when [prior_runs = 0]. *)
+  value : float;
+  delta_pct : float;  (** vs baseline; [infinity] when baseline is 0 and value is not. *)
+  gated : bool;
+  regressed : bool;
+}
+
+(* Compare one report document against its prior runs (same bench, oldest
+   first or any order — only the per-metric value sets matter). *)
+let compare_run ~gates ~priors doc =
+  let prior_metrics = List.map Report.metrics_of priors in
+  List.map
+    (fun (metric, value) ->
+      let history =
+        List.filter_map
+          (fun m ->
+            List.find_map
+              (fun (k, v) -> if String.equal k metric then Some v else None)
+              m)
+          prior_metrics
+      in
+      let gate = List.find_opt (fun g -> contains metric g.pat) gates in
+      let gated = Option.is_some gate in
+      match history with
+      | [] ->
+        { metric; prior_runs = 0; baseline = 0.; value; delta_pct = 0.; gated;
+          regressed = false }
+      | _ :: _ ->
+        let baseline = median history in
+        let delta_pct =
+          if Float.equal baseline 0. then if Float.equal value 0. then 0. else infinity
+          else (value -. baseline) /. baseline *. 100.
+        in
+        let regressed =
+          match gate with
+          | None -> false
+          | Some g ->
+            let noise = 3. *. mad ~med:baseline history in
+            value > baseline +. Float.max (Float.abs baseline *. g.pct /. 100.) noise
+        in
+        { metric; prior_runs = List.length history; baseline; value; delta_pct; gated;
+          regressed })
+    (Report.metrics_of doc)
+
+let pp_row ppf r =
+  let delta =
+    if r.prior_runs = 0 then "      new"
+    else if Float.equal r.delta_pct infinity then "     +inf"
+    else Printf.sprintf "%+8.1f%%" r.delta_pct
+  in
+  let flag = if r.regressed then "  REGRESSED" else if r.gated then "  gated" else "" in
+  let baseline = if r.prior_runs = 0 then "-" else Printf.sprintf "%.6g" r.baseline in
+  Format.fprintf ppf "%-44s %3d %12s %12.6g %s%s@." r.metric r.prior_runs baseline r.value
+    delta flag
+
+let pp_table ppf rows =
+  Format.fprintf ppf "%-44s %3s %12s %12s %9s@." "metric" "n" "baseline" "new" "delta";
+  List.iter (pp_row ppf) rows
+
+let regressions rows = List.filter (fun r -> r.regressed) rows

@@ -1,113 +1,15 @@
-(* Sequential vs parallel exhaustive exploration, as a machine-readable
-   perf record: every instance is explored with [Engine.explore] and with
-   [Engine.explore_par] at several worker counts, the verdicts and
-   execution counts are asserted identical (the determinism contract —
-   the process aborts on any divergence), and the timings land in
-   BENCH_explore.json.  Speedups are whatever the host provides: on a
-   single-core container [explore_par] pays its coordination overhead and
-   reports <= 1x; the counts still must match exactly. *)
-
-module P = Wb_model
-module G = Wb_graph
-module J = Wb_obs.Json
-
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
-
-(* Best of [k] — exploration is deterministic, so the minimum wall time is
-   the least-noisy estimate. *)
-let best_of k f =
-  let rec go k acc =
-    if k <= 0 then acc
-    else
-      let r, dt = time f in
-      let _, best = acc in
-      go (k - 1) (if dt < best then (r, dt) else acc)
-  in
-  go (k - 1) (time f)
-
-let jobs_list = [ 1; 2; 4 ]
-
-let rows : J.t list ref = ref []
-
-let instance ~name ~protocol ~graph ~check =
-  let seq, seq_s = best_of 3 (fun () -> P.Engine.explore_packed protocol graph check) in
-  let seq_ok, seq_count =
-    match seq with
-    | Ok r -> r
-    | Error (`Limit _) -> failwith (name ^ ": sequential exploration hit the limit")
-  in
-  let par_rows =
-    List.map
-      (fun jobs ->
-        let par, par_s =
-          best_of 3 (fun () -> P.Engine.explore_par_packed ~jobs protocol graph check)
-        in
-        (match par with
-        | Error (`Limit _) -> failwith (name ^ ": parallel exploration hit the limit")
-        | Ok (ok, count) ->
-          if ok <> seq_ok then failwith (name ^ ": parallel verdict diverged");
-          if seq_ok && count <> seq_count then
-            failwith
-              (Printf.sprintf "%s: parallel execution count diverged (%d vs %d)" name count
-                 seq_count));
-        (jobs, par_s))
-      jobs_list
-  in
-  Printf.printf "%-24s %7d execs  seq %8.4fs" name seq_count seq_s;
-  List.iter (fun (jobs, s) -> Printf.printf "  j%d %8.4fs (x%.2f)" jobs s (seq_s /. s)) par_rows;
-  print_newline ();
-  rows :=
-    J.Obj
-      ([ ("name", J.String name);
-         ("executions", J.Int seq_count);
-         ("all_valid", J.Bool seq_ok);
-         ("seq_s", J.Float seq_s) ]
-      @ List.concat_map
-          (fun (jobs, s) ->
-            [ (Printf.sprintf "par%d_s" jobs, J.Float s);
-              (Printf.sprintf "speedup%d" jobs, J.Float (seq_s /. s)) ])
-          par_rows)
-    :: !rows
-
-let succeeds_validly problem g =
-  fun (r : P.Engine.run) ->
-  match r.P.Engine.outcome with
-  | P.Engine.Success a -> P.Problems.valid_answer problem g a
-  | _ -> false
-
-let all_deadlock (r : P.Engine.run) = P.Engine.outcome_equal r.P.Engine.outcome P.Engine.Deadlock
+(* Thin main over Wb_bench.Explore_core (shared with `wbctl bench`):
+   sequential-vs-parallel exploration timings with the determinism check.
+   Writes BENCH_explore.json (or --out FILE). *)
 
 let () =
-  print_endline "Exhaustive exploration: sequential vs parallel (counts must match)";
-  let started = Unix.gettimeofday () in
-  (* The bench/openproblems.ml acceptance pair: the odd witness where the
-     ASYNC layer protocol deadlocks under every schedule, and C6 where it
-     succeeds under every schedule. *)
-  let odd = G.Graph.of_edges 5 [ (0, 1); (0, 2); (1, 2); (1, 3); (3, 4) ] in
-  instance ~name:"bfs-bipartite/odd-witness" ~protocol:Wb_protocols.Bfs_bipartite_async.protocol
-    ~graph:odd ~check:all_deadlock;
-  let c6 = G.Gen.cycle 6 in
-  instance ~name:"bfs-bipartite/C6" ~protocol:Wb_protocols.Bfs_bipartite_async.protocol ~graph:c6
-    ~check:(succeeds_validly P.Problems.Bfs c6);
-  let k6 = G.Gen.complete 6 in
-  instance ~name:"mis/K6" ~protocol:(Wb_protocols.Mis_simsync.protocol ~root:0) ~graph:k6
-    ~check:(succeeds_validly (P.Problems.Rooted_mis 0) k6);
-  let k7 = G.Gen.complete 7 in
-  instance ~name:"build-naive/K7" ~protocol:Wb_protocols.Build_naive.protocol ~graph:k7
-    ~check:(succeeds_validly P.Problems.Build k7);
-  let doc =
-    J.Obj
-      [ ("section", J.String "explore");
-        ("jobs", J.List (List.map (fun j -> J.Int j) jobs_list));
-        ("wall_s", J.Float (Unix.gettimeofday () -. started));
-        ("rows", J.List (List.rev !rows));
-        ("metrics", Wb_obs.Metrics.dump_json ()) ]
-  in
-  let oc = open_out "BENCH_explore.json" in
-  J.to_channel oc doc;
-  output_char oc '\n';
-  close_out oc;
-  print_endline "wrote BENCH_explore.json"
+  let cli = Wb_bench.Report.Cli.parse () in
+  (match cli.Wb_bench.Report.Cli.rest with
+  | [] -> ()
+  | junk ->
+    Printf.eprintf "explorebench: unexpected arguments: %s\n" (String.concat " " junk);
+    exit 2);
+  ignore
+    (Wb_bench.Explore_core.run
+       ~seed:(Wb_bench.Report.Cli.seed cli ~default:2012)
+       ~fast:cli.Wb_bench.Report.Cli.fast ?out:cli.Wb_bench.Report.Cli.out ())

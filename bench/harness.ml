@@ -11,22 +11,40 @@ let section title =
 let subsection title = Printf.printf "\n-- %s --\n" title
 
 (* Machine-readable sidecars: next to each human table, a BENCH_<section>.json
-   with the section's rows, wall time and a metrics-registry snapshot — the
-   diffable perf-trajectory record across PRs.  Disable with WB_BENCH_JSON=0. *)
+   in the shared Wb_bench.Report schema (schema-versioned envelope with the
+   section's rows, a flat diffable metric map and a registry snapshot) — the
+   perf-trajectory record scripts/benchdiff.ml consumes across PRs.
+   Disable with WB_BENCH_JSON=0. *)
 module Emit = struct
   let enabled = Sys.getenv_opt "WB_BENCH_JSON" <> Some "0"
 
-  (* section -> (start time, rows in emission order, reversed) *)
-  let state : (string, float * J.t list ref) Hashtbl.t = Hashtbl.create 8
+  (* The uniform bench CLI (--seed/--out), installed once by main.ml so
+     every section sees the same overrides. *)
+  let cli : Wb_bench.Report.Cli.t ref =
+    ref { Wb_bench.Report.Cli.seed = None; out = None; fast = false; rest = [] }
+
+  let single_section = ref false
+
+  let configure ~single c =
+    cli := c;
+    single_section := single
+
+  (* The CLI seed when given, else the section's historical default — so
+     default outputs stay byte-identical run to run. *)
+  let seed ~default = Wb_bench.Report.Cli.seed !cli ~default
+
+  let state : (string, Wb_bench.Report.t) Hashtbl.t = Hashtbl.create 8
 
   let start sect =
-    if enabled then Hashtbl.replace state sect (Unix.gettimeofday (), ref [])
+    if enabled then
+      Hashtbl.replace state sect
+        (Wb_bench.Report.create ~bench:sect ~seed:(seed ~default:2012) ())
 
   let row sect ~name fields =
     if enabled then
       match Hashtbl.find_opt state sect with
       | None -> ()
-      | Some (_, rows) -> rows := J.Obj (("name", J.String name) :: fields) :: !rows
+      | Some rep -> Wb_bench.Report.add_row rep ~name fields
 
   (* Common row fields for a completed engine run. *)
   let run_fields (r : P.Engine.run) =
@@ -39,20 +57,12 @@ module Emit = struct
     if enabled then
       match Hashtbl.find_opt state sect with
       | None -> ()
-      | Some (started, rows) ->
+      | Some rep ->
         Hashtbl.remove state sect;
-        let doc =
-          J.Obj
-            [ ("section", J.String sect);
-              ("wall_s", J.Float (Unix.gettimeofday () -. started));
-              ("rows", J.List (List.rev !rows));
-              ("metrics", Wb_obs.Metrics.dump_json ()) ]
-        in
-        let file = "BENCH_" ^ sect ^ ".json" in
-        let oc = open_out file in
-        J.to_channel oc doc;
-        output_char oc '\n';
-        close_out oc
+        (* --out only redirects a single-section run; with several sections
+           each keeps its default BENCH_<section>.json. *)
+        let out = if !single_section then !cli.Wb_bench.Report.Cli.out else None in
+        ignore (Wb_bench.Report.write ?out rep)
 end
 
 (* Validate [protocol] for [problem] over a list of graphs: every graph is
@@ -77,7 +87,7 @@ let verify protocol problem graphs ~exhaustive_below =
           P.Adversary.max_id;
           P.Adversary.alternating_extremes;
           P.Adversary.last_writer_neighbor_avoider g;
-          P.Adversary.random (Prng.create 2012) ]
+          P.Adversary.random (Prng.create (Emit.seed ~default:2012)) ]
       in
       List.iter
         (fun adv -> if not (validate (P.Engine.run_packed protocol g adv)) then ok := false)

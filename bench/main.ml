@@ -9,9 +9,12 @@
    Sections: table1 table2 fig msgsize lattice synth congest open timing.
    Set WB_BENCH_FAST=1 to skip the slow n=4 SIMSYNC synthesis cell.
 
-   Every section also writes a machine-readable BENCH_<section>.json sidecar
-   (rows where the section emits them, plus wall time and a metrics
-   snapshot); WB_BENCH_JSON=0 disables the sidecars. *)
+   The uniform bench CLI applies: --seed N overrides the sections' default
+   seeds, --out FILE redirects the sidecar of a single-section run.  Every
+   section writes a machine-readable BENCH_<section>.json sidecar in the
+   Wb_bench.Report schema (rows where the section emits them, a flat
+   diffable metric map, wall time and a registry snapshot); WB_BENCH_JSON=0
+   disables the sidecars. *)
 
 let sections =
   [ ("table1", fun () ->
@@ -33,7 +36,8 @@ let sections =
     ("timing", Timing.print) ]
 
 let () =
-  let requested = List.tl (Array.to_list Sys.argv) in
+  let cli = Wb_bench.Report.Cli.parse () in
+  let requested = cli.Wb_bench.Report.Cli.rest in
   let chosen =
     if requested = [] then sections
     else
@@ -44,6 +48,12 @@ let () =
       (String.concat " " (List.map fst sections));
     exit 1
   end;
+  (match cli.Wb_bench.Report.Cli.out with
+  | Some _ when List.length chosen <> 1 ->
+    prerr_endline "bench: --out FILE requires exactly one section";
+    exit 2
+  | _ -> ());
+  Harness.Emit.configure ~single:(List.length chosen = 1) cli;
   List.iter
     (fun (name, run) ->
       Harness.Emit.start name;

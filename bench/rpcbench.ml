@@ -1,73 +1,15 @@
-(* RPC latency under the networked referee, as a machine-readable perf
-   record: each instance runs a loopback session (referee plus n in-process
-   clients over [Conn.loopback_served], the deterministic transport) and
-   its row reports the per-RPC latency percentiles accumulated in the
-   [net.rpc.*] histograms — the same numbers `wbctl top` serves live over
-   the TELEMETRY frame.  The registry is reset before every instance so
-   each row owns its distribution.  Writes BENCH_rpc.json. *)
-
-module P = Wb_model
-module G = Wb_graph
-module Net = Wb_net
-module Obs = Wb_obs
-module J = Obs.Json
-module R = Wb_protocols.Registry
-
-let m_activate = Obs.Metrics.histogram "net.rpc.activate_us"
-let m_compose = Obs.Metrics.histogram "net.rpc.compose_us"
-
-let rows : J.t list ref = ref []
-
-let hist_row h =
-  [ ("count", J.Int (Obs.Metrics.histogram_count h));
-    ("p50_us", J.Int (Obs.Metrics.percentile h 50.));
-    ("p95_us", J.Int (Obs.Metrics.percentile h 95.));
-    ("p99_us", J.Int (Obs.Metrics.percentile h 99.)) ]
-
-let instance ~key ~graph =
-  match R.find key with
-  | None -> failwith ("unknown protocol " ^ key)
-  | Some entry ->
-    Obs.Metrics.reset ();
-    let t0 = Unix.gettimeofday () in
-    let r = Net.Remote.run_loopback ~protocol:entry.R.protocol graph P.Adversary.min_id in
-    let wall = Unix.gettimeofday () -. t0 in
-    if not (P.Engine.succeeded r.Net.Session.run) then failwith (key ^ ": run failed");
-    if not (List.is_empty r.Net.Session.faults) then
-      failwith (key ^ ": faults in a loopback run");
-    Printf.printf
-      "%-16s n=%-3d activate p50 %5dus p99 %5dus   compose p50 %5dus p99 %5dus\n" key
-      (G.Graph.n graph)
-      (Obs.Metrics.percentile m_activate 50.)
-      (Obs.Metrics.percentile m_activate 99.)
-      (Obs.Metrics.percentile m_compose 50.)
-      (Obs.Metrics.percentile m_compose 99.);
-    rows :=
-      J.Obj
-        [ ("name", J.String key);
-          ("n", J.Int (G.Graph.n graph));
-          ("rounds", J.Int r.Net.Session.run.P.Engine.stats.rounds);
-          ("wall_s", J.Float wall);
-          ("activate", J.Obj (hist_row m_activate));
-          ("compose", J.Obj (hist_row m_compose)) ]
-      :: !rows
+(* Thin main over Wb_bench.Rpc_core (shared with `wbctl bench`): loopback
+   RPC latency percentiles from the net.rpc.* histograms.  Writes
+   BENCH_rpc.json (or --out FILE). *)
 
 let () =
-  print_endline "Loopback RPC latency (net.rpc.* histograms, microseconds)";
-  let started = Unix.gettimeofday () in
-  instance ~key:"bfs" ~graph:(G.Gen.grid 4 4);
-  instance ~key:"mis" ~graph:(G.Gen.cycle 12);
-  instance ~key:"build-naive" ~graph:(G.Gen.complete 10);
-  instance ~key:"eob-bfs" ~graph:(G.Gen.random_eob (Wb_support.Prng.create 3) 12 0.3);
-  let doc =
-    J.Obj
-      [ ("section", J.String "rpc");
-        ("wall_s", J.Float (Unix.gettimeofday () -. started));
-        ("rows", J.List (List.rev !rows));
-        ("metrics", Obs.Metrics.dump_json ()) ]
-  in
-  let oc = open_out "BENCH_rpc.json" in
-  J.to_channel oc doc;
-  output_char oc '\n';
-  close_out oc;
-  print_endline "wrote BENCH_rpc.json"
+  let cli = Wb_bench.Report.Cli.parse () in
+  (match cli.Wb_bench.Report.Cli.rest with
+  | [] -> ()
+  | junk ->
+    Printf.eprintf "rpcbench: unexpected arguments: %s\n" (String.concat " " junk);
+    exit 2);
+  ignore
+    (Wb_bench.Rpc_core.run
+       ~seed:(Wb_bench.Report.Cli.seed cli ~default:3)
+       ~fast:cli.Wb_bench.Report.Cli.fast ?out:cli.Wb_bench.Report.Cli.out ())

@@ -148,6 +148,23 @@ let metrics_json_arg =
     & opt (some string) None
     & info [ "metrics-json" ] ~docv:"FILE" ~doc:"Dump the metrics registry snapshot to $(docv)")
 
+let metrics_om_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-openmetrics" ] ~docv:"FILE"
+        ~doc:"Dump the metrics registry in OpenMetrics text form to $(docv)")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Enable Wb_prof phase profiling (prof.* histograms in the metrics registry; also \
+           enabled by WB_PROF=1)")
+
+let apply_profile profile = if profile then Obs.Prof.enable ()
+
 let open_out_or_die file =
   try open_out file
   with Sys_error msg ->
@@ -162,6 +179,14 @@ let write_metrics_json = function
     output_char oc '\n';
     close_out oc;
     Printf.printf "metrics snapshot: %s\n" file
+
+let write_metrics_openmetrics = function
+  | None -> ()
+  | Some file ->
+    let oc = open_out_or_die file in
+    output_string oc (Obs.Metrics.dump_openmetrics ());
+    close_out oc;
+    Printf.printf "openmetrics snapshot: %s\n" file
 
 (* ---- telemetry over the wire (TELEMETRY RPC) -------------------------- *)
 
@@ -193,6 +218,28 @@ let fetch_telemetry ~host ~port ~timeout ~tail =
       match Net.Conn.recv conn with
       | Ok (Net.Wire.Telemetry_reply { metrics; events; dropped }) ->
         finish (Ok (metrics, events, dropped))
+      | Ok f -> finish (Error ("unexpected reply: " ^ Net.Wire.opcode_name f))
+      | Error f -> finish (Error (Net.Conn.fault_to_string f))))
+
+(* One METRICS round-trip: the server's OpenMetrics scrape endpoint, same
+   handshake-and-close shape as TELEMETRY. *)
+let fetch_openmetrics ~host ~port ~timeout =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port)) with
+  | exception Unix.Unix_error (err, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Printf.sprintf "cannot connect to %s:%d: %s" host port (Unix.error_message err))
+  | () -> (
+    let conn = Net.Conn.of_fd ~timeout ~peer:(Printf.sprintf "%s:%d" host port) fd in
+    let finish r =
+      Net.Conn.close conn;
+      r
+    in
+    match Net.Conn.send conn Net.Wire.Metrics_request with
+    | Error f -> finish (Error (Net.Conn.fault_to_string f))
+    | Ok () -> (
+      match Net.Conn.recv conn with
+      | Ok (Net.Wire.Metrics_reply { body }) -> finish (Ok body)
       | Ok f -> finish (Error ("unexpected reply: " ^ Net.Wire.opcode_name f))
       | Error f -> finish (Error (Net.Conn.fault_to_string f))))
 
@@ -243,7 +290,8 @@ let with_entry key f =
   | Some e -> f e
 
 let run_cmd =
-  let run key family n p seed adv trace metrics_json =
+  let run key family n p seed adv trace metrics_json metrics_om profile =
+    apply_profile profile;
     with_entry key (fun e ->
         let g = make_graph ~family ~n ~p ~seed in
         Printf.printf "graph: %s on %d nodes, %d edges (seed %d)\n" family (G.Graph.n g)
@@ -262,13 +310,14 @@ let run_cmd =
         end;
         let code = print_run g (e.problem (G.Graph.n g)) result in
         write_metrics_json metrics_json;
+        write_metrics_openmetrics metrics_om;
         if code <> 0 then exit code)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a protocol on a generated graph")
     Term.(
       const run $ key_arg $ family_arg $ n_arg $ p_arg $ seed_arg $ adversary_arg $ trace_arg
-      $ metrics_json_arg)
+      $ metrics_json_arg $ metrics_om_arg $ profile_arg)
 
 (* Span endpoints carry wall-clock timestamps, but the JSONL artifacts
    promise byte-determinism at a fixed seed — so they keep the classic
@@ -417,7 +466,8 @@ let explore_cmd =
              (routes through the parallel explorer even at --jobs 1)")
   in
   let explore_ring_capacity = 65536 in
-  let run key family n p seed metrics_json sample sample_out jobs trace_out =
+  let run key family n p seed metrics_json sample sample_out jobs trace_out profile =
+    apply_profile profile;
     with_entry key (fun e ->
         let g = make_graph ~family ~n ~p ~seed in
         let problem = e.problem (G.Graph.n g) in
@@ -491,7 +541,7 @@ let explore_cmd =
     (Cmd.info "explore" ~doc:"Check a protocol under every adversarial schedule (small n!)")
     Term.(
       const run $ key_arg $ family_arg $ n_arg $ p_arg $ seed_arg $ metrics_json_arg $ sample_arg
-      $ sample_out_arg $ jobs_arg $ trace_out_arg)
+      $ sample_out_arg $ jobs_arg $ trace_out_arg $ profile_arg)
 
 (* ---- networked whiteboard (wb_net) ----------------------------------- *)
 
@@ -519,7 +569,8 @@ let serve_cmd =
       & opt (some int) None
       & info [ "max-sessions" ] ~docv:"K" ~doc:"Exit after $(docv) completed sessions")
   in
-  let run key family n p seed adv port timeout max_sessions max_rounds =
+  let run key family n p seed adv port timeout max_sessions max_rounds profile =
+    apply_profile profile;
     with_entry key (fun e ->
         let g = make_graph ~family ~n ~p ~seed in
         let spec =
@@ -545,7 +596,7 @@ let serve_cmd =
     (Cmd.info "serve" ~doc:"Host a networked referee: the board lives here, nodes join remotely")
     Term.(
       const run $ key_arg $ family_arg $ n_arg $ p_arg $ seed_arg $ adversary_arg $ port_arg
-      $ timeout_arg $ max_sessions_arg $ max_rounds_arg)
+      $ timeout_arg $ max_sessions_arg $ max_rounds_arg $ profile_arg)
 
 let join_cmd =
   let host_arg =
@@ -744,13 +795,27 @@ let top_cmd =
       & opt (some float) None
       & info [ "watch" ] ~docv:"SECONDS" ~doc:"Refresh every $(docv) seconds until interrupted")
   in
-  let run host port timeout watch =
+  let openmetrics_arg =
+    Arg.(
+      value & flag
+      & info [ "openmetrics" ]
+          ~doc:"Print the referee's registry in OpenMetrics text form (METRICS RPC) instead of \
+                the telemetry table")
+  in
+  let run host port timeout watch openmetrics =
     let once () =
-      match fetch_telemetry ~host ~port ~timeout ~tail:0 with
-      | Error msg ->
-        Printf.eprintf "wbctl: %s\n" msg;
-        exit 1
-      | Ok (metrics, _, _) -> print_telemetry metrics
+      if openmetrics then
+        match fetch_openmetrics ~host ~port ~timeout with
+        | Error msg ->
+          Printf.eprintf "wbctl: %s\n" msg;
+          exit 1
+        | Ok body -> print_string body
+      else
+        match fetch_telemetry ~host ~port ~timeout ~tail:0 with
+        | Error msg ->
+          Printf.eprintf "wbctl: %s\n" msg;
+          exit 1
+        | Ok (metrics, _, _) -> print_telemetry metrics
     in
     match watch with
     | None -> once ()
@@ -772,7 +837,7 @@ let top_cmd =
        ~doc:
          "Live metrics from a running referee over the TELEMETRY RPC: counters, gauges, and the \
           net.rpc.* latency percentiles")
-    Term.(const run $ host_arg $ port_arg $ timeout_arg $ watch_arg)
+    Term.(const run $ host_arg $ port_arg $ timeout_arg $ watch_arg $ openmetrics_arg)
 
 let synth_cmd =
   let problem_arg =
@@ -827,6 +892,136 @@ let counting_cmd =
     (Cmd.info "counting" ~doc:"Print the Lemma 3 information floors")
     Term.(const run $ n_arg)
 
+let metrics_cmd =
+  let remote_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "remote" ] ~docv:"HOST:PORT"
+          ~doc:"Scrape a running referee (METRICS RPC) instead of this process's registry")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the exposition to $(docv) instead of stdout")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the raw registry JSON envelope instead of OpenMetrics text")
+  in
+  let run remote timeout out json =
+    let body =
+      match remote with
+      | None ->
+        if json then Obs.Json.to_string (Obs.Metrics.dump_json ()) ^ "\n"
+        else Obs.Metrics.dump_openmetrics ()
+      | Some hostport ->
+        let host, port =
+          match String.rindex_opt hostport ':' with
+          | Some i -> (
+            let h = String.sub hostport 0 i in
+            let p = String.sub hostport (i + 1) (String.length hostport - i - 1) in
+            match int_of_string_opt p with
+            | Some p when h <> "" -> (h, p)
+            | _ ->
+              prerr_endline "wbctl: --remote expects HOST:PORT";
+              exit 1)
+          | None ->
+            prerr_endline "wbctl: --remote expects HOST:PORT";
+            exit 1
+        in
+        if json then begin
+          prerr_endline "wbctl: --json applies to the local registry only";
+          exit 1
+        end
+        else
+          match fetch_openmetrics ~host ~port ~timeout with
+          | Ok body -> body
+          | Error msg ->
+            Printf.eprintf "wbctl: %s\n" msg;
+            exit 1
+    in
+    match out with
+    | None -> print_string body
+    | Some file ->
+      let oc = open_out_or_die file in
+      output_string oc body;
+      close_out oc;
+      Printf.printf "wrote %s\n" file
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Dump the metrics registry in OpenMetrics text form — this process's (empty unless a \
+          command ran in-process) or a remote referee's via the METRICS RPC")
+    Term.(const run $ remote_arg $ timeout_arg $ out_arg $ json_arg)
+
+let bench_cmd =
+  let all_arg =
+    Arg.(value & flag & info [ "all" ] ~doc:"Run every registered bench suite") in
+  let fast_arg =
+    Arg.(value & flag & info [ "fast" ] ~doc:"Trimmed parameters for CI (fewer reps, smaller graphs)")
+  in
+  let bench_seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Override each suite's default seed")
+  in
+  let history_arg =
+    Arg.(
+      value
+      & opt string "BENCH_history.jsonl"
+      & info [ "history" ] ~docv:"FILE" ~doc:"Bench-history ledger to append the reports to")
+  in
+  let no_history_arg =
+    Arg.(value & flag & info [ "no-history" ] ~doc:"Do not append the reports to the history file")
+  in
+  let names_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"BENCH" ~doc:"Suites to run: explore, rpc")
+  in
+  let suites =
+    [ ("explore",
+       fun ~seed ~fast ->
+         Wb_bench.Explore_core.run ?seed ~fast ~out:"BENCH_explore.json" ());
+      ("rpc", fun ~seed ~fast -> Wb_bench.Rpc_core.run ?seed ~fast ~out:"BENCH_rpc.json" ()) ]
+  in
+  let run all fast seed history no_history names =
+    let chosen =
+      if all then suites
+      else if names = [] then begin
+        prerr_endline "wbctl: name at least one bench (explore, rpc) or pass --all";
+        exit 1
+      end
+      else
+        List.map
+          (fun n ->
+            match List.assoc_opt n suites with
+            | Some f -> (n, f)
+            | None ->
+              Printf.eprintf "wbctl: unknown bench %S (available: %s)\n" n
+                (String.concat ", " (List.map fst suites));
+              exit 1)
+          names
+    in
+    List.iter
+      (fun (_, f) ->
+        let doc = f ~seed ~fast in
+        if not no_history then Wb_bench.Report.append_history ~history doc)
+      chosen;
+    if not no_history then
+      Printf.printf "appended %d run(s) to %s\n" (List.length chosen) history
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run the machine-readable bench suites (schema-versioned BENCH_*.json reports) and \
+          append them to the bench history that scripts/benchdiff.ml gates on")
+    Term.(
+      const run $ all_arg $ fast_arg $ bench_seed_arg $ history_arg $ no_history_arg $ names_arg)
+
 let graph_cmd =
   let run family n p seed =
     let g = make_graph ~family ~n ~p ~seed in
@@ -849,4 +1044,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "wbctl" ~version:"1.0.0" ~doc:"Shared-whiteboard distributed computing laboratory")
           [ models_cmd; protocols_cmd; run_cmd; trace_cmd; explore_cmd; serve_cmd; join_cmd;
-            remote_run_cmd; top_cmd; synth_cmd; counting_cmd; graph_cmd ]))
+            remote_run_cmd; top_cmd; metrics_cmd; bench_cmd; synth_cmd; counting_cmd; graph_cmd ]))

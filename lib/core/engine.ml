@@ -36,6 +36,12 @@ let m_explore_execs =
 
 let () = Obs.Metrics.probe ~help:"total 64-bit PRNG draws" "prng.draws" Wb_support.Prng.total_draws
 
+(* Profiling sites (zero-cost unless Wb_obs.Prof is enabled), shared by
+   every Engine.Make instantiation like the metrics above. *)
+let prof_run = Obs.Prof.site "engine.run"
+let prof_worker = Obs.Prof.site "explore.worker"
+let prof_task = Obs.Prof.site "explore.task"
+
 exception Limit_exceeded
 
 module Make (P : Protocol.S) = struct
@@ -67,7 +73,7 @@ module Make (P : Protocol.S) = struct
       | `Write _ -> loop ()
       | `Done run -> run
     in
-    let result = loop () in
+    let result = Obs.Prof.phase prof_run loop in
     Obs.Metrics.incr m_runs;
     result
 
@@ -208,11 +214,13 @@ module Make (P : Protocol.S) = struct
              each replayed machine's minter below the shared worker span. *)
           (match replay ?trace ?span ~salt:(i + 1) items.(i) with
           | `Done _ -> assert false
-          | `Choices (m, _) -> results.(i) <- walk_subtree m complete);
+          | `Choices (m, _) ->
+            results.(i) <- Obs.Prof.phase prof_task (fun () -> walk_subtree m complete));
           claim ()
         end
       in
-      (try claim () with Limit_exceeded -> ());
+      Obs.Prof.phase prof_worker (fun () ->
+          try claim () with Limit_exceeded -> ());
       match wroot with None -> () | Some (tr, s) -> Obs.Span.finish tr s
     in
     let domains = List.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1))) in

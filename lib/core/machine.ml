@@ -67,6 +67,12 @@ let m_candidates =
 let m_board_bits = Obs.Metrics.gauge ~help:"board total bits after last write" "engine.board_bits"
 let m_deadlocks = Obs.Metrics.counter ~help:"executions ending in deadlock" "engine.deadlocks"
 
+(* Profiling sites for the kernel hot paths; zero-cost unless Wb_obs.Prof
+   is enabled (see prof.mli). *)
+let prof_step = Obs.Prof.site "machine.step"
+let prof_pick = Obs.Prof.site "machine.pick"
+let prof_round = Obs.Prof.site "machine.round"
+
 module type NODE = sig
   val model : Model.t
   val message_bound : n:int -> int
@@ -199,6 +205,7 @@ module Make (N : NODE) = struct
      (filtered to live nodes holding a message — the filter is identity on
      fault-free executions) and whether anyone activated. *)
   let round_prefix t =
+    Obs.Prof.phase prof_round (fun () ->
     (* Close the previous round's span while its round number is still
        current, so span events keep the stream's round monotonicity. *)
     span_finish t t.span_round;
@@ -235,7 +242,7 @@ module Make (N : NODE) = struct
     if not frozen then
       List.iter (fun v -> if t.status.(v) = Active then compose_now t v) !candidates;
     ( List.filter (fun v -> t.status.(v) = Active && Option.is_some t.memory.(v)) !candidates,
-      !activated )
+      !activated ))
 
   let do_write t v =
     match t.memory.(v) with
@@ -297,6 +304,7 @@ module Make (N : NODE) = struct
       if bits > t.bound then Some (Size_violation { node = v; bits; bound = t.bound }) else None
 
   let step t =
+    Obs.Prof.phase prof_step (fun () ->
     match t.finished with
     | Some run -> `Done run
     | None -> (
@@ -321,15 +329,16 @@ module Make (N : NODE) = struct
               t.pending <- Waiting candidates;
               `Choices candidates
         in
-        advance ())
+        advance ()))
 
   let pick t v =
+    Obs.Prof.phase prof_pick (fun () ->
     match t.pending with
     | Waiting candidates when List.exists (Int.equal v) candidates ->
       emit t (Obs.Event.Adversary_pick { node = v; round = t.round; candidates });
       t.pending <- Chosen v
     | Waiting _ -> invalid_arg "Machine.pick: not a candidate"
-    | Idle | Chosen _ -> invalid_arg "Machine.pick: no scheduling choice is open"
+    | Idle | Chosen _ -> invalid_arg "Machine.pick: no scheduling choice is open")
 
   type snapshot = {
     s_status : status array;

@@ -71,6 +71,11 @@ let determinism_exempt p =
   let cs = components p in
   has_infix [ "lib"; "obs" ] cs || has_infix [ "lib"; "net" ] cs || has_infix [ "bench" ] cs
 
+(* Prof.phase is a wall-clock read in disguise: profiling hooks may live in
+   the clock-exempt layers plus the execution kernel ([lib/core]), never in
+   model or protocol code — a phased [compose] would differ per host. *)
+let prof_exempt p = determinism_exempt p || has_infix [ "lib"; "core" ] (components p)
+
 let lock_exempt p =
   has_suffix [ "lib"; "support"; "sync.ml" ] p || has_suffix [ "lib"; "net"; "sync.ml" ] p
 

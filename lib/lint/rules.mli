@@ -45,6 +45,12 @@ val determinism_exempt : string -> bool
 (** [lib/obs] (timestamps in traces), [lib/net] (socket timeouts) and
     [bench/] (wall-clock measurement) may read clocks; nothing else. *)
 
+val prof_exempt : string -> bool
+(** Where [Wb_obs.Prof.phase] hooks may appear: the {!determinism_exempt}
+    layers plus the execution kernel ([lib/core]).  A profiling hook
+    anywhere else — [lib/protocols] in particular — is a wall-clock read
+    smuggled into model code and is flagged under {!determinism}. *)
+
 val lock_exempt : string -> bool
 (** Only the [with_lock] combinator's own definition —
     [lib/support/sync.ml] and its historical re-export in

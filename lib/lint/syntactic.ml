@@ -27,10 +27,22 @@ let lint_structure ~path ~ctx str =
   let decode_file = Rules.is_decode_file path in
   let det_exempt = Rules.determinism_exempt path in
   let lock_exempt = Rules.lock_exempt path in
+  let prof_exempt = Rules.prof_exempt path in
   let in_critical = ref false in
   let in_decode = ref false in
+  (* [Prof.phase] wraps a wall-clock read, whatever module path it is
+     reached through (Prof.phase, Obs.Prof.phase, Wb_obs.Prof.phase). *)
+  let rec is_prof_phase = function
+    | [ "Prof"; "phase" ] -> true
+    | _ :: tl -> is_prof_phase tl
+    | [] -> false
+  in
   let check_ident loc lid =
     let comps = ident_components lid in
+    (if (not prof_exempt) && is_prof_phase comps then
+       add Rules.determinism loc
+         "Prof.phase reads the wall clock; profiling hooks stay in lib/obs, \
+          lib/net, lib/core and bench/, never in model or protocol code");
     (if not det_exempt then
        match comps with
        | "Random" :: _ :: _ ->

@@ -167,15 +167,22 @@ let telemetry_reply t tail =
   Wire.Telemetry_reply
     { metrics; events = kept; dropped = ring_dropped + (want - List.length kept) }
 
-let handshake t ~max_sessions conn =
-  match Conn.recv_ctx conn with
-  | Error (Conn.Bad_frame e) -> reject conn Wire.Malformed (Wire.error_to_string e)
-  | Error Conn.Timeout -> reject conn Wire.Timed_out "no HELLO before the read timeout"
-  | Error Conn.Closed -> Conn.close conn
-  | Ok (Wire.Telemetry_request { tail }, _) ->
+let prof_dispatch = Obs.Prof.site "server.dispatch"
+
+(* Route one accepted connection's first decoded frame: probes are answered
+   and closed, a HELLO claims its seat (and, on roster completion, runs the
+   session); anything else is a typed rejection. *)
+let dispatch t ~max_sessions conn frame hello_ctx =
+  match (frame, hello_ctx) with
+  | Wire.Telemetry_request { tail }, _ ->
     ignore (Conn.send conn (telemetry_reply t tail));
     Conn.close conn
-  | Ok (Wire.Hello { session; protocol; node_pref }, hello_ctx) ->
+  | Wire.Metrics_request, _ ->
+    (* The Prometheus-style scrape endpoint: the whole registry in
+       OpenMetrics text form, one frame, then close. *)
+    ignore (Conn.send conn (Wire.Metrics_reply { body = Obs.Metrics.dump_openmetrics () }));
+    Conn.close conn
+  | Wire.Hello { session; protocol; node_pref }, hello_ctx ->
     if protocol <> t.spec.key then
       reject conn Wire.Protocol_mismatch
         (Printf.sprintf "this server referees %S, not %S" t.spec.key protocol)
@@ -212,7 +219,15 @@ let handshake t ~max_sessions conn =
           in
           record_result t ~max_sessions session result)
     end
-  | Ok (f, _) -> reject conn Wire.Bad_hello ("expected HELLO, got " ^ Wire.opcode_name f)
+  | f, _ -> reject conn Wire.Bad_hello ("expected HELLO, got " ^ Wire.opcode_name f)
+
+let handshake t ~max_sessions conn =
+  match Conn.recv_ctx conn with
+  | Error (Conn.Bad_frame e) -> reject conn Wire.Malformed (Wire.error_to_string e)
+  | Error Conn.Timeout -> reject conn Wire.Timed_out "no HELLO before the read timeout"
+  | Error Conn.Closed -> Conn.close conn
+  | Ok (frame, ctx) ->
+    Obs.Prof.phase prof_dispatch (fun () -> dispatch t ~max_sessions conn frame ctx)
 
 let serve ?max_sessions t =
   let stopped () = Sync.with_lock t.lock (fun () -> t.stopped) in

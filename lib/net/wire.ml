@@ -29,6 +29,8 @@ type frame =
   | Error of { code : error_code; detail : string }
   | Telemetry_request of { tail : int }
   | Telemetry_reply of { metrics : string; events : string list; dropped : int }
+  | Metrics_request
+  | Metrics_reply of { body : string }
 
 type error =
   | Short_frame of int
@@ -99,8 +101,10 @@ let opcode = function
   | Error _ -> 10
   | Telemetry_request _ -> 11
   | Telemetry_reply _ -> 12
+  | Metrics_request -> 13
+  | Metrics_reply _ -> 14
 
-let max_opcode = 12
+let max_opcode = 14
 
 let opcode_name = function
   | Hello _ -> "HELLO"
@@ -115,6 +119,8 @@ let opcode_name = function
   | Error _ -> "ERROR"
   | Telemetry_request _ -> "TELEMETRY?"
   | Telemetry_reply _ -> "TELEMETRY"
+  | Metrics_request -> "METRICS?"
+  | Metrics_reply _ -> "METRICS"
 
 let error_code_to_int = function
   | Bad_hello -> 0
@@ -201,6 +207,8 @@ let put_payload w = function
     put_nat w (List.length events);
     List.iter (put_string w) events;
     put_nat w dropped
+  | Metrics_request -> ()
+  | Metrics_reply { body } -> put_string w body
 
 let get_payload op r =
   match op with
@@ -254,6 +262,8 @@ let get_payload op r =
     if count > Bitbuf.Reader.remaining r then fail "event count overruns frame";
     let events = List.init count (fun _ -> get_string r) in
     Telemetry_reply { metrics; events; dropped = get_nat r }
+  | 13 -> Metrics_request
+  | 14 -> Metrics_reply { body = get_string r }
   (* The caller range-checks [op], but a decode path never asserts: if the
      guard and this table ever disagree, that is a typed error too. *)
   | op -> fail (Printf.sprintf "opcode %d has no payload decoder" op)
@@ -305,7 +315,13 @@ let get_ctx r =
     Some { Wb_obs.Span.trace; span }
   end
 
+(* Profiling sites for the wire hot path (zero-cost unless Wb_obs.Prof is
+   enabled). *)
+let prof_encode = Wb_obs.Prof.site "wire.encode"
+let prof_decode = Wb_obs.Prof.site "wire.decode"
+
 let encode_at ~version:v ?ctx frame =
+  Wb_obs.Prof.phase prof_encode (fun () ->
   if v = 1 && opcode frame > 10 then
     invalid_arg (Printf.sprintf "Wire.encode: %s frame has no version-1 encoding" (opcode_name frame));
   let w = Bitbuf.Writer.create () in
@@ -319,7 +335,7 @@ let encode_at ~version:v ?ctx frame =
   if String.length body > max_frame_bytes then
     invalid_arg (Printf.sprintf "Wire.encode: %s frame exceeds %d bytes" (opcode_name frame)
                    max_frame_bytes);
-  String.concat "" [ String.make 1 (Char.chr v); be32 (String.length body); be32 (crc32 body); body ]
+  String.concat "" [ String.make 1 (Char.chr v); be32 (String.length body); be32 (crc32 body); body ])
 
 let encode ?ctx frame = encode_at ~version ?ctx frame
 let encode_v1 frame = encode_at ~version:1 frame
@@ -337,6 +353,7 @@ let decode_header s =
   end
 
 let decode_body ~version:v ~crc body =
+  Wb_obs.Prof.phase prof_decode (fun () ->
   if crc32 body <> crc then Result.Error Crc_mismatch
   else if String.length body < 5 then Result.Error (Malformed_body "body shorter than opcode header")
   else begin
@@ -372,7 +389,7 @@ let decode_body ~version:v ~crc body =
         end
       end
     end
-  end
+  end)
 
 let decode_ctx s =
   match decode_header s with
@@ -423,3 +440,6 @@ let pp ppf frame =
   | Telemetry_reply { metrics; events; dropped } ->
     Format.fprintf ppf "TELEMETRY %d metric bytes, %d events (%d dropped)"
       (String.length metrics) (List.length events) dropped
+  | Metrics_request -> Format.fprintf ppf "METRICS?"
+  | Metrics_reply { body } ->
+    Format.fprintf ppf "METRICS %d exposition bytes" (String.length body)

@@ -80,6 +80,14 @@ type frame =
           string, [events] are JSONL-encoded {!Wb_obs.Event}s (oldest
           first), [dropped] counts ring overwrites plus any tail entries
           withheld to respect {!max_frame_bytes}.  Version 2 only. *)
+  | Metrics_request
+      (** client → server: dump the metrics registry in OpenMetrics text
+          form.  Like {!Telemetry_request}, answered on the handshake
+          before any HELLO — the scrape endpoint for Prometheus-style
+          tooling ([wbctl metrics --remote]).  Version 2 only. *)
+  | Metrics_reply of { body : string }
+      (** server → client: [body] is {!Wb_obs.Metrics.dump_openmetrics}
+          output, ending in [# EOF].  Version 2 only. *)
 
 type error =
   | Short_frame of int  (** fewer bytes than a header. *)

@@ -1,0 +1,71 @@
+(* Phase profiling with the same zero-cost discipline as the trace sinks:
+   when disabled (the default), [phase] is one atomic load and a direct
+   call of the phased closure — no histogram registration, no Gc.quick_stat,
+   no clock read — so a never-enabled process exposes no [prof.*] series at
+   all.  Sites keep their instruments in a mutable cache; the registry's
+   idempotent [register] makes the racy first-fill benign under parallel
+   exploration workers. *)
+
+let enabled =
+  Atomic.make
+    (match Sys.getenv_opt "WB_PROF" with
+    | Some ("1" | "true" | "on" | "yes") -> true
+    | Some _ | None -> false)
+
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+let is_enabled () = Atomic.get enabled
+
+type instruments = {
+  us : Metrics.histogram;
+  minor_words : Metrics.histogram;
+  promoted_words : Metrics.histogram;
+  major_collections : Metrics.histogram;
+}
+
+type site = { name : string; mutable inst : instruments option }
+
+let site name = { name; inst = None }
+let name s = s.name
+
+let instruments s =
+  match s.inst with
+  | Some i -> i
+  | None ->
+    let h suffix help =
+      Metrics.histogram ~help (Printf.sprintf "prof.%s.%s" s.name suffix)
+    in
+    let i =
+      { us = h "us" "phase wall time, microseconds";
+        minor_words = h "minor_words" "words allocated on the minor heap during the phase";
+        promoted_words = h "promoted_words" "words promoted to the major heap during the phase";
+        major_collections = h "major_collections" "major collections finished during the phase" }
+    in
+    s.inst <- Some i;
+    i
+
+let record s t0 (g0 : Gc.stat) =
+  let t1 = Span.now_us () in
+  let g1 = Gc.quick_stat () in
+  let i = instruments s in
+  Metrics.observe i.us (t1 - t0);
+  Metrics.observe i.minor_words (int_of_float (g1.Gc.minor_words -. g0.Gc.minor_words));
+  Metrics.observe i.promoted_words
+    (int_of_float (g1.Gc.promoted_words -. g0.Gc.promoted_words));
+  Metrics.observe i.major_collections (g1.Gc.major_collections - g0.Gc.major_collections)
+
+let phase s f =
+  if not (Atomic.get enabled) then f ()
+  else begin
+    let g0 = Gc.quick_stat () in
+    let t0 = Span.now_us () in
+    match f () with
+    | v ->
+      record s t0 g0;
+      v
+    | exception e ->
+      (* Raising phases are still observed — a phase that always dies by
+         exception would otherwise be invisible in the profile. *)
+      record s t0 g0;
+      raise e
+  end

@@ -1,0 +1,36 @@
+(** Phase profiling: wall time and GC pressure per named phase, recorded
+    into the {!Metrics} registry as [prof.<name>.*] histograms.
+
+    A profiled phase observes four series — [prof.<name>.us] (wall time in
+    microseconds, via {!Span.now_us}), [.minor_words] and [.promoted_words]
+    (allocation deltas from [Gc.quick_stat]) and [.major_collections]
+    (major GCs finished during the phase).
+
+    {b Zero-cost when disabled.}  Profiling is off by default; a disabled
+    {!phase} is a single atomic load plus the closure call, and — because
+    instruments are registered lazily on first {e enabled} observation — a
+    never-enabled process has no [prof.*] series in the registry at all
+    ([wbctl top] shows none).  Enable with {!enable}, the [--profile] flag
+    on the [wbctl] run-like commands, or [WB_PROF=1] in the environment.
+
+    Sites are cheap, process-global values meant to be created once at
+    module initialisation next to the other metric registrations; [phase]
+    is domain-safe (the underlying registry and histograms are). *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+type site
+
+val site : string -> site
+(** [site "machine.step"] declares the phase whose series are
+    [prof.machine.step.*].  Allocates only the cache cell; nothing is
+    registered until the first observation under an enabled profiler. *)
+
+val name : site -> string
+
+val phase : site -> (unit -> 'a) -> 'a
+(** Run the closure, attributing its wall time and GC deltas to the site
+    when profiling is enabled.  Exceptions propagate unchanged (the raising
+    run is still observed). *)

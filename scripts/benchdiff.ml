@@ -1,0 +1,95 @@
+(* benchdiff — the bench-history regression gate.
+
+   usage: benchdiff [--history FILE] [--gate PAT:+Y%]... [--no-append] REPORT.json...
+
+   Each REPORT.json (a schema-1 Wb_bench.Report document) is compared
+   against the prior runs of the same bench in the history file
+   (BENCH_history.jsonl by default): newest value vs the median of the
+   priors, flagged as regressed only when it exceeds the gate's +Y%
+   threshold or three median-absolute-deviations of the priors, whichever
+   is larger.  Report-only without --gate.  After the comparison each
+   document is appended to the history (--no-append to skip, e.g. when
+   re-diffing an already-recorded run).
+
+   exit 0  clean (or report-only)
+   exit 1  at least one gated metric regressed
+   exit 2  usage or unreadable/incompatible input *)
+
+module Report = Wb_bench.Report
+module Diff = Wb_bench.Diff
+
+let usage () =
+  prerr_endline
+    "usage: benchdiff [--history FILE] [--gate PAT:+Y%]... [--no-append] REPORT.json...";
+  exit 2
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("benchdiff: " ^ s); exit 2) fmt
+
+let () =
+  let history = ref "BENCH_history.jsonl" in
+  let gates = ref [] in
+  let append = ref true in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--history" :: v :: tl ->
+      history := v;
+      parse tl
+    | "--gate" :: v :: tl ->
+      (match Diff.parse_gate v with
+      | Some g -> gates := g :: !gates
+      | None -> fail "bad gate spec %S (expected PAT:+Y%%)" v);
+      parse tl
+    | "--no-append" :: tl ->
+      append := false;
+      parse tl
+    | [ "--history" ] | [ "--gate" ] -> usage ()
+    | arg :: _ when String.length arg >= 2 && String.equal (String.sub arg 0 2) "--" ->
+      usage ()
+    | arg :: tl ->
+      files := arg :: !files;
+      parse tl
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let files = List.rev !files in
+  let gates = List.rev !gates in
+  if files = [] then usage ();
+  let prior = Report.load_history !history in
+  let regressed = ref 0 in
+  List.iter
+    (fun file ->
+      let doc = match Report.load file with Ok d -> d | Error e -> fail "%s" e in
+      (match Report.schema_of doc with
+      | Some 1 -> ()
+      | Some v -> fail "%s: unsupported schema %d (want 1)" file v
+      | None -> fail "%s: not a bench report (no schema field)" file);
+      let bench =
+        match Report.bench_of doc with
+        | Some b -> b
+        | None -> fail "%s: no bench field" file
+      in
+      let priors =
+        List.filter
+          (fun d ->
+            match Report.bench_of d with Some b -> String.equal b bench | None -> false)
+          prior
+      in
+      Printf.printf "== %s (%s): %d prior run(s) in %s ==\n" bench file
+        (List.length priors) !history;
+      let rows = Diff.compare_run ~gates ~priors doc in
+      Diff.pp_table Format.std_formatter rows;
+      let bad = Diff.regressions rows in
+      regressed := !regressed + List.length bad;
+      List.iter
+        (fun (r : Diff.row) ->
+          Printf.printf "REGRESSION %s.%s: %.6g -> %.6g (%+.1f%% over median of %d)\n" bench
+            r.Diff.metric r.Diff.baseline r.Diff.value r.Diff.delta_pct r.Diff.prior_runs)
+        bad;
+      if !append then Report.append_history ~history:!history doc)
+    files;
+  if !append then
+    Printf.printf "appended %d run(s) to %s\n" (List.length files) !history;
+  if !regressed > 0 then begin
+    Printf.printf "%d gated metric(s) regressed\n" !regressed;
+    exit 1
+  end

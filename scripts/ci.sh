@@ -19,3 +19,14 @@ dune build @check-span --force
 # Static analysis: the tree must lint clean (both tiers), and the linter
 # itself must keep finding the seeded fixture violations.
 dune build @lint @check-lint --force
+
+# Profiling is opt-in: the same run with and without --profile/WB_PROF=1,
+# validated on disk (no prof.* series when off, all four when on, every
+# OpenMetrics exposition grammatically valid).
+dune build @check-prof --force
+
+# The bench history and regression gate: two fast suite runs through
+# `wbctl bench`, a benchdiff of the second against the first (the table
+# lands in the job log and as an artifact), and the pinned gate fixture
+# that must exit 1.
+dune build @check-bench --force

@@ -174,10 +174,22 @@ let check_metrics path =
 
 let check_bench path =
   let v = parse path (read_file path) in
-  (match J.to_str (require path v "section") with
+  (match J.to_int (require path v "schema") with
+  | Some 1 -> ()
+  | Some n -> fail "%s: unsupported bench schema %d (want 1)" path n
+  | None -> fail "%s: schema is not an int" path);
+  (match J.to_str (require path v "bench") with
   | Some _ -> ()
-  | None -> fail "%s: section is not a string" path);
+  | None -> fail "%s: bench is not a string" path);
+  (match J.to_int (require path v "seed") with
+  | Some _ -> ()
+  | None -> fail "%s: seed is not an int" path);
+  (match J.to_str (require path v "git") with
+  | Some _ -> ()
+  | None -> fail "%s: git is not a string" path);
+  ignore (require path v "params");
   ignore (require path v "wall_s");
+  ignore (require path v "registry");
   (match J.to_list (require path v "rows") with
   | None -> fail "%s: rows is not a list" path
   | Some rows ->

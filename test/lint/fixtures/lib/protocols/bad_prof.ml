@@ -1,0 +1,7 @@
+(* Tier A fixture: a profiling hook inside protocol code.  Wb_obs.Prof
+   itself lives in lib/obs (clock-exempt), but calling [Prof.phase] from a
+   protocol smuggles a wall-clock read into model code, so the determinism
+   rule must flag it here.  (Also counted by interface-coverage: no .mli.) *)
+let prof_site = Wb_obs.Prof.site "protocol.compose"
+
+let compose_timed compose view = Wb_obs.Prof.phase prof_site (fun () -> compose view)

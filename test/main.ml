@@ -13,5 +13,7 @@ let () =
          Test_extensions.suites;
          Test_robustness.suites;
          Test_obs.suites;
+         Test_prof.suites;
+         Test_bench.suites;
          Test_net.suites;
          Test_lint.suites ])

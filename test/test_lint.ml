@@ -54,6 +54,19 @@ let test_determinism_allowlist () =
         (lint ~path "let t () = Unix.gettimeofday ()\n"))
     [ "lib/obs/clock.ml"; "lib/net/conn.ml"; "bench/timing.ml" ]
 
+let test_prof_phase () =
+  check_findings "Prof.phase flagged in protocol code" [ (det, 1) ]
+    (lint ~path:"lib/protocols/foo.ml" "let f s g = Prof.phase s g\n");
+  check_findings "qualified Wb_obs.Prof.phase flagged too" [ (det, 1) ]
+    (lint ~path:"lib/protocols/foo.ml" "let f s g = Wb_obs.Prof.phase s g\n");
+  check_findings "Prof.site alone is not a clock read" []
+    (lint ~path:"lib/protocols/foo.ml" "let s = Wb_obs.Prof.site \"x\"\n");
+  List.iter
+    (fun path ->
+      check_findings (path ^ " may carry profiling hooks") []
+        (lint ~path "let f s g = Wb_obs.Prof.phase s g\n"))
+    [ "lib/core/machine.ml"; "lib/obs/prof_test.ml"; "lib/net/wire.ml"; "bench/main.ml" ]
+
 let test_determinism_suppressed () =
   check_findings "a well-formed suppression silences the finding" []
     (lint ~path:"lib/core/foo.ml"
@@ -155,19 +168,19 @@ let test_unused_allow () =
 let fixture_root = "lint/fixtures"
 
 let expected_fixture_counts =
-  [ (det, 5); (lock, 3); (dec, 3); (L.Rules.interface_coverage, 1); (allow, 2) ]
+  [ (det, 6); (lock, 3); (dec, 3); (L.Rules.interface_coverage, 2); (allow, 2) ]
 
 let count rule findings =
   List.length (List.filter (fun (f : L.Finding.t) -> String.equal f.rule rule) findings)
 
 let test_fixture_tree () =
   let r = L.Driver.run ~roots:[ fixture_root ] () in
-  Alcotest.(check int) "six fixture files scanned" 6 (List.length r.files);
+  Alcotest.(check int) "seven fixture files scanned" 7 (List.length r.files);
   List.iter
     (fun (rule, n) ->
       Alcotest.(check int) (rule ^ " findings") n (count rule r.findings))
     expected_fixture_counts;
-  Alcotest.(check int) "no finding outside the pinned rules" 14
+  Alcotest.(check int) "no finding outside the pinned rules" 16
     (List.length r.findings)
 
 (* ---- tier B: a real .cmt ------------------------------------------------ *)
@@ -235,6 +248,7 @@ let suites =
   [ ( "lint.syntactic",
       [ Alcotest.test_case "determinism" `Quick test_determinism;
         Alcotest.test_case "determinism allowlist" `Quick test_determinism_allowlist;
+        Alcotest.test_case "Prof.phase placement" `Quick test_prof_phase;
         Alcotest.test_case "determinism suppressed" `Quick test_determinism_suppressed;
         Alcotest.test_case "lock discipline" `Quick test_lock;
         Alcotest.test_case "decode hygiene" `Quick test_decode;

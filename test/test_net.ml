@@ -51,7 +51,10 @@ let sample_frames =
     Wire.Telemetry_reply
       { metrics = "{\"counters\":{\"engine.runs\":3}}";
         events = [ "{\"ev\":\"round_start\",\"round\":1}"; "" ];
-        dropped = 12 } ]
+        dropped = 12 };
+    Wire.Metrics_request;
+    Wire.Metrics_reply { body = "" };
+    Wire.Metrics_reply { body = "# TYPE x counter\nx_total 1\n# EOF\n" } ]
 
 let be32 v = String.init 4 (fun i -> Char.chr ((v lsr (8 * (3 - i))) land 0xff))
 
@@ -106,9 +109,9 @@ let wire_tests =
         expect_error "crc catches a payload flip"
           ("\001" ^ be32 (String.length body) ^ be32 (Wire.crc32 body) ^ Bytes.to_string flipped)
           (function Wire.Crc_mismatch -> true | _ -> false);
-        let unknown_op = "\013" ^ be32 0 in
+        let unknown_op = "\015" ^ be32 0 in
         expect_error "unknown opcode" (reframe unknown_op) (function
-          | Wire.Unknown_opcode 13 -> true
+          | Wire.Unknown_opcode 15 -> true
           | _ -> false);
         (* the telemetry opcodes are v2-only: a v1 frame carrying one is
            unknown, not misparsed *)
@@ -181,6 +184,8 @@ let gen_frame =
        return (Wire.Board_delta { from_pos; generation; messages }));
       (str >>= fun outcome -> str >>= fun detail -> nat >>= fun rounds ->
        return (Wire.Run_end { outcome; detail; rounds }));
+      return Wire.Metrics_request;
+      (str >>= fun body -> return (Wire.Metrics_reply { body }));
       (code >>= fun code -> str >>= fun detail -> return (Wire.Error { code; detail })) ]
 
 let frame_arb = QCheck.make ~print:(Format.asprintf "%a" Wire.pp) gen_frame
@@ -246,7 +251,13 @@ let ctx_tests =
          frame_arb (fun f -> Wire.decode_ctx (Wire.encode f) = Ok (f, None)));
     qtest
       (QCheck.Test.make ~name:"version-1 encodings still decode, and never carry a context"
-         ~count:200 frame_arb (fun f -> Wire.decode_ctx (Wire.encode_v1 f) = Ok (f, None)));
+         ~count:200 frame_arb (fun f ->
+           match f with
+           | Wire.Telemetry_request _ | Wire.Telemetry_reply _ | Wire.Metrics_request
+           | Wire.Metrics_reply _ ->
+             (* v2-only opcodes have no v1 encoding at all *)
+             (match Wire.encode_v1 f with exception Invalid_argument _ -> true | _ -> false)
+           | _ -> Wire.decode_ctx (Wire.encode_v1 f) = Ok (f, None)));
     qtest
       (QCheck.Test.make
          ~name:"every strict prefix of a context-carrying frame is a typed error" ~count:200
@@ -269,7 +280,9 @@ let ctx_tests =
               (match Wire.encode_v1 f with exception Invalid_argument _ -> true | _ -> false))
           [ Wire.Telemetry_request { tail = 128 };
             Wire.Telemetry_reply
-              { metrics = "{\"counters\":{}}"; events = [ "{\"ev\":\"x\"}" ]; dropped = 7 } ]);
+              { metrics = "{\"counters\":{}}"; events = [ "{\"ev\":\"x\"}" ]; dropped = 7 };
+            Wire.Metrics_request;
+            Wire.Metrics_reply { body = "# EOF\n" } ]);
     Alcotest.test_case "a zero context id is refused at encode time" `Quick (fun () ->
         List.iter
           (fun ctx ->
@@ -827,6 +840,29 @@ let telemetry_tests =
               (Obs.Json.member "net.rpc.activate_us")
           in
           check "the ACTIVATE RPC histogram is in the snapshot" true (Option.is_some hist));
+        Net.Server.stop server;
+        Thread.join st);
+    Alcotest.test_case "METRICS serves a valid OpenMetrics exposition" `Quick (fun () ->
+        let entry = Option.get (R.find "bfs") in
+        let g = G.Gen.grid 3 3 in
+        let server = Net.Server.create ~port:0 (spec_of entry g ~timeout:2.0) in
+        let st = Net.Server.serve_in_thread server in
+        let port = Net.Server.port server in
+        let conn = Net.Conn.of_fd ~timeout:2.0 ~peer:"metrics" (connect_local port) in
+        (match Net.Conn.send conn Wire.Metrics_request with
+        | Ok () -> ()
+        | Error f -> Alcotest.failf "metrics send: %s" (Net.Conn.fault_to_string f));
+        let r = Net.Conn.recv conn in
+        Net.Conn.close conn;
+        let body =
+          match r with
+          | Ok (Wire.Metrics_reply { body }) -> body
+          | Ok f -> Alcotest.failf "metrics reply: got %s" (Wire.opcode_name f)
+          | Error f -> Alcotest.failf "metrics recv: %s" (Net.Conn.fault_to_string f)
+        in
+        (match Obs.Metrics.Openmetrics.validate body with
+        | Ok () -> ()
+        | Error msg -> Alcotest.failf "invalid exposition: %s" msg);
         Net.Server.stop server;
         Thread.join st) ]
 
