@@ -1,0 +1,15 @@
+(* Thin main over Wb_bench.Chaos_core (shared with `wbctl bench`):
+   fault-injection campaign throughput with the crash-replay differential
+   enforced on every run.  Writes BENCH_chaos.json (or --out FILE). *)
+
+let () =
+  let cli = Wb_bench.Report.Cli.parse () in
+  (match cli.Wb_bench.Report.Cli.rest with
+  | [] -> ()
+  | junk ->
+    Printf.eprintf "chaosbench: unexpected arguments: %s\n" (String.concat " " junk);
+    exit 2);
+  ignore
+    (Wb_bench.Chaos_core.run
+       ~seed:(Wb_bench.Report.Cli.seed cli ~default:7)
+       ~fast:cli.Wb_bench.Report.Cli.fast ?out:cli.Wb_bench.Report.Cli.out ())

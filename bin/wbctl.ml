@@ -9,6 +9,7 @@
      serve                          host a networked referee (wb_net server)
      join                           speak for one node of a remote session
      remote-run                     server + n clients in one process (loopback or sockets)
+     chaos                          seeded fault-injection campaigns with crash-replay checks
      top                            live metrics from a running referee (TELEMETRY RPC)
      synth                          minimal-alphabet synthesis at tiny n
      counting                       Lemma 3 information floors
@@ -24,6 +25,7 @@ module G = Wb_graph
 module Obs = Wb_obs
 module Prng = Wb_support.Prng
 module Net = Wb_net
+module Chaos = Wb_chaos
 
 (* ---- shared argument parsing ---------------------------------------- *)
 
@@ -278,6 +280,23 @@ let write_chrome_merge file shards =
   output_char oc '\n';
   close_out oc;
   Printf.printf "chrome trace: %s (%d shards)\n" file (List.length shards)
+
+(* Flight recorder dump: the referee collector's event tail as JSONL next
+   to the report — enough to see which node starved a failing run. *)
+let write_flight ~tail file events =
+  let total = List.length events in
+  let events =
+    if total > tail then List.filteri (fun i _ -> i >= total - tail) events else events
+  in
+  let oc = open_out_or_die file in
+  List.iter
+    (fun ev ->
+      Obs.Json.to_channel oc (Obs.Event.to_json ev);
+      output_char oc '\n')
+    events;
+  close_out oc;
+  Printf.printf "flight recorder: %s (last %d of %d referee events)\n" file (List.length events)
+    total
 
 let key_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"PROTOCOL" ~doc:"Registry key")
@@ -716,7 +735,7 @@ let remote_run_cmd =
         | Error msg ->
           Printf.eprintf "wbctl: remote run failed: %s\n" msg;
           exit 1
-        | Ok { Net.Session.run = remote; faults } ->
+        | Ok { Net.Session.run = remote; faults; deaths = _ } ->
           List.iter
             (fun (v, fault) ->
               Printf.printf "node %d fault: %s\n" (v + 1) (Net.Session.fault_to_string fault))
@@ -749,29 +768,19 @@ let remote_run_cmd =
                      ( Printf.sprintf "node-%d" (v + 1),
                        match client_sinks.(v) with Some (_, events) -> events () | None -> [] ))));
           if code <> 0 then begin
-            (* Flight recorder: the referee's event tail, JSONL, next to the
-               report — enough to see which node starved the run. *)
             let flight =
               match trace_out with
               | Some f -> Filename.remove_extension f ^ ".flight.jsonl"
               | None -> "wbctl-remote-run.flight.jsonl"
             in
-            let events = session_events () in
-            let total = List.length events in
-            let events =
-              if total > flight_tail then
-                List.filteri (fun i _ -> i >= total - flight_tail) events
-              else events
-            in
-            let oc = open_out_or_die flight in
-            List.iter
-              (fun ev ->
-                Obs.Json.to_channel oc (Obs.Event.to_json ev);
-                output_char oc '\n')
-              events;
-            close_out oc;
-            Printf.printf "flight recorder: %s (last %d of %d referee events)\n" flight
-              (List.length events) total;
+            write_flight ~tail:flight_tail flight (session_events ());
+            Printf.printf "replay: wbctl remote-run %s -g %s -n %d -p %g --seed %d -a %s \
+                           --transport %s%s%s\n"
+              key family n p seed adv transport
+              (match max_rounds with
+              | Some r -> Printf.sprintf " --max-rounds %d" r
+              | None -> "")
+              (if check then " --check" else "");
             exit code
           end)
   in
@@ -783,6 +792,175 @@ let remote_run_cmd =
     Term.(
       const run $ key_arg $ family_arg $ n_arg $ p_arg $ seed_arg $ adversary_arg $ transport_arg
       $ check_arg $ timeout_arg $ max_rounds_arg $ trace_out_arg)
+
+let chaos_cmd =
+  let plan_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:
+            "Fault plan: a preset name (default, drop-heavy, wire-garbage, disconnect@R) or a \
+             JSON plan file (schema in docs/CHAOS.md)")
+  in
+  let runs_arg =
+    Arg.(value & opt int 16 & info [ "runs" ] ~docv:"R" ~doc:"Campaign size (faulted runs)")
+  in
+  let report_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Write the campaign report (JSON, schema 1) to $(docv) — byte-identical across \
+             same-seed reruns")
+  in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Re-execute one campaign run (the first mismatching one, else run 0) with full \
+             telemetry and write the merged Chrome trace to $(docv)")
+  in
+  let flight_tail = 512 in
+  (* "disconnect@R" names the kill-one-node-at-round-R preset for any R;
+     the presets list only carries its R=3 instance. *)
+  let disconnect_preset spec =
+    match String.split_on_char '@' spec with
+    | [ "disconnect"; r ] -> (
+      match int_of_string_opt r with
+      | Some round when round >= 0 -> Some (Chaos.Plan.disconnect ~round)
+      | _ -> None)
+    | _ -> None
+  in
+  let resolve_plan = function
+    | None -> Chaos.Plan.default
+    | Some spec -> (
+      match
+        List.find_opt
+          (fun (p : Chaos.Plan.t) -> String.equal p.Chaos.Plan.name spec)
+          Chaos.Plan.presets
+      with
+      | Some p -> p
+      | None -> (
+        match disconnect_preset spec with
+        | Some p -> p
+        | None ->
+          let text =
+            try In_channel.with_open_bin spec In_channel.input_all
+            with Sys_error msg ->
+              Printf.eprintf "wbctl: cannot read plan %s: %s\n" spec msg;
+              exit 1
+          in
+          (match Chaos.Plan.of_string text with
+          | Ok p -> p
+          | Error msg ->
+            Printf.eprintf "wbctl: invalid plan %s: %s\n" spec msg;
+            exit 1)))
+  in
+  let run key family n p seed adv plan_spec runs max_rounds report_out trace_out =
+    with_entry key (fun e ->
+        let g = make_graph ~family ~n ~p ~seed in
+        let n_nodes = G.Graph.n g in
+        let plan = resolve_plan plan_spec in
+        Printf.printf "graph: %s on %d nodes, %d edges   plan: %s   seed %d, %d runs\n" family
+          n_nodes (G.Graph.num_edges g) plan.Chaos.Plan.name seed runs;
+        let inst =
+          { Chaos.Campaign.key;
+            protocol = e.protocol;
+            graph = g;
+            graph_desc = family;
+            adversary_name = adv;
+            make_adversary = (fun ~seed -> make_adversary adv g seed);
+            max_rounds }
+        in
+        let progress (r : Chaos.Campaign.run_record) =
+          Printf.printf "run %2d: %-14s %2d faults injected, %d dead, differential %s\n"
+            r.Chaos.Campaign.index r.Chaos.Campaign.outcome
+            (List.length r.Chaos.Campaign.injected)
+            (List.length r.Chaos.Campaign.deaths)
+            (if List.is_empty r.Chaos.Campaign.mismatches then "identical" else "MISMATCH")
+        in
+        let campaign = Chaos.Campaign.run ~progress ~seed ~runs ~plan inst in
+        print_endline (Chaos.Campaign.summary_line campaign);
+        (match report_out with
+        | None -> ()
+        | Some file ->
+          let oc = open_out_or_die file in
+          Obs.Json.to_channel oc (Chaos.Campaign.to_json campaign);
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "campaign report: %s\n" file);
+        (* Re-execute one run with full telemetry: the failing one when the
+           differential broke, run 0 when --trace asked for a trace anyway.
+           Derivation depends only on (seed, index), so the re-execution
+           injects the identical fault schedule. *)
+        let retrace index ~chrome ~flight =
+          let session_sink, session_events = Obs.Trace.collector () in
+          let driver_sink, driver_events = Obs.Trace.collector () in
+          let minter = Obs.Span.minter ~seed:(seed lxor 0xc4a05) () in
+          let root =
+            Obs.Span.start
+              ~attrs:[ ("protocol", key); ("chaos-run", string_of_int index) ]
+              minter driver_sink "chaos-run"
+          in
+          let client_sinks = Array.init n_nodes (fun _ -> Obs.Trace.collector ()) in
+          let client_trace v = Some (fst client_sinks.(v)) in
+          let r =
+            Chaos.Campaign.run_once ~trace:session_sink ~parent:(Obs.Span.context root)
+              ~client_trace ~seed ~index ~plan inst
+          in
+          Obs.Span.finish ~round:r.Chaos.Campaign.rounds driver_sink root;
+          (match chrome with
+          | None -> ()
+          | Some file ->
+            write_chrome_merge file
+              (("driver", driver_events ())
+              :: ("referee", session_events ())
+              :: List.init n_nodes (fun v ->
+                     (Printf.sprintf "node-%d" (v + 1), (snd client_sinks.(v)) ()))));
+          match flight with
+          | None -> ()
+          | Some file -> write_flight ~tail:flight_tail file (session_events ())
+        in
+        match
+          List.find_opt
+            (fun r -> not (List.is_empty r.Chaos.Campaign.mismatches))
+            campaign.Chaos.Campaign.records
+        with
+        | None -> (
+          match trace_out with
+          | None -> ()
+          | Some file -> retrace 0 ~chrome:(Some file) ~flight:None)
+        | Some r ->
+          Printf.printf "differential MISMATCH at run %d (run seed %d, adversary seed %d):\n"
+            r.Chaos.Campaign.index r.Chaos.Campaign.run_seed r.Chaos.Campaign.adversary_seed;
+          List.iter (fun i -> print_endline ("  " ^ i)) r.Chaos.Campaign.mismatches;
+          let flight =
+            match trace_out with
+            | Some f -> Filename.remove_extension f ^ ".flight.jsonl"
+            | None -> "wbctl-chaos.flight.jsonl"
+          in
+          retrace r.Chaos.Campaign.index ~chrome:trace_out ~flight:(Some flight);
+          Printf.printf "replay: wbctl chaos %s -g %s -n %d -p %g --seed %d -a %s --runs %d%s%s\n"
+            key family n p seed adv runs
+            (match plan_spec with Some s -> " --plan " ^ s | None -> "")
+            (match max_rounds with
+            | Some r -> Printf.sprintf " --max-rounds %d" r
+            | None -> "");
+          exit 2)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a seeded fault-injection campaign against the networked referee: each faulted \
+          loopback run is crash-replayed in process and differentially checked; any mismatch \
+          dumps the flight ring, re-traces the failing run and exits 2")
+    Term.(
+      const run $ key_arg $ family_arg $ n_arg $ p_arg $ seed_arg $ adversary_arg $ plan_arg
+      $ runs_arg $ max_rounds_arg $ report_arg $ trace_out_arg)
 
 let top_cmd =
   let host_arg =
@@ -980,19 +1158,22 @@ let bench_cmd =
     Arg.(value & flag & info [ "no-history" ] ~doc:"Do not append the reports to the history file")
   in
   let names_arg =
-    Arg.(value & pos_all string [] & info [] ~docv:"BENCH" ~doc:"Suites to run: explore, rpc")
+    Arg.(
+      value & pos_all string [] & info [] ~docv:"BENCH" ~doc:"Suites to run: explore, rpc, chaos")
   in
   let suites =
     [ ("explore",
        fun ~seed ~fast ->
          Wb_bench.Explore_core.run ?seed ~fast ~out:"BENCH_explore.json" ());
-      ("rpc", fun ~seed ~fast -> Wb_bench.Rpc_core.run ?seed ~fast ~out:"BENCH_rpc.json" ()) ]
+      ("rpc", fun ~seed ~fast -> Wb_bench.Rpc_core.run ?seed ~fast ~out:"BENCH_rpc.json" ());
+      ("chaos", fun ~seed ~fast -> Wb_bench.Chaos_core.run ?seed ~fast ~out:"BENCH_chaos.json" ())
+    ]
   in
   let run all fast seed history no_history names =
     let chosen =
       if all then suites
       else if names = [] then begin
-        prerr_endline "wbctl: name at least one bench (explore, rpc) or pass --all";
+        prerr_endline "wbctl: name at least one bench (explore, rpc, chaos) or pass --all";
         exit 1
       end
       else
@@ -1044,4 +1225,5 @@ let () =
        (Cmd.group ~default
           (Cmd.info "wbctl" ~version:"1.0.0" ~doc:"Shared-whiteboard distributed computing laboratory")
           [ models_cmd; protocols_cmd; run_cmd; trace_cmd; explore_cmd; serve_cmd; join_cmd;
-            remote_run_cmd; top_cmd; metrics_cmd; bench_cmd; synth_cmd; counting_cmd; graph_cmd ]))
+            remote_run_cmd; chaos_cmd; top_cmd; metrics_cmd; bench_cmd; synth_cmd; counting_cmd;
+            graph_cmd ]))

@@ -1,0 +1,236 @@
+(* The campaign runner: [runs] faulted loopback sessions from one master
+   seed, each differentially checked against its crash replay.  All
+   derivation is arithmetic on the seed (master stream -> per-run seeds ->
+   per-connection split streams), so the whole campaign — fault schedule,
+   outcomes, report — is a pure function of (seed, plan, instance); the
+   report carries no wall clock, and `wbctl chaos` pins byte-identical
+   reports across same-seed reruns in CI. *)
+
+module M = Wb_model
+module G = Wb_graph.Graph
+module Obs = Wb_obs
+module J = Obs.Json
+module Prng = Wb_support.Prng
+module Session = Wb_net.Session
+module Remote = Wb_net.Remote
+
+type instance = {
+  key : string;
+  protocol : M.Protocol.t;
+  graph : G.t;
+  graph_desc : string;
+  adversary_name : string;
+  make_adversary : seed:int -> M.Adversary.t;
+  max_rounds : int option;
+}
+
+type run_record = {
+  index : int;
+  run_seed : int;
+  adversary_seed : int;
+  targets : int list;
+  injected : (int * Inject.entry) list;  (* (node, entry), occurrence order *)
+  outcome : string;
+  rounds : int;
+  faults : (int * Session.fault) list;
+  deaths : Session.death list;
+  mismatches : string list;  (* [] = differential identical *)
+}
+
+type report = { seed : int; runs : int; plan : Plan.t; instance : instance; records : run_record list }
+
+let m_campaigns = Obs.Metrics.counter ~help:"chaos campaigns completed" "chaos.campaigns"
+let m_runs = Obs.Metrics.counter ~help:"chaos campaign runs completed" "chaos.runs"
+
+let m_survivals =
+  Obs.Metrics.counter ~help:"faulted runs that still succeeded" "chaos.survivals"
+
+let m_mismatches =
+  Obs.Metrics.counter ~help:"runs whose crash replay diverged (differential failures)"
+    "chaos.mismatches"
+
+let m_injected_per_run =
+  Obs.Metrics.histogram ~help:"faults injected per campaign run" "chaos.injected_per_run"
+
+(* Per-run seeds come from a fresh master stream each call, advanced
+   [index+1] steps — O(index) but exactly reproducible for any single run,
+   which is how `wbctl chaos` re-traces just the failing run. *)
+let seed_bound = 0x3FFFFFFF
+
+let derive ~seed ~index =
+  let master = Prng.create seed in
+  let run_seed = ref 1 and adversary_seed = ref 1 in
+  for _ = 0 to index do
+    run_seed := Prng.in_range master 1 seed_bound;
+    adversary_seed := Prng.in_range master 1 seed_bound
+  done;
+  (!run_seed, !adversary_seed)
+
+let shared_clock () =
+  let c = ref 0 in
+  fun () ->
+    let v = !c in
+    incr c;
+    v
+
+let run_once ?trace ?parent ?client_trace ~seed ~index ~plan instance =
+  let run_seed, adversary_seed = derive ~seed ~index in
+  let rng = Prng.create run_seed in
+  let n = G.n instance.graph in
+  let targets =
+    match plan.Plan.targets with
+    | Plan.All -> List.init n (fun v -> v)
+    | Plan.Nodes l -> List.sort_uniq Int.compare (List.filter (fun v -> v >= 0 && v < n) l)
+    | Plan.Sample k -> Gen.subset ~k n rng
+  in
+  let clock = shared_clock () in
+  let injectors = ref [] in
+  let wrap v conn =
+    if List.exists (Int.equal v) targets then begin
+      let conn, inj = Inject.wrap ~clock ~rng:(Prng.split rng) ~plan ~node:v conn in
+      injectors := (v, inj) :: !injectors;
+      conn
+    end
+    else conn
+  in
+  let session =
+    Remote.run_loopback ?trace ?parent ?client_trace ?max_rounds:instance.max_rounds ~wrap
+      ~protocol:instance.protocol instance.graph
+      (instance.make_adversary ~seed:adversary_seed)
+  in
+  (* A fresh same-seed adversary replays the session's draw stream. *)
+  let replayed =
+    Replay.run ~protocol:instance.protocol ~graph:instance.graph
+      ~adversary:(instance.make_adversary ~seed:adversary_seed)
+      ?max_rounds:instance.max_rounds ~deaths:session.Session.deaths ()
+  in
+  let mismatches = Remote.diff_runs session.Session.run replayed in
+  let injected =
+    List.concat_map
+      (fun (v, inj) -> List.map (fun e -> (v, e)) (Inject.log inj))
+      (List.rev !injectors)
+    |> List.sort (fun (_, a) (_, b) -> Int.compare a.Inject.seq b.Inject.seq)
+  in
+  let srun : M.Engine.run = session.Session.run in
+  { index;
+    run_seed;
+    adversary_seed;
+    targets;
+    injected;
+    outcome = M.Engine.outcome_tag srun.outcome;
+    rounds = srun.stats.rounds;
+    faults = session.Session.faults;
+    deaths = session.Session.deaths;
+    mismatches }
+
+let run ?progress ~seed ~runs ~plan instance =
+  Obs.Metrics.incr m_campaigns;
+  let rec go i acc =
+    if i >= runs then List.rev acc
+    else begin
+      let r = run_once ~seed ~index:i ~plan instance in
+      Obs.Metrics.incr m_runs;
+      Obs.Metrics.observe m_injected_per_run (List.length r.injected);
+      if String.equal r.outcome "success" then Obs.Metrics.incr m_survivals;
+      if not (List.is_empty r.mismatches) then Obs.Metrics.incr m_mismatches;
+      (match progress with Some f -> f r | None -> ());
+      go (i + 1) (r :: acc)
+    end
+  in
+  { seed; runs; plan; instance; records = go 0 [] }
+
+(* ---- aggregates -------------------------------------------------------- *)
+
+type summary = {
+  total : int;
+  faulted : int;  (* runs with at least one injected fault *)
+  injected_total : int;
+  survived : int;  (* runs that still ended in success *)
+  dead_nodes : int;
+  mismatched : int;  (* runs whose differential failed *)
+}
+
+let summarize report =
+  List.fold_left
+    (fun s r ->
+      { total = s.total + 1;
+        faulted = (s.faulted + if List.is_empty r.injected then 0 else 1);
+        injected_total = s.injected_total + List.length r.injected;
+        survived = (s.survived + if String.equal r.outcome "success" then 1 else 0);
+        dead_nodes = s.dead_nodes + List.length r.deaths;
+        mismatched = (s.mismatched + if List.is_empty r.mismatches then 0 else 1) })
+    { total = 0; faulted = 0; injected_total = 0; survived = 0; dead_nodes = 0; mismatched = 0 }
+    report.records
+
+let survivor_rate report =
+  let s = summarize report in
+  if s.total = 0 then 0.0 else float_of_int s.survived /. float_of_int s.total
+
+let summary_line report =
+  let s = summarize report in
+  Printf.sprintf
+    "campaign: %d runs, %d faulted (%d faults injected), %d survived, %d dead nodes, %d \
+     differential mismatches"
+    s.total s.faulted s.injected_total s.survived s.dead_nodes s.mismatched
+
+(* ---- the deterministic report ------------------------------------------ *)
+
+let record_to_json r =
+  J.Obj
+    [ ("run", J.Int r.index);
+      ("run_seed", J.Int r.run_seed);
+      ("adversary_seed", J.Int r.adversary_seed);
+      ("targets", J.List (List.map (fun v -> J.Int v) r.targets));
+      ("injected",
+       J.List
+         (List.map
+            (fun (v, e) ->
+              match Inject.entry_to_json e with
+              | J.Obj fields -> J.Obj (("node", J.Int v) :: fields)
+              | other -> other)
+            r.injected));
+      ("outcome", J.String r.outcome);
+      ("rounds", J.Int r.rounds);
+      ("faults",
+       J.List
+         (List.map
+            (fun (v, f) ->
+              J.Obj
+                [ ("node", J.Int v); ("fault", J.String (Session.fault_to_string f)) ])
+            r.faults));
+      ("deaths",
+       J.List
+         (List.map
+            (fun (d : Session.death) ->
+              J.Obj
+                [ ("node", J.Int d.Session.node);
+                  ("site", J.String (Session.site_to_string d.Session.site)) ])
+            r.deaths));
+      ("differential",
+       if List.is_empty r.mismatches then J.String "identical"
+       else J.List (List.map (fun s -> J.String s) r.mismatches)) ]
+
+let to_json report =
+  let s = summarize report in
+  J.Obj
+    [ ("schema", J.Int 1);
+      ("chaos", J.String "campaign");
+      ("seed", J.Int report.seed);
+      ("plan", Plan.to_json report.plan);
+      ("instance",
+       J.Obj
+         [ ("protocol", J.String report.instance.key);
+           ("graph", J.String report.instance.graph_desc);
+           ("n", J.Int (G.n report.instance.graph));
+           ("adversary", J.String report.instance.adversary_name);
+           ("max_rounds",
+            match report.instance.max_rounds with Some r -> J.Int r | None -> J.Null) ]);
+      ("runs", J.List (List.map record_to_json report.records));
+      ("summary",
+       J.Obj
+         [ ("runs", J.Int s.total);
+           ("faulted", J.Int s.faulted);
+           ("injected", J.Int s.injected_total);
+           ("survived", J.Int s.survived);
+           ("dead_nodes", J.Int s.dead_nodes);
+           ("mismatches", J.Int s.mismatched) ]) ]

@@ -1,0 +1,91 @@
+(** Fault-injection campaigns: seeded batches of faulted networked runs,
+    each differentially checked against its in-process crash replay.
+
+    A campaign is a pure function of [(seed, plan, instance)]: the master
+    seed derives one [(run_seed, adversary_seed)] pair per run, the run
+    seed derives the target sample and one split PRNG stream per wrapped
+    connection, and the report carries no wall clock — so two same-seed
+    campaigns produce byte-identical {!to_json} documents, and any single
+    run (a failing one, say) re-executes alone via {!run_once} with
+    tracing attached. *)
+
+type instance = {
+  key : string;  (** protocol registry key (reports, replay command lines). *)
+  protocol : Wb_model.Protocol.t;
+  graph : Wb_graph.Graph.t;
+  graph_desc : string;  (** e.g. ["gnp"] — report/replay bookkeeping only. *)
+  adversary_name : string;
+  make_adversary : seed:int -> Wb_model.Adversary.t;
+      (** must build a {e fresh} adversary per call: the session and its
+          replay each get one, and stateful adversaries must replay their
+          draw stream from the seed. *)
+  max_rounds : int option;
+}
+
+type run_record = {
+  index : int;
+  run_seed : int;
+  adversary_seed : int;
+  targets : int list;  (** nodes whose connections were wrapped. *)
+  injected : (int * Inject.entry) list;  (** (node, fault) in occurrence order. *)
+  outcome : string;  (** {!Wb_model.Engine.outcome_tag} of the faulted run. *)
+  rounds : int;
+  faults : (int * Wb_net.Session.fault) list;
+  deaths : Wb_net.Session.death list;
+  mismatches : string list;  (** [] = crash replay identical (the contract). *)
+}
+
+type report = {
+  seed : int;
+  runs : int;
+  plan : Plan.t;
+  instance : instance;
+  records : run_record list;
+}
+
+val run_once :
+  ?trace:Wb_obs.Trace.t ->
+  ?parent:Wb_obs.Span.context ->
+  ?client_trace:(int -> Wb_obs.Trace.t option) ->
+  seed:int ->
+  index:int ->
+  plan:Plan.t ->
+  instance ->
+  run_record
+(** One campaign run, reproducible in isolation: derivation depends only
+    on [(seed, index)].  The telemetry options mirror
+    {!Wb_net.Remote.run_loopback} — how `wbctl chaos` re-traces exactly
+    the failing run. *)
+
+val run :
+  ?progress:(run_record -> unit) ->
+  seed:int ->
+  runs:int ->
+  plan:Plan.t ->
+  instance ->
+  report
+(** The whole campaign; [progress] fires after each run (CLI reporting).
+    Maintains the [chaos.campaigns]/[chaos.runs]/[chaos.survivals]/
+    [chaos.mismatches] counters and the [chaos.injected_per_run]
+    histogram.  Never raises on transport behaviour: faulted runs end in
+    typed outcomes and recorded faults. *)
+
+type summary = {
+  total : int;
+  faulted : int;
+  injected_total : int;
+  survived : int;
+  dead_nodes : int;
+  mismatched : int;
+}
+
+val summarize : report -> summary
+val survivor_rate : report -> float
+(** Fraction of runs that still ended in [success]. *)
+
+val summary_line : report -> string
+val record_to_json : run_record -> Wb_obs.Json.t
+
+val to_json : report -> Wb_obs.Json.t
+(** The deterministic campaign report (schema 1): plan, instance, per-run
+    fault schedule / outcome / differential verdict, and the summary. *)

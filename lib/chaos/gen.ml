@@ -1,0 +1,52 @@
+(* Seeded generator combinators over Wb_support.Prng — the qcheck-style
+   composition idiom, but with every draw flowing through the repo's one
+   deterministic generator so any composed value replays from its seed.
+   The chaos plan fuzzer and the injector's per-frame decisions are both
+   written against this module; nothing in lib/chaos may draw randomness
+   any other way (the determinism lint enforces it). *)
+
+module Prng = Wb_support.Prng
+
+type 'a t = Prng.t -> 'a
+
+let return x _ = x
+let map f g rng = f (g rng)
+let bind g f rng = f (g rng) rng
+
+let pair a b rng =
+  let x = a rng in
+  let y = b rng in
+  (x, y)
+
+let int bound rng = Prng.int rng bound
+let in_range lo hi rng = Prng.in_range rng lo hi
+let bool rng = Prng.bool rng
+let float01 rng = Prng.float rng
+let float_range lo hi rng = lo +. ((hi -. lo) *. Prng.float rng)
+
+(* Deterministic element order: the recursion below fixes the draw order
+   left to right (List.init would leave it to the stdlib). *)
+let list_of n g rng =
+  let rec go k acc = if k <= 0 then List.rev acc else go (k - 1) (g rng :: acc) in
+  go n []
+
+let oneofl xs rng = Prng.pick rng (Array.of_list xs)
+let oneof gens rng = Prng.pick rng (Array.of_list gens) rng
+
+let weighted choices rng =
+  let total = List.fold_left (fun acc (_, w) -> acc + max 0 w) 0 choices in
+  if total <= 0 then invalid_arg "Gen.weighted: no positive weight";
+  let ticket = Prng.int rng total in
+  let rec go acc = function
+    | [] -> invalid_arg "Gen.weighted: no positive weight"
+    | (x, w) :: tl ->
+      let acc = acc + max 0 w in
+      if ticket < acc then x else go acc tl
+  in
+  go 0 choices
+
+let subset ~k n rng =
+  let k = max 0 (min k n) in
+  Array.to_list (Prng.sample_without_replacement rng k n)
+
+let run ~seed g = g (Prng.create seed)

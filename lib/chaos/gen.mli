@@ -1,0 +1,50 @@
+(** Seeded generator combinators over {!Wb_support.Prng}.
+
+    A ['a t] is a function from a generator state to a value; combinators
+    compose draws in a fixed left-to-right order, so any composed generator
+    replays byte-identically from its seed — the property the whole chaos
+    subsystem rests on.  This is the qcheck generator-composition idiom
+    rebuilt on the repository's single deterministic PRNG (qcheck's own
+    generators sit on [Random.State], which the determinism lint bans
+    outside the exempt directories — and [lib/chaos] is deliberately not
+    exempt). *)
+
+type 'a t = Wb_support.Prng.t -> 'a
+
+val return : 'a -> 'a t
+val map : ('a -> 'b) -> 'a t -> 'b t
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+val pair : 'a t -> 'b t -> ('a * 'b) t
+
+val int : int -> int t
+(** [int bound] is uniform in [\[0, bound)]; requires [bound > 0]. *)
+
+val in_range : int -> int -> int t
+(** [in_range lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val bool : bool t
+val float01 : float t
+
+val float_range : float -> float -> float t
+(** Uniform in [\[lo, hi)]. *)
+
+val list_of : int -> 'a t -> 'a list t
+(** [list_of n g] draws [n] values in index order. *)
+
+val oneofl : 'a list -> 'a t
+(** Uniform element of a non-empty list. *)
+
+val oneof : 'a t list -> 'a t
+(** Pick one generator uniformly, then run it. *)
+
+val weighted : ('a * int) list -> 'a t
+(** Pick proportionally to the (non-negative) weights; at least one weight
+    must be positive.  One draw per call — the injector's per-frame fault
+    pick. *)
+
+val subset : k:int -> int -> int list t
+(** [subset ~k n] is a sorted [k]-subset of [\[0, n)] ([k] clamped to
+    [\[0, n\]]). *)
+
+val run : seed:int -> 'a t -> 'a
+(** Run a generator from a fresh seed — equal seeds, equal values. *)

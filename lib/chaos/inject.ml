@@ -1,0 +1,335 @@
+(* The faulty transport: a Conn-compatible wrapper that interposes on every
+   frame of an inner connection and, with plan-scheduled probability,
+   injects one fault — every decision drawn from the injector's PRNG in
+   frame order, so a faulted session replays byte-identically from its
+   seed.
+
+   Crash consistency is the design invariant.  The differential harness
+   asserts that a faulted networked run lands in a configuration the
+   in-process engine reaches under the same adversary with crashes at the
+   same hook coordinates ([Replay]); that only holds if no fault can leave
+   a node *live* with corrupted state.  So every destructive fault poisons
+   the stream (all later operations report Closed) and surfaces within the
+   same kernel hook, and the two faults that let a node linger — duplicate
+   and reorder — are restricted to shapes that feed the referee only
+   genuine, fresh replies until the session detects the confusion and
+   kills the node:
+
+   - referee-to-client duplicates apply only to frames that cannot make the
+     client compute twice (BOARD-DELTA, WRITE-GRANT, RUN-END; a duplicated
+     query would advance the client's local state twice — Byzantine, not
+     crash, behaviour);
+   - reordering applies only client-to-referee, by stashing a reply and
+     delivering the next one first: every reply the referee *accepts* was
+     honestly computed, and the stashed one is stale by the time it
+     surfaces, so the round check flags it and the node dies. *)
+
+module Obs = Wb_obs
+module Prng = Wb_support.Prng
+module Wire = Wb_net.Wire
+module Conn = Wb_net.Conn
+
+type op = Send | Recv
+
+let op_name = function Send -> "send" | Recv -> "recv"
+
+type action = Fault of Plan.kind | Disconnect
+
+let action_name = function Fault k -> Plan.kind_name k | Disconnect -> "disconnect"
+
+type entry = { seq : int; action : action; op : op; opcode : string; round : int; detail : string }
+
+let entry_to_string e =
+  Printf.sprintf "#%d %s %s %s r%d%s" e.seq (action_name e.action) (op_name e.op) e.opcode e.round
+    (if String.equal e.detail "" then "" else " (" ^ e.detail ^ ")")
+
+let entry_to_json e =
+  Obs.Json.Obj
+    [ ("seq", Obs.Json.Int e.seq);
+      ("action", Obs.Json.String (action_name e.action));
+      ("op", Obs.Json.String (op_name e.op));
+      ("opcode", Obs.Json.String e.opcode);
+      ("round", Obs.Json.Int e.round);
+      ("detail", Obs.Json.String e.detail) ]
+
+module Metrics = struct
+  let injected =
+    Obs.Metrics.counter ~help:"faults injected by the chaos transport" "chaos.injected"
+
+  let of_kind =
+    let mk k =
+      ( k,
+        Obs.Metrics.counter
+          ~help:(Printf.sprintf "frames hit by an injected %s" (Plan.kind_name k))
+          ("chaos.inject." ^ Plan.kind_name k) )
+    in
+    List.map mk Plan.all_kinds
+
+  let disconnects =
+    Obs.Metrics.counter ~help:"clients disconnected at their plan round" "chaos.inject.disconnect"
+
+  let note = function
+    | Disconnect -> Obs.Metrics.incr disconnects
+    | Fault k -> (
+      match List.find_opt (fun (k', _) -> Plan.kind_equal k k') of_kind with
+      | Some (_, c) -> Obs.Metrics.incr c
+      | None -> ())
+end
+
+type t = {
+  node : int;
+  rng : Prng.t;
+  plan : Plan.t;
+  inner : Conn.t;
+  clock : unit -> int;
+  mutable round : int;  (* highest round seen on any frame, either way *)
+  mutable poisoned : bool;
+  mutable budget : int;  (* throttle frames left before the stream stalls *)
+  mutable disconnected : bool;
+  pending : (Wire.frame * Obs.Span.context option) Queue.t;  (* recv-side stash *)
+  mutable entries : entry list;  (* newest first *)
+}
+
+let log t = List.rev t.entries
+
+let note t action op frame detail =
+  Obs.Metrics.incr Metrics.injected;
+  Metrics.note action;
+  t.entries <-
+    { seq = t.clock (); action; op; opcode = Wire.opcode_name frame; round = t.round; detail }
+    :: t.entries
+
+let frame_round = function
+  | Wire.Activate_query { round }
+  | Wire.Activate_reply { round; _ }
+  | Wire.Compose_request { round }
+  | Wire.Compose_reply { round; _ }
+  | Wire.Write_grant { round; _ } -> Some round
+  | Wire.Run_end { rounds; _ } -> Some rounds
+  | Wire.Hello _ | Wire.Hello_ack _ | Wire.Board_delta _ | Wire.Error _
+  | Wire.Telemetry_request _ | Wire.Telemetry_reply _ | Wire.Metrics_request
+  | Wire.Metrics_reply _ -> None
+
+let observe_round t frame =
+  match frame_round frame with Some r when r > t.round -> t.round <- r | _ -> ()
+
+(* A query makes the client compute; duplicating one would advance its
+   local state twice — see the header comment. *)
+let is_query = function
+  | Wire.Activate_query _ | Wire.Compose_request _ -> true
+  | _ -> false
+
+(* One decision per frame: exactly one float draw, plus one weighted draw
+   when the schedule fires — the fixed draw order determinism rests on. *)
+let decide t =
+  let p = Plan.intensity_at t.plan.Plan.intensity ~round:(max 1 t.round) in
+  if Prng.float t.rng < p then Some (Gen.weighted t.plan.Plan.mix t.rng) else None
+
+let poison t = t.poisoned <- true
+
+let disconnect_due t =
+  (not t.disconnected)
+  && (match t.plan.Plan.disconnect_at with Some k -> t.round >= k | None -> false)
+
+let fire_disconnect t op frame =
+  t.disconnected <- true;
+  note t Disconnect op frame (Printf.sprintf "hung up at round %d" t.round);
+  poison t;
+  Error Conn.Closed
+
+(* ---- byte-level mutation (truncate / corrupt) ------------------------- *)
+
+(* The mutated bytes never reach the peer as a frame — the loopback
+   transport is frame-level — but they do go through the real codec, so
+   the injector both records what the wire would have carried and checks
+   the decoder holds its typed-error contract on every mutation. *)
+let truncated_bytes t ?ctx frame =
+  let bytes = Wire.encode ?ctx frame in
+  let cut = Prng.int t.rng (String.length bytes) in
+  let err =
+    match Wire.decode (String.sub bytes 0 cut) with
+    | Error e -> e
+    | Ok _ -> Wire.Length_mismatch { declared = String.length bytes; actual = cut }
+  in
+  (Printf.sprintf "cut at %d/%d: %s" cut (String.length bytes) (Wire.error_to_string err), err)
+
+let corrupted_bytes t ?ctx frame =
+  let bytes = Bytes.of_string (Wire.encode ?ctx frame) in
+  (* Half the time aim at the header's CRC field (bytes 5..8), else anywhere. *)
+  let pos =
+    if Prng.bool t.rng && Bytes.length bytes > 8 then 5 + Prng.int t.rng 4
+    else Prng.int t.rng (Bytes.length bytes)
+  in
+  let mask = 1 + Prng.int t.rng 255 in
+  Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor mask));
+  match Wire.decode (Bytes.to_string bytes) with
+  | Error e ->
+    (Printf.sprintf "byte %d ^ 0x%02x: %s" pos mask (Wire.error_to_string e), Some e)
+  | Ok _ ->
+    (* A flip the codec cannot see (possible only in ignored prelude slack);
+       deliver the frame unchanged rather than invent a phantom error. *)
+    (Printf.sprintf "byte %d ^ 0x%02x: undetected" pos mask, None)
+
+(* ---- send (referee -> client) ----------------------------------------- *)
+
+let send t ctx frame =
+  if t.poisoned then Error Conn.Closed
+  else begin
+    observe_round t frame;
+    if disconnect_due t then fire_disconnect t Send frame
+    else
+      match decide t with
+      | None -> Conn.send ?ctx t.inner frame
+      | Some kind -> (
+        match kind with
+        | Plan.Drop ->
+          note t (Fault Plan.Drop) Send frame "swallowed; stream poisoned";
+          poison t;
+          Ok ()
+        | Plan.Delay ->
+          note t (Fault Plan.Delay) Send frame "peer stalls; timeout";
+          poison t;
+          Error Conn.Timeout
+        | Plan.Duplicate ->
+          if is_query frame then Conn.send ?ctx t.inner frame
+          else begin
+            note t (Fault Plan.Duplicate) Send frame "delivered twice";
+            match Conn.send ?ctx t.inner frame with
+            | Error _ as e -> e
+            | Ok () -> Conn.send ?ctx t.inner frame
+          end
+        | Plan.Reorder ->
+          (* Referee sends are handled synchronously by the loopback peer;
+             there is nothing in flight to swap with. *)
+          Conn.send ?ctx t.inner frame
+        | Plan.Truncate ->
+          let detail, _ = truncated_bytes t ?ctx frame in
+          note t (Fault Plan.Truncate) Send frame detail;
+          poison t;
+          Ok ()
+        | Plan.Corrupt ->
+          let detail, err = corrupted_bytes t ?ctx frame in
+          (match err with
+          | None -> Conn.send ?ctx t.inner frame
+          | Some _ ->
+            note t (Fault Plan.Corrupt) Send frame detail;
+            poison t;
+            Ok ())
+        | Plan.Throttle ->
+          if t.budget > 0 then begin
+            t.budget <- t.budget - 1;
+            note t (Fault Plan.Throttle) Send frame
+              (Printf.sprintf "budget %d left" t.budget);
+            Conn.send ?ctx t.inner frame
+          end
+          else begin
+            note t (Fault Plan.Throttle) Send frame "budget exhausted; stalled";
+            poison t;
+            Error Conn.Timeout
+          end)
+  end
+
+(* ---- recv (client -> referee) ----------------------------------------- *)
+
+let next_frame t =
+  if Queue.is_empty t.pending then Conn.recv_ctx t.inner else Ok (Queue.pop t.pending)
+
+let recv t () =
+  if t.poisoned then Error Conn.Closed
+  else if disconnect_due t then fire_disconnect t Recv (Wire.Error { code = Wire.Timed_out; detail = "" })
+  else
+    match next_frame t with
+    | Error _ as e -> e
+    | Ok ((frame, ctx) as pair) -> (
+      observe_round t frame;
+      match decide t with
+      | None -> Ok pair
+      | Some kind -> (
+        match kind with
+        | Plan.Drop ->
+          note t (Fault Plan.Drop) Recv frame "reply swallowed";
+          poison t;
+          Error Conn.Closed
+        | Plan.Delay ->
+          note t (Fault Plan.Delay) Recv frame "reply stalls; timeout";
+          poison t;
+          Error Conn.Timeout
+        | Plan.Duplicate ->
+          (* Deliver now and once more later: by then the copy is stale and
+             the referee's round check kills the node. *)
+          note t (Fault Plan.Duplicate) Recv frame "stale copy stashed";
+          Queue.push pair t.pending;
+          Ok pair
+        | Plan.Reorder -> (
+          (* Swap with the next available frame; with nothing else in
+             flight the fault degrades to a pass. *)
+          if not (Queue.is_empty t.pending) then begin
+            let other = Queue.pop t.pending in
+            Queue.push pair t.pending;
+            note t (Fault Plan.Reorder) Recv frame "swapped with stashed frame";
+            Ok other
+          end
+          else
+            match Conn.recv_ctx t.inner with
+            | Ok other ->
+              Queue.push pair t.pending;
+              note t (Fault Plan.Reorder) Recv frame "swapped with next frame";
+              Ok other
+            | Error _ -> Ok pair)
+        | Plan.Truncate ->
+          let detail, err = truncated_bytes t ?ctx frame in
+          note t (Fault Plan.Truncate) Recv frame detail;
+          poison t;
+          Error (Conn.Bad_frame err)
+        | Plan.Corrupt -> (
+          let detail, err = corrupted_bytes t ?ctx frame in
+          match err with
+          | None -> Ok pair
+          | Some e ->
+            note t (Fault Plan.Corrupt) Recv frame detail;
+            poison t;
+            Error (Conn.Bad_frame e))
+        | Plan.Throttle ->
+          if t.budget > 0 then begin
+            t.budget <- t.budget - 1;
+            note t (Fault Plan.Throttle) Recv frame
+              (Printf.sprintf "budget %d left" t.budget);
+            Ok pair
+          end
+          else begin
+            note t (Fault Plan.Throttle) Recv frame "budget exhausted; stalled";
+            poison t;
+            Error Conn.Timeout
+          end))
+
+let default_clock () =
+  let c = ref 0 in
+  fun () ->
+    let v = !c in
+    incr c;
+    v
+
+let wrap ?clock ~rng ~plan ~node inner =
+  let t =
+    { node;
+      rng;
+      plan;
+      inner;
+      clock = (match clock with Some c -> c | None -> default_clock ());
+      round = 0;
+      poisoned = false;
+      budget = plan.Plan.throttle_budget;
+      disconnected = false;
+      pending = Queue.create ();
+      entries = [] }
+  in
+  let conn =
+    Conn.make_ctx
+      ~peer:(Printf.sprintf "chaos:%s" (Conn.peer inner))
+      ~send:(fun ctx frame -> send t ctx frame)
+      ~recv:(fun () -> recv t ())
+      ~close:(fun () -> Conn.close inner)
+  in
+  (conn, t)
+
+let node t = t.node

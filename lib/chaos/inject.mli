@@ -1,0 +1,59 @@
+(** The faulty transport: a {!Wb_net.Conn}-compatible wrapper that can
+    drop, delay, duplicate and reorder frames, truncate them mid-payload,
+    corrupt bytes (CRC included), throttle a connection and hang a client
+    up at a plan-given round — every decision drawn from the injector's
+    PRNG in frame order, so a faulted session replays byte-identically
+    from its seed.
+
+    {b Crash consistency.}  Every fault either lets the frame through
+    unharmed or collapses into the paper's crash model: the connection is
+    poisoned (all later operations report [Closed]) and the referee sees a
+    typed {!Wb_net.Conn.fault} within the same kernel hook, marking the
+    node dead at a recorded {!Wb_net.Session.site}.  No fault can leave a
+    node alive with corrupted state — the invariant that makes the
+    {!Replay} differential sound.  Faults that would be Byzantine rather
+    than crash (duplicating a query so the client computes twice) are
+    deliberately degraded to passes; see the implementation header. *)
+
+type op = Send  (** referee to client. *) | Recv  (** client to referee. *)
+
+type action = Fault of Plan.kind | Disconnect
+
+(** One injected fault, with its global sequence number, direction, the
+    frame's opcode, the round the injector had observed, and a
+    human-readable detail ("cut at 7/23: truncated frame"). *)
+type entry = { seq : int; action : action; op : op; opcode : string; round : int; detail : string }
+
+val op_name : op -> string
+val action_name : action -> string
+val entry_to_string : entry -> string
+val entry_to_json : entry -> Wb_obs.Json.t
+
+type t
+(** Injector state for one wrapped connection. *)
+
+val wrap :
+  ?clock:(unit -> int) ->
+  rng:Wb_support.Prng.t ->
+  plan:Plan.t ->
+  node:int ->
+  Wb_net.Conn.t ->
+  Wb_net.Conn.t * t
+(** [wrap ~rng ~plan ~node conn] interposes on [conn].  [rng] must be a
+    dedicated stream (the campaign runner splits one per connection);
+    [clock] supplies global sequence numbers so entries from several
+    injectors merge into one campaign-wide order (default: a private
+    counter from 0). *)
+
+val log : t -> entry list
+(** Injected faults in occurrence order. *)
+
+val node : t -> int
+
+(** The [chaos.*] fault counters ([chaos.injected], [chaos.inject.<kind>],
+    [chaos.inject.disconnect]), exposed for tests and the bench. *)
+module Metrics : sig
+  val injected : Wb_obs.Metrics.counter
+  val of_kind : (Plan.kind * Wb_obs.Metrics.counter) list
+  val disconnects : Wb_obs.Metrics.counter
+end

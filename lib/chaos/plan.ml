@@ -1,0 +1,310 @@
+(* The campaign plan DSL: which faults, how often, against whom — a pure
+   value with a JSON codec, so a campaign is reproducible from (seed, plan)
+   alone and plans can be shipped as files (`wbctl chaos --plan FILE`). *)
+
+module J = Wb_obs.Json
+
+type kind = Drop | Delay | Duplicate | Reorder | Truncate | Corrupt | Throttle
+
+let all_kinds = [ Drop; Delay; Duplicate; Reorder; Truncate; Corrupt; Throttle ]
+
+let kind_name = function
+  | Drop -> "drop"
+  | Delay -> "delay"
+  | Duplicate -> "duplicate"
+  | Reorder -> "reorder"
+  | Truncate -> "truncate"
+  | Corrupt -> "corrupt"
+  | Throttle -> "throttle"
+
+let kind_of_name = function
+  | "drop" -> Some Drop
+  | "delay" -> Some Delay
+  | "duplicate" -> Some Duplicate
+  | "reorder" -> Some Reorder
+  | "truncate" -> Some Truncate
+  | "corrupt" -> Some Corrupt
+  | "throttle" -> Some Throttle
+  | _ -> None
+
+let kind_equal a b = String.equal (kind_name a) (kind_name b)
+
+type schedule =
+  | Constant of float
+  | Ramp of { from_p : float; to_p : float; over : int }
+  | Burst of { period : int; width : int; p : float }
+
+type targets = All | Nodes of int list | Sample of int
+
+type t = {
+  name : string;
+  mix : (kind * int) list;
+  intensity : schedule;
+  targets : targets;
+  disconnect_at : int option;
+  throttle_budget : int;
+}
+
+let intensity_at sched ~round =
+  match sched with
+  | Constant p -> p
+  | Ramp { from_p; to_p; over } ->
+    if over <= 1 || round >= over then to_p
+    else from_p +. ((to_p -. from_p) *. float_of_int (max 0 (round - 1)) /. float_of_int (over - 1))
+  | Burst { period; width; p } ->
+    if period <= 0 then p else if max 0 (round - 1) mod period < width then p else 0.0
+
+(* ---- validation -------------------------------------------------------- *)
+
+let prob_ok p = Float.is_finite p && p >= 0.0 && p <= 1.0
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if List.is_empty t.mix then err "plan %S: empty fault mix" t.name
+  else if List.exists (fun (_, w) -> w < 0) t.mix then err "plan %S: negative mix weight" t.name
+  else if not (List.exists (fun (_, w) -> w > 0) t.mix) then
+    err "plan %S: no positive mix weight" t.name
+  else if
+    match t.intensity with
+    | Constant p -> not (prob_ok p)
+    | Ramp { from_p; to_p; over } -> (not (prob_ok from_p)) || (not (prob_ok to_p)) || over < 1
+    | Burst { period; width; p } -> (not (prob_ok p)) || period < 1 || width < 0
+  then err "plan %S: intensity out of range" t.name
+  else if (match t.targets with Sample k -> k < 0 | Nodes l -> List.exists (fun v -> v < 0) l | All -> false)
+  then err "plan %S: bad targets" t.name
+  else if (match t.disconnect_at with Some k -> k < 1 | None -> false) then
+    err "plan %S: disconnect_at must be >= 1" t.name
+  else if t.throttle_budget < 1 then err "plan %S: throttle_budget must be >= 1" t.name
+  else Ok ()
+
+(* ---- presets ----------------------------------------------------------- *)
+
+let default =
+  { name = "default";
+    mix =
+      [ (Drop, 2); (Delay, 1); (Duplicate, 1); (Reorder, 1); (Truncate, 1); (Corrupt, 2);
+        (Throttle, 1) ];
+    intensity = Constant 0.04;
+    targets = Sample 2;
+    disconnect_at = None;
+    throttle_budget = 64 }
+
+let drop_heavy =
+  { name = "drop-heavy";
+    mix = [ (Drop, 6); (Delay, 2); (Throttle, 1) ];
+    intensity = Ramp { from_p = 0.0; to_p = 0.25; over = 8 };
+    targets = Sample 3;
+    disconnect_at = None;
+    throttle_budget = 16 }
+
+let wire_garbage =
+  { name = "wire-garbage";
+    mix = [ (Truncate, 1); (Corrupt, 3) ];
+    intensity = Burst { period = 4; width = 1; p = 0.3 };
+    targets = All;
+    disconnect_at = None;
+    throttle_budget = 64 }
+
+let disconnect ~round =
+  { name = Printf.sprintf "disconnect@%d" round;
+    mix = [ (Drop, 1) ];
+    intensity = Constant 0.0;
+    targets = Sample 1;
+    disconnect_at = Some round;
+    throttle_budget = 64 }
+
+let presets = [ default; drop_heavy; wire_garbage; disconnect ~round:3 ]
+
+(* ---- JSON codec -------------------------------------------------------- *)
+
+let to_json t =
+  let intensity =
+    match t.intensity with
+    | Constant p -> J.Obj [ ("kind", J.String "constant"); ("p", J.Float p) ]
+    | Ramp { from_p; to_p; over } ->
+      J.Obj
+        [ ("kind", J.String "ramp"); ("from", J.Float from_p); ("to", J.Float to_p);
+          ("over", J.Int over) ]
+    | Burst { period; width; p } ->
+      J.Obj
+        [ ("kind", J.String "burst"); ("period", J.Int period); ("width", J.Int width);
+          ("p", J.Float p) ]
+  in
+  let targets =
+    match t.targets with
+    | All -> J.Obj [ ("kind", J.String "all") ]
+    | Nodes l -> J.Obj [ ("kind", J.String "nodes"); ("nodes", J.List (List.map (fun v -> J.Int v) l)) ]
+    | Sample k -> J.Obj [ ("kind", J.String "sample"); ("count", J.Int k) ]
+  in
+  J.Obj
+    [ ("name", J.String t.name);
+      ("mix", J.Obj (List.map (fun (k, w) -> (kind_name k, J.Int w)) t.mix));
+      ("intensity", intensity);
+      ("targets", targets);
+      ("disconnect_at", match t.disconnect_at with Some k -> J.Int k | None -> J.Null);
+      ("throttle_budget", J.Int t.throttle_budget) ]
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let str_field name obj =
+    match J.member name obj with
+    | Some (J.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "plan: missing string field %S" name)
+  in
+  let int_field name obj =
+    match J.member name obj with
+    | Some (J.Int i) -> Ok i
+    | _ -> Error (Printf.sprintf "plan: missing integer field %S" name)
+  in
+  let num_field name obj =
+    match J.member name obj with
+    | Some (J.Float f) -> Ok f
+    | Some (J.Int i) -> Ok (float_of_int i)
+    | _ -> Error (Printf.sprintf "plan: missing number field %S" name)
+  in
+  let* name = str_field "name" j in
+  let* mix =
+    match J.member "mix" j with
+    | Some (J.Obj kvs) ->
+      List.fold_left
+        (fun acc (k, v) ->
+          let* acc = acc in
+          match (kind_of_name k, v) with
+          | Some kind, J.Int w -> Ok ((kind, w) :: acc)
+          | None, _ -> Error (Printf.sprintf "plan: unknown fault kind %S" k)
+          | Some _, _ -> Error (Printf.sprintf "plan: non-integer weight for %S" k))
+        (Ok []) kvs
+      |> Result.map List.rev
+    | _ -> Error "plan: missing object field \"mix\""
+  in
+  let* intensity =
+    match J.member "intensity" j with
+    | Some (J.Obj _ as obj) -> (
+      let* k = str_field "kind" obj in
+      match k with
+      | "constant" ->
+        let* p = num_field "p" obj in
+        Ok (Constant p)
+      | "ramp" ->
+        let* from_p = num_field "from" obj in
+        let* to_p = num_field "to" obj in
+        let* over = int_field "over" obj in
+        Ok (Ramp { from_p; to_p; over })
+      | "burst" ->
+        let* period = int_field "period" obj in
+        let* width = int_field "width" obj in
+        let* p = num_field "p" obj in
+        Ok (Burst { period; width; p })
+      | other -> Error (Printf.sprintf "plan: unknown intensity kind %S" other))
+    | _ -> Error "plan: missing object field \"intensity\""
+  in
+  let* targets =
+    match J.member "targets" j with
+    | Some (J.Obj _ as obj) -> (
+      let* k = str_field "kind" obj in
+      match k with
+      | "all" -> Ok All
+      | "nodes" -> (
+        match J.member "nodes" obj with
+        | Some (J.List items) ->
+          List.fold_left
+            (fun acc item ->
+              let* acc = acc in
+              match item with
+              | J.Int v -> Ok (v :: acc)
+              | _ -> Error "plan: non-integer node id in targets")
+            (Ok []) items
+          |> Result.map (fun l -> Nodes (List.rev l))
+        | _ -> Error "plan: targets kind \"nodes\" needs a \"nodes\" array")
+      | "sample" ->
+        let* count = int_field "count" obj in
+        Ok (Sample count)
+      | other -> Error (Printf.sprintf "plan: unknown targets kind %S" other))
+    | _ -> Error "plan: missing object field \"targets\""
+  in
+  let* disconnect_at =
+    match J.member "disconnect_at" j with
+    | Some J.Null | None -> Ok None
+    | Some (J.Int k) -> Ok (Some k)
+    | Some _ -> Error "plan: disconnect_at must be an integer or null"
+  in
+  let* throttle_budget = int_field "throttle_budget" j in
+  let t = { name; mix; intensity; targets; disconnect_at; throttle_budget } in
+  let* () = validate t in
+  Ok t
+
+let of_string s =
+  match J.of_string s with
+  | Error e -> Error ("plan: " ^ e)
+  | Ok j -> of_json j
+
+let to_string t = J.to_string (to_json t)
+
+(* ---- plan fuzzer ------------------------------------------------------- *)
+
+(* Probabilities are drawn in hundredths so the JSON round-trip (%.12g) is
+   exact — the codec property test compares decoded plans structurally. *)
+let gen_prob lo hi = Gen.map (fun c -> float_of_int c /. 100.0) (Gen.in_range lo hi)
+
+let gen : t Gen.t =
+  let gen_mix =
+    Gen.bind (Gen.in_range 1 (List.length all_kinds)) (fun k ->
+        Gen.bind (Gen.subset ~k (List.length all_kinds)) (fun idxs ->
+            Gen.bind
+              (Gen.list_of (List.length idxs) (Gen.in_range 1 4))
+              (fun weights ->
+                Gen.return
+                  (List.map2 (fun i w -> (List.nth all_kinds i, w)) idxs weights))))
+  in
+  let gen_intensity =
+    Gen.oneof
+      [ Gen.map (fun p -> Constant p) (gen_prob 0 15);
+        Gen.bind (gen_prob 0 5) (fun from_p ->
+            Gen.bind (gen_prob 5 25) (fun to_p ->
+                Gen.map (fun over -> Ramp { from_p; to_p; over }) (Gen.in_range 2 12)));
+        Gen.bind (Gen.in_range 2 6) (fun period ->
+            Gen.bind (Gen.in_range 1 2) (fun width ->
+                Gen.map (fun p -> Burst { period; width; p }) (gen_prob 5 30))) ]
+  in
+  let gen_targets =
+    Gen.oneof
+      [ Gen.return All;
+        Gen.map (fun k -> Sample k) (Gen.in_range 1 3);
+        Gen.bind (Gen.in_range 1 3) (fun k -> Gen.map (fun l -> Nodes l) (Gen.subset ~k 8)) ]
+  in
+  Gen.bind gen_mix (fun mix ->
+      Gen.bind gen_intensity (fun intensity ->
+          Gen.bind gen_targets (fun targets ->
+              Gen.bind
+                (Gen.oneof [ Gen.return None; Gen.map (fun k -> Some k) (Gen.in_range 2 8) ])
+                (fun disconnect_at ->
+                  Gen.map
+                    (fun throttle_budget ->
+                      { name = "fuzzed"; mix; intensity; targets; disconnect_at; throttle_budget })
+                    (Gen.in_range 4 64)))))
+
+(* ---- structural equality (codec tests) --------------------------------- *)
+
+let schedule_equal a b =
+  match (a, b) with
+  | Constant p, Constant q -> Float.equal p q
+  | Ramp a, Ramp b ->
+    Float.equal a.from_p b.from_p && Float.equal a.to_p b.to_p && a.over = b.over
+  | Burst a, Burst b -> a.period = b.period && a.width = b.width && Float.equal a.p b.p
+  | (Constant _ | Ramp _ | Burst _), _ -> false
+
+let targets_equal a b =
+  match (a, b) with
+  | All, All -> true
+  | Nodes x, Nodes y -> List.length x = List.length y && List.for_all2 ( = ) x y
+  | Sample x, Sample y -> x = y
+  | (All | Nodes _ | Sample _), _ -> false
+
+let equal a b =
+  String.equal a.name b.name
+  && List.length a.mix = List.length b.mix
+  && List.for_all2 (fun (k1, w1) (k2, w2) -> kind_equal k1 k2 && w1 = w2) a.mix b.mix
+  && schedule_equal a.intensity b.intensity
+  && targets_equal a.targets b.targets
+  && Option.equal ( = ) a.disconnect_at b.disconnect_at
+  && a.throttle_budget = b.throttle_budget

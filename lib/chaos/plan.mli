@@ -1,0 +1,75 @@
+(** Campaign plans: which faults, how often, against whom.
+
+    A plan is a pure value with a JSON codec, so a whole campaign replays
+    from [(seed, plan)] alone — `wbctl chaos --plan FILE` ships one as a
+    file, and the fuzzer ({!gen}) composes random plans through {!Gen}. *)
+
+(** One injectable fault kind.  Client disconnection at a given round is a
+    plan-level switch ({!t.disconnect_at}), not a mix entry — it fires on a
+    round threshold, not per frame. *)
+type kind =
+  | Drop  (** swallow the frame; the stream is dead afterwards. *)
+  | Delay  (** the peer never answers in time: a read timeout. *)
+  | Duplicate  (** deliver the frame twice (replies: once now, once stale). *)
+  | Reorder  (** deliver a later frame first (client-to-referee only). *)
+  | Truncate  (** cut the encoded bytes mid-payload. *)
+  | Corrupt  (** flip a byte — half the time inside the header CRC field. *)
+  | Throttle  (** pass frames while a budget lasts, then stall. *)
+
+val all_kinds : kind list
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+val kind_equal : kind -> kind -> bool
+
+(** Per-round fault probability. *)
+type schedule =
+  | Constant of float
+  | Ramp of { from_p : float; to_p : float; over : int }
+      (** linear from [from_p] (round 1) to [to_p] (round [over] onwards). *)
+  | Burst of { period : int; width : int; p : float }
+      (** [p] during the first [width] rounds of every [period], else 0. *)
+
+type targets =
+  | All
+  | Nodes of int list  (** explicit node ids (out-of-range ids ignored). *)
+  | Sample of int  (** a seeded k-subset, redrawn per campaign run. *)
+
+type t = {
+  name : string;
+  mix : (kind * int) list;  (** relative weights of the fault kinds. *)
+  intensity : schedule;
+  targets : targets;
+  disconnect_at : int option;  (** hang up targeted nodes at this round. *)
+  throttle_budget : int;  (** frames a throttled connection absorbs. *)
+}
+
+val intensity_at : schedule -> round:int -> float
+val validate : t -> (unit, string) result
+
+val default : t
+(** Mixed faults at low constant intensity on a 2-node sample. *)
+
+val drop_heavy : t
+(** Mostly drops, ramping up — starvation pressure. *)
+
+val wire_garbage : t
+(** Truncation and corruption in bursts on every node — codec pressure. *)
+
+val disconnect : round:int -> t
+(** One sampled node hangs up at [round]; nothing else. *)
+
+val presets : t list
+(** The named plans [wbctl chaos --plan NAME] accepts. *)
+
+val to_json : t -> Wb_obs.Json.t
+val of_json : Wb_obs.Json.t -> (t, string) result
+val to_string : t -> string
+val of_string : string -> (t, string) result
+(** Codec round-trip: [of_string (to_string t) = Ok t] up to {!equal}; all
+    failures are typed [Error] strings, never exceptions. *)
+
+val gen : t Gen.t
+(** Random well-formed plan ({!validate} always passes); probabilities are
+    drawn in hundredths so the JSON round-trip is exact. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,77 @@
+(* In-process re-execution of a faulted networked session: instantiate the
+   execution kernel directly on the protocol (as Engine.run does) and kill
+   nodes at the death sites the referee recorded — its k-th hook
+   invocation, or right after its write.  Hook invocations are counted per
+   node in call order on both sides, so the coordinate is exact: the
+   kernel sees the same hook results, the same kills at the same points,
+   and therefore the same execution.  [Remote.diff_runs faulted replayed]
+   returning [] is the chaos differential contract — every injected fault
+   collapsed into the paper's crash model. *)
+
+module M = Wb_model
+module G = Wb_graph.Graph
+module Session = Wb_net.Session
+
+let run ~protocol ~graph ~adversary ?max_rounds ~deaths () =
+  let module P = (val protocol : M.Protocol.S) in
+  let n = G.n graph in
+  let die_at = Array.make n max_int in
+  let post_write = Array.make n false in
+  List.iter
+    (fun (d : Session.death) ->
+      match d.Session.site with
+      | Session.Hook k -> die_at.(d.Session.node) <- min die_at.(d.Session.node) k
+      | Session.Post_write -> post_write.(d.Session.node) <- true
+      | Session.Teardown -> () (* after the run completed; no kernel effect *))
+    deaths;
+  let invocations = Array.make n 0 in
+  let kill_ref = ref (fun (_ : int) -> ()) in
+  (* Counting mirrors the referee exactly: every hook entry bumps the
+     node's invocation index, dead-on-arrival or not. *)
+  let enter v =
+    let k = invocations.(v) in
+    invocations.(v) <- k + 1;
+    k
+  in
+  let module N = struct
+    let model = P.model
+    let message_bound = P.message_bound
+
+    type local = P.local
+
+    let init = P.init
+
+    let wants_to_activate ~round:_ view board local =
+      let v = M.View.id view in
+      if enter v >= die_at.(v) then begin
+        !kill_ref v;
+        false
+      end
+      else P.wants_to_activate view board local
+
+    let compose ~round:_ view board local =
+      let v = M.View.id view in
+      if enter v >= die_at.(v) then begin
+        !kill_ref v;
+        None
+      end
+      else
+        let writer, local = P.compose view board local in
+        Some (M.Message.of_writer ~author:(M.View.id view) writer, local)
+
+    let output = P.output
+  end in
+  let module Mach = M.Machine.Make (N) in
+  let m = Mach.init ?max_rounds graph in
+  kill_ref := Mach.kill m;
+  let rec drive () =
+    match Mach.step m with
+    | `Choices candidates ->
+      Mach.pick m (M.Adversary.choose adversary (Mach.board m) candidates);
+      drive ()
+    | `Write v ->
+      if post_write.(v) then Mach.kill m v;
+      drive ()
+    | `Done run -> run
+  in
+  drive ()

@@ -1,0 +1,24 @@
+(** Deterministic in-process replay of a faulted networked session.
+
+    [run ~protocol ~graph ~adversary ~deaths ()] executes the protocol on
+    the {!Wb_model.Machine} kernel — exactly as [Engine.run] would — but
+    kills each node at the {!Wb_net.Session.site} the referee recorded:
+    during its [k]-th hook invocation ([Hook k]), or right after its write
+    ([Post_write]).  [Teardown] deaths happened after the execution
+    finished and are ignored.
+
+    This is the "engine-reachable under an adversary with crashes" witness
+    of the chaos differential: for every faulted loopback session,
+    [Wb_net.Remote.diff_runs session.run (run ... ~deaths:session.deaths ())]
+    must return [] — same board, same outcome, same per-node statistics.
+    [adversary] must be a fresh instance of the same adversary the session
+    used (stateful adversaries replay their draw stream from their seed). *)
+
+val run :
+  protocol:Wb_model.Protocol.t ->
+  graph:Wb_graph.Graph.t ->
+  adversary:Wb_model.Adversary.t ->
+  ?max_rounds:int ->
+  deaths:Wb_net.Session.death list ->
+  unit ->
+  Wb_model.Engine.run

@@ -28,6 +28,16 @@ val make :
     connections are context-blind: outgoing trace contexts are dropped and
     incoming frames report none. *)
 
+val make_ctx :
+  peer:string ->
+  send:(Wb_obs.Span.context option -> Wire.frame -> (unit, fault) result) ->
+  recv:(unit -> (Wire.frame * Wb_obs.Span.context option, fault) result) ->
+  close:(unit -> unit) ->
+  t
+(** Like {!make} but context-preserving: what interposing transports
+    ([Wb_chaos.Inject] wrapping an inner connection) build on, so trace
+    contexts keep riding the frames that survive injection. *)
+
 val send : ?ctx:Wb_obs.Span.context -> t -> Wire.frame -> (unit, fault) result
 (** [ctx] rides the version-2 frame prelude ({!Wire.encode}). *)
 

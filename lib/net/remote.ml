@@ -3,8 +3,8 @@ module G = Wb_graph.Graph
 
 let no_client_trace (_ : int) = None
 
-let run_loopback ?trace ?parent ?(client_trace = no_client_trace) ?max_rounds ~protocol g
-    adversary =
+let run_loopback ?trace ?parent ?(client_trace = no_client_trace) ?max_rounds
+    ?(wrap = fun (_ : int) conn -> conn) ~protocol g adversary =
   let n = G.n g in
   let conns =
     Array.init n (fun v ->
@@ -30,7 +30,9 @@ let run_loopback ?trace ?parent ?(client_trace = no_client_trace) ?max_rounds ~p
          with
         | Ok () -> ()
         | Error f -> failwith ("loopback handshake failed: " ^ Conn.fault_to_string f));
-        conn)
+        (* Interposers wrap after the handshake, so fault injection never
+           touches session setup — sessions start joined, then misbehave. *)
+        wrap v conn)
   in
   Session.run { Session.protocol; graph = g; adversary; max_rounds; trace; parent } conns
 

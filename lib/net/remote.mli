@@ -13,6 +13,7 @@ val run_loopback :
   ?parent:Wb_obs.Span.context ->
   ?client_trace:(int -> Wb_obs.Trace.t option) ->
   ?max_rounds:int ->
+  ?wrap:(int -> Conn.t -> Conn.t) ->
   protocol:Wb_model.Protocol.t ->
   Wb_graph.Graph.t ->
   Wb_model.Adversary.t ->
@@ -21,7 +22,10 @@ val run_loopback :
     deterministic, no threads, no sockets — the transport every test uses.
     [trace] receives the referee's events and spans, [parent] roots them
     under the caller's span, and [client_trace v] (default [None]) gives
-    node [v]'s client its own sink for [client.*] handler spans. *)
+    node [v]'s client its own sink for [client.*] handler spans.
+    [wrap v conn] (default identity) interposes on node [v]'s connection
+    {e after} its handshake — the chaos injector's entry point: session
+    setup always completes, then every frame crosses the wrapper. *)
 
 val run_socket :
   ?timeout:float ->

@@ -4,6 +4,21 @@ module Obs = Wb_obs
 
 type fault = Transport of Conn.fault | Confused of string
 
+(* Where in the kernel's hook stream a node died — the coordinate a
+   deterministic replay ([Wb_chaos.Replay]) needs to kill the same node at
+   the same point of an in-process execution. *)
+type site =
+  | Hook of int  (** during its [k]-th hook invocation (activate or compose). *)
+  | Post_write  (** the WRITE-GRANT after its append failed. *)
+  | Teardown  (** during the final board sync / RUN-END. *)
+
+type death = { node : int; site : site }
+
+let site_to_string = function
+  | Hook k -> Printf.sprintf "hook:%d" k
+  | Post_write -> "post-write"
+  | Teardown -> "teardown"
+
 type config = {
   protocol : M.Protocol.t;
   graph : Wb_graph.Graph.t;
@@ -13,7 +28,7 @@ type config = {
   parent : Obs.Span.context option;
 }
 
-type result = { run : M.Engine.run; faults : (int * fault) list }
+type result = { run : M.Engine.run; faults : (int * fault) list; deaths : death list }
 
 let fault_to_string = function
   | Transport f -> Conn.fault_to_string f
@@ -50,6 +65,16 @@ let run cfg conns =
   let faults = ref [] in
   let dead = Array.make n false in
   let synced = Array.make n 0 in
+  (* Death-site ledger: [site_now.(v)] tracks which hook invocation (or
+     write grant, or teardown) node [v]'s connection is currently serving,
+     so a fault is recorded with the exact kernel coordinate it hit. *)
+  let deaths = ref [] in
+  let hook_count = Array.make n 0 in
+  let site_now = Array.make n Teardown in
+  let enter_hook v =
+    site_now.(v) <- Hook hook_count.(v);
+    hook_count.(v) <- hook_count.(v) + 1
+  in
   (* Forward reference: the hooks below must kill kernel-side, but the
      machine is built from the hooks. *)
   let kill_ref = ref (fun (_ : int) -> ()) in
@@ -57,6 +82,7 @@ let run cfg conns =
     if not dead.(v) then begin
       dead.(v) <- true;
       faults := (v, fault) :: !faults;
+      deaths := { node = v; site = site_now.(v) } :: !deaths;
       Conn.close conns.(v);
       !kill_ref v
     end
@@ -147,6 +173,7 @@ let run cfg conns =
 
     let wants_to_activate ~round view board () =
       let v = M.View.id view in
+      enter_hook v;
       match
         rpc ~round ~name:"net.rpc.activate" ~hist:m_rpc_activate board v
           (Wire.Activate_query { round })
@@ -159,6 +186,7 @@ let run cfg conns =
 
     let compose ~round view board () =
       let v = M.View.id view in
+      enter_hook v;
       match
         rpc ~round ~name:"net.rpc.compose" ~hist:m_rpc_compose board v
           (Wire.Compose_request { round })
@@ -182,6 +210,7 @@ let run cfg conns =
       drive ()
     | `Write v ->
       let board = Mach.board m in
+      site_now.(v) <- Post_write;
       ignore (send v (Wire.Write_grant { round = Mach.round m; position = M.Board.length board - 1 }));
       drive ()
     | `Done run -> run
@@ -198,6 +227,7 @@ let run cfg conns =
   in
   for v = 0 to n - 1 do
     if not dead.(v) then begin
+      site_now.(v) <- Teardown;
       sync run.M.Engine.board v;
       ignore (send v (Wire.Run_end { outcome = tag; detail; rounds = run.M.Engine.stats.rounds }));
       Conn.close conns.(v)
@@ -209,4 +239,4 @@ let run cfg conns =
   Obs.Metrics.incr m_sessions;
   Obs.Metrics.incr (m_outcome tag);
   if not (List.is_empty !faults) then Obs.Metrics.incr m_faulted;
-  { run; faults = List.rev !faults }
+  { run; faults = List.rev !faults; deaths = List.rev !deaths }

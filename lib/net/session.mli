@@ -29,6 +29,23 @@ type fault =
   | Transport of Conn.fault  (** timeout, disconnect, or undecodable bytes. *)
   | Confused of string  (** well-formed frame that violates the RPC state. *)
 
+(** Where in the kernel's hook stream a node died.  Hook invocations are
+    counted per node in call order (activations and compositions in one
+    sequence), so [Hook k] is a deterministic coordinate: an in-process
+    replay that kills the node at its [k]-th hook ([Wb_chaos.Replay])
+    reproduces the faulted execution exactly — the differential contract
+    the chaos harness pins. *)
+type site =
+  | Hook of int  (** during its [k]-th hook invocation (activate or compose). *)
+  | Post_write  (** the WRITE-GRANT after its append failed. *)
+  | Teardown  (** during the final board sync / RUN-END (no kernel effect). *)
+
+type death = { node : int; site : site }
+
+val site_to_string : site -> string
+(** ["hook:k"], ["post-write"] or ["teardown"] — the form campaign reports
+    use. *)
+
 type config = {
   protocol : Wb_model.Protocol.t;
   graph : Wb_graph.Graph.t;
@@ -45,6 +62,7 @@ type config = {
 type result = {
   run : Wb_model.Engine.run;
   faults : (int * fault) list;  (** in occurrence order. *)
+  deaths : death list;  (** one per faulted node, in occurrence order. *)
 }
 
 val run : config -> Conn.t array -> result

@@ -25,6 +25,12 @@ dune build @lint @check-lint --force
 # OpenMetrics exposition grammatically valid).
 dune build @check-prof --force
 
+# The chaos referee: deterministic fault-injection campaigns — a pinned
+# same-seed report diff, a campaign from the committed plan fixture, and
+# a 100+-run seed sweep across all four model classes with the
+# crash-replay differential enforced on every run.
+dune build @check-chaos --force
+
 # The bench history and regression gate: two fast suite runs through
 # `wbctl bench`, a benchdiff of the second against the first (the table
 # lands in the job log and as an artifact), and the pinned gate fixture

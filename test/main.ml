@@ -16,4 +16,5 @@ let () =
          Test_prof.suites;
          Test_bench.suites;
          Test_net.suites;
+         Test_chaos.suites;
          Test_lint.suites ])

@@ -224,7 +224,88 @@ let wire_prop_tests =
          (fun junk ->
            (* with and without a plausible version byte in front *)
            (match Wire.decode junk with Ok _ | Error _ -> true | exception _ -> false)
-           && match Wire.decode ("\001" ^ junk) with Ok _ | Error _ -> true | exception _ -> false)) ]
+           && match Wire.decode ("\001" ^ junk) with Ok _ | Error _ -> true | exception _ -> false));
+    (* Multi-byte corruption, the shape wb_chaos injects: XOR a random set
+       of bytes anywhere past the version byte (length, CRC, body).  Every
+       byte there is integrity-protected — length against the actual frame
+       size, body against the CRC — so any such flip set must surface as a
+       typed error.  (The version byte itself is deliberately excluded: it
+       sits outside the checksum and a 2->1 flip is a downgrade, not
+       detectable corruption.) *)
+    qtest
+      (QCheck.Test.make ~name:"arbitrary multi-byte flips are typed errors, never exceptions"
+         ~count:400
+         (QCheck.make
+            ~print:(fun (f, flips) ->
+              Printf.sprintf "%s flips=[%s]" (Format.asprintf "%a" Wire.pp f)
+                (String.concat ";"
+                   (List.map (fun (i, m) -> Printf.sprintf "%d^%d" i m) flips)))
+            QCheck.Gen.(
+              pair gen_frame (list_size (1 -- 6) (pair (0 -- 100_000) (1 -- 255)))))
+         (fun (f, flips) ->
+           let s = Wire.encode f in
+           let b = Bytes.of_string s in
+           List.iter
+             (fun (i, mask) ->
+               let i = 1 + (i mod (Bytes.length b - 1)) in
+               Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor mask)))
+             flips;
+           let s' = Bytes.to_string b in
+           String.equal s' s || typed_error_only s')) ]
+
+(* --- wire codec: pinned corruption regressions --------------------------- *)
+
+(* Concrete mutations with their exact typed verdicts, pinned so decoder
+   refactors keep each corruption class on its dedicated error path (the
+   properties above only demand "some typed error"). *)
+let wire_pinned_tests =
+  let mutate s i c =
+    let b = Bytes.of_string s in
+    Bytes.set b i c;
+    Bytes.to_string b
+  in
+  let expect name s pred =
+    match Wire.decode s with
+    | Error e when pred e -> ()
+    | Error e -> Alcotest.failf "%s: wrong error %s" name (Wire.error_to_string e)
+    | Ok f -> Alcotest.failf "%s: decoded Ok %s" name (Format.asprintf "%a" Wire.pp f)
+  in
+  [ Alcotest.test_case "pinned corruptions land on their exact error constructors" `Quick
+      (fun () ->
+        let frames =
+          [ Wire.Activate_query { round = 3 };
+            Wire.Compose_reply { round = 2; payload = [| true; false; true |] };
+            Wire.Run_end { outcome = "success"; detail = "answer"; rounds = 9 } ]
+        in
+        List.iter
+          (fun f ->
+            let s = Wire.encode f in
+            let len = String.length s in
+            expect "version byte zeroed" (mutate s 0 '\000') (function
+              | Wire.Bad_version 0 -> true
+              | _ -> false);
+            expect "version byte from the future"
+              (mutate s 0 '\255')
+              (function Wire.Bad_version 255 -> true | _ -> false);
+            expect "declared length inflated" (mutate s 1 '\255') (function
+              | Wire.Oversized _ | Wire.Length_mismatch _ -> true
+              | _ -> false);
+            expect "declared length off by one"
+              (mutate s 4 (Char.chr (Char.code s.[4] lxor 1)))
+              (function Wire.Length_mismatch _ -> true | _ -> false);
+            expect "one CRC byte flipped"
+              (mutate s 5 (Char.chr (Char.code s.[5] lxor 0x40)))
+              (function Wire.Crc_mismatch -> true | _ -> false);
+            expect "last body byte flipped"
+              (mutate s (len - 1) (Char.chr (Char.code s.[len - 1] lxor 0x10)))
+              (function Wire.Crc_mismatch -> true | _ -> false);
+            expect "truncated to bare header"
+              (String.sub s 0 Wire.header_bytes)
+              (function Wire.Length_mismatch _ -> true | _ -> false);
+            expect "truncated below the header"
+              (String.sub s 0 (Wire.header_bytes - 1))
+              (function Wire.Short_frame _ -> true | _ -> false))
+          frames) ]
 
 (* --- wire codec: the version-2 trace-context prelude -------------------- *)
 
@@ -869,6 +950,7 @@ let telemetry_tests =
 let suites =
   [ ("net.wire", wire_tests);
     ("net.wire-prop", wire_prop_tests);
+    ("net.wire-pinned", wire_pinned_tests);
     ("net.wire-ctx", ctx_tests);
     ("net.board", board_tests);
     ("net.loopback", loopback_tests);

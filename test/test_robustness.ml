@@ -236,10 +236,85 @@ let semantics_regression_tests =
         Alcotest.(check int) "max" run.Engine.stats.max_message_bits (List.fold_left max 0 bits);
         Alcotest.(check int) "total" run.Engine.stats.total_bits (List.fold_left ( + ) 0 bits)) ]
 
+(* --- session fault paths: disconnect at round k ------------------------- *)
+
+(* The networked referee's fault path under a surgical fault: node 0's
+   connection hangs up at round k, across all four model classes and a
+   spread of rounds.  Every such session must (a) end in a typed outcome
+   with the hangup recorded as a session fault and a death at a recorded
+   site — never an exception — and (b) stay engine-reachable: the crash
+   replay at the recorded death sites reproduces the faulted run
+   exactly. *)
+let disconnect_tests =
+  let module C = Wb_chaos in
+  let module R = Wb_protocols.Registry in
+  let instance key graph =
+    match R.find key with
+    | None -> Alcotest.failf "protocol %s not registered" key
+    | Some e ->
+      { C.Campaign.key;
+        protocol = e.R.protocol;
+        graph;
+        graph_desc = "test";
+        adversary_name = "random";
+        make_adversary = (fun ~seed -> Adversary.random (Prng.create seed));
+        max_rounds = None }
+  in
+  let four_models =
+    [ instance "bfs" (G.Gen.random_connected (Prng.create 17) 9 0.3);
+      instance "mis" (G.Gen.cycle 8);
+      instance "build-naive" (G.Gen.random_gnp (Prng.create 13) 8 0.3);
+      instance "eob-bfs" (G.Gen.random_eob (Prng.create 11) 10 0.3) ]
+  in
+  let is_disconnect (_, (e : C.Inject.entry)) =
+    match e.C.Inject.action with C.Inject.Disconnect -> true | C.Inject.Fault _ -> false
+  in
+  [ Alcotest.test_case "disconnect at round k: typed death + replay, all models" `Quick
+      (fun () ->
+        List.iter
+          (fun inst ->
+            let fired = ref 0 in
+            List.iter
+              (fun k ->
+                let plan =
+                  { (C.Plan.disconnect ~round:k) with C.Plan.targets = C.Plan.Nodes [ 0 ] }
+                in
+                let report = C.Campaign.run ~seed:(100 + k) ~runs:2 ~plan inst in
+                List.iter
+                  (fun (r : C.Campaign.run_record) ->
+                    (match r.C.Campaign.mismatches with
+                    | [] -> ()
+                    | issues ->
+                      Alcotest.failf "%s disconnect@%d run %d: replay diverged:\n  %s"
+                        inst.C.Campaign.key k r.C.Campaign.index
+                        (String.concat "\n  " issues));
+                    if List.exists is_disconnect r.C.Campaign.injected then begin
+                      incr fired;
+                      check
+                        (Printf.sprintf "%s disconnect@%d run %d: node 0 died"
+                           inst.C.Campaign.key k r.C.Campaign.index)
+                        true
+                        (List.exists
+                           (fun (d : Wb_net.Session.death) -> d.Wb_net.Session.node = 0)
+                           r.C.Campaign.deaths);
+                      check
+                        (Printf.sprintf "%s disconnect@%d run %d: hangup is a typed fault"
+                           inst.C.Campaign.key k r.C.Campaign.index)
+                        true
+                        (List.exists (fun (v, _) -> v = 0) r.C.Campaign.faults)
+                    end)
+                  report.C.Campaign.records)
+              [ 1; 2; 3; 4 ];
+            (* the fault path must actually run: runs are long enough that
+               some round in 1..4 falls inside every session *)
+            check (inst.C.Campaign.key ^ ": disconnect fired at least once") true (!fired > 0))
+          four_models) ]
+
 let suites =
   [ ("robust.semantics-regressions", semantics_regression_tests);
     ("robust.corrupted-boards", corrupted_board_tests);
     ("robust.determinism", determinism_tests);
     ("robust.report", report_tests);
     ("robust.codec", codec_tests);
-    ("robust.registry-explore", registry_explore_tests) ]
+    ("robust.registry-explore", registry_explore_tests);
+    ("robust.disconnect", disconnect_tests) ]
