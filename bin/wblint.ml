@@ -1,30 +1,90 @@
 (* wblint — static analysis enforcing the repo's determinism, comparison,
-   lock and error-hygiene disciplines.  See docs/LINTING.md.
+   lock, error-hygiene and domain-safety disciplines.  See docs/LINTING.md.
 
    Exit codes: 0 clean, 1 unsuppressed findings, 2 usage/internal error. *)
 
 let usage =
-  "usage: wblint [--json] [--out FILE] [--build-dir DIR] [--no-typed] [--rules] \
-   [-q] ROOT...\n\
+  "usage: wblint [--json] [--out FILE] [--sarif FILE] [--build-dir DIR] \
+   [--no-typed] [--only RULES] [--explain RULE] [--rules] [-q] ROOT...\n\
    Scans every .ml under the ROOTs (tier A: Parsetree rules), pairs sources \
-   with the .cmt files under the build dir (tier B: typed rules), and reports \
-   findings as a human table or --json."
+   with the .cmt files under the build dir (tier B: typed rules, tier C: \
+   whole-program domain-safety), and reports findings as a human table or \
+   --json.  --only keeps findings for a comma-separated rule list; --explain \
+   prints one rule's catalog summary, the Tier C analysis stats, and an \
+   example finding."
+
+let tier_name = function
+  | Wb_lint.Rules.Syntactic -> "syntactic"
+  | Wb_lint.Rules.Typed -> "typed"
+  | Wb_lint.Rules.Project -> "project"
+
+let explain report rule =
+  match
+    List.find_opt
+      (fun (r : Wb_lint.Rules.info) -> String.equal r.id rule)
+      Wb_lint.Rules.catalog
+  with
+  | None ->
+    Printf.eprintf "wblint: unknown rule %S (see --rules)\n" rule;
+    exit 2
+  | Some info ->
+    Printf.printf "%s (%s tier)\n  %s\n" info.id (tier_name info.tier)
+      info.summary;
+    (match (String.equal rule Wb_lint.Rules.domain_safety, report.Wb_lint.Driver.tierc) with
+    | true, Some (s : Wb_lint.Locks.stats) ->
+      Printf.printf
+        "\n\
+         whole-program catalog:\n\
+        \  units analysed      %d\n\
+        \  toplevel bindings   %d\n\
+        \  shared-mutable      %d\n\
+        \  suppressed          %d\n\
+        \  spawn sites         %d\n\
+        \  summaries           %d\n\
+        \  lock wrappers       %d\n\
+        \  unresolved refs     %d\n"
+        s.units s.toplevel_bindings s.entries_mutable s.entries_suppressed
+        s.spawn_sites s.summaries s.lock_wrappers s.unresolved_refs
+    | true, None ->
+      print_string "\n(no .cmt files: the domain-safety analysis did not run)\n"
+    | false, _ -> ());
+    (match
+       List.find_opt
+         (fun (f : Wb_lint.Finding.t) -> String.equal f.rule rule)
+         report.Wb_lint.Driver.findings
+     with
+    | Some f ->
+      Printf.printf "\nexample finding:\n  %s\n" (Wb_lint.Finding.to_string f)
+    | None -> Printf.printf "\nno %s findings — the scanned tree is clean\n" rule);
+    exit 0
 
 let () =
   let json = ref false in
   let out = ref None in
+  let sarif = ref None in
   let build_dir = ref None in
   let no_typed = ref false in
   let quiet = ref false in
   let list_rules = ref false in
+  let only = ref None in
+  let explain_rule = ref None in
   let roots = ref [] in
   let spec =
     [ ("--json", Arg.Set json, " emit the report as JSON instead of a table");
       ("--out", Arg.String (fun f -> out := Some f), "FILE write the report to FILE");
+      ( "--sarif",
+        Arg.String (fun f -> sarif := Some f),
+        "FILE also write the findings as SARIF 2.1.0 to FILE" );
       ( "--build-dir",
         Arg.String (fun d -> build_dir := Some d),
         "DIR where dune put the .cmt files (default: _build/default if present)" );
-      ("--no-typed", Arg.Set no_typed, " skip the typed tier even if .cmt files exist");
+      ("--no-typed", Arg.Set no_typed, " skip the typed tiers even if .cmt files exist");
+      ( "--only",
+        Arg.String (fun r -> only := Some (String.split_on_char ',' r)),
+        "RULES keep only findings for this comma-separated rule-id list" );
+      ( "--explain",
+        Arg.String (fun r -> explain_rule := Some r),
+        "RULE print the rule's summary, analysis stats and an example finding" );
       ("--rules", Arg.Set list_rules, " print the rule catalog and exit");
       ("-q", Arg.Set quiet, " suppress the summary on stderr") ]
   in
@@ -33,13 +93,7 @@ let () =
   if !list_rules then begin
     List.iter
       (fun (r : Wb_lint.Rules.info) ->
-        let tier =
-          match r.tier with
-          | Wb_lint.Rules.Syntactic -> "syntactic"
-          | Wb_lint.Rules.Typed -> "typed"
-          | Wb_lint.Rules.Project -> "project"
-        in
-        Printf.printf "%-20s %-10s %s\n" r.id tier r.summary)
+        Printf.printf "%-20s %-10s %s\n" r.id (tier_name r.tier) r.summary)
       Wb_lint.Rules.catalog;
     exit 0
   end;
@@ -66,6 +120,17 @@ let () =
     Printf.eprintf "wblint: %s\n" (Printexc.to_string e);
     exit 2
   | report ->
+    (match !explain_rule with Some r -> explain report r | None -> ());
+    let report =
+      match !only with
+      | None -> report
+      | Some rules ->
+        { report with
+          Wb_lint.Driver.findings =
+            List.filter
+              (fun (f : Wb_lint.Finding.t) -> List.mem f.rule rules)
+              report.Wb_lint.Driver.findings }
+    in
     let render ppf =
       if !json then
         Format.fprintf ppf "%s@." (Wb_obs.Json.to_string (Wb_lint.Driver.to_json report))
@@ -78,6 +143,16 @@ let () =
       Fun.protect
         ~finally:(fun () -> close_out_noerr oc)
         (fun () -> render (Format.formatter_of_out_channel oc)));
+    (match !sarif with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc
+            (Wb_obs.Json.to_string (Wb_lint.Driver.to_sarif report));
+          output_char oc '\n'));
     if (not !quiet) && !out <> None then
       Printf.eprintf "wblint: %d findings (%d files, %d typed) -> %s\n"
         (List.length report.Wb_lint.Driver.findings)

@@ -78,6 +78,16 @@ let suppressed ctx ~rule =
   | Some e -> e.used <- true; true
   | None -> false
 
+(* Tier C decides whether a suppression silences anything only after the
+   whole-program solve, long after the walk that saw the attribute.  A
+   handle captures the in-scope entry without marking it used; [consume]
+   marks it once the deferred check actually suppresses a finding. *)
+type handle = entry
+
+let lookup ctx ~rule = List.find_opt (fun e -> String.equal e.rule rule) ctx.active
+
+let consume (e : handle) = e.used <- true
+
 let malformed_findings ctx =
   Hashtbl.fold (fun _ f acc -> f :: acc) ctx.malformed [] |> List.sort Finding.compare
 

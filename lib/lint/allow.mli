@@ -22,6 +22,18 @@ val suppressed : ctx -> rule:string -> bool
 (** Is [rule] allowed by an attribute in scope?  Marks the innermost
     matching entry as used. *)
 
+type handle
+(** A captured in-scope suppression whose "used" decision is deferred —
+    Tier C only knows after the whole-program solve whether an allow on a
+    binding or spawn site silenced anything. *)
+
+val lookup : ctx -> rule:string -> handle option
+(** Like {!suppressed} but without marking the entry used; pair with
+    {!consume} once the deferred check fires. *)
+
+val consume : handle -> unit
+(** Mark a looked-up entry as having suppressed a real finding. *)
+
 val malformed_findings : ctx -> Finding.t list
 (** [lint-allow] findings for attributes whose payload is not
     ["rule-id: explanation"] with both parts non-empty. *)

@@ -1,0 +1,321 @@
+open Types
+
+(* Tier C, pass 1: per-compilation-unit extraction for the domain-safety
+   analysis.  From each .cmt this collects (a) the unit's top-level value
+   bindings with a structural *mutability skeleton* of their type, (b) a
+   table of the unit's type declarations (so abstract types can be judged
+   from their defining .ml even when every .mli seals them), and (c)
+   lock-wrapper combinators — [let locked f = with_lock l f] — so a
+   critical section entered through a wrapper still counts as locked.
+
+   Everything env-dependent happens here, while the .cmt's load path is
+   active; the skeletons and names that come out are plain data, so the
+   later passes (Escape, Locks) never need the compiler environment. *)
+
+(* ---- canonical names ---------------------------------------------------- *)
+
+(* Dune's wrapped-library mangling turns [Wb_obs.Metrics] into the unit
+   [Wb_obs__Metrics]; user code meanwhile writes [Obs.Metrics.incr] through
+   local aliases.  Canonical form: '.'-separated components with every
+   mangled module component split at "__", so all spellings of one global
+   converge on the same key. *)
+let split_dunder s =
+  let n = String.length s in
+  let rec go start i acc =
+    if i + 1 >= n then List.rev (String.sub s start (n - start) :: acc)
+    else if s.[i] = '_' && s.[i + 1] = '_' then
+      go (i + 2) (i + 2) (String.sub s start (i - start) :: acc)
+    else go start (i + 1) acc
+  in
+  List.filter (fun c -> c <> "") (go 0 0 [])
+
+let canon_component c =
+  if c <> "" && c.[0] >= 'A' && c.[0] <= 'Z' then split_dunder c else [ c ]
+
+let canon comps = List.concat_map canon_component comps
+
+let canon_string comps = String.concat "." comps
+
+let rec path_components (p : Path.t) =
+  match p with
+  | Path.Pident id -> [ Ident.name id ]
+  | Path.Pdot (base, s) -> path_components base @ [ s ]
+  | Path.Papply (f, _) -> path_components f
+  | Path.Pextra_ty (base, _) -> path_components base
+
+let canon_path p = canon (path_components p)
+
+let rec ends_with ~suffix comps =
+  let n = List.length comps and k = List.length suffix in
+  if k > n then false
+  else if n = k then List.for_all2 String.equal suffix comps
+  else match comps with [] -> false | _ :: tl -> ends_with ~suffix tl
+
+(* ---- mutability skeletons ----------------------------------------------- *)
+
+(* The classification a value's type reduces to:
+   - [Safe]: a synchronization point (Atomic, Mutex, Condition, Semaphore)
+     or domain-local by construction (Domain.DLS.key).  Terminal: what an
+     Atomic publishes is trusted.
+   - [Mut reason]: shared mutable state — a race unless every access is
+     guarded.
+   - [Imm]: immutable structure (scalars, arrows, enum variants, ...).
+   [Arr]/[Box]/[Named] defer judgement: an array of Atomics is the packed
+   struct-of-arrays idiom (Safe); an abstract type is judged later from the
+   whole-program declaration table built across every scanned unit. *)
+type sk =
+  | Safe
+  | Imm
+  | Mut of string
+  | Arr of sk
+  | Box of sk list
+  | Named of string * sk list
+
+let safe_suffixes =
+  [ [ "Atomic"; "t" ]; [ "Mutex"; "t" ]; [ "Condition"; "t" ];
+    [ "Semaphore"; "Counting"; "t" ]; [ "Semaphore"; "Binary"; "t" ];
+    [ "DLS"; "key" ] ]
+
+let mutable_suffixes =
+  [ [ "ref" ]; [ "Hashtbl"; "t" ]; [ "Queue"; "t" ]; [ "Stack"; "t" ];
+    [ "Buffer"; "t" ]; [ "bytes" ]; [ "lazy_t" ]; [ "Lazy"; "t" ] ]
+
+let scalar_names =
+  [ "int"; "char"; "bool"; "unit"; "string"; "float"; "int32"; "int64";
+    "nativeint"; "exn"; "floatarray" ]
+
+let box_suffixes = [ [ "option" ]; [ "list" ]; [ "result" ]; [ "Either"; "t" ] ]
+
+let expand env ty = try Ctype.expand_head env ty with _ -> ty
+
+let rec sk_of_type env depth ty =
+  if depth > 8 then Imm
+  else
+    match get_desc (expand env ty) with
+    | Tarrow _ | Tvar _ | Tunivar _ | Tvariant _ -> Imm
+    | Ttuple tys -> Box (List.map (sk_of_type env (depth + 1)) tys)
+    | Tpoly (t, _) -> sk_of_type env (depth + 1) t
+    | Tconstr (p, args, _) -> sk_of_constr env depth p args
+    | _ -> Imm
+
+and sk_of_constr env depth p args =
+  let comps = canon_path p in
+  let name = canon_string comps in
+  let last = match List.rev comps with c :: _ -> c | [] -> "" in
+  let sub = sk_of_type env (depth + 1) in
+  if List.exists (fun s -> ends_with ~suffix:s comps) safe_suffixes then Safe
+  else if String.equal last "array" then
+    Arr (match args with a :: _ -> sub a | [] -> Imm)
+  else if List.exists (fun s -> ends_with ~suffix:s comps) mutable_suffixes then
+    Mut name
+  else if List.mem last scalar_names then Imm
+  else if List.exists (fun s -> ends_with ~suffix:s comps) box_suffixes then
+    Box (List.map sub args)
+  else
+    match Env.find_type p env with
+    | decl -> sk_of_decl env depth ~name ~args decl
+    | exception Not_found -> Named (name, List.map sub args)
+
+(* A declaration judged structurally: a [mutable] field (or an inline-record
+   constructor with one) is shared mutable state outright; otherwise the
+   declaration is an immutable shell over its field/argument types, with the
+   use-site type arguments appended so ['a cell] instantiated at a mutable
+   ['a] stays suspect. *)
+and sk_of_decl env depth ~name ~args decl =
+  let sub = sk_of_type env (depth + 1) in
+  let arg_sks = List.map sub args in
+  match decl.type_kind with
+  | Type_record (lds, _) ->
+    if List.exists (fun ld -> ld.ld_mutable = Mutable) lds then
+      Mut (name ^ " (mutable record field)")
+    else Box (List.map (fun ld -> sub ld.ld_type) lds @ arg_sks)
+  | Type_variant (cds, _) ->
+    if
+      List.for_all
+        (fun cd -> match cd.cd_args with Cstr_tuple [] -> true | _ -> false)
+        cds
+    then Imm
+    else
+      let per_constructor =
+        List.concat_map
+          (fun cd ->
+            match cd.cd_args with
+            | Cstr_tuple tys -> List.map sub tys
+            | Cstr_record lds ->
+              if List.exists (fun ld -> ld.ld_mutable = Mutable) lds then
+                [ Mut (name ^ " (mutable inline-record field)") ]
+              else List.map (fun ld -> sub ld.ld_type) lds)
+          cds
+      in
+      Box (per_constructor @ arg_sks)
+  | Type_open -> Imm
+  | _ -> (
+    match decl.type_manifest with
+    | Some m -> sk_of_type env (depth + 1) m
+    | None -> Named (name, arg_sks))
+
+(* ---- per-unit extraction ------------------------------------------------ *)
+
+(* Constant-shape initialisers.  [Lit] is a pure literal ([[||]], [{ sign =
+   0; mag = ... }] over literals); [LitDeps] is a literal shell over
+   references to other top-level bindings (the deps), constant iff every
+   dep's entry is; anything else is [Dyn].  Locks runs the fixpoint, so
+   [Zint.zero = { sign = 0; mag = Nat.zero }] inherits constness from
+   [Nat.zero = [||]] across units. *)
+type init = Lit | LitDeps of string list | Dyn
+
+type entry = {
+  name : string;  (** canonical, e.g. ["Wb_obs.Metrics.registry"]. *)
+  loc : Location.t;
+  sk : sk;
+  init : init;
+      (** a [Lit]-resolving initialiser makes the entry a de-facto constant
+          the analysis treats as immutable (Nat.zero, Zint.one, ...). *)
+  allow : Allow.handle option;
+      (** a [domain-safety] suppression on the binding exempts the entry. *)
+}
+
+type unit_info = {
+  unit_path : string list;  (** canonical components of the unit name. *)
+  source : string;  (** the matched source file, for findings. *)
+  entries : entry list;
+  types : (string * sk) list;  (** declaration table contributions. *)
+  toplevel_count : int;  (** module-level value bindings seen (stats). *)
+}
+
+let full_env e = try Envaux.env_of_only_summary e with _ -> e
+
+(* [let x : ty = e] typechecks to [Tpat_alias] over [Tpat_any] (the
+   constraint lives in [pat_extra]), so both shapes name a binding. *)
+let binding_name (vb : Typedtree.value_binding) =
+  match vb.vb_pat.pat_desc with
+  | Tpat_var (_, name) | Tpat_alias (_, _, name) -> Some name.txt
+  | _ -> None
+
+let combine_init shapes =
+  List.fold_left
+    (fun acc s ->
+      match (acc, s) with
+      | Dyn, _ | _, Dyn -> Dyn
+      | Lit, x | x, Lit -> x
+      | LitDeps a, LitDeps b -> LitDeps (a @ b))
+    Lit shapes
+
+let rec init_shape (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_constant _ -> Lit
+  | Texp_ident (p, _, _) -> LitDeps [ canon_string (canon_path p) ]
+  | Texp_construct (_, _, args) -> combine_init (List.map init_shape args)
+  | Texp_array elts -> combine_init (List.map init_shape elts)
+  | Texp_tuple elts -> combine_init (List.map init_shape elts)
+  | Texp_record { fields; extended_expression = None; _ } ->
+    combine_init
+      (Array.to_list fields
+      |> List.map (fun (_, def) ->
+             match def with
+             | Typedtree.Overridden (_, e) -> init_shape e
+             | Typedtree.Kept _ -> Dyn))
+  | _ -> Dyn
+
+let scan ~ctx ~unit_path ~source (str : Typedtree.structure) =
+  let entries = ref [] in
+  let types = ref [] in
+  let toplevel = ref 0 in
+  let rec item path (it : Typedtree.structure_item) =
+    match it.str_desc with
+    | Tstr_value (_, vbs) ->
+      List.iter
+        (fun (vb : Typedtree.value_binding) ->
+          match binding_name vb with
+          | None -> ()
+          | Some name ->
+            incr toplevel;
+            let env = full_env vb.vb_pat.pat_env in
+            let sk = sk_of_type env 0 vb.vb_pat.pat_type in
+            let allow = ref None in
+            Allow.with_attrs ctx vb.vb_attributes (fun () ->
+                allow := Allow.lookup ctx ~rule:Rules.domain_safety);
+            entries :=
+              { name = canon_string (path @ [ name ]);
+                loc = vb.vb_loc;
+                sk;
+                init = init_shape vb.vb_expr;
+                allow = !allow }
+              :: !entries)
+        vbs
+    | Tstr_type (_, decls) ->
+      List.iter
+        (fun (d : Typedtree.type_declaration) ->
+          let name = canon_string (path @ [ Ident.name d.typ_id ]) in
+          let env = full_env str.str_final_env in
+          types := (name, sk_of_decl env 0 ~name ~args:[] d.typ_type) :: !types)
+        decls
+    | Tstr_module mb -> module_binding path mb
+    | Tstr_recmodule mbs -> List.iter (module_binding path) mbs
+    | _ -> ()
+  and module_binding path (mb : Typedtree.module_binding) =
+    match mb.mb_id with
+    | None -> ()
+    | Some id -> module_expr (path @ [ Ident.name id ]) mb.mb_expr
+  and module_expr path (me : Typedtree.module_expr) =
+    match me.mod_desc with
+    | Tmod_structure s -> List.iter (item path) s.str_items
+    | Tmod_functor (_, body) -> module_expr path body
+    | Tmod_constraint (inner, _, _, _) -> module_expr path inner
+    | _ -> ()
+  in
+  List.iter (item unit_path) str.str_items;
+  { unit_path;
+    source;
+    entries = List.rev !entries;
+    types = List.rev !types;
+    toplevel_count = !toplevel }
+
+(* ---- classification against the whole-program declaration table --------- *)
+
+type cls = Csafe | Cimm | Cmut of string
+
+let classify ~types sk =
+  let rec go seen sk =
+    match sk with
+    | Safe -> Csafe
+    | Imm -> Cimm
+    | Mut r -> Cmut r
+    | Arr e -> (
+      (* an array of synchronization cells is the packed atomic idiom; any
+         other array is a shared mutable buffer. *)
+      match go seen e with Csafe -> Csafe | _ -> Cmut "array")
+    | Box l -> box seen l
+    | Named (n, args) -> (
+      let own =
+        if List.mem n seen then Cimm
+        else
+          match Hashtbl.find_opt types n with
+          | Some sk' -> go (n :: seen) sk'
+          | None -> (
+            (* abstract at the use site and spelled through an alias:
+               match the declaration table by suffix, uniquely. *)
+            let comps = String.split_on_char '.' n in
+            match
+              Hashtbl.fold
+                (fun key sk' acc ->
+                  if ends_with ~suffix:comps (String.split_on_char '.' key) then
+                    (key, sk') :: acc
+                  else acc)
+                types []
+            with
+            | [ (key, sk') ] -> go (key :: seen) sk'
+            | _ -> Cimm)
+      in
+      match own with
+      | Cmut r -> Cmut r
+      | Csafe -> Csafe
+      | Cimm -> box seen args)
+  and box seen l =
+    let rec first = function
+      | [] -> Cimm
+      | sk :: tl -> ( match go seen sk with Cmut r -> Cmut r | _ -> first tl)
+    in
+    first l
+  in
+  go [] sk

@@ -1,0 +1,72 @@
+(** Tier C, pass 1: per-compilation-unit extraction for the domain-safety
+    analysis — canonical names, mutability skeletons of top-level bindings,
+    and the cross-unit type-declaration table.  Everything that needs the
+    compiler environment happens here, while the [.cmt]'s load path is
+    active; what comes out is plain data for {!Escape} and {!Locks}. *)
+
+(** {1 Canonical names} — dotted components with dune's wrapped-library
+    mangling ([Wb_obs__Metrics]) split back into [Wb_obs.Metrics], so every
+    spelling of one global converges on the same key. *)
+
+val canon_component : string -> string list
+(** Split one module component at ["__"]; lowercase components pass through. *)
+
+val canon : string list -> string list
+
+val canon_string : string list -> string
+
+val canon_path : Path.t -> string list
+(** Flatten (applications keep the functor's path) and canonicalise. *)
+
+val ends_with : suffix:string list -> string list -> bool
+
+(** {1 Mutability skeletons} *)
+
+type sk =
+  | Safe  (** synchronization point (Atomic/Mutex/...) or [Domain.DLS]. *)
+  | Imm  (** immutable structure. *)
+  | Mut of string  (** shared mutable state; the string says why. *)
+  | Arr of sk  (** array: mutable unless the elements are [Safe]. *)
+  | Box of sk list  (** immutable shell over component skeletons. *)
+  | Named of string * sk list
+      (** abstract at the use site; resolved against the whole-program
+          type table by {!classify}. *)
+
+type init = Lit | LitDeps of string list | Dyn
+(** Constant-shape initialisers: a literal, a literal shell over other
+    top-level bindings (constant iff every dep is — {!Locks} runs the
+    fixpoint), or dynamic. *)
+
+type entry = {
+  name : string;
+  loc : Location.t;
+  sk : sk;
+  init : init;
+  allow : Allow.handle option;
+}
+
+type unit_info = {
+  unit_path : string list;
+  source : string;
+  entries : entry list;
+  types : (string * sk) list;
+  toplevel_count : int;
+}
+
+val scan :
+  ctx:Allow.ctx ->
+  unit_path:string list ->
+  source:string ->
+  Typedtree.structure ->
+  unit_info
+(** Must run while the [.cmt]'s load path is initialised (the skeleton
+    extraction expands types through [Envaux]). *)
+
+(** {1 Classification} *)
+
+type cls = Csafe | Cimm | Cmut of string
+
+val classify : types:(string, sk) Hashtbl.t -> sk -> cls
+(** Resolve a skeleton against the whole-program declaration table
+    (abstract names fall back to unique-suffix matching; unresolvable
+    foreign types default to immutable — a documented precision choice). *)

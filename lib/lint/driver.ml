@@ -1,6 +1,12 @@
 module J = Wb_obs.Json
 
-type report = { findings : Finding.t list; files : string list; typed : string list }
+type report = {
+  findings : Finding.t list;
+  files : string list;
+  typed : string list;
+  tierc : Locks.stats option;
+  timings_us : (string * int) list;
+}
 
 (* ---- file discovery ----------------------------------------------------- *)
 
@@ -30,9 +36,18 @@ let read_file path =
 (* Normalised relative path: strip leading "./", collapse separators. *)
 let norm p = String.concat "/" (Rules.components p)
 
+let now_us () = int_of_float (Unix.gettimeofday () *. 1e6)
+
 (* ---- the run ------------------------------------------------------------ *)
 
 let run ?build_dir ~roots () =
+  let timings = ref [] in
+  let timed name f =
+    let t0 = now_us () in
+    let r = f () in
+    timings := (name, now_us () - t0) :: !timings;
+    r
+  in
   let all = discover ~skip:source_skip roots in
   let mls = List.filter (fun f -> Filename.check_suffix f ".ml" && not (Filename.check_suffix f ".pp.ml")) all in
   let contexts : (string, Allow.ctx) Hashtbl.t = Hashtbl.create 64 in
@@ -46,6 +61,7 @@ let run ?build_dir ~roots () =
   in
   (* Tier A over every source. *)
   let syntactic =
+    timed "syntactic" @@ fun () ->
     List.concat_map
       (fun file ->
         let ctx = ctx_of file in
@@ -58,6 +74,7 @@ let run ?build_dir ~roots () =
   in
   (* Interface coverage: every .ml under a lib directory has a .mli. *)
   let interface =
+    timed "interface-coverage" @@ fun () ->
     List.filter_map
       (fun file ->
         if Rules.needs_interface file && not (Sys.file_exists (Filename.remove_extension file ^ ".mli"))
@@ -69,8 +86,13 @@ let run ?build_dir ~roots () =
         else None)
       mls
   in
-  (* Tier B: pair .cmt files with the scanned sources. *)
+  (* Tiers B and C share one pass over the .cmt files: while each file's
+     load path is active we run the poly-compare walk AND the Tier C
+     catalog extraction, and retain the typedtree (plus its name
+     environment) for the env-free escape pass that follows. *)
   let typed_files = ref [] in
+  let retained = ref [] in
+  let t_poly = ref 0 and t_catalog = ref 0 in
   let typed =
     match build_dir with
     | None -> []
@@ -85,13 +107,83 @@ let run ?build_dir ~roots () =
              | Error _ -> []
              | Ok cmt -> (
                match Option.map norm cmt.Typed.source with
-               | Some src when Hashtbl.mem wanted src ->
+               | Some src
+                 when Hashtbl.mem wanted src
+                      && not (List.mem src !typed_files) -> (
                  typed_files := src :: !typed_files;
-                 Typed.lint ~load_root:dir ~ctx:(ctx_of src) cmt
-                 |> List.map (fun (f : Finding.t) -> { f with file = src })
+                 let ctx = ctx_of src in
+                 match Typed.structure_of cmt with
+                 | None -> []
+                 | Some str ->
+                   Typed.init_load_path ~load_root:dir cmt;
+                   let t0 = now_us () in
+                   let poly = Typed.lint_structure ~ctx str in
+                   let t1 = now_us () in
+                   t_poly := !t_poly + (t1 - t0);
+                   let unit_path =
+                     (* executables mangle as Dune__exe__Wbctl; drop the
+                        prefix so findings read "Wbctl.x", not "Dune.exe..." *)
+                     match
+                       Catalog.canon [ cmt.Typed.infos.Cmt_format.cmt_modname ]
+                     with
+                     | "Dune" :: "exe" :: rest -> rest
+                     | p -> p
+                   in
+                   let info = Catalog.scan ~ctx ~unit_path ~source:src str in
+                   let st = Escape.state_of ~unit_path str in
+                   t_catalog := !t_catalog + (now_us () - t1);
+                   retained := (src, ctx, unit_path, str, st, info) :: !retained;
+                   List.map (fun (f : Finding.t) -> { f with file = src }) poly)
                | _ -> []))
   in
-  (* Suppression hygiene, once both tiers have marked usage. *)
+  timings := ("poly-compare", !t_poly) :: !timings;
+  (* Tier C: wrappers over every unit first (a lock wrapper defined in one
+     module guards calls anywhere), then summaries, then the solve. *)
+  let tierc_findings, tierc =
+    match build_dir with
+    | None -> ([], None)
+    | Some _ ->
+      let t0 = now_us () in
+      let retained = List.rev !retained in
+      let wrappers =
+        List.concat_map
+          (fun (_, _, unit_path, str, st, _) ->
+            Escape.wrappers_of ~st ~unit_path str)
+          retained
+      in
+      let wrapper_tbl = Hashtbl.create 16 in
+      List.iter (fun (n, l) -> Hashtbl.replace wrapper_tbl n l) wrappers;
+      let summaries, spawns, unresolved =
+        List.fold_left
+          (fun (sums, sps, unres) (src, ctx, unit_path, str, st, _) ->
+            let s, sp, u =
+              Escape.summarize ~st ~wrappers:wrapper_tbl ~ctx ~source:src
+                ~unit_path str
+            in
+            (s @ sums, sp @ sps, u + unres))
+          ([], [], 0) retained
+      in
+      let t1 = now_us () in
+      let findings, stats =
+        Locks.solve
+          { Locks.catalog =
+              List.map (fun (_, ctx, _, _, _, info) -> (info, ctx)) retained;
+            all_summaries = summaries;
+            all_spawns = spawns;
+            wrappers;
+            unresolved }
+      in
+      let t2 = now_us () in
+      timings :=
+        ("domain-safety", !t_catalog + (t2 - t0))
+        :: ("domain-safety.escape", t1 - t0)
+        :: ("domain-safety.solve", t2 - t1)
+        :: ("domain-safety.catalog", !t_catalog)
+        :: !timings;
+      (List.map (fun (f : Finding.t) -> { f with file = norm f.file }) findings,
+       Some stats)
+  in
+  (* Suppression hygiene, once all tiers have marked usage. *)
   let typed_set = !typed_files in
   let allows =
     Hashtbl.fold
@@ -103,11 +195,14 @@ let run ?build_dir ~roots () =
       contexts []
   in
   let findings =
-    List.sort_uniq Finding.compare (syntactic @ interface @ typed @ allows)
+    List.sort_uniq Finding.compare
+      (syntactic @ interface @ typed @ tierc_findings @ allows)
   in
   { findings;
     files = List.map norm mls;
-    typed = List.sort_uniq String.compare typed_set }
+    typed = List.sort_uniq String.compare typed_set;
+    tierc;
+    timings_us = List.rev !timings }
 
 let lint_string ~path source =
   let ctx = Allow.create () in
@@ -116,15 +211,77 @@ let lint_string ~path source =
 
 (* ---- rendering ----------------------------------------------------------- *)
 
+let tierc_json (s : Locks.stats) =
+  J.Obj
+    [ ("units", J.Int s.units);
+      ("toplevel_bindings", J.Int s.toplevel_bindings);
+      ("mutable_entries", J.Int s.entries_mutable);
+      ("suppressed", J.Int s.entries_suppressed);
+      ("spawn_sites", J.Int s.spawn_sites);
+      ("summaries", J.Int s.summaries);
+      ("lock_wrappers", J.Int s.lock_wrappers);
+      ("unresolved_refs", J.Int s.unresolved_refs) ]
+
 let to_json r =
   let untyped = List.filter (fun f -> not (List.mem f r.typed)) r.files in
   J.Obj
-    [ ("version", J.Int 1);
-      ("files_scanned", J.Int (List.length r.files));
-      ("files_typed", J.Int (List.length r.typed));
-      (* no silent coverage gaps: name every file the typed tier missed *)
-      ("typed_missing", J.List (List.map (fun f -> J.String f) untyped));
-      ("findings", J.List (List.map Finding.to_json r.findings)) ]
+    ([ ("version", J.Int 2);
+       ("files_scanned", J.Int (List.length r.files));
+       ("files_typed", J.Int (List.length r.typed));
+       (* no silent coverage gaps: name every file the typed tier missed *)
+       ("typed_missing", J.List (List.map (fun f -> J.String f) untyped));
+       ("timings_us",
+        J.Obj (List.map (fun (k, v) -> (k, J.Int v)) r.timings_us)) ]
+    @ (match r.tierc with
+      | None -> []
+      | Some s -> [ ("domain_safety", tierc_json s) ])
+    @ [ ("findings", J.List (List.map Finding.to_json r.findings)) ])
+
+(* SARIF 2.1.0, the minimal profile code-scanning UIs ingest: one run, one
+   driver, rule metadata from the catalog, one result per finding. *)
+let to_sarif r =
+  let rules =
+    List.map
+      (fun (i : Rules.info) ->
+        J.Obj
+          [ ("id", J.String i.id);
+            ("shortDescription", J.Obj [ ("text", J.String i.summary) ]) ])
+      Rules.catalog
+  in
+  let result (f : Finding.t) =
+    J.Obj
+      ([ ("ruleId", J.String f.rule);
+         ("level", J.String "error");
+         ("message", J.Obj [ ("text", J.String f.message) ]);
+         ("locations",
+          J.List
+            [ J.Obj
+                [ ("physicalLocation",
+                   J.Obj
+                     [ ("artifactLocation", J.Obj [ ("uri", J.String f.file) ]);
+                       ("region",
+                        J.Obj
+                          [ ("startLine", J.Int f.line);
+                            ("startColumn", J.Int (f.col + 1)) ]) ]) ] ]) ]
+      @
+      if f.kind = "" then []
+      else [ ("properties", J.Obj [ ("kind", J.String f.kind) ]) ])
+  in
+  J.Obj
+    [ ("version", J.String "2.1.0");
+      ("$schema", J.String "https://json.schemastore.org/sarif-2.1.0.json");
+      ("runs",
+       J.List
+         [ J.Obj
+             [ ("tool",
+                J.Obj
+                  [ ("driver",
+                     J.Obj
+                       [ ("name", J.String "wblint");
+                         ("informationUri",
+                          J.String "docs/LINTING.md");
+                         ("rules", J.List rules) ]) ]);
+               ("results", J.List (List.map result r.findings)) ] ]) ]
 
 let render_human ppf r =
   let count = List.length r.findings in

@@ -13,6 +13,12 @@ type report = {
   findings : Finding.t list;  (** sorted by {!Finding.compare}, deduped. *)
   files : string list;  (** [.ml] files scanned, sorted. *)
   typed : string list;  (** the subset that had a [.cmt] (typed coverage). *)
+  tierc : Locks.stats option;
+      (** Tier C whole-program stats; [None] when no build dir was given
+          (the domain-safety analysis needs [.cmt]s). *)
+  timings_us : (string * int) list;
+      (** wall time per pass, microseconds, in pass order — so [@lint]
+          regressions are attributable to a rule. *)
 }
 
 val run : ?build_dir:string -> roots:string list -> unit -> report
@@ -27,4 +33,10 @@ val lint_string : path:string -> string -> Finding.t list
     ran).  Used by the tests. *)
 
 val to_json : report -> Wb_obs.Json.t
+
+val to_sarif : report -> Wb_obs.Json.t
+(** SARIF 2.1.0 (minimal profile): one run, rule metadata from
+    {!Rules.catalog}, one result per finding — what the CI workflow
+    uploads as the [lint-findings] artifact. *)
+
 val render_human : Format.formatter -> report -> unit

@@ -1,0 +1,343 @@
+(* Tier C, pass 2: an env-free walk over each unit's retained Typedtree
+   that produces, per module-level binding, a *summary* — which canonical
+   globals the binding's body touches, under which lock, and whether the
+   touch happens inside a closure (runtime) or during module initialisation
+   — plus every [Domain.spawn]/[Thread.create] site.  Locks.solve then
+   chases summaries from each spawn site to the Catalog entries it can
+   reach.
+
+   Name resolution is purely syntactic on [Path.t]s: local module aliases
+   ([module M = Machine.Make (N)]) and the unit's own top-level idents are
+   rewritten to canonical dotted names; functor parameters stay opaque
+   (they have no global identity — a documented precision limit). *)
+
+type ref_site = {
+  target : string;  (** canonical name of the value referenced. *)
+  lock : string option;  (** innermost with_lock lock key, if any. *)
+  lambda : bool;  (** inside a closure (runtime) vs module init. *)
+  loc : Location.t;
+}
+
+type summary = {
+  name : string;  (** canonical name of the enclosing binding. *)
+  source : string;
+  refs : ref_site list;
+}
+
+type spawn = {
+  fn : string;  (** ["Domain.spawn"] or ["Thread.create"]. *)
+  loc : Location.t;
+  owner : string;  (** summary the spawn occurs in. *)
+  source : string;
+  allow : Allow.handle option;
+}
+
+(* ---- local name environment --------------------------------------------- *)
+
+type tstate = {
+  mutable values : (Ident.t * string list) list;
+  mutable modules : (Ident.t * string list) list;
+  mutable unresolved : int;  (** qualified refs we could not canonicalise. *)
+}
+
+let resolve_ident st id =
+  let find l = List.find_opt (fun (i, _) -> Ident.same i id) l in
+  match find st.values with
+  | Some (_, c) -> Some c
+  | None -> (
+    match find st.modules with
+    | Some (_, c) -> Some c
+    | None ->
+      if Ident.global id then Some (Catalog.canon_component (Ident.name id))
+      else None)
+
+let rec resolve st (p : Path.t) =
+  match p with
+  | Path.Pident id -> resolve_ident st id
+  | Path.Pdot (base, s) -> (
+    match resolve st base with
+    | Some c -> Some (c @ Catalog.canon_component s)
+    | None ->
+      st.unresolved <- st.unresolved + 1;
+      None)
+  | Path.Papply (f, _) -> resolve st f
+  | Path.Pextra_ty (base, _) -> resolve st base
+
+let suffix_is st p suffix =
+  match resolve st p with
+  | Some comps -> Catalog.ends_with ~suffix comps
+  | None -> false
+
+(* ---- registering the unit's own top-level names -------------------------- *)
+
+(* [let x : ty = e] typechecks to [Tpat_alias] over [Tpat_any], so both
+   pattern shapes introduce a top-level ident. *)
+let binding_idents (vb : Typedtree.value_binding) =
+  match vb.vb_pat.pat_desc with
+  | Tpat_var (id, name) | Tpat_alias (_, id, name) -> [ (id, name.txt) ]
+  | _ -> []
+
+let rec register st path (it : Typedtree.structure_item) =
+  match it.str_desc with
+  | Tstr_value (_, vbs) ->
+    List.iter
+      (fun vb ->
+        List.iter
+          (fun (id, name) -> st.values <- (id, path @ [ name ]) :: st.values)
+          (binding_idents vb))
+      vbs
+  | Tstr_module mb -> register_module st path mb
+  | Tstr_recmodule mbs -> List.iter (register_module st path) mbs
+  | _ -> ()
+
+and register_module st path (mb : Typedtree.module_binding) =
+  match mb.mb_id with
+  | None -> ()
+  | Some id -> (
+    let name = Ident.name id in
+    let rec strip (me : Typedtree.module_expr) =
+      match me.mod_desc with
+      | Tmod_constraint (inner, _, _, _) -> strip inner
+      | d -> d
+    in
+    match strip mb.mb_expr with
+    | Tmod_ident (p, _) ->
+      (* [module Obs = Wb_obs]: the alias IS the target. *)
+      let target = match resolve st p with Some c -> c | None -> [ name ] in
+      st.modules <- (id, target) :: st.modules
+    | Tmod_apply _ as d ->
+      (* [module M = Machine.Make (N)]: name M after the functor, so
+         M.step links to the functor body's summaries. *)
+      let rec head (d : Typedtree.module_expr_desc) =
+        match d with
+        | Tmod_apply (f, _, _) -> head (strip f)
+        | Tmod_ident (p, _) -> resolve st p
+        | _ -> None
+      in
+      let target = match head d with Some c -> c | None -> [ name ] in
+      st.modules <- (id, target) :: st.modules
+    | Tmod_structure str ->
+      let inner = path @ [ name ] in
+      st.modules <- (id, inner) :: st.modules;
+      List.iter (register st inner) str.str_items
+    | Tmod_functor (_, body) -> (
+      let inner = path @ [ name ] in
+      st.modules <- (id, inner) :: st.modules;
+      let rec into (me : Typedtree.module_expr) =
+        match me.mod_desc with
+        | Tmod_functor (_, b) -> into b
+        | Tmod_constraint (i, _, _, _) -> into i
+        | Tmod_structure str -> List.iter (register st inner) str.str_items
+        | _ -> ()
+      in
+      into body)
+    | _ -> st.modules <- (id, path @ [ name ]) :: st.modules)
+
+(* ---- lock keys and special call shapes ----------------------------------- *)
+
+let is_with_lock st (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> suffix_is st p [ "with_lock" ]
+  | _ -> false
+
+let rec lock_key st (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> (
+    match resolve st p with
+    | Some c -> Catalog.canon_string c
+    | None -> (
+      match p with
+      | Path.Pident id -> "<local>:" ^ Ident.name id
+      | _ -> "<expr>"))
+  | Texp_field (b, _, lbl) -> lock_key st b ^ "." ^ lbl.lbl_name
+  | _ -> "<expr>"
+
+let spawn_fn st (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) ->
+    if suffix_is st p [ "Domain"; "spawn" ] then Some "Domain.spawn"
+    else if suffix_is st p [ "Thread"; "create" ] then Some "Thread.create"
+    else None
+  | _ -> None
+
+(* [let locked f = with_lock lock f]: calling [locked (fun () -> ...)]
+   enters [lock]'s critical section through one indirection.  Recognising
+   the shape lets the Metrics registry pattern count as locked. *)
+let wrapper_of st (vb : Typedtree.value_binding) =
+  match (binding_idents vb, vb.vb_expr.exp_desc) with
+  | ( [ _ ],
+      Texp_function
+        { cases =
+            [ { c_lhs = { pat_desc = Tpat_var (param, _); _ };
+                c_guard = None;
+                c_rhs = { exp_desc = Texp_apply (fn, args); _ };
+                _ } ];
+          _ } )
+    when is_with_lock st fn -> (
+    match args with
+    | [ (_, Some lock_e); (_, Some { exp_desc = Texp_ident (Path.Pident arg, _, _); _ }) ]
+      when Ident.same arg param ->
+      Some (lock_key st lock_e)
+    | _ -> None)
+  | _ -> None
+
+(* ---- the walk ------------------------------------------------------------ *)
+
+let skip_heads = [ "Stdlib"; "CamlinternalLazy"; "CamlinternalFormat"; "CamlinternalOO" ]
+
+type acc = {
+  mutable refs : ref_site list;
+  mutable spawns : spawn list;
+  mutable lock : string option;
+  mutable lambda : int;
+}
+
+let collect st ~wrappers ~ctx ~source ~owner (e0 : Typedtree.expression) =
+  let acc = { refs = []; spawns = []; lock = None; lambda = 0 } in
+  let seen = Hashtbl.create 16 in
+  let add_ref target loc =
+    let name = Catalog.canon_string target in
+    let key = (name, acc.lock, acc.lambda > 0) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      acc.refs <-
+        { target = name; lock = acc.lock; lambda = acc.lambda > 0; loc }
+        :: acc.refs
+    end
+  in
+  let super = Tast_iterator.default_iterator in
+  let expr it (e : Typedtree.expression) =
+    Allow.with_attrs ctx e.exp_attributes (fun () ->
+        match e.exp_desc with
+        | Texp_ident (p, { loc; _ }, _) -> (
+          match resolve st p with
+          | Some (head :: _ as comps) when not (List.mem head skip_heads) ->
+            add_ref comps loc
+          | _ -> ())
+        | Texp_function _ ->
+          acc.lambda <- acc.lambda + 1;
+          Fun.protect
+            ~finally:(fun () -> acc.lambda <- acc.lambda - 1)
+            (fun () -> super.expr it e)
+        | Texp_apply (fn, [ (_, Some lock_e); (_, Some body) ])
+          when is_with_lock st fn ->
+          it.expr it lock_e;
+          let saved = acc.lock in
+          acc.lock <- Some (lock_key st lock_e);
+          Fun.protect
+            ~finally:(fun () -> acc.lock <- saved)
+            (fun () -> it.expr it body)
+        | Texp_apply (fn, ((_ :: _) as args)) -> (
+          (match spawn_fn st fn with
+          | Some f ->
+            acc.spawns <-
+              { fn = f;
+                loc = e.exp_loc;
+                owner;
+                source;
+                allow = Allow.lookup ctx ~rule:Rules.domain_safety }
+              :: acc.spawns
+          | None -> ());
+          (* a call through a lock wrapper: the argument closure runs
+             under the wrapper's lock. *)
+          let wrapper =
+            match fn.exp_desc with
+            | Texp_ident (p, _, _) -> (
+              match resolve st p with
+              | Some c -> Hashtbl.find_opt wrappers (Catalog.canon_string c)
+              | None -> None)
+            | _ -> None
+          in
+          match (wrapper, args) with
+          | Some lock, [ (_, Some body) ] ->
+            it.expr it fn;
+            let saved = acc.lock in
+            acc.lock <- Some lock;
+            Fun.protect
+              ~finally:(fun () -> acc.lock <- saved)
+              (fun () -> it.expr it body)
+          | _ -> super.expr it e)
+        | _ -> super.expr it e)
+  in
+  let value_binding it (vb : Typedtree.value_binding) =
+    Allow.with_attrs ctx vb.vb_attributes (fun () -> super.value_binding it vb)
+  in
+  let iter = { super with expr; value_binding } in
+  iter.expr iter e0;
+  (List.rev acc.refs, List.rev acc.spawns)
+
+(* ---- per-unit API -------------------------------------------------------- *)
+
+let state_of ~unit_path (str : Typedtree.structure) =
+  let st = { values = []; modules = []; unresolved = 0 } in
+  List.iter (register st unit_path) str.str_items;
+  st
+
+(* Wrapper detection must see every unit before any unit is summarised —
+   a wrapper defined in [Wb_obs.Metrics] may guard calls anywhere. *)
+let wrappers_of ~st ~unit_path (str : Typedtree.structure) =
+  let out = ref [] in
+  let rec item path (it : Typedtree.structure_item) =
+    match it.str_desc with
+    | Tstr_value (_, vbs) ->
+      List.iter
+        (fun vb ->
+          match (wrapper_of st vb, binding_idents vb) with
+          | Some lock, [ (_, name) ] ->
+            out := (Catalog.canon_string (path @ [ name ]), lock) :: !out
+          | _ -> ())
+        vbs
+    | Tstr_module mb -> module_binding path mb
+    | Tstr_recmodule mbs -> List.iter (module_binding path) mbs
+    | _ -> ()
+  and module_binding path (mb : Typedtree.module_binding) =
+    match mb.mb_id with
+    | None -> ()
+    | Some id -> module_expr (path @ [ Ident.name id ]) mb.mb_expr
+  and module_expr path (me : Typedtree.module_expr) =
+    match me.mod_desc with
+    | Tmod_structure s -> List.iter (item path) s.str_items
+    | Tmod_functor (_, body) -> module_expr path body
+    | Tmod_constraint (inner, _, _, _) -> module_expr path inner
+    | _ -> ()
+  in
+  List.iter (item unit_path) str.str_items;
+  List.rev !out
+
+let summarize ~st ~wrappers ~ctx ~source ~unit_path (str : Typedtree.structure) =
+  let summaries = ref [] in
+  let spawns = ref [] in
+  let emit name e =
+    let refs, sp = collect st ~wrappers ~ctx ~source ~owner:name e in
+    summaries := { name; source; refs } :: !summaries;
+    spawns := sp @ !spawns
+  in
+  let rec item path (it : Typedtree.structure_item) =
+    match it.str_desc with
+    | Tstr_value (_, vbs) ->
+      List.iter
+        (fun (vb : Typedtree.value_binding) ->
+          match binding_idents vb with
+          | [ (_, name) ] ->
+            emit (Catalog.canon_string (path @ [ name ])) vb.vb_expr
+          | _ ->
+            (* [let () = ...] and destructuring bindings: module init. *)
+            emit (Catalog.canon_string (path @ [ "<init>" ])) vb.vb_expr)
+        vbs
+    | Tstr_eval (e, _) -> emit (Catalog.canon_string (path @ [ "<init>" ])) e
+    | Tstr_module mb -> module_binding path mb
+    | Tstr_recmodule mbs -> List.iter (module_binding path) mbs
+    | _ -> ()
+  and module_binding path (mb : Typedtree.module_binding) =
+    match mb.mb_id with
+    | None -> ()
+    | Some id -> module_expr (path @ [ Ident.name id ]) mb.mb_expr
+  and module_expr path (me : Typedtree.module_expr) =
+    match me.mod_desc with
+    | Tmod_structure s -> List.iter (item path) s.str_items
+    | Tmod_functor (_, body) -> module_expr path body
+    | Tmod_constraint (inner, _, _, _) -> module_expr path inner
+    | _ -> ()
+  in
+  List.iter (item unit_path) str.str_items;
+  (List.rev !summaries, List.rev !spawns, st.unresolved)

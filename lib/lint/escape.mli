@@ -1,0 +1,48 @@
+(** Tier C, pass 2: env-free summaries of each unit's retained Typedtree —
+    which canonical globals every module-level binding touches, under which
+    lock, in a closure or at module init — plus every [Domain.spawn] /
+    [Thread.create] site and every lock-wrapper combinator
+    ([let locked f = with_lock l f]). *)
+
+type ref_site = {
+  target : string;
+  lock : string option;
+  lambda : bool;
+  loc : Location.t;
+}
+
+type summary = { name : string; source : string; refs : ref_site list }
+
+type spawn = {
+  fn : string;
+  loc : Location.t;
+  owner : string;
+  source : string;
+  allow : Allow.handle option;
+}
+
+type tstate
+(** Per-unit name environment: the unit's own top-level idents, local
+    module aliases ([module M = Machine.Make (N)] links [M.x] to the
+    functor body), and an unresolved-reference counter. *)
+
+val state_of : unit_path:string list -> Typedtree.structure -> tstate
+
+val wrappers_of :
+  st:tstate -> unit_path:string list -> Typedtree.structure ->
+  (string * string) list
+(** [(canonical wrapper name, lock key)] pairs.  Collect these over every
+    unit before summarising any unit — a wrapper defined in one module may
+    guard calls anywhere. *)
+
+val summarize :
+  st:tstate ->
+  wrappers:(string, string) Hashtbl.t ->
+  ctx:Allow.ctx ->
+  source:string ->
+  unit_path:string list ->
+  Typedtree.structure ->
+  summary list * spawn list * int
+(** Summaries, spawn sites, and the count of qualified references the walk
+    could not canonicalise (reported in the Tier C stats, so precision
+    loss is visible rather than silent). *)

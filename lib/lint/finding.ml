@@ -1,10 +1,18 @@
 module J = Wb_obs.Json
 
-type t = { rule : string; file : string; line : int; col : int; message : string }
+type t = {
+  rule : string;
+  kind : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
 
-let make ~rule ~loc message =
+let make ~rule ?(kind = "") ~loc message =
   let p = loc.Location.loc_start in
   { rule;
+    kind;
     file = p.Lexing.pos_fname;
     line = max 1 p.Lexing.pos_lnum;
     col = max 0 (p.Lexing.pos_cnum - p.Lexing.pos_bol);
@@ -21,17 +29,23 @@ let compare a b =
       if c <> 0 then c
       else
         let c = String.compare a.rule b.rule in
-        if c <> 0 then c else String.compare a.message b.message
+        if c <> 0 then c
+        else
+          let c = String.compare a.kind b.kind in
+          if c <> 0 then c else String.compare a.message b.message
 
-let to_string f = Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.message
+let to_string f =
+  let rule = if f.kind = "" then f.rule else f.rule ^ "/" ^ f.kind in
+  Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col rule f.message
 
 let to_json f =
   J.Obj
-    [ ("rule", J.String f.rule);
-      ("file", J.String f.file);
-      ("line", J.Int f.line);
-      ("col", J.Int f.col);
-      ("message", J.String f.message) ]
+    (("rule", J.String f.rule)
+     :: (if f.kind = "" then [] else [ ("kind", J.String f.kind) ])
+    @ [ ("file", J.String f.file);
+        ("line", J.Int f.line);
+        ("col", J.Int f.col);
+        ("message", J.String f.message) ])
 
 let of_json j =
   match
@@ -40,5 +54,6 @@ let of_json j =
   with
   | Some (J.String rule), Some (J.String file), Some (J.Int line), Some (J.Int col),
     Some (J.String message) ->
-    Some { rule; file; line; col; message }
+    let kind = match J.member "kind" j with Some (J.String k) -> k | _ -> "" in
+    Some { rule; kind; file; line; col; message }
   | _ -> None

@@ -6,14 +6,18 @@
 
 type t = {
   rule : string;  (** rule identifier, e.g. ["determinism"]. *)
+  kind : string;
+      (** sub-kind within the rule (Tier C: ["escape"],
+          ["lockset-inconsistency"], ["unguarded-toplevel"]); [""] for
+          rules without kinds. *)
   file : string;  (** path as scanned, relative to the scan root. *)
   line : int;  (** 1-based. *)
   col : int;  (** 0-based, matching compiler diagnostics. *)
   message : string;
 }
 
-val make : rule:string -> loc:Location.t -> string -> t
-(** Position is taken from [loc.loc_start]. *)
+val make : rule:string -> ?kind:string -> loc:Location.t -> string -> t
+(** Position is taken from [loc.loc_start]; [kind] defaults to [""]. *)
 
 val compare : t -> t -> int
 (** Order by file, line, column, rule, message. *)

@@ -1,0 +1,342 @@
+(* Tier C, pass 3: the whole-program solve.  Classify every catalog entry
+   against the cross-unit type table, run the constant-initialiser fixpoint,
+   chase summaries from each Domain.spawn / Thread.create site to the
+   entries its closure can reach, and judge each reaching access:
+
+   - every runtime access unlocked          -> unguarded-toplevel (at the def)
+   - mixed locks, or locked and unlocked    -> lockset-inconsistency (at the def)
+   - consistently locked / Atomic / DLS     -> clean
+   plus, per spawn site that can reach an unguarded or inconsistent entry,
+   an escape finding naming the entry and the call path.  Definition-site
+   findings only fire for entries some spawned task can actually reach —
+   purely sequential mutable state is not a race. *)
+
+type stats = {
+  units : int;
+  toplevel_bindings : int;
+  entries_mutable : int;  (** catalog entries classified shared-mutable. *)
+  entries_suppressed : int;
+  spawn_sites : int;
+  summaries : int;
+  lock_wrappers : int;
+  unresolved_refs : int;
+  example : Finding.t option;  (** first finding, for [--explain]. *)
+}
+
+let kind_escape = "escape"
+let kind_lockset = "lockset-inconsistency"
+let kind_unguarded = "unguarded-toplevel"
+
+(* ---- name resolution over the global tables ------------------------------ *)
+
+(* Exact canonical match first; otherwise the reference (spelled through a
+   local alias the walk could not expand, e.g. [Obs.Prof.site]) must be a
+   suffix of exactly one known canonical name.  Ambiguity resolves to
+   nothing — a deliberate precision choice, counted in [unresolved_refs]. *)
+let make_resolver keys =
+  let exact = Hashtbl.create (List.length keys * 2 + 1) in
+  List.iter (fun k -> Hashtbl.replace exact k ()) keys;
+  let split k = String.split_on_char '.' k in
+  fun name ->
+    if Hashtbl.mem exact name then Some name
+    else
+      let suffix = split name in
+      match
+        List.filter (fun k -> Catalog.ends_with ~suffix (split k)) keys
+      with
+      | [ k ] -> Some k
+      | _ -> None
+
+(* ---- the solve ----------------------------------------------------------- *)
+
+type input = {
+  catalog : (Catalog.unit_info * Allow.ctx) list;
+  all_summaries : Escape.summary list;
+  all_spawns : Escape.spawn list;
+  wrappers : (string * string) list;
+  unresolved : int;
+}
+
+let pos_of_loc (loc : Location.t) =
+  Printf.sprintf "%s:%d" loc.Location.loc_start.Lexing.pos_fname
+    loc.Location.loc_start.Lexing.pos_lnum
+
+(* Constness fixpoint: an entry is a de-facto constant when its initialiser
+   is a literal shell whose every dependency is itself a constant entry
+   (unresolvable deps are conservatively non-constant). *)
+let const_set entries =
+  let resolve =
+    make_resolver (List.map (fun (e : Catalog.entry) -> e.name) entries)
+  in
+  let const = Hashtbl.create 64 in
+  let pass () =
+    List.fold_left
+      (fun changed (e : Catalog.entry) ->
+        if Hashtbl.mem const e.name then changed
+        else
+          let ok =
+            match e.init with
+            | Catalog.Lit -> true
+            | Catalog.Dyn -> false
+            | Catalog.LitDeps deps ->
+              List.for_all
+                (fun d ->
+                  match resolve d with
+                  | Some k -> Hashtbl.mem const k
+                  | None -> false)
+                deps
+          in
+          if ok then begin
+            Hashtbl.replace const e.name ();
+            true
+          end
+          else changed)
+      false entries
+  in
+  while pass () do
+    ()
+  done;
+  const
+
+let solve (input : input) =
+  let types = Hashtbl.create 256 in
+  List.iter
+    (fun ((u : Catalog.unit_info), _) ->
+      List.iter (fun (name, sk) -> Hashtbl.replace types name sk) u.types)
+    input.catalog;
+  let all_entries =
+    List.concat_map (fun ((u : Catalog.unit_info), _) -> u.entries) input.catalog
+  in
+  let const = const_set all_entries in
+  (* the shared-mutable catalog: classified mutable, not a constant *)
+  let mutable_entries =
+    List.filter_map
+      (fun (e : Catalog.entry) ->
+        if Hashtbl.mem const e.name then None
+        else
+          match Catalog.classify ~types e.sk with
+          | Catalog.Cmut reason -> Some (e, reason)
+          | Catalog.Csafe | Catalog.Cimm -> None)
+      all_entries
+  in
+  let summary_by_name = Hashtbl.create 512 in
+  List.iter
+    (fun (s : Escape.summary) ->
+      if not (Hashtbl.mem summary_by_name s.name) then
+        Hashtbl.add summary_by_name s.name s)
+    input.all_summaries;
+  let resolve_summary =
+    make_resolver (List.map (fun (s : Escape.summary) -> s.name) input.all_summaries)
+  in
+  let resolve_entry =
+    make_resolver (List.map (fun ((e : Catalog.entry), _) -> e.name) mutable_entries)
+  in
+  (* global lockset per entry, over runtime (in-closure) accesses *)
+  let accesses : (string, (string option * Location.t * string) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let touch entry lock loc via =
+    let cell =
+      match Hashtbl.find_opt accesses entry with
+      | Some c -> c
+      | None ->
+        let c = ref [] in
+        Hashtbl.add accesses entry c;
+        c
+    in
+    cell := (lock, loc, via) :: !cell
+  in
+  List.iter
+    (fun (s : Escape.summary) ->
+      List.iter
+        (fun (r : Escape.ref_site) ->
+          if r.lambda then
+            match resolve_entry r.target with
+            | Some e -> touch e r.lock r.loc s.name
+            | None -> ())
+        s.refs)
+    input.all_summaries;
+  (* reachability: BFS over summaries from each spawn's owner *)
+  let reach owner =
+    let seen = Hashtbl.create 32 in
+    let reached = ref [] in
+    let q = Queue.create () in
+    (match resolve_summary owner with
+    | Some o -> Queue.add (o, [ o ]) q
+    | None -> ());
+    while not (Queue.is_empty q) do
+      let name, path = Queue.take q in
+      if not (Hashtbl.mem seen name) then begin
+        Hashtbl.add seen name ();
+        match Hashtbl.find_opt summary_by_name name with
+        | None -> ()
+        | Some s ->
+          List.iter
+            (fun (r : Escape.ref_site) ->
+              (match resolve_entry r.target with
+              | Some e ->
+                if not (List.mem_assoc e !reached) then
+                  reached := (e, path) :: !reached
+              | None -> ());
+              match resolve_summary r.target with
+              | Some s' when not (Hashtbl.mem seen s') ->
+                Queue.add (s', s' :: path) q
+              | _ -> ())
+            s.refs
+      end
+    done;
+    !reached
+  in
+  let spawn_reaches =
+    List.map (fun (sp : Escape.spawn) -> (sp, reach sp.owner)) input.all_spawns
+  in
+  let reachable = Hashtbl.create 16 in
+  List.iter
+    (fun (_, reached) ->
+      List.iter (fun (e, _) -> Hashtbl.replace reachable e ()) reached)
+    spawn_reaches;
+  (* verdict per entry *)
+  let verdicts = Hashtbl.create 16 in
+  List.iter
+    (fun ((e : Catalog.entry), _) ->
+      let accs =
+        match Hashtbl.find_opt accesses e.name with Some c -> !c | None -> []
+      in
+      let locks =
+        List.sort_uniq String.compare (List.filter_map (fun (l, _, _) -> l) accs)
+      in
+      let unlocked = List.exists (fun (l, _, _) -> Option.is_none l) accs in
+      let verdict =
+        if not (Hashtbl.mem reachable e.name) then `Clean
+        else
+          match (accs, locks) with
+          | [], _ -> `Clean  (* reachable, but never touched from a closure *)
+          | _, [] -> `Unguarded
+          | _, [ _ ] when not unlocked -> `Clean
+          | _ -> `Inconsistent
+      in
+      Hashtbl.replace verdicts e.name verdict)
+    mutable_entries;
+  let suppressed = ref 0 in
+  (* a suppressed raceable entry is exempt from the catalog: no finding at
+     its definition, and no escape finding names it *)
+  let exempt = Hashtbl.create 4 in
+  let entry_findings =
+    List.filter_map
+      (fun ((e : Catalog.entry), reason) ->
+        let bad =
+          match Hashtbl.find_opt verdicts e.name with
+          | Some (`Unguarded | `Inconsistent) -> true
+          | _ -> false
+        in
+        if not bad then None
+        else
+          match e.allow with
+          | Some h ->
+            Allow.consume h;
+            incr suppressed;
+            Hashtbl.replace exempt e.name ();
+            None
+          | None -> (
+            let accs =
+              match Hashtbl.find_opt accesses e.name with
+              | Some c -> List.rev !c
+              | None -> []
+            in
+            match Hashtbl.find_opt verdicts e.name with
+            | Some `Unguarded ->
+              let _, loc0, via0 =
+                match accs with a :: _ -> a | [] -> (None, e.loc, e.name)
+              in
+              Some
+                (Finding.make ~rule:Rules.domain_safety ~kind:kind_unguarded
+                   ~loc:e.loc
+                   (Printf.sprintf
+                      "top-level mutable state `%s` (%s) is reachable from a \
+                       spawned task and accessed with no synchronization, \
+                       e.g. from %s at %s; make it Atomic.t, guard every \
+                       access with one Wb_support.Sync.with_lock lock, or \
+                       move it into Domain.DLS"
+                      e.name reason via0 (pos_of_loc loc0)))
+            | Some `Inconsistent ->
+              let describe (l, loc, _) =
+                Printf.sprintf "%s at %s"
+                  (match l with Some k -> "under " ^ k | None -> "unlocked")
+                  (pos_of_loc loc)
+              in
+              let shown = List.sort_uniq String.compare (List.map describe accs) in
+              Some
+                (Finding.make ~rule:Rules.domain_safety ~kind:kind_lockset
+                   ~loc:e.loc
+                   (Printf.sprintf
+                      "inconsistent lockset on `%s` (%s): %s; every access \
+                       must hold the same lock"
+                      e.name reason
+                      (String.concat "; " shown)))
+            | _ -> None))
+      mutable_entries
+  in
+  (* escape findings: spawn sites that can reach a raceable entry *)
+  let spawn_findings =
+    List.filter_map
+      (fun ((sp : Escape.spawn), reached) ->
+        let raceable =
+          List.filter
+            (fun (e, _) ->
+              (not (Hashtbl.mem exempt e))
+              &&
+              match Hashtbl.find_opt verdicts e with
+              | Some (`Unguarded | `Inconsistent) -> true
+              | _ -> false)
+            reached
+        in
+        match List.sort_uniq String.compare (List.map fst raceable) with
+        | [] -> None
+        | first :: _ as all -> (
+          let path =
+            match List.find_opt (fun (e, _) -> String.equal e first) raceable with
+            | Some (_, p) -> p
+            | None -> []
+          in
+          let via =
+            match List.rev path with
+            | _ :: (_ :: _ as tail) ->
+              Printf.sprintf " (via %s)" (String.concat " -> " tail)
+            | _ -> ""
+          in
+          match sp.allow with
+          | Some h ->
+            Allow.consume h;
+            incr suppressed;
+            None
+          | None ->
+            Some
+              (Finding.make ~rule:Rules.domain_safety ~kind:kind_escape
+                 ~loc:sp.loc
+                 (Printf.sprintf
+                    "closure passed to %s can reach unsynchronized top-level \
+                     mutable state: %s%s; accesses must be Atomic, \
+                     consistently locked, or domain-local"
+                    sp.fn
+                    (String.concat ", " (List.map (fun e -> "`" ^ e ^ "`") all))
+                    via))))
+      spawn_reaches
+  in
+  let findings =
+    List.sort_uniq Finding.compare (entry_findings @ spawn_findings)
+  in
+  let stats =
+    { units = List.length input.catalog;
+      toplevel_bindings =
+        List.fold_left
+          (fun n ((u : Catalog.unit_info), _) -> n + u.toplevel_count)
+          0 input.catalog;
+      entries_mutable = List.length mutable_entries;
+      entries_suppressed = !suppressed;
+      spawn_sites = List.length input.all_spawns;
+      summaries = List.length input.all_summaries;
+      lock_wrappers = List.length input.wrappers;
+      unresolved_refs = input.unresolved;
+      example = (match findings with f :: _ -> Some f | [] -> None) }
+  in
+  (findings, stats)

@@ -1,0 +1,33 @@
+(** Tier C, pass 3: the whole-program solve.  Classifies catalog entries,
+    chases summaries from every spawn site, and judges each shared-mutable
+    entry's lockset.  Finding kinds: {!kind_unguarded} (no access
+    synchronized, reported at the definition), {!kind_lockset}
+    (different-or-missing lock across accesses, at the definition) and
+    {!kind_escape} (a spawn whose closure can reach a raceable entry, at
+    the spawn site). *)
+
+val kind_escape : string
+val kind_lockset : string
+val kind_unguarded : string
+
+type stats = {
+  units : int;
+  toplevel_bindings : int;
+  entries_mutable : int;
+  entries_suppressed : int;
+  spawn_sites : int;
+  summaries : int;
+  lock_wrappers : int;
+  unresolved_refs : int;
+  example : Finding.t option;
+}
+
+type input = {
+  catalog : (Catalog.unit_info * Allow.ctx) list;
+  all_summaries : Escape.summary list;
+  all_spawns : Escape.spawn list;
+  wrappers : (string * string) list;
+  unresolved : int;
+}
+
+val solve : input -> Finding.t list * stats

@@ -7,6 +7,7 @@ let poly_compare = "poly-compare"
 let lock_discipline = "lock-discipline"
 let decode_hygiene = "decode-hygiene"
 let interface_coverage = "interface-coverage"
+let domain_safety = "domain-safety"
 let lint_allow = "lint-allow"
 let parse_error = "parse-error"
 
@@ -31,6 +32,12 @@ let catalog =
       summary =
         "decode paths turn every malformed input into a typed error: no \
          failwith/invalid_arg/assert false/partial stdlib functions" };
+    { id = domain_safety;
+      tier = Typed;
+      summary =
+        "whole-program race check: top-level mutable state reachable from a \
+         Domain.spawn/Thread.create closure must be Atomic, under one \
+         consistent with_lock lock, or domain-local (Domain.DLS)" };
     { id = interface_coverage;
       tier = Project;
       summary = "every .ml under lib/ has a matching .mli sealing its surface" };
@@ -40,7 +47,7 @@ let catalog =
         "suppressions stay minimal and documented: every [@wb.lint.allow] \
          names a rule, explains itself, and suppresses something real" } ]
 
-let is_typed id = String.equal id poly_compare
+let is_typed id = String.equal id poly_compare || String.equal id domain_safety
 
 (* ---- path policies ----------------------------------------------------- *)
 
@@ -69,7 +76,12 @@ let has_suffix needle p =
 
 let determinism_exempt p =
   let cs = components p in
-  has_infix [ "lib"; "obs" ] cs || has_infix [ "lib"; "net" ] cs || has_infix [ "bench" ] cs
+  has_infix [ "lib"; "obs" ] cs || has_infix [ "lib"; "net" ] cs
+  || has_infix [ "bench" ] cs
+  (* lib/lint times its own passes (per-rule wall time in --json); the
+     linter never runs inside a refereed execution, so the determinism
+     contract does not extend to it. *)
+  || has_infix [ "lib"; "lint" ] cs
 
 (* Prof.phase is a wall-clock read in disguise: profiling hooks may live in
    the clock-exempt layers plus the execution kernel ([lib/core]), never in

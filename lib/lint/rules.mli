@@ -19,6 +19,10 @@ val poly_compare : string
 val lock_discipline : string
 val decode_hygiene : string
 val interface_coverage : string
+
+val domain_safety : string
+(** Tier C: the whole-program static race check over Catalog/Escape/Locks. *)
+
 val lint_allow : string
 (** Meta-rule: malformed or unused [@wb.lint.allow] attributes. *)
 
@@ -42,8 +46,9 @@ val components : string -> string list
     share. *)
 
 val determinism_exempt : string -> bool
-(** [lib/obs] (timestamps in traces), [lib/net] (socket timeouts) and
-    [bench/] (wall-clock measurement) may read clocks; nothing else. *)
+(** [lib/obs] (timestamps in traces), [lib/net] (socket timeouts),
+    [bench/] (wall-clock measurement) and [lib/lint] (per-rule pass
+    timing) may read clocks; nothing else. *)
 
 val prof_exempt : string -> bool
 (** Where [Wb_obs.Prof.phase] hooks may appear: the {!determinism_exempt}

@@ -139,24 +139,32 @@ let lint_structure ~ctx str =
   iter.structure iter str;
   !findings
 
-let lint ?(load_root = ".") ~ctx cmt =
+(* Rebuild environments against the load path this .cmt was compiled
+   with, so aliases expand and declarations resolve.  Dune records the
+   entries relative to the build root; anchor them at [load_root] so
+   the tool works from the repo root too, not only from inside
+   [_build/default]. *)
+let init_load_path ?(load_root = ".") cmt =
+  let resolve p =
+    if String.equal p "" then load_root
+    else if Filename.is_relative p then Filename.concat load_root p
+    else p
+  in
+  Load_path.init ~auto_include:Load_path.no_auto_include
+    (List.map resolve cmt.infos.Cmt_format.cmt_loadpath);
+  Env.reset_cache ()
+
+let structure_of cmt =
   match cmt.infos.Cmt_format.cmt_annots with
-  | Cmt_format.Implementation str ->
-    (* Rebuild environments against the load path this .cmt was compiled
-       with, so aliases expand and declarations resolve.  Dune records the
-       entries relative to the build root; anchor them at [load_root] so
-       the tool works from the repo root too, not only from inside
-       [_build/default]. *)
-    let resolve p =
-      if String.equal p "" then load_root
-      else if Filename.is_relative p then Filename.concat load_root p
-      else p
-    in
-    Load_path.init ~auto_include:Load_path.no_auto_include
-      (List.map resolve cmt.infos.Cmt_format.cmt_loadpath);
-    Env.reset_cache ();
+  | Cmt_format.Implementation str -> Some str
+  | _ -> None
+
+let lint ?load_root ~ctx cmt =
+  match structure_of cmt with
+  | Some str ->
+    init_load_path ?load_root cmt;
     lint_structure ~ctx str
-  | _ -> []
+  | None -> []
 
 let lint_cmt_file ?load_root path =
   match read path with

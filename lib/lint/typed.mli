@@ -26,6 +26,18 @@ val read : string -> (cmt, string) result
 (** Load one [.cmt]; [Error] carries a human-readable reason (corrupt
     file, wrong compiler magic, ...). *)
 
+val init_load_path : ?load_root:string -> cmt -> unit
+(** Initialise the compiler load path from the [.cmt]'s recorded one and
+    reset the env cache, so environments can be rebuilt and aliases
+    expanded.  Tier C's {!Catalog.scan} needs this active too, which is
+    why it is exposed separately from {!lint}. *)
+
+val structure_of : cmt -> Typedtree.structure option
+(** The retained implementation, if this is an implementation [.cmt]. *)
+
+val lint_structure : ctx:Allow.ctx -> Typedtree.structure -> Finding.t list
+(** The poly-compare walk alone; assumes {!init_load_path} has run. *)
+
 val lint : ?load_root:string -> ctx:Allow.ctx -> cmt -> Finding.t list
 (** Walk the implementation (non-implementation [.cmt]s yield []).
     Initialises the compiler load path from the [.cmt]'s recorded one so

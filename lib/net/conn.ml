@@ -104,13 +104,19 @@ let read_exact fd buf len =
 
 (* A peer that vanishes turns our next write into SIGPIPE, which would kill
    the whole referee; writes must fail with EPIPE (reported as [Closed])
-   instead.  Forced on first socket use so non-network users of the library
-   keep their signal disposition. *)
-let ignore_sigpipe =
-  lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
+   instead.  Installed on first socket use so non-network users of the
+   library keep their signal disposition; the once-only is an Atomic
+   exchange, not a [lazy] — per-connection threads racing the first force
+   of a shared lazy would raise RacyLazy on OCaml 5, and [set_signal] is
+   idempotent anyway. *)
+let sigpipe_ignored = Atomic.make false
+
+let ignore_sigpipe () =
+  if not (Atomic.exchange sigpipe_ignored true) then
+    try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
 
 let of_fd ?(timeout = 5.0) ~peer fd =
-  Lazy.force ignore_sigpipe;
+  ignore_sigpipe ();
   (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout with Unix.Unix_error _ -> ());
   (* The referee's sync-then-query pattern is two small back-to-back writes;
      without TCP_NODELAY, Nagle holds the second until the peer's delayed ACK

@@ -43,8 +43,12 @@ type error =
 
 (* ---- CRC-32 (IEEE 802.3 polynomial, reflected) ------------------------ *)
 
+(* Built eagerly at module init (256 iterations, negligible) and published
+   through an Atomic so every domain/thread reads a safely-published,
+   never-again-written table.  A [lazy] here would race its first force
+   under concurrent connection handlers (RacyLazy on OCaml 5). *)
 let crc_table =
-  lazy
+  Atomic.make
     (Array.init 256 (fun n ->
          let c = ref n in
          for _ = 0 to 7 do
@@ -53,7 +57,7 @@ let crc_table =
          !c))
 
 let crc32 s =
-  let table = Lazy.force crc_table in
+  let table = Atomic.get crc_table in
   let c = ref 0xFFFFFFFF in
   String.iter (fun ch -> c := (!c lsr 8) lxor table.((!c lxor Char.code ch) land 0xff)) s;
   !c lxor 0xFFFFFFFF

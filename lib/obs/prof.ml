@@ -2,9 +2,10 @@
    when disabled (the default), [phase] is one atomic load and a direct
    call of the phased closure — no histogram registration, no Gc.quick_stat,
    no clock read — so a never-enabled process exposes no [prof.*] series at
-   all.  Sites keep their instruments in a mutable cache; the registry's
-   idempotent [register] makes the racy first-fill benign under parallel
-   exploration workers. *)
+   all.  Sites cache their instruments in an Atomic: parallel exploration
+   workers may race the first fill, so the winner is published by
+   compare-and-set and losers adopt it (the registry's idempotent
+   [register] hands every contender the same histograms anyway). *)
 
 let enabled =
   Atomic.make
@@ -23,13 +24,13 @@ type instruments = {
   major_collections : Metrics.histogram;
 }
 
-type site = { name : string; mutable inst : instruments option }
+type site = { name : string; inst : instruments option Atomic.t }
 
-let site name = { name; inst = None }
+let site name = { name; inst = Atomic.make None }
 let name s = s.name
 
 let instruments s =
-  match s.inst with
+  match Atomic.get s.inst with
   | Some i -> i
   | None ->
     let h suffix help =
@@ -41,8 +42,8 @@ let instruments s =
         promoted_words = h "promoted_words" "words promoted to the major heap during the phase";
         major_collections = h "major_collections" "major collections finished during the phase" }
     in
-    s.inst <- Some i;
-    i
+    if Atomic.compare_and_set s.inst None (Some i) then i
+    else Option.get (Atomic.get s.inst)
 
 let record s t0 (g0 : Gc.stat) =
   let t1 = Span.now_us () in

@@ -16,8 +16,11 @@ dune build @check-obs @check-net @check-par --force
 # check_trace (causal structure must close).
 dune build @check-span --force
 
-# Static analysis: the tree must lint clean (both tiers), and the linter
-# itself must keep finding the seeded fixture violations.
+# Static analysis: the tree must lint clean across all three tiers —
+# syntactic, typed poly-compare, and the whole-program domain-safety race
+# check — and the linter itself must keep finding the seeded fixture
+# violations (including the deliberately-racy Tier C tree in
+# test/lintfix, pinned by kind and line through check_lint --tierc).
 dune build @lint @check-lint --force
 
 # Profiling is opt-in: the same run with and without --profile/WB_PROF=1,

@@ -1,8 +1,13 @@
-(* Validate the wblint --json artifact that the @check-lint alias produces
-   from the fixture tree: exact per-rule finding counts, no findings
-   outside the pinned rules, and the coverage counters.  Companion to
-   check_trace.ml; keep the numbers in sync with test_lint.ml's
-   [expected_fixture_counts]. *)
+(* Validate the wblint --json artifacts the @check-lint alias produces,
+   re-read with the independent Wb_obs.Json parser.
+
+   Default mode pins the Tier A artifact from the fixture tree: exact
+   per-rule finding counts, no findings outside the pinned rules, and the
+   coverage counters.  [--tierc] pins the whole-program domain-safety
+   artifact from test/lintfix: per-kind counts (escape,
+   lockset-inconsistency, unguarded-toplevel must each fire), the typed
+   coverage, and the domain_safety stats object.  Companion to
+   check_trace.ml; keep the numbers in sync with test_lint.ml. *)
 
 module J = Wb_obs.Json
 
@@ -13,6 +18,14 @@ let expected =
     ("interface-coverage", 2);
     ("lint-allow", 2) ]
 
+(* rule, kind, count — keep in sync with test_lint.ml's [expected_tierc]
+   and the fixture headers under test/lintfix. *)
+let expected_tierc =
+  [ ("poly-compare", "", 2);
+    ("domain-safety", "escape", 2);
+    ("domain-safety", "lockset-inconsistency", 1);
+    ("domain-safety", "unguarded-toplevel", 1) ]
+
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("check_lint: " ^ s); exit 1) fmt
 
 let read_file path =
@@ -21,23 +34,38 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let () =
-  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else fail "usage: check_lint FILE.json" in
-  let json =
-    match J.of_string (read_file path) with
-    | Ok j -> j
-    | Error e -> fail "%s does not parse as JSON: %s" path e
-  in
-  let findings =
-    match J.to_list (J.get "findings" json) with
-    | Some l -> l
-    | None -> fail "%s: findings is not a list" path
-  in
-  let rule_of f =
-    match J.member "rule" f with
-    | Some (J.String s) -> s
-    | _ -> fail "%s: finding without a rule field" path
-  in
+let load path =
+  match J.of_string (read_file path) with
+  | Ok j -> j
+  | Error e -> fail "%s does not parse as JSON: %s" path e
+
+let findings_of path json =
+  match J.to_list (J.get "findings" json) with
+  | Some l -> l
+  | None -> fail "%s: findings is not a list" path
+
+let field name path f =
+  match J.member name f with
+  | Some (J.String s) -> s
+  | _ -> fail "%s: finding without a %s field" path name
+
+let check_version path json =
+  match J.to_int (J.get "version" json) with
+  | Some 2 -> ()
+  | Some n -> fail "%s: report version: expected 2, got %d" path n
+  | None -> fail "%s: report version missing" path
+
+let check_int name want path json =
+  match J.to_int (J.get name json) with
+  | Some n when n = want -> ()
+  | Some n -> fail "%s: %s: expected %d, got %d" path name want n
+  | None -> fail "%s: %s missing" path name
+
+let check_tier_a path =
+  let json = load path in
+  check_version path json;
+  let findings = findings_of path json in
+  let rule_of = field "rule" path in
   List.iter
     (fun (rule, n) ->
       let got = List.length (List.filter (fun f -> String.equal (rule_of f) rule) findings) in
@@ -46,8 +74,53 @@ let () =
   let total = List.length findings in
   let sum = List.fold_left (fun a (_, n) -> a + n) 0 expected in
   if total <> sum then fail "%d findings outside the pinned rules" (total - sum);
-  (match J.to_int (J.get "files_scanned" json) with
-  | Some 7 -> ()
-  | Some n -> fail "files_scanned: expected 7, got %d" n
-  | None -> fail "files_scanned missing");
+  check_int "files_scanned" 7 path json;
+  total
+
+let check_tier_c path =
+  let json = load path in
+  check_version path json;
+  let findings = findings_of path json in
+  let kind_of f = match J.member "kind" f with Some (J.String k) -> k | _ -> "" in
+  let rule_of = field "rule" path in
+  List.iter
+    (fun (rule, kind, n) ->
+      let got =
+        List.length
+          (List.filter
+             (fun f -> String.equal (rule_of f) rule && String.equal (kind_of f) kind)
+             findings)
+      in
+      if got <> n then
+        fail "rule %s%s: expected %d findings, got %d" rule
+          (if kind = "" then "" else "/" ^ kind)
+          n got)
+    expected_tierc;
+  let total = List.length findings in
+  let sum = List.fold_left (fun a (_, _, n) -> a + n) 0 expected_tierc in
+  if total <> sum then fail "%d findings outside the pinned rule/kinds" (total - sum);
+  (* every fixture source must have typed coverage, or Tier C saw nothing *)
+  check_int "files_scanned" 5 path json;
+  check_int "files_typed" 5 path json;
+  let stats =
+    match J.member "domain_safety" json with
+    | Some s -> s
+    | None -> fail "%s: domain_safety stats object missing" path
+  in
+  check_int "units" 5 path stats;
+  (* racy_ref.hits, suppressed_ok.scratch, lockset_tables.counts,
+     dls_clean.log, and lint_fixture's record-keyed table *)
+  check_int "mutable_entries" 5 path stats;
+  check_int "spawn_sites" 4 path stats;
+  check_int "suppressed" 1 path stats;
+  total
+
+let () =
+  let tierc, path =
+    match Array.to_list Sys.argv with
+    | [ _; "--tierc"; p ] -> (true, p)
+    | [ _; p ] -> (false, p)
+    | _ -> fail "usage: check_lint [--tierc] FILE.json"
+  in
+  let total = if tierc then check_tier_c path else check_tier_a path in
   Printf.printf "check_lint: %s ok — %d findings, all accounted for\n" path total

@@ -1,0 +1,27 @@
+(* Tier C fixture, negative case: every idiom the domain-safety rule
+   blesses — Domain.DLS for domain-local state, Atomic.t for shared
+   counters, and one consistent with_lock lock for a shared table.
+   Expected: ZERO findings. *)
+
+let slot : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let total = Atomic.make 0
+
+let guard = Mutex.create ()
+
+let log : (string, int) Hashtbl.t = Hashtbl.create 4
+
+let note k v = Wb_support.Sync.with_lock guard (fun () -> Hashtbl.replace log k v)
+
+let read k = Wb_support.Sync.with_lock guard (fun () -> Hashtbl.find_opt log k)
+
+let run () =
+  let d =
+    Domain.spawn (fun () ->
+        Domain.DLS.set slot 1;
+        Atomic.incr total;
+        note "worker" (Domain.DLS.get slot))
+  in
+  let seen = read "worker" in
+  Domain.join d;
+  (Atomic.get total, seen)

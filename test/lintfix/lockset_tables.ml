@@ -1,0 +1,22 @@
+(* Tier C fixture: a lockset-inconsistent Hashtbl — every access is locked,
+   but not by the SAME lock, so two critical sections can interleave on the
+   table.  Expected: lockset-inconsistency at the [counts] definition
+   (line 10) and an escape finding at the spawn (line 19). *)
+
+let lock_a = Mutex.create ()
+
+let lock_b = Mutex.create ()
+
+let counts : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let put k v =
+  Wb_support.Sync.with_lock lock_a (fun () -> Hashtbl.replace counts k v)
+
+let get k =
+  Wb_support.Sync.with_lock lock_b (fun () -> Hashtbl.find_opt counts k)
+
+let run () =
+  let d = Domain.spawn (fun () -> put "x" 1) in
+  let v = get "x" in
+  Domain.join d;
+  v

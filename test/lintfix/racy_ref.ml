@@ -1,0 +1,15 @@
+(* Tier C fixture: an unguarded ref escaping Domain.spawn.  test_lint.ml
+   and the @check-lint gate assert findings by LINE NUMBER — keep the
+   layout stable or repin.
+
+   Expected: unguarded-toplevel at the [hits] definition (line 8) and an
+   escape finding at the spawn (line 13). *)
+
+let hits = ref 0
+
+let bump () = hits := !hits + 1
+
+let run () =
+  let d = Domain.spawn (fun () -> bump ()) in
+  Domain.join d;
+  !hits

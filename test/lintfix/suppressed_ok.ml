@@ -1,0 +1,17 @@
+(* Tier C fixture: an entry-level [@@wb.lint.allow "domain-safety: ..."]
+   exempts the binding from the catalog — no finding at the definition and
+   no escape finding naming it — and counts as a USED suppression (no
+   lint-allow complaint).  Expected: zero findings from this module. *)
+
+let scratch =
+  ref 0
+[@@wb.lint.allow
+  "domain-safety: fixture - written by exactly one domain by construction; \
+   proves entry-level suppression is honoured and marked used"]
+
+let poke () = scratch := !scratch + 1
+
+let run () =
+  let d = Domain.spawn (fun () -> poke ()) in
+  Domain.join d;
+  !scratch

@@ -6,10 +6,12 @@
    line numbers.  The driver-level project checks (interface coverage,
    unused suppressions) run over throwaway trees on disk, the fixture
    tree under test/lint/fixtures is linted whole and its per-rule counts
-   pinned, and the typed tier is fed the real .cmt dune builds for
-   test/lintfix/lint_fixture.ml — so "Tier B reads what the compiler
-   wrote" is itself under test.  Last, the JSON projection round-trips
-   through the independent Wb_obs.Json parser. *)
+   pinned, and the typed tiers are fed the real .cmts dune builds for
+   test/lintfix — Tier B on lint_fixture.ml, the whole-program Tier C
+   domain-safety solve on the lint_fixture_domain library — so "the
+   typed tiers read what the compiler wrote" is itself under test.
+   Last, the JSON and SARIF projections round-trip through the
+   independent Wb_obs.Json parser. *)
 
 module L = Wb_lint
 
@@ -217,6 +219,135 @@ let test_typed_fixture () =
             (contains f.message "Hashtbl.find_opt"))
       findings
 
+(* ---- tier C: whole-program domain-safety over real .cmts ---------------- *)
+
+(* The deliberately-racy fixture library's .cmts (dune builds them as test
+   deps).  The pipeline below is the same one Driver.run wires: per-unit
+   catalog + escape state while each .cmt's load path is active, then
+   wrappers over all units, then the global solve. *)
+let domain_cmt unit =
+  Printf.sprintf "lintfix/.lint_fixture_domain.objs/byte/lint_fixture_domain__%s.cmt" unit
+
+let domain_units = [ "Dls_clean"; "Lockset_tables"; "Racy_ref"; "Suppressed_ok" ]
+
+let tierc_solve () =
+  let retained =
+    List.map
+      (fun unit ->
+        let path = domain_cmt unit in
+        match L.Typed.read path with
+        | Error e -> Alcotest.failf "cannot read %s: %s" path e
+        | Ok cmt ->
+          let str =
+            match L.Typed.structure_of cmt with
+            | Some s -> s
+            | None -> Alcotest.failf "%s: not an implementation" path
+          in
+          L.Typed.init_load_path ~load_root:".." cmt;
+          let unit_path = L.Catalog.canon [ "Lint_fixture_domain__" ^ unit ] in
+          let ctx = L.Allow.create () in
+          let source = Option.value cmt.L.Typed.source ~default:path in
+          let info = L.Catalog.scan ~ctx ~unit_path ~source str in
+          let st = L.Escape.state_of ~unit_path str in
+          (unit, ctx, unit_path, str, st, info))
+      domain_units
+  in
+  let wrappers =
+    List.concat_map
+      (fun (_, _, unit_path, str, st, _) -> L.Escape.wrappers_of ~st ~unit_path str)
+      retained
+  in
+  let wrapper_tbl = Hashtbl.create 4 in
+  List.iter (fun (n, l) -> Hashtbl.replace wrapper_tbl n l) wrappers;
+  let summaries, spawns, unresolved =
+    List.fold_left
+      (fun (sums, sps, unres) (unit, ctx, unit_path, str, st, _) ->
+        let s, sp, u =
+          L.Escape.summarize ~st ~wrappers:wrapper_tbl ~ctx
+            ~source:("test/lintfix/" ^ String.lowercase_ascii unit ^ ".ml")
+            ~unit_path str
+        in
+        (s @ sums, sp @ sps, u + unres))
+      ([], [], 0) retained
+  in
+  let findings, stats =
+    L.Locks.solve
+      { L.Locks.catalog = List.map (fun (_, ctx, _, _, _, info) -> (info, ctx)) retained;
+        all_summaries = summaries;
+        all_spawns = spawns;
+        wrappers;
+        unresolved }
+  in
+  (retained, findings, stats)
+
+(* Keep in sync with the fixture layouts (each pins its lines in a header
+   comment) and with the @check-lint Tier C gate in the root dune file. *)
+let expected_tierc =
+  [ ("lockset_tables.ml", L.Locks.kind_lockset, 10);
+    ("lockset_tables.ml", L.Locks.kind_escape, 19);
+    ("racy_ref.ml", L.Locks.kind_unguarded, 8);
+    ("racy_ref.ml", L.Locks.kind_escape, 13) ]
+
+let test_tierc_findings () =
+  let _, findings, _ = tierc_solve () in
+  List.iter
+    (fun (f : L.Finding.t) ->
+      Alcotest.(check string) "every Tier C finding carries the rule"
+        L.Rules.domain_safety f.rule)
+    findings;
+  Alcotest.(check (list (triple string string int)))
+    "exactly the seeded races, by kind and line"
+    expected_tierc
+    (List.map
+       (fun (f : L.Finding.t) -> (Filename.basename f.file, f.kind, f.line))
+       findings);
+  List.iter
+    (fun (f : L.Finding.t) ->
+      match (Filename.basename f.file, f.kind) with
+      | "lockset_tables.ml", k when String.equal k L.Locks.kind_lockset ->
+        Alcotest.(check bool) "lockset finding names both locks" true
+          (contains f.message "lock_a" && contains f.message "lock_b")
+      | "lockset_tables.ml", _ ->
+        Alcotest.(check bool) "escape finding shows the call path" true
+          (contains f.message "via Lint_fixture_domain.Lockset_tables.put")
+      | "racy_ref.ml", k when String.equal k L.Locks.kind_unguarded ->
+        Alcotest.(check bool) "unguarded finding names the access site" true
+          (contains f.message "Racy_ref.bump")
+      | _ ->
+        Alcotest.(check bool) "escape finding names the entry" true
+          (contains f.message "`Lint_fixture_domain.Racy_ref.hits`"))
+    findings
+
+let test_tierc_negatives () =
+  let _, findings, _ = tierc_solve () in
+  List.iter
+    (fun (f : L.Finding.t) ->
+      Alcotest.(check bool)
+        "DLS + Atomic + one consistent lock stays silent; the suppressed \
+         ref stays silent" false
+        (contains f.message "Dls_clean" || contains f.message "Suppressed_ok"))
+    findings
+
+let test_tierc_stats () =
+  let _, _, (s : L.Locks.stats) = tierc_solve () in
+  Alcotest.(check int) "four units analysed" 4 s.units;
+  (* hits, counts, log, scratch: the annotated Hashtbls must be seen too
+     ([let x : ty = e] binds through Tpat_alias, not Tpat_var). *)
+  Alcotest.(check int) "four shared-mutable entries" 4 s.entries_mutable;
+  Alcotest.(check int) "one suppressed raceable entry" 1 s.entries_suppressed;
+  Alcotest.(check int) "four spawn sites" 4 s.spawn_sites;
+  Alcotest.(check int) "every qualified reference canonicalised" 0
+    s.unresolved_refs
+
+let test_tierc_suppression_used () =
+  let retained, _, _ = tierc_solve () in
+  List.iter
+    (fun (unit, ctx, _, _, _, _) ->
+      Alcotest.(check int)
+        (unit ^ ": consumed suppressions are not reported unused") 0
+        (List.length (L.Allow.unused_findings ~typed_ran:true ctx)))
+    retained
+
 (* ---- output projections ------------------------------------------------- *)
 
 let test_json_roundtrip () =
@@ -224,6 +355,19 @@ let test_json_roundtrip () =
   match Wb_obs.Json.of_string (Wb_obs.Json.to_string (L.Driver.to_json r)) with
   | Error e -> Alcotest.failf "report JSON does not re-parse: %s" e
   | Ok parsed ->
+    (match Wb_obs.Json.to_int (Wb_obs.Json.get "version" parsed) with
+    | Some 2 -> ()
+    | v -> Alcotest.failf "report version: expected 2, got %s"
+             (match v with Some n -> string_of_int n | None -> "none"));
+    (match Wb_obs.Json.to_list (Wb_obs.Json.get "findings" parsed) with
+    | Some _ -> ()
+    | None -> Alcotest.fail "findings is not a list");
+    (* per-rule wall time: at least the syntactic pass must be timed *)
+    (match Wb_obs.Json.member "timings_us" parsed with
+    | Some (Wb_obs.Json.Obj kvs) ->
+      Alcotest.(check bool) "syntactic pass timed" true
+        (List.mem_assoc "syntactic" kvs)
+    | _ -> Alcotest.fail "timings_us is not an object");
     let raw =
       match Wb_obs.Json.to_list (Wb_obs.Json.get "findings" parsed) with
       | Some l -> l
@@ -236,6 +380,39 @@ let test_json_roundtrip () =
       (fun a b ->
         Alcotest.(check int) "structurally identical" 0 (L.Finding.compare a b))
       r.findings back
+
+let test_sarif () =
+  let r = L.Driver.run ~roots:[ fixture_root ] () in
+  match Wb_obs.Json.of_string (Wb_obs.Json.to_string (L.Driver.to_sarif r)) with
+  | Error e -> Alcotest.failf "SARIF does not re-parse: %s" e
+  | Ok sarif ->
+    (match Wb_obs.Json.member "version" sarif with
+    | Some (Wb_obs.Json.String "2.1.0") -> ()
+    | _ -> Alcotest.fail "SARIF version must be 2.1.0");
+    let run0 =
+      match Wb_obs.Json.to_list (Wb_obs.Json.get "runs" sarif) with
+      | Some [ r ] -> r
+      | _ -> Alcotest.fail "SARIF must carry exactly one run"
+    in
+    (match
+       Wb_obs.Json.member "name"
+         (Wb_obs.Json.get "driver" (Wb_obs.Json.get "tool" run0))
+     with
+    | Some (Wb_obs.Json.String "wblint") -> ()
+    | _ -> Alcotest.fail "tool.driver.name must be wblint");
+    let results =
+      match Wb_obs.Json.to_list (Wb_obs.Json.get "results" run0) with
+      | Some l -> l
+      | None -> Alcotest.fail "results is not a list"
+    in
+    Alcotest.(check int) "one SARIF result per finding"
+      (List.length r.findings) (List.length results);
+    List.iter
+      (fun res ->
+        match Wb_obs.Json.member "ruleId" res with
+        | Some (Wb_obs.Json.String _) -> ()
+        | _ -> Alcotest.fail "every result carries a ruleId")
+      results
 
 let test_to_string () =
   match lint ~path:"lib/core/foo.ml" "let x () = Random.int 3\n" with
@@ -259,6 +436,13 @@ let suites =
         Alcotest.test_case "fixture tree counts" `Quick test_fixture_tree ] );
     ( "lint.typed",
       [ Alcotest.test_case "seeded .cmt findings" `Quick test_typed_fixture ] );
+    ( "lint.domain-safety",
+      [ Alcotest.test_case "seeded races, by kind and line" `Quick test_tierc_findings;
+        Alcotest.test_case "blessed idioms stay silent" `Quick test_tierc_negatives;
+        Alcotest.test_case "whole-program stats" `Quick test_tierc_stats;
+        Alcotest.test_case "entry suppression is consumed" `Quick
+          test_tierc_suppression_used ] );
     ( "lint.output",
       [ Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+        Alcotest.test_case "sarif projection" `Quick test_sarif;
         Alcotest.test_case "to_string format" `Quick test_to_string ] ) ]
