@@ -32,7 +32,19 @@ let best_of k f =
   in
   go (k - 1) (time f)
 
-let instance rep ~reps ~jobs_list ~name ~protocol ~graph ~check =
+let verify_fields (v : P.Engine.verification) =
+  [ ("states", J.Int v.P.Engine.states);
+    ("finals", J.Int v.P.Engine.finals);
+    ("dedup_hits", J.Int v.P.Engine.dedup_hits);
+    ("orbit_collapses", J.Int v.P.Engine.orbit_collapses);
+    ("steals", J.Int v.P.Engine.steals);
+    ("group_order", J.Int v.P.Engine.group_order);
+    ("dedup", J.Bool v.P.Engine.dedup) ]
+
+(* [min_ratio] asserts the canonical explorer's superlinear win: visited
+   configurations (interior + final) must undercut the enumerator's
+   execution count by at least that factor — the ISSUE 9 acceptance bar. *)
+let instance rep ~reps ~jobs_list ?min_ratio ~name ~protocol ~graph ~check () =
   let seq, seq_s = best_of reps (fun () -> P.Engine.explore_packed protocol graph check) in
   let seq_ok, seq_count =
     match seq with
@@ -56,8 +68,26 @@ let instance rep ~reps ~jobs_list ~name ~protocol ~graph ~check =
         (jobs, par_s))
       jobs_list
   in
+  let ver, ver_s = best_of reps (fun () -> P.Engine.verify_packed protocol graph check) in
+  let v =
+    match ver with
+    | Ok v -> v
+    | Error (`Limit _) -> failwith (name ^ ": canonical exploration hit the limit")
+  in
+  if v.P.Engine.valid <> seq_ok then failwith (name ^ ": canonical verdict diverged");
+  (match min_ratio with
+  | Some r when v.P.Engine.dedup ->
+    let visited = v.P.Engine.states + v.P.Engine.finals in
+    if visited * r > seq_count then
+      failwith
+        (Printf.sprintf "%s: dedup visited %d configurations, more than 1/%d of %d executions"
+           name visited r seq_count)
+  | Some _ -> failwith (name ^ ": min_ratio set but the traits forced enumerative fallback")
+  | None -> ());
   Printf.printf "%-24s %7d execs  seq %8.4fs" name seq_count seq_s;
   List.iter (fun (jobs, s) -> Printf.printf "  j%d %8.4fs (x%.2f)" jobs s (seq_s /. s)) par_rows;
+  if v.P.Engine.dedup then
+    Printf.printf "  canon %d+%d cfgs %8.4fs" v.P.Engine.states v.P.Engine.finals ver_s;
   print_newline ();
   Report.add_row rep ~name
     ([ ("executions", J.Int seq_count);
@@ -67,7 +97,8 @@ let instance rep ~reps ~jobs_list ~name ~protocol ~graph ~check =
         (fun (jobs, s) ->
           [ (Printf.sprintf "par%d_s" jobs, J.Float s);
             (Printf.sprintf "speedup%d" jobs, J.Float (seq_s /. s)) ])
-        par_rows)
+        par_rows
+    @ (("verify_s", J.Float ver_s) :: verify_fields v))
 
 let succeeds_validly problem g =
   fun (r : P.Engine.run) ->
@@ -97,16 +128,40 @@ let run ?(seed = 2012) ?(fast = false) ?out () =
      succeeds under every schedule. *)
   let odd = G.Graph.of_edges 5 [ (0, 1); (0, 2); (1, 2); (1, 3); (3, 4) ] in
   instance ~name:"bfs-bipartite/odd-witness" ~protocol:Wb_protocols.Bfs_bipartite_async.protocol
-    ~graph:odd ~check:all_deadlock;
+    ~graph:odd ~check:all_deadlock ();
   let c6 = G.Gen.cycle 6 in
   instance ~name:"bfs-bipartite/C6" ~protocol:Wb_protocols.Bfs_bipartite_async.protocol ~graph:c6
-    ~check:(succeeds_validly P.Problems.Bfs c6);
+    ~check:(succeeds_validly P.Problems.Bfs c6) ();
   let k6 = G.Gen.complete 6 in
   instance ~name:"mis/K6" ~protocol:(Wb_protocols.Mis_simsync.protocol ~root:0) ~graph:k6
-    ~check:(succeeds_validly (P.Problems.Rooted_mis 0) k6);
+    ~check:(succeeds_validly (P.Problems.Rooted_mis 0) k6) ();
+  (* The ISSUE 9 acceptance cell: 6! = 720 write orders collapse to the 64
+     board subsets plus symmetry — the >= 10x bar aborts the bench if the
+     canonical explorer regresses. *)
+  instance ~name:"build-naive/K6" ~min_ratio:10 ~protocol:Wb_protocols.Build_naive.protocol
+    ~graph:k6
+    ~check:(succeeds_validly P.Problems.Build k6) ();
   if not fast then begin
     let k7 = G.Gen.complete 7 in
     instance ~name:"build-naive/K7" ~protocol:Wb_protocols.Build_naive.protocol ~graph:k7
-      ~check:(succeeds_validly P.Problems.Build k7)
+      ~check:(succeeds_validly P.Problems.Build k7) ()
   end;
+  (* Headline: exhaustive K8 is out of reach for the enumerator (8! = 40320
+     schedules per subset ordering) but instant canonically — Aut(K8) = S_8
+     collapses the tree to one canonical schedule.  Verify-only cell. *)
+  let k8 = G.Gen.complete 8 in
+  let t0 = Unix.gettimeofday () in
+  (match
+     P.Engine.verify_packed Wb_protocols.Build_naive.protocol k8
+       (succeeds_validly P.Problems.Build k8)
+   with
+  | Error (`Limit _) -> failwith "build-naive/K8: canonical exploration hit the limit"
+  | Ok v ->
+    let ver_s = Unix.gettimeofday () -. t0 in
+    if not v.P.Engine.valid then failwith "build-naive/K8: verdict is invalid";
+    if not v.P.Engine.dedup then failwith "build-naive/K8: expected the canonical path";
+    Printf.printf "%-24s verify-only  canon %d+%d cfgs %8.4fs  (|Aut| = %d)\n" "build-naive/K8"
+      v.P.Engine.states v.P.Engine.finals ver_s v.P.Engine.group_order;
+    Report.add_row rep ~name:"build-naive/K8"
+      ([ ("all_valid", J.Bool v.P.Engine.valid); ("verify_s", J.Float ver_s) ] @ verify_fields v));
   Report.write ?out rep

@@ -484,8 +484,32 @@ let explore_cmd =
              streams spans into its own flight-recorder ring, stitched into one Catapult file \
              (routes through the parallel explorer even at --jobs 1)")
   in
+  let no_dedup_arg =
+    Arg.(
+      value & flag
+      & info [ "no-dedup" ]
+          ~doc:
+            "Force plain schedule enumeration, bypassing canonical-state dedup and symmetry \
+             reduction even for protocols that declare them sound (the CI differential diffs \
+             this against the default path)")
+  in
+  let quiet_arg =
+    Arg.(
+      value & flag
+      & info [ "quiet" ]
+          ~doc:"Print only the verdict line — identical across the dedup and --no-dedup paths")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print the canonical-exploration counters (dedup hits, orbit collapses, steals, \
+             visited-table occupancy) from the metrics registry after the run")
+  in
   let explore_ring_capacity = 65536 in
-  let run key family n p seed metrics_json sample sample_out jobs trace_out profile =
+  let run key family n p seed metrics_json sample sample_out jobs trace_out no_dedup quiet stats
+      profile =
     apply_profile profile;
     with_entry key (fun e ->
         let g = make_graph ~family ~n ~p ~seed in
@@ -525,21 +549,28 @@ let explore_cmd =
           | P.Engine.Success a -> P.Problems.valid_answer problem g a
           | _ -> false
         in
-        let result =
-          if jobs > 1 || Option.is_some shards then
-            P.Engine.explore_par_packed ?shards ~jobs e.protocol g check
-          else P.Engine.explore_packed ?trace:sink e.protocol g check
+        (* Tracing observes individual executions, so it routes through the
+           enumerative explorers; the canonical explorer visits each
+           configuration once and has no per-execution event stream. *)
+        let naive = no_dedup || sample <> None || Option.is_some shards in
+        let print_stats () =
+          if stats then begin
+            let c name = Obs.Metrics.counter_value (Obs.Metrics.counter name) in
+            let gv name = Obs.Metrics.gauge_value (Obs.Metrics.gauge name) in
+            Printf.printf "dedup hits:      %d\n" (c "explore.dedup_hits");
+            Printf.printf "orbit collapses: %d\n" (c "explore.orbit_collapses");
+            Printf.printf "steals:          %d\n" (c "explore.steals");
+            Printf.printf "states claimed:  %d\n" (c "explore.states");
+            let slots = gv "explore.table_slots" in
+            let used = gv "explore.table_used" in
+            Printf.printf "table occupancy: %d/%d%s\n" used slots
+              (if slots > 0 then Printf.sprintf " (%.1f%%)" (100. *. float used /. float slots)
+               else "")
+          end
         in
-        Option.iter Obs.Trace.close sink;
-        Option.iter close_out oc;
-        match result with
-        | Error (`Limit limit) ->
-          Printf.eprintf "wbctl: exploration exceeded the execution limit (%d)\n" limit;
-          exit 2
-        | Ok (ok, count) ->
-          Printf.printf "schedules explored: %d   all valid: %b\n" count ok;
-          if sample <> None then Printf.printf "sampled trace: %s\n" sample_out;
-          (match (trace_out, shards) with
+        let finish_trace () =
+          if sample <> None && not quiet then Printf.printf "sampled trace: %s\n" sample_out;
+          match (trace_out, shards) with
           | Some file, Some rings ->
             Array.iteri
               (fun k r ->
@@ -553,14 +584,55 @@ let explore_cmd =
                  (Array.mapi
                     (fun k r -> (Printf.sprintf "domain-%d" k, Obs.Trace.Ring.to_list r))
                     rings))
-          | _ -> ());
-          write_metrics_json metrics_json)
+          | _ -> ()
+        in
+        if naive then begin
+          let result =
+            if jobs > 1 || Option.is_some shards then
+              P.Engine.explore_par_packed ?shards ~jobs e.protocol g check
+            else P.Engine.explore_packed ?trace:sink e.protocol g check
+          in
+          Option.iter Obs.Trace.close sink;
+          Option.iter close_out oc;
+          match result with
+          | Error (`Limit limit) ->
+            Printf.eprintf "wbctl: exploration exceeded the execution limit (%d)\n" limit;
+            exit 2
+          | Ok (ok, count) ->
+            if quiet then Printf.printf "all valid: %b\n" ok
+            else Printf.printf "schedules explored: %d   all valid: %b\n" count ok;
+            finish_trace ();
+            print_stats ();
+            write_metrics_json metrics_json
+        end
+        else begin
+          match P.Engine.verify_packed ~jobs e.protocol g check with
+          | Error (`Limit limit) ->
+            Printf.eprintf "wbctl: exploration exceeded the configuration limit (%d)\n" limit;
+            exit 2
+          | Ok v ->
+            Printf.printf "all valid: %b\n" v.P.Engine.valid;
+            if not quiet then
+              if v.P.Engine.dedup then
+                Printf.printf
+                  "configurations: %d interior + %d final   dedup hits: %d   orbit collapses: %d \
+                   (|Aut| = %d)\n"
+                  v.P.Engine.states v.P.Engine.finals v.P.Engine.dedup_hits
+                  v.P.Engine.orbit_collapses v.P.Engine.group_order
+              else Printf.printf "schedules explored: %d (no confluence promise)\n" v.P.Engine.finals;
+            print_stats ();
+            write_metrics_json metrics_json
+        end)
   in
   Cmd.v
-    (Cmd.info "explore" ~doc:"Check a protocol under every adversarial schedule (small n!)")
+    (Cmd.info "explore"
+       ~doc:
+         "Check a protocol under every adversarial schedule — canonical-state dedup and symmetry \
+          reduction by default where the protocol's traits allow, plain enumeration otherwise")
     Term.(
       const run $ key_arg $ family_arg $ n_arg $ p_arg $ seed_arg $ metrics_json_arg $ sample_arg
-      $ sample_out_arg $ jobs_arg $ trace_out_arg $ profile_arg)
+      $ sample_out_arg $ jobs_arg $ trace_out_arg $ no_dedup_arg $ quiet_arg $ stats_arg
+      $ profile_arg)
 
 (* ---- networked whiteboard (wb_net) ----------------------------------- *)
 

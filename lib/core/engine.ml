@@ -36,6 +36,28 @@ let m_explore_execs =
 
 let () = Obs.Metrics.probe ~help:"total 64-bit PRNG draws" "prng.draws" Wb_support.Prng.total_draws
 
+(* Canonical-exploration counters (ISSUE 9): cumulative across verify calls,
+   surfaced by `wbctl explore --stats` and the explore bench. *)
+let m_dedup_hits =
+  Obs.Metrics.counter ~help:"schedule prefixes merged into an already-visited configuration"
+    "explore.dedup_hits"
+
+let m_orbit =
+  Obs.Metrics.counter ~help:"candidate writes pruned to symmetry-orbit representatives"
+    "explore.orbit_collapses"
+
+let m_steals = Obs.Metrics.counter ~help:"exploration tasks stolen between workers" "explore.steals"
+
+let m_states =
+  Obs.Metrics.counter ~help:"distinct configurations claimed by the canonical explorer"
+    "explore.states"
+
+let m_table_slots =
+  Obs.Metrics.gauge ~help:"visited-table slot capacity of the last verify" "explore.table_slots"
+
+let m_table_used =
+  Obs.Metrics.gauge ~help:"visited-table entries of the last verify" "explore.table_used"
+
 (* Profiling sites (zero-cost unless Wb_obs.Prof is enabled), shared by
    every Engine.Make instantiation like the metrics above. *)
 let prof_run = Obs.Prof.site "engine.run"
@@ -43,6 +65,17 @@ let prof_worker = Obs.Prof.site "explore.worker"
 let prof_task = Obs.Prof.site "explore.task"
 
 exception Limit_exceeded
+
+type verification = {
+  valid : bool;
+  states : int;
+  finals : int;
+  dedup_hits : int;
+  orbit_collapses : int;
+  steals : int;
+  group_order : int;
+  dedup : bool;
+}
 
 module Make (P : Protocol.S) = struct
   module N = struct
@@ -182,22 +215,44 @@ module Make (P : Protocol.S) = struct
       | `Choices (_, candidates) -> List.map (fun v -> prefix @ [ v ]) candidates
     in
     let target = jobs * 4 in
-    let rec grow depth frontier =
-      if Atomic.get over || depth >= 8 || List.length frontier >= target then frontier
-      else
-        match List.concat_map expand_one frontier with
+    (* The frontier size is threaded through the recursion (it was a
+       List.length per level, O(frontier) each expansion). *)
+    let rec grow depth count frontier =
+      if Atomic.get over || depth >= 8 || count >= target then frontier
+      else begin
+        let next_count = ref 0 in
+        let next =
+          List.concat_map
+            (fun p ->
+              let children = expand_one p in
+              next_count := !next_count + List.length children;
+              children)
+            frontier
+        in
+        match next with
         | [] -> []
-        | next -> grow (depth + 1) next
+        | next -> grow (depth + 1) !next_count next
+      end
     in
-    let items = Array.of_list (grow 0 [ [] ]) in
+    let items = Array.of_list (grow 0 1 [ [] ]) in
     let results = Array.make (Array.length items) (true, 0) in
-    let next = Atomic.make 0 in
+    (* Per-domain Chase–Lev deques, seeded round-robin before any worker
+       spawns (Domain.spawn publishes the pushes).  An idle worker steals
+       from its neighbours instead of serialising every tiny task through
+       one shared counter; with static items the deques mostly give
+       owner-local LIFO traversal, and [outstanding] is the termination
+       barrier.  The per-item result slot keeps the merge deterministic
+       whichever domain ran the item. *)
+    let deques = Array.init jobs (fun _ -> Wb_support.Deque.create ()) in
+    Array.iteri (fun i prefix -> Wb_support.Deque.push deques.(i mod jobs) (i, prefix)) items;
+    let outstanding = Atomic.make (Array.length items) in
     (* Worker [k] streams into its own ring (single-writer, so the
        non-thread-safe Ring is fine) under a per-domain "worker" root span;
        every replayed machine then roots its "run" span below it.  The
        prefix-expansion phase above runs untraced — its completions are a
        jobs-independent implementation detail, not a worker's work. *)
     let worker k =
+      let dq = deques.(k) in
       let trace = Option.map (fun a -> Obs.Trace.Ring.sink a.(k)) shards in
       let wroot =
         match trace with
@@ -207,20 +262,40 @@ module Make (P : Protocol.S) = struct
           Some (tr, Obs.Span.start ~attrs:[ ("domain", string_of_int k) ] minter tr "worker")
       in
       let span = Option.map (fun (_, s) -> Obs.Span.context s) wroot in
-      let rec claim () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < Array.length items && not (Atomic.get over) then begin
-          (* The item index is globally unique across workers, so it salts
-             each replayed machine's minter below the shared worker span. *)
-          (match replay ?trace ?span ~salt:(i + 1) items.(i) with
-          | `Done _ -> assert false
-          | `Choices (m, _) ->
-            results.(i) <- Obs.Prof.phase prof_task (fun () -> walk_subtree m complete));
-          claim ()
-        end
+      let steals = ref 0 in
+      let process (i, prefix) =
+        (* The item index is globally unique across workers, so it salts
+           each replayed machine's minter below the shared worker span. *)
+        match replay ?trace ?span ~salt:(i + 1) prefix with
+        | `Done _ -> assert false
+        | `Choices (m, _) ->
+          results.(i) <- Obs.Prof.phase prof_task (fun () -> walk_subtree m complete)
       in
-      Obs.Prof.phase prof_worker (fun () ->
-          try claim () with Limit_exceeded -> ());
+      let rec loop () =
+        if not (Atomic.get over) then
+          match Wb_support.Deque.pop dq with
+          | Some item -> run_item item
+          | None -> scan 1
+      and run_item item =
+        (match process item with () -> () | exception Limit_exceeded -> ());
+        Atomic.decr outstanding;
+        loop ()
+      and scan d =
+        if d >= jobs then begin
+          if Atomic.get outstanding > 0 && not (Atomic.get over) then begin
+            Domain.cpu_relax ();
+            scan 1
+          end
+        end
+        else
+          match Wb_support.Deque.steal deques.((k + d) mod jobs) with
+          | Some item ->
+            incr steals;
+            run_item item
+          | None -> scan (d + 1)
+      in
+      Obs.Prof.phase prof_worker loop;
+      if !steals > 0 then Obs.Metrics.add m_steals !steals;
       match wroot with None -> () | Some (tr, s) -> Obs.Span.finish tr s
     in
     let domains = List.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1))) in
@@ -240,6 +315,241 @@ module Make (P : Protocol.S) = struct
       in
       Ok (ok, count)
     end
+
+  (* Canonical exploration (ISSUE 9): depth-first over {e configurations}
+     rather than schedules.  Sound only under the protocol's declared
+     {!Protocol.Traits}: confluence lets two schedule prefixes reaching the
+     same {!M.digest} merge, and the optional symmetry promise lets a
+     sequential first phase prune candidate writes to stabilizer-orbit
+     representatives (prefix lex-leader: at a prefix whose stabilizer
+     subgroup is [H], a candidate [v] survives iff it is minimal in its
+     [H]-orbit; the child prefix keeps the point stabilizer of [v]).  Once
+     the stabilizer is trivial no further symmetry pruning is possible, so
+     running phase 1 sequentially loses nothing.
+
+     Determinism across [jobs]: a configuration is claimed in the shared
+     {!Wb_support.Cset} at {e discovery}, before expansion, so the claimed
+     set is exactly the reachability closure of the pruned schedule tree —
+     independent of which worker expands what and of the deque spill
+     heuristic.  [states], [finals], [dedup_hits] and the verdict are
+     therefore jobs-independent; [steals] alone is scheduling telemetry. *)
+  let verify ?(limit = 250_000) ?(symmetry = true) ?(jobs = 1) g check =
+    if jobs < 1 then invalid_arg "Engine.verify: jobs must be >= 1";
+    if not (P.traits.Protocol.Traits.confluent g) then
+      (* No confluence promise on this instance: fall back to plain
+         enumeration, reported with dedup = false. *)
+      match explore_par ~limit ~jobs g check with
+      | Error _ as e -> e
+      | Ok (ok, count) ->
+        Ok
+          {
+            valid = ok;
+            states = 0;
+            finals = count;
+            dedup_hits = 0;
+            orbit_collapses = 0;
+            steals = 0;
+            group_order = 1;
+            dedup = false;
+          }
+    else begin
+      let group =
+        if not symmetry then None
+        else
+          match P.traits.Protocol.Traits.symmetry_fixed with
+          | None -> None
+          | Some fixed_of -> (
+            match Wb_graph.Auto.automorphisms ~fixed:(fixed_of g) g with
+            | Some a when Array.length a > 1 -> Some a
+            | _ -> None)
+      in
+      let table = Wb_support.Cset.create ~limit () in
+      let states = Atomic.make 0 in
+      let finals = Atomic.make 0 in
+      let hits = Atomic.make 0 in
+      let collapses = ref 0 in
+      let valid = Atomic.make true in
+      let over = Atomic.make false in
+      let claim d =
+        match Wb_support.Cset.add table d with
+        | `Added -> true
+        | `Present ->
+          Atomic.incr hits;
+          false
+        | `Full ->
+          Atomic.set over true;
+          false
+      in
+      (* Drive a machine from a choice resolution (or from init) to its next
+         stable point; configurations are only digested there. *)
+      let rec settle m =
+        match M.step m with
+        | `Write _ -> settle m
+        | (`Choices _ | `Done _) as r -> r
+      in
+      let complete_final m run =
+        if claim (M.digest m) then begin
+          Atomic.incr finals;
+          Obs.Metrics.incr m_explore_execs;
+          if not (check run) then Atomic.set valid false
+        end
+      in
+      let m0 = M.init g in
+      let seeds = ref [] in
+      (* Phase 1 (sequential): expand while the stabilizer is nontrivial,
+         pruning candidates to orbit minima.  Prefixes whose stabilizer has
+         collapsed to the identity become seeds for the parallel phase. *)
+      let rec grow_sym stab rev_path =
+        match M.step m0 with
+        | `Write _ -> assert false (* settled before entry *)
+        | `Done _ -> assert false (* finals are claimed before recursing *)
+        | `Choices candidates ->
+          let kept =
+            List.filter
+              (fun v ->
+                Array.fold_left (fun acc p -> min acc p.(v)) v stab = v)
+              candidates
+          in
+          collapses := !collapses + (List.length candidates - List.length kept);
+          List.iter
+            (fun v ->
+              if not (Atomic.get over) then begin
+                let saved = M.snapshot m0 in
+                M.pick m0 v;
+                (match settle m0 with
+                | `Done run -> complete_final m0 run
+                | `Choices _ ->
+                  if claim (M.digest m0) then begin
+                    Atomic.incr states;
+                    let stab' = Array.of_list (List.filter (fun p -> p.(v) = v) (Array.to_list stab)) in
+                    if Array.length stab' > 1 then grow_sym stab' (v :: rev_path)
+                    else seeds := List.rev (v :: rev_path) :: !seeds
+                  end);
+                M.restore m0 saved
+              end)
+            kept
+      in
+      (match settle m0 with
+      | `Done run -> complete_final m0 run
+      | `Choices _ ->
+        if claim (M.digest m0) then begin
+          Atomic.incr states;
+          match group with
+          | Some stab -> grow_sym stab []
+          | None -> seeds := [ [] ]
+        end);
+      let seed_list = List.rev !seeds in
+      let steals_total = Atomic.make 0 in
+      (* Phase 2 (parallel): plain configuration-dedup DFS from each seed.
+         Workers expand depth-first on their own machine, spilling freshly
+         claimed configurations to their deque when it runs low so idle
+         workers can steal them. *)
+      if (not (Atomic.get over)) && seed_list <> [] then begin
+        let deques = Array.init jobs (fun _ -> Wb_support.Deque.create ()) in
+        List.iteri
+          (fun i prefix -> Wb_support.Deque.push deques.(i mod jobs) prefix)
+          seed_list;
+        let outstanding = Atomic.make (List.length seed_list) in
+        let worker k =
+          let dq = deques.(k) in
+          let steals = ref 0 in
+          let m = M.init g in
+          let root = M.snapshot m in
+          let feed prefix =
+            M.restore m root;
+            let rec go picks =
+              match (M.step m, picks) with
+              | `Write _, _ -> go picks
+              | `Choices _, v :: rest ->
+                M.pick m v;
+                go rest
+              | `Choices _, [] -> ()
+              | `Done _, _ -> assert false
+            in
+            go prefix
+          in
+          (* Expand the claimed configuration under the machine's current
+             choice point.  Children are claimed at discovery; a claimed
+             child is either recursed into or spilled for stealing. *)
+          let rec expand rev_path =
+            match M.step m with
+            | `Write _ | `Done _ -> assert false
+            | `Choices candidates ->
+              List.iter
+                (fun v ->
+                  if not (Atomic.get over) then begin
+                    let saved = M.snapshot m in
+                    M.pick m v;
+                    (match settle m with
+                    | `Done run -> complete_final m run
+                    | `Choices _ ->
+                      if claim (M.digest m) then begin
+                        Atomic.incr states;
+                        if jobs > 1 && Wb_support.Deque.size dq < 16 then begin
+                          Atomic.incr outstanding;
+                          Wb_support.Deque.push dq (List.rev (v :: rev_path))
+                        end
+                        else expand (v :: rev_path)
+                      end);
+                    M.restore m saved
+                  end)
+                candidates
+          in
+          let process prefix =
+            feed prefix;
+            expand (List.rev prefix)
+          in
+          let rec loop () =
+            if not (Atomic.get over) then
+              match Wb_support.Deque.pop dq with
+              | Some prefix -> run_item prefix
+              | None -> scan 1
+          and run_item prefix =
+            process prefix;
+            Atomic.decr outstanding;
+            loop ()
+          and scan d =
+            if d >= jobs then begin
+              if Atomic.get outstanding > 0 && not (Atomic.get over) then begin
+                Domain.cpu_relax ();
+                scan 1
+              end
+            end
+            else
+              match Wb_support.Deque.steal deques.((k + d) mod jobs) with
+              | Some prefix ->
+                incr steals;
+                run_item prefix
+              | None -> scan (d + 1)
+          in
+          Obs.Prof.phase prof_worker loop;
+          if !steals > 0 then Atomic.fetch_and_add steals_total !steals |> ignore
+        in
+        let domains = List.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1))) in
+        worker 0;
+        List.iter Domain.join domains
+      end;
+      let steals = Atomic.get steals_total in
+      Obs.Metrics.add m_dedup_hits (Atomic.get hits);
+      Obs.Metrics.add m_orbit !collapses;
+      Obs.Metrics.add m_states (Atomic.get states);
+      if steals > 0 then Obs.Metrics.add m_steals steals;
+      Obs.Metrics.set m_table_slots (Wb_support.Cset.capacity table);
+      Obs.Metrics.set m_table_used (Wb_support.Cset.cardinal table);
+      if Atomic.get over then Error (`Limit (Wb_support.Cset.limit table))
+      else
+        Ok
+          {
+            valid = Atomic.get valid;
+            states = Atomic.get states;
+            finals = Atomic.get finals;
+            dedup_hits = Atomic.get hits;
+            orbit_collapses = !collapses;
+            steals;
+            group_order = (match group with Some a -> Array.length a | None -> 1);
+            dedup = true;
+          }
+    end
 end
 
 let run_packed ?max_rounds ?trace ?span (module P : Protocol.S) g adv =
@@ -257,3 +567,7 @@ let explore_packed_exn ?limit ?trace (module P : Protocol.S) g check =
 let explore_par_packed ?limit ?shards ~jobs (module P : Protocol.S) g check =
   let module E = Make (P) in
   E.explore_par ?limit ?shards ~jobs g check
+
+let verify_packed ?limit ?symmetry ?jobs (module P : Protocol.S) g check =
+  let module E = Make (P) in
+  E.verify ?limit ?symmetry ?jobs g check

@@ -9,8 +9,13 @@
     - {!Make.explore} — depth-first enumeration of {e every} adversarial
       schedule, backtracking over a single live machine;
     - {!Make.explore_par} — the same enumeration split over multicore
-      workers ([Domain.spawn]), with a verdict and execution count that are
-      deterministic in the number of workers.
+      workers ([Domain.spawn]) scheduled by per-domain work-stealing deques
+      ({!Wb_support.Deque}), with a verdict and execution count that are
+      deterministic in the number of workers;
+    - {!Make.verify} — canonical-state exploration: configuration dedup
+      ({!Machine.Make.digest} memoised in a lock-free {!Wb_support.Cset})
+      and symmetry reduction ({!Wb_graph.Auto}), sound under the protocol's
+      declared {!Protocol.Traits}, falling back to enumeration otherwise.
 
     The networked referee ([Wb_net.Session]) is the fourth consumer of the
     same kernel; it adds transport and fault handling but no semantics.
@@ -65,6 +70,25 @@ val outcome_equal : outcome -> outcome -> bool
     graphs and big naturals). *)
 
 val stats_equal : stats -> stats -> bool
+
+type verification = {
+  valid : bool;  (** every checked execution passed. *)
+  states : int;
+      (** distinct interior (choice-point) configurations claimed; [0] in
+          enumerative fallback mode. *)
+  finals : int;
+      (** distinct final configurations checked (canonical mode) or complete
+          executions enumerated (fallback). *)
+  dedup_hits : int;  (** schedule prefixes merged into already-visited configurations. *)
+  orbit_collapses : int;  (** candidate writes pruned to symmetry-orbit representatives. *)
+  steals : int;
+      (** deque steals between workers — scheduling telemetry, the one field
+          that legitimately varies with [jobs] and timing. *)
+  group_order : int;  (** order of the automorphism group used; [1] when symmetry was off. *)
+  dedup : bool;  (** [false] iff the traits forced the enumerative fallback. *)
+}
+(** Result of {!Make.verify}.  All fields except [steals] are deterministic
+    and independent of [jobs]. *)
 
 module Make (P : Protocol.S) : sig
   val run :
@@ -129,6 +153,38 @@ module Make (P : Protocol.S) : sig
       [limit], independent of [jobs].
       @raise Invalid_argument when [jobs < 1] or when [shards] is given
       with length [<> jobs]. *)
+
+  val verify :
+    ?limit:int ->
+    ?symmetry:bool ->
+    ?jobs:int ->
+    Wb_graph.Graph.t ->
+    (run -> bool) ->
+    (verification, [ `Limit of int ]) result
+  (** Canonical exploration: enumerate {e configurations} instead of
+      schedules.  When the protocol's {!Protocol.Traits} declare confluence
+      on [g], schedule prefixes reaching the same {!Machine.Make.digest} are
+      merged through a shared lock-free visited table; when they further
+      declare a symmetry promise and [symmetry] is [true] (default), a
+      sequential first phase prunes candidate writes to stabilizer-orbit
+      representatives of [Aut(g)] (prefix lex-leader with explicit
+      stabilizer chains) before the remaining subtrees are fanned out over
+      [jobs] work-stealing workers.  Without a confluence promise on [g]
+      the call degrades to {!explore_par} and reports [dedup = false].
+
+      [check] must be domain-safe, must factor through the configuration it
+      is given (two executions reaching the same final configuration get at
+      most one [check] call between them), and — when symmetry applies —
+      must be automorphism-invariant, which every graph-property
+      differential here is.
+
+      [limit] (default [250_000]) bounds {e distinct configurations} in
+      canonical mode (executions in fallback mode); exceeding it returns
+      [Error (`Limit _)] deterministically.  All result fields except
+      [steals] are independent of [jobs]: a configuration is claimed at
+      discovery, so the claimed set is the reachability closure of the
+      pruned tree regardless of worker scheduling.
+      @raise Invalid_argument when [jobs < 1]. *)
 end
 
 val run_packed :
@@ -159,3 +215,12 @@ val explore_par_packed :
   Wb_graph.Graph.t ->
   (run -> bool) ->
   (bool * int, [ `Limit of int ]) result
+
+val verify_packed :
+  ?limit:int ->
+  ?symmetry:bool ->
+  ?jobs:int ->
+  Protocol.t ->
+  Wb_graph.Graph.t ->
+  (run -> bool) ->
+  (verification, [ `Limit of int ]) result

@@ -1,5 +1,6 @@
 module Obs = Wb_obs
 module G = Wb_graph.Graph
+module Mix = Wb_support.Mix
 
 type status = Awake | Active | Terminated | Dead
 
@@ -112,6 +113,15 @@ module Make (N : NODE) = struct
     mutable round : int;
     mutable pending : pending;
     mutable finished : run option;
+    (* Canonical-digest lanes (see [digest]): two independent Zobrist
+       accumulators XOR-folding per-component contributions, maintained
+       incrementally at every status, memory and board mutation.  [mem_h]
+       caches each node's current memory contribution (0 = no message) so
+       synchronous recomposition can XOR the old one out in O(1) and a board
+       append reuses the hash of the message it publishes. *)
+    mutable z0 : int;
+    mutable z1 : int;
+    mutable mem_h : int array;
   }
 
   let frozen = Model.frozen_at_activation N.model
@@ -157,11 +167,42 @@ module Make (N : NODE) = struct
       compose_count = Array.make size 0;
       round = 0;
       pending = Idle;
-      finished = None }
+      finished = None;
+      z0 = 0;
+      z1 = 0;
+      mem_h = Array.make size 0 }
 
   let board t = t.board
 
   let round t = t.round
+
+  (* Each contribution is stamped into both lanes (under different keys) by
+     XOR, so lanes are insensitive to the order contributions arrive in —
+     the board lane in particular identifies the board by its multiset of
+     messages, which is what makes the digest canonical across schedule
+     prefixes (docs/EXPLORATION.md).  Stamping the same value twice cancels:
+     status changes and recompositions XOR the old contribution out. *)
+  let stamp t c =
+    t.z0 <- t.z0 lxor Mix.mix c;
+    t.z1 <- t.z1 lxor Mix.mix (c lxor 0x2c1b3c6da4be98f1)
+
+  let status_code = function Awake -> 0 | Active -> 1 | Terminated -> 2 | Dead -> 3
+
+  let c_status v st = Mix.combine 0x51 ((v lsl 2) lor status_code st)
+
+  let set_status t v st =
+    let old = t.status.(v) in
+    if old <> st then begin
+      stamp t (c_status v old);
+      stamp t (c_status v st);
+      t.status.(v) <- st
+    end
+
+  let digest t =
+    let acc = Mix.combine (Mix.combine t.z0 t.z1) t.round in
+    match t.pending with
+    | Waiting cs -> List.fold_left (fun a v -> Mix.combine a (v + 2)) (Mix.combine acc 1) cs
+    | Idle | Chosen _ -> Mix.combine acc 0
 
   let emit t ev = match t.trace with None -> () | Some tr -> Obs.Trace.emit tr ev
 
@@ -182,7 +223,7 @@ module Make (N : NODE) = struct
 
   let kill t v =
     if t.status.(v) <> Dead then begin
-      t.status.(v) <- Dead;
+      set_status t v Dead;
       let parent = inner_parent t in
       span_finish t (span_start t ?parent ~attrs:[ ("node", string_of_int (v + 1)) ] "fault")
     end
@@ -194,6 +235,10 @@ module Make (N : NODE) = struct
     | None -> kill t v
     | Some (m, local) ->
       t.locals.(v) <- local;
+      (match t.mem_h.(v) with 0 -> () | h -> stamp t h);
+      let h = Mix.combine 0x4d (Mix.combine (Mix.bools ~seed:17 (Message.payload m)) v) in
+      t.mem_h.(v) <- h;
+      stamp t h;
       t.memory.(v) <- Some m;
       t.compose_count.(v) <- t.compose_count.(v) + 1;
       Obs.Metrics.incr m_composes;
@@ -214,7 +259,7 @@ module Make (N : NODE) = struct
     emit t (Obs.Event.Round_start { round = t.round });
     t.span_round <- span_start t ?parent:t.root_ctx "round";
     for v = 0 to t.size - 1 do
-      if t.status.(v) = Active && Board.has_author t.board v then t.status.(v) <- Terminated
+      if t.status.(v) = Active && Board.has_author t.board v then set_status t v Terminated
     done;
     let candidates = ref [] in
     for v = t.size - 1 downto 0 do
@@ -231,7 +276,7 @@ module Make (N : NODE) = struct
         (* [wants_to_activate] may kill the node (a faulted query): a dead
            node never activates, however it answered. *)
         if goes && t.status.(v) = Awake then begin
-          t.status.(v) <- Active;
+          set_status t v Active;
           t.activation_round.(v) <- t.round;
           activated := true;
           emit t (Obs.Event.Activate { node = v; round = t.round });
@@ -249,6 +294,7 @@ module Make (N : NODE) = struct
     | None -> assert false
     | Some m ->
       Board.append t.board m;
+      stamp t (Mix.combine 0x42 t.mem_h.(v));
       t.write_round.(v) <- t.round;
       Obs.Metrics.incr m_writes;
       Obs.Metrics.set m_board_bits (Board.total_bits t.board);
@@ -350,6 +396,9 @@ module Make (N : NODE) = struct
     s_round : int;
     s_board_len : int;
     s_pending : pending;
+    s_z0 : int;
+    s_z1 : int;
+    s_mem_h : int array;
   }
 
   let snapshot t =
@@ -361,7 +410,10 @@ module Make (N : NODE) = struct
       s_compose = Array.copy t.compose_count;
       s_round = t.round;
       s_board_len = Board.snapshot_length t.board;
-      s_pending = t.pending }
+      s_pending = t.pending;
+      s_z0 = t.z0;
+      s_z1 = t.z1;
+      s_mem_h = Array.copy t.mem_h }
 
   let restore t s =
     t.status <- Array.copy s.s_status;
@@ -373,6 +425,9 @@ module Make (N : NODE) = struct
     t.round <- s.s_round;
     Board.truncate t.board s.s_board_len;
     t.pending <- s.s_pending;
+    t.z0 <- s.s_z0;
+    t.z1 <- s.s_z1;
+    t.mem_h <- Array.copy s.s_mem_h;
     (* A restore rewinds logical time, so stopping the open round span here
        would emit a stop at an earlier round than its start; drop it
        unstopped instead (the exporters tolerate unclosed spans). *)

@@ -142,6 +142,21 @@ module Make (N : NODE) : sig
   val board : t -> Board.t
   val round : t -> int
 
+  val digest : t -> int
+  (** A 63-bit canonical digest of the machine's configuration: node
+      statuses, composed-but-unwritten memories, the board's {e multiset}
+      of messages (write order deliberately excluded — under a confluent
+      protocol two prefixes reaching the same multiset have identical
+      futures, see {!Protocol.Traits}), the round, and the open candidate
+      set when a choice is pending.  Maintained incrementally — O(1) per
+      status/board mutation, O(message bits) per composition — never by
+      re-serialising a snapshot.  Local node state is {e not} hashed: the
+      canonical explorer only digests protocols whose traits promise locals
+      carry nothing beyond the hashed components.  Meaningful at [`Choices]
+      and [`Done] points; equal digests identify equal configurations up to
+      63-bit hash collisions (the standard hash-compaction caveat,
+      docs/EXPLORATION.md).  Stable across {!snapshot}/{!restore}. *)
+
   type snapshot
 
   val snapshot : t -> snapshot

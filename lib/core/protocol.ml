@@ -1,7 +1,21 @@
+module Traits = struct
+  type t = {
+    confluent : Wb_graph.Graph.t -> bool;
+    symmetry_fixed : (Wb_graph.Graph.t -> int list) option;
+  }
+
+  let opaque = { confluent = (fun _ -> false); symmetry_fixed = None }
+
+  let canonical ?symmetry_fixed () = { confluent = (fun _ -> true); symmetry_fixed }
+
+  let canonical_when ?symmetry_fixed confluent = { confluent; symmetry_fixed }
+end
+
 module type S = sig
   val name : string
   val model : Model.t
   val message_bound : n:int -> int
+  val traits : Traits.t
 
   type local
 
@@ -16,3 +30,5 @@ type t = (module S)
 let name (module P : S) = P.name
 
 let model (module P : S) = P.model
+
+let traits (module P : S) = P.traits

@@ -1,0 +1,141 @@
+exception Give_up
+
+(* Iterated 1-WL colour refinement: start from degrees, repeatedly replace a
+   node's colour with a canonical code of (own colour, sorted multiset of
+   neighbour colours) until the partition stops splitting.  Only nodes with
+   equal final colours can be exchanged by an automorphism. *)
+let compare_sig (c1, nb1) (c2, nb2) =
+  let c = Int.compare c1 c2 in
+  if c <> 0 then c
+  else begin
+    let l = Int.compare (Array.length nb1) (Array.length nb2) in
+    if l <> 0 then l
+    else begin
+      let r = ref 0 in
+      (try
+         Array.iteri
+           (fun i x ->
+             let c = Int.compare x nb2.(i) in
+             if c <> 0 then begin
+               r := c;
+               raise Exit
+             end)
+           nb1
+       with Exit -> ());
+      !r
+    end
+  end
+
+let refine g =
+  let n = Graph.n g in
+  let colors = ref (Array.init n (Graph.degree g)) in
+  let classes c = List.length (List.sort_uniq Int.compare (Array.to_list c)) in
+  let continue = ref true in
+  while !continue do
+    let sigs =
+      Array.init n (fun v ->
+          let nb = Array.map (fun u -> !colors.(u)) (Graph.neighbors g v) in
+          Array.sort Int.compare nb;
+          (!colors.(v), nb))
+    in
+    let order = Array.init n Fun.id in
+    Array.sort
+      (fun a b ->
+        let c = compare_sig sigs.(a) sigs.(b) in
+        if c <> 0 then c else Int.compare a b)
+      order;
+    let next = Array.make n 0 in
+    let code = ref 0 in
+    Array.iteri
+      (fun i v ->
+        if i > 0 && compare_sig sigs.(order.(i - 1)) sigs.(v) <> 0 then incr code;
+        next.(v) <- !code)
+      order;
+    continue := classes next > classes !colors;
+    colors := next
+  done;
+  !colors
+
+let is_automorphism g p =
+  Wb_support.Perm.is_permutation p
+  && Array.length p = Graph.n g
+  && List.for_all (fun (u, v) -> Graph.mem_edge g p.(u) p.(v)) (Graph.edges g)
+
+let automorphisms ?(fixed = []) ?(max_order = 50_000) ?(budget = 2_000_000) g =
+  let n = Graph.n g in
+  if n = 0 || n > 128 then None
+  else begin
+    let adj = Graph.adjacency_matrix g in
+    let colors = refine g in
+    let is_fixed = Array.make n false in
+    List.iter (fun v -> is_fixed.(v) <- true) fixed;
+    let img = Array.make n (-1) in
+    let used = Array.make n false in
+    let found = ref [] in
+    let count = ref 0 in
+    let work = ref 0 in
+    let rec assign v =
+      work := !work + 1;
+      if !work > budget then raise Give_up;
+      if v = n then begin
+        count := !count + 1;
+        if !count > max_order then raise Give_up;
+        found := Array.copy img :: !found
+      end
+      else
+        for w = 0 to n - 1 do
+          if
+            (not used.(w))
+            && colors.(w) = colors.(v)
+            && ((not is_fixed.(v)) || w = v)
+            && (let ok = ref true in
+                for u = 0 to v - 1 do
+                  if adj.(v).(u) <> adj.(w).(img.(u)) then ok := false
+                done;
+                !ok)
+          then begin
+            img.(v) <- w;
+            used.(w) <- true;
+            assign (v + 1);
+            used.(w) <- false;
+            img.(v) <- -1
+          end
+        done
+    in
+    match assign 0 with
+    | () -> Some (Array.of_list (List.rev !found))
+    | exception Give_up -> None
+  end
+
+let orbits ~n group =
+  let rep = Array.init n Fun.id in
+  Array.iter (fun p -> Array.iteri (fun v w -> if w < rep.(v) then rep.(v) <- w) p) group;
+  (* Close under composition: a vertex's representative is the least vertex
+     reachable by any group element, and group closure makes one sweep to a
+     fixpoint over direct images sufficient only if reps are canonical;
+     iterate to the fixpoint to be safe. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun p ->
+        Array.iteri
+          (fun v w ->
+            let r = min rep.(v) rep.(w) in
+            if rep.(v) <> r || rep.(w) <> r then begin
+              rep.(v) <- r;
+              rep.(w) <- r;
+              changed := true
+            end)
+          p)
+      group;
+    (* Path-compress through representatives. *)
+    Array.iteri
+      (fun v r ->
+        if rep.(r) < rep.(v) then begin
+          rep.(v) <- rep.(r);
+          changed := true
+        end)
+      rep
+  done;
+  rep

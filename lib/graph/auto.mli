@@ -1,0 +1,32 @@
+(** Graph automorphisms, as explicit permutation groups.
+
+    The exploration stack prunes symmetric adversarial schedules with the
+    stabilizer-chain rule (docs/EXPLORATION.md): it needs the full
+    automorphism group of the input as an explicit element list, possibly
+    restricted to the pointwise stabilizer of protocol-distinguished nodes
+    (e.g. the MIS root).  Exhaustive exploration only reaches small n, so
+    groups are enumerated outright — K_n gives n! elements, C_n gives 2n,
+    Q_d gives 2^d·d! — and the search simply gives up ([None]) past a size
+    or work cap, degrading the explorer to dedup-only.
+
+    The enumeration is a backtracking search over images in vertex order,
+    pruned by iterated 1-WL colour refinement (the orbit-refinement
+    fallback: only same-colour vertices can be exchanged) and by adjacency
+    consistency with all previously assigned vertices. *)
+
+val automorphisms :
+  ?fixed:int list -> ?max_order:int -> ?budget:int -> Graph.t -> int array array option
+(** All automorphisms of [g] fixing every vertex of [fixed] pointwise
+    (default none), as permutation arrays; the identity is always included.
+    [None] when more than [max_order] (default 50_000) automorphisms exist,
+    when the backtracking search exceeds [budget] (default 2_000_000) nodes,
+    or when [Graph.n g > 128] — callers must treat [None] as "no usable
+    symmetry", never as an error. *)
+
+val orbits : n:int -> int array array -> int array
+(** [orbits ~n group] maps each vertex to the least vertex in its orbit
+    under [group] (which must contain the identity). *)
+
+val is_automorphism : Graph.t -> int array -> bool
+(** Permutation validity plus edge preservation — the test-oracle
+    definition, quadratic and independent of the search above. *)

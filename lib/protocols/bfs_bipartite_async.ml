@@ -7,6 +7,8 @@ module Impl = struct
 
   let model = P.Model.Async
 
+  let traits = P.Protocol.Traits.canonical_when Wb_graph.Algo.is_connected
+
   let message_bound ~n = Bfs_common.message_bound variant ~n
 
   type local = unit

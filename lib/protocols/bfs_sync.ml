@@ -7,6 +7,11 @@ module Impl = struct
 
   let model = P.Model.Sync
 
+  (* The component-jump rule reads the last written entry, so write order
+     matters exactly on disconnected inputs; the lowest-id parent tie-break
+     rules out equivariance. *)
+  let traits = P.Protocol.Traits.canonical_when Wb_graph.Algo.is_connected
+
   let message_bound ~n = Bfs_common.message_bound variant ~n
 
   type local = unit

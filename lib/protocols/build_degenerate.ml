@@ -25,6 +25,8 @@ let protocol ~k ~decoder : P.Protocol.t =
 
     let model = P.Model.Sim_async
 
+    let traits = P.Protocol.Traits.opaque
+
     (* ID + degree + k power sums, each sum at most n * n^p <= n^(k+1). *)
     let message_bound ~n =
       let sum_bits p = Codec.big_bits (Nat.mul (Nat.of_int (max n 1)) (Nat.pow_int (max n 1) p)) in

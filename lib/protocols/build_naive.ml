@@ -6,6 +6,8 @@ module Impl = struct
 
   let model = P.Model.Sim_async
 
+  let traits = P.Protocol.Traits.canonical ~symmetry_fixed:(fun _ -> []) ()
+
   let message_bound ~n = Codec.id_bits n + n
 
   type local = unit

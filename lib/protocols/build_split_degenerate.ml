@@ -9,6 +9,8 @@ let protocol ~k : P.Protocol.t =
 
     let model = P.Model.Sim_async
 
+    let traits = P.Protocol.Traits.opaque
+
     let message_bound ~n =
       let sum_bits p = Codec.big_bits (Nat.mul (Nat.of_int (max n 1)) (Nat.pow_int (max n 1) p)) in
       let sums = ref 0 in

@@ -7,6 +7,8 @@ module Impl = struct
 
   let model = P.Model.Sync
 
+  let traits = P.Protocol.Traits.opaque
+
   let message_bound ~n = Bfs_common.message_bound variant ~n
 
   type local = unit

@@ -7,6 +7,10 @@ let protocol ~root : P.Protocol.t =
 
     let model = P.Model.Sim_sync
 
+    (* Order-insensitive board reads throughout; equivariant for every
+       automorphism fixing the root. *)
+    let traits = P.Protocol.Traits.canonical ~symmetry_fixed:(fun _ -> [ root ]) ()
+
     let message_bound ~n = Codec.id_bits n + 1
 
     type local = unit

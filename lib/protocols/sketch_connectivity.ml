@@ -110,6 +110,8 @@ let make ~seed ~name ~finish : P.Protocol.t =
 
     let model = P.Model.Sim_async
 
+    let traits = P.Protocol.Traits.opaque
+
     let message_bound ~n =
       (* copies * levels cells of three zig-zag ints; idsum can reach
          n^3-ish and fpsum n^2 * 2^40: bound each by 64 coded bits. *)

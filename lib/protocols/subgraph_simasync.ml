@@ -7,6 +7,8 @@ let protocol ~cutoff : P.Protocol.t =
 
     let model = P.Model.Sim_async
 
+    let traits = P.Protocol.Traits.opaque
+
     let clamp n = max 0 (min n (cutoff n))
 
     let message_bound ~n = Codec.id_bits n + clamp n

@@ -7,6 +7,8 @@ let protocol ~k : P.Protocol.t =
 
     let model = Build.model
 
+    let traits = P.Protocol.Traits.opaque
+
     let message_bound = Build.message_bound
 
     type local = Build.local

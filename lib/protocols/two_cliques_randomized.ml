@@ -13,6 +13,8 @@ let protocol ~seed ~bits : P.Protocol.t =
 
     let model = P.Model.Sim_async
 
+    let traits = P.Protocol.Traits.opaque
+
     let message_bound ~n = Codec.id_bits n + bits
 
     type local = unit

@@ -12,6 +12,8 @@ module Impl = struct
 
   let model = P.Model.Sim_sync
 
+  let traits = P.Protocol.Traits.canonical ~symmetry_fixed:(fun _ -> []) ()
+
   let message_bound ~n = Codec.id_bits n + Codec.int_bits 2
 
   type local = unit

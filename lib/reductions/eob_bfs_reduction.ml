@@ -76,6 +76,8 @@ let transform (protocol : P.Protocol.t) : P.Protocol.t =
 
     let model = P.Model.Sim_sync
 
+    let traits = P.Protocol.Traits.opaque
+
     let message_bound ~n = A.message_bound ~n:((2 * n) + 1)
 
     type local = A.local option

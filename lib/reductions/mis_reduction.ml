@@ -40,6 +40,8 @@ let transform ~make_inner : P.Protocol.t =
 
     let model = P.Model.Sim_async
 
+    let traits = P.Protocol.Traits.opaque
+
     let inner ~n : P.Protocol.t =
       let p = make_inner ~root:n in
       if P.Protocol.model p <> P.Model.Sim_async then

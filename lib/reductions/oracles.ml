@@ -27,6 +27,8 @@ module Triangle = struct
 
   let model = P.Model.Sim_async
 
+  let traits = P.Protocol.Traits.opaque
+
   let message_bound ~n = Wb_protocols.Codec.id_bits n + n
 
   type local = unit
@@ -48,6 +50,8 @@ let mis_simasync ~root : P.Protocol.t =
 
     let model = P.Model.Sim_async
 
+    let traits = P.Protocol.Traits.opaque
+
     let message_bound ~n = Wb_protocols.Codec.id_bits n + n
 
     type local = unit
@@ -67,6 +71,8 @@ module Eob_bfs = struct
   let name = "oracle-eob-bfs/simsync"
 
   let model = P.Model.Sim_sync
+
+  let traits = P.Protocol.Traits.opaque
 
   let message_bound ~n = Wb_protocols.Codec.id_bits n + n
 

@@ -35,6 +35,8 @@ let transform (protocol : P.Protocol.t) : P.Protocol.t =
 
     let model = P.Model.Sim_async
 
+    let traits = P.Protocol.Traits.opaque
+
     let message_bound ~n =
       Codec.id_bits n + (2 * Codec.payload_bits (A.message_bound ~n:(n + 1)))
 

@@ -1,0 +1,56 @@
+type t = {
+  slots : int Atomic.t array; (* length a power of two; 0 = empty *)
+  mask : int;
+  limit : int;
+  used : int Atomic.t;
+}
+
+let max_limit = 3_000_000
+
+let rec pow2 c n = if c >= n then c else pow2 (c * 2) n
+
+let create ?(limit = 1_000_000) () =
+  let limit = max 1 (min limit max_limit) in
+  (* Keep the load factor under 3/4 at the limit so probe chains stay short
+     and a CAS loser always finds an empty slot further along. *)
+  let cap = pow2 1024 ((limit * 4 / 3) + 2) in
+  { slots = Array.init cap (fun _ -> Atomic.make 0);
+    mask = cap - 1;
+    limit;
+    used = Atomic.make 0 }
+
+let norm d =
+  let d = d land max_int in
+  if d = 0 then 0x2545f4914f6cdd1d else d
+
+let add t digest =
+  let d = norm digest in
+  let rec probe i =
+    let slot = t.slots.(i) in
+    let v = Atomic.get slot in
+    if v = d then `Present
+    else if v = 0 then
+      if Atomic.get t.used >= t.limit then `Full
+      else if Atomic.compare_and_set slot 0 d then begin
+        Atomic.incr t.used;
+        `Added
+      end
+      else if Atomic.get slot = d then `Present
+      else probe ((i + 1) land t.mask)
+    else probe ((i + 1) land t.mask)
+  in
+  probe (d land t.mask)
+
+let mem t digest =
+  let d = norm digest in
+  let rec probe i =
+    let v = Atomic.get t.slots.(i) in
+    if v = d then true else if v = 0 then false else probe ((i + 1) land t.mask)
+  in
+  probe (d land t.mask)
+
+let cardinal t = Atomic.get t.used
+
+let limit t = t.limit
+
+let capacity t = Array.length t.slots

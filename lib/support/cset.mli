@@ -1,0 +1,40 @@
+(** Lock-free concurrent digest set: the explorer's visited-configuration
+    table.
+
+    Open addressing over an array of [int Atomic.t] slots (0 = empty) with
+    linear probing.  Slots only ever transition 0 → digest, and the
+    transition is a CAS, so membership-or-insert ([add]) is exactly-once per
+    digest across any number of domains — the property the deterministic
+    exploration counts rely on.  There is no delete and no resize: capacity
+    is fixed at creation, sized so the load factor stays below 3/4 at the
+    entry [limit].
+
+    Digests are truncated to 63 bits and must be well-mixed (use
+    {!Mix.mix}); the all-zero digest is remapped internally.  Two distinct
+    configurations hashing to the same 63-bit digest are silently merged —
+    the standard hash-compaction trade-off; with [s] stored entries the
+    expected number of false merges is about [s^2 / 2^64]
+    (see docs/EXPLORATION.md). *)
+
+type t
+
+val create : ?limit:int -> unit -> t
+(** A table accepting up to [min limit 3_000_000] entries (default limit
+    1_000_000).  Allocation is proportional to the effective limit. *)
+
+val add : t -> int -> [ `Added | `Present | `Full ]
+(** Insert-or-find.  [`Added] — the calling domain claimed this digest, and
+    no other [add] of it ever returns [`Added].  [`Present] — already
+    claimed.  [`Full] — the entry limit was reached (the table may overshoot
+    by at most one entry per concurrent domain). *)
+
+val mem : t -> int -> bool
+
+val cardinal : t -> int
+(** Entries stored (racy snapshot while other domains insert). *)
+
+val limit : t -> int
+(** The effective entry limit this table enforces. *)
+
+val capacity : t -> int
+(** Allocated slot count (for occupancy telemetry). *)

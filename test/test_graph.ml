@@ -248,8 +248,65 @@ let codec_tests =
         let g = Gen.random_gnp (Prng.create 3) 100 0.05 in
         check "roundtrip n=100" true (Graph.equal g (Graph6.decode (Graph6.encode g)))) ]
 
+let auto_tests =
+  let order ?fixed g =
+    match Auto.automorphisms ?fixed g with
+    | None -> Alcotest.fail "automorphisms gave up"
+    | Some a ->
+      Array.iter (fun p -> check "is automorphism" true (Auto.is_automorphism g p)) a;
+      Array.length a
+  in
+  [ Alcotest.test_case "known group orders" `Quick (fun () ->
+        Alcotest.(check int) "K5: 5!" 120 (order (Gen.complete 5));
+        Alcotest.(check int) "C6: dihedral 2*6" 12 (order (Gen.cycle 6));
+        Alcotest.(check int) "Q3: 2^3*3!" 48 (order (Gen.hypercube 3));
+        Alcotest.(check int) "Q4: 2^4*4!" 384 (order (Gen.hypercube 4));
+        Alcotest.(check int) "path P4: 2" 2
+          (order (Graph.of_edges 4 [ (0, 1); (1, 2); (2, 3) ]));
+        Alcotest.(check int) "asymmetric: trivial" 1
+          (* The smallest asymmetric tree (7 vertices). *)
+          (order (Graph.of_edges 7 [ (0, 1); (1, 2); (2, 3); (2, 4); (4, 5); (5, 6) ])));
+    Alcotest.test_case "pointwise stabilizer" `Quick (fun () ->
+        Alcotest.(check int) "K5 fixing one vertex: 4!" 24
+          (order ~fixed:[ 0 ] (Gen.complete 5));
+        Alcotest.(check int) "C6 fixing one vertex: the reflection" 2
+          (order ~fixed:[ 0 ] (Gen.cycle 6));
+        Alcotest.(check int) "C6 fixing an edge's ends: trivial" 1
+          (order ~fixed:[ 0; 1 ] (Gen.cycle 6)));
+    Alcotest.test_case "caps give None, not an error" `Quick (fun () ->
+        check "K8 exceeds max_order 100" true
+          (Auto.automorphisms ~max_order:100 (Gen.complete 8) = None);
+        check "K8 fits the default caps" true (Auto.automorphisms (Gen.complete 8) <> None));
+    Alcotest.test_case "orbits: transitive graphs have one orbit" `Quick (fun () ->
+        List.iter
+          (fun g ->
+            match Auto.automorphisms g with
+            | None -> Alcotest.fail "gave up"
+            | Some a ->
+              let o = Auto.orbits ~n:(Graph.n g) a in
+              check "all mapped to vertex 0" true (Array.for_all (fun r -> r = 0) o))
+          [ Gen.complete 6; Gen.cycle 7; Gen.hypercube 3 ];
+        let star = Graph.of_edges 4 [ (0, 1); (0, 2); (0, 3) ] in
+        match Auto.automorphisms star with
+        | None -> Alcotest.fail "gave up"
+        | Some a ->
+          let o = Auto.orbits ~n:4 a in
+          check "star orbits: centre alone, leaves together" true
+            (o.(0) = 0 && o.(1) = 1 && o.(2) = 1 && o.(3) = 1));
+    qtest
+      (QCheck.Test.make ~name:"every reported element preserves edges" ~count:60
+         QCheck.(pair seeded (int_range 2 7))
+         (fun (seed, n) ->
+           let g = Gen.random_gnp (Prng.create seed) n 0.5 in
+           match Auto.automorphisms g with
+           | None -> true
+           | Some a ->
+             Array.length a >= 1
+             && Array.for_all (fun p -> Auto.is_automorphism g p) a)) ]
+
 let suites =
   [ ("graph.core", graph_tests);
     ("graph.gen", gen_tests);
     ("graph.algo", algo_tests);
-    ("graph.codec", codec_tests) ]
+    ("graph.codec", codec_tests);
+    ("graph.auto", auto_tests) ]

@@ -18,6 +18,8 @@ module Probe (C : PROBE_CONFIG) : Protocol.S = struct
 
   let model = C.model
 
+  let traits = Protocol.Traits.opaque
+
   let message_bound ~n = 64 + n
 
   type local = unit
@@ -129,6 +131,8 @@ let lifecycle_tests =
 
           let model = Model.Sim_async
 
+          let traits = Protocol.Traits.opaque
+
           let message_bound ~n:_ = 4
 
           type local = unit
@@ -156,6 +160,8 @@ let lifecycle_tests =
           let name = "crasher"
 
           let model = Model.Sim_async
+
+          let traits = Protocol.Traits.opaque
 
           let message_bound ~n:_ = 8
 
@@ -380,11 +386,171 @@ let problems_tests =
         | Answer.Edge_set es -> Alcotest.(check int) "C(3,2)" 3 (List.length es)
         | _ -> Alcotest.fail "expected edge set")) ]
 
+(* A machine over the simplest confluent protocol shape: every node writes
+   its own id, frozen at activation, so the board content is a pure multiset
+   of ids — exactly the setting the canonical digest is specified for. *)
+module Id_node = struct
+  let model = Model.Sim_async
+
+  let message_bound ~n:_ = 64
+
+  type local = unit
+
+  let init _ = ()
+
+  let wants_to_activate ~round:_ _ _ () = true
+
+  let compose ~round:_ view _board () =
+    let w = W.create () in
+    W.nat w (View.id view);
+    Some (Message.of_writer ~author:(View.id view) w, ())
+
+  let output ~n:_ _ = Answer.Node_set []
+end
+
+module IdM = Machine.Make (Id_node)
+
+(* Drive [m] through [picks], returning the digest at the configuration the
+   prefix leads to (a choice point or completion). *)
+let digest_after m picks =
+  let rec go picks =
+    match (IdM.step m, picks) with
+    | `Write _, _ -> go picks
+    | `Choices _, v :: rest ->
+      IdM.pick m v;
+      go rest
+    | `Choices _, [] -> IdM.digest m
+    | `Done _, [] -> IdM.digest m
+    | `Done _, _ :: _ -> Alcotest.fail "prefix ran past the end"
+  in
+  go picks
+
+let digest_tests =
+  [ Alcotest.test_case "stable across snapshot/restore" `Quick (fun () ->
+        let m = IdM.init (G.Gen.complete 4) in
+        let d0 = digest_after m [ 2 ] in
+        let saved = IdM.snapshot m in
+        let d_deep = digest_after m [ 0; 1 ] in
+        check "mutation moved the digest" true (d_deep <> d0);
+        IdM.restore m saved;
+        Alcotest.(check int) "restored digest" d0 (IdM.digest m);
+        (* And the restored machine re-derives the same downstream digest
+           incrementally, not just the restored one. *)
+        Alcotest.(check int) "replay digest" d_deep (digest_after m [ 0; 1 ]));
+    Alcotest.test_case "board-order-insensitive, content-sensitive" `Quick (fun () ->
+        let g = G.Gen.complete 4 in
+        let a = IdM.init g in
+        let b = IdM.init g in
+        (* Same write multiset {0,1} in opposite orders: same configuration. *)
+        let da = digest_after a [ 0; 1 ] in
+        let db = digest_after b [ 1; 0 ] in
+        Alcotest.(check int) "orders merge" da db;
+        (* Different multisets at the same depth must not merge. *)
+        let c = IdM.init g in
+        check "content still distinguishes" true (digest_after c [ 2; 3 ] <> da));
+    Alcotest.test_case "final digests merge by configuration, not by schedule" `Quick (fun () ->
+        (* The machine stops the moment the board fills, so the final
+           configuration still records who wrote last (that node was never
+           swept into Terminated).  Schedules sharing the last writer reach
+           the same configuration and must merge; schedules ending on a
+           different node genuinely differ. *)
+        let g = G.Gen.complete 3 in
+        let d1 = digest_after (IdM.init g) [ 0; 1; 2 ] in
+        let d2 = digest_after (IdM.init g) [ 1; 0; 2 ] in
+        let d3 = digest_after (IdM.init g) [ 2; 1; 0 ] in
+        Alcotest.(check int) "same last writer merges" d1 d2;
+        check "different last writer does not" true (d3 <> d1)) ]
+
+(* The canonical explorer against the naive enumerator: the Traits
+   declarations are promises the type system cannot check, so this
+   differential is what actually pins them (the same contract shape as
+   SPIN's scalarsets).  Verdicts must agree on every instance; in canonical
+   mode the visited-configuration count can only shrink. *)
+let verify_tests =
+  let protocols =
+    [ ("bfs-sync", Wb_protocols.Bfs_sync.protocol, Problems.Bfs);
+      ("bfs-bipartite", Wb_protocols.Bfs_bipartite_async.protocol, Problems.Bfs);
+      ("mis", Wb_protocols.Mis_simsync.protocol ~root:0, Problems.Rooted_mis 0);
+      ("build-naive", Wb_protocols.Build_naive.protocol, Problems.Build) ]
+  in
+  let arb_instance =
+    QCheck.make
+      ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+      QCheck.Gen.(pair (2 -- 5) (0 -- 9999))
+  in
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"verify agrees with explore on random graphs" ~count:15 arb_instance
+         (fun (n, seed) ->
+           let g = G.Gen.random_gnp (Wb_support.Prng.create seed) n 0.5 in
+           List.for_all
+             (fun (name, protocol, problem) ->
+               let chk (r : Engine.run) =
+                 match r.Engine.outcome with
+                 | Engine.Success a -> Problems.valid_answer problem g a
+                 | _ -> false
+               in
+               match (Engine.explore_packed protocol g chk, Engine.verify_packed protocol g chk)
+               with
+               | Ok (ok, count), Ok v ->
+                 let verdicts = ok = v.Engine.valid in
+                 let shrinks = (not v.Engine.dedup) || v.Engine.finals <= count in
+                 if not (verdicts && shrinks) then
+                   QCheck.Test.fail_reportf "%s: explore (%b, %d) vs verify (%b, %d+%d dedup=%b)"
+                     name ok count v.Engine.valid v.Engine.states v.Engine.finals v.Engine.dedup;
+                 true
+               | Error (`Limit _), Error (`Limit _) -> true
+               | Ok _, Error _ | Error _, Ok _ ->
+                 QCheck.Test.fail_reportf "%s: limit behaviour diverged" name)
+             protocols));
+    Alcotest.test_case "verify is jobs-independent (steals aside)" `Quick (fun () ->
+        let g = G.Gen.complete 6 in
+        let chk (r : Engine.run) =
+          match r.Engine.outcome with
+          | Engine.Success a -> Problems.valid_answer Problems.Build g a
+          | _ -> false
+        in
+        let strip (v : Engine.verification) = { v with Engine.steals = 0 } in
+        match Engine.verify_packed ~jobs:1 Wb_protocols.Build_naive.protocol g chk with
+        | Error (`Limit _) -> Alcotest.fail "unexpected limit"
+        | Ok v1 ->
+          check "dedup ran" true v1.Engine.dedup;
+          check "nonzero symmetry" true (v1.Engine.group_order > 1);
+          List.iter
+            (fun jobs ->
+              match Engine.verify_packed ~jobs Wb_protocols.Build_naive.protocol g chk with
+              | Error (`Limit _) -> Alcotest.fail "unexpected limit"
+              | Ok v -> check (Printf.sprintf "jobs=%d" jobs) true (strip v = strip v1))
+            [ 2; 3 ]);
+    Alcotest.test_case "verify limit is a typed error" `Quick (fun () ->
+        let g = G.Gen.complete 6 in
+        match Engine.verify_packed ~limit:3 Wb_protocols.Build_naive.protocol g (fun _ -> true)
+        with
+        | Error (`Limit _) -> ()
+        | Ok _ -> Alcotest.fail "expected Error (`Limit _)");
+    Alcotest.test_case "opaque protocols fall back to enumeration" `Quick (fun () ->
+        let module P = Probe (struct
+          let model = Model.Sim_async
+
+          let activate_when _ _ = true
+        end) in
+        let g = G.Gen.complete 4 in
+        match
+          ( Engine.verify_packed (module P : Protocol.S) g (fun _ -> true),
+            Engine.explore_packed (module P : Protocol.S) g (fun _ -> true) )
+        with
+        | Ok v, Ok (ok, count) ->
+          check "fallback flagged" false v.Engine.dedup;
+          check "verdict" true (v.Engine.valid = ok);
+          Alcotest.(check int) "execution count" count v.Engine.finals
+        | _ -> Alcotest.fail "unexpected limit") ]
+
 let suites =
   [ ("model.message-timing", message_timing_tests);
     ("model.lifecycle", lifecycle_tests);
     ("model.explore", explore_tests);
     ("model.explore-par", explore_par_tests);
+    ("model.digest", digest_tests);
+    ("model.verify", verify_tests);
     ("model.board", board_tests);
     ("model.adversary", adversary_tests);
     ("model.meta", model_meta_tests);

@@ -225,10 +225,151 @@ let perm_tests =
            let inv = Perm.inverse p in
            Array.for_all (fun i -> inv.(p.(i)) = i) (Array.init n Fun.id))) ]
 
+let mix_tests =
+  [ Alcotest.test_case "deterministic and nonzero" `Quick (fun () ->
+        Alcotest.(check int) "stable" (Mix.mix 42) (Mix.mix 42);
+        check "mix 0 <> 0" true (Mix.mix 0 <> 0);
+        check "nonnegative" true (Mix.mix min_int >= 0 && Mix.mix max_int >= 0));
+    qtest
+      (QCheck.Test.make ~name:"no trivial collisions on small ints" ~count:1
+         QCheck.unit
+         (fun () ->
+           let seen = Hashtbl.create 4096 in
+           for i = 0 to 4095 do
+             Hashtbl.replace seen (Mix.mix i) ()
+           done;
+           Hashtbl.length seen = 4096));
+    qtest
+      (QCheck.Test.make ~name:"combine is order-dependent" ~count:200
+         QCheck.(pair small_nat small_nat)
+         (fun (a, b) ->
+           QCheck.assume (a <> b);
+           Mix.combine (Mix.combine 0 a) b <> Mix.combine (Mix.combine 0 b) a));
+    qtest
+      (QCheck.Test.make ~name:"bools: injective-ish and length-sensitive" ~count:200
+         QCheck.(pair (array_of_size Gen.(0 -- 70) bool) small_nat)
+         (fun (bits, seed) ->
+           let h = Mix.bools ~seed bits in
+           (* Stable, and appending a zero bit changes the hash (length is
+              folded in, so trailing-zero padding is not a collision). *)
+           h = Mix.bools ~seed bits
+           && h <> Mix.bools ~seed (Array.append bits [| false |]))) ]
+
+let deque_tests =
+  [ Alcotest.test_case "owner LIFO, thief FIFO" `Quick (fun () ->
+        let d = Deque.create ~capacity:2 () in
+        for i = 1 to 5 do
+          Deque.push d i
+        done;
+        Alcotest.(check (option int)) "pop newest" (Some 5) (Deque.pop d);
+        Alcotest.(check (option int)) "steal oldest" (Some 1) (Deque.steal d);
+        Alcotest.(check (option int)) "steal next" (Some 2) (Deque.steal d);
+        Alcotest.(check (option int)) "pop" (Some 4) (Deque.pop d);
+        Alcotest.(check (option int)) "pop last" (Some 3) (Deque.pop d);
+        Alcotest.(check (option int)) "empty pop" None (Deque.pop d);
+        Alcotest.(check (option int)) "empty steal" None (Deque.steal d));
+    Alcotest.test_case "grows past initial capacity" `Quick (fun () ->
+        let d = Deque.create ~capacity:1 () in
+        for i = 0 to 999 do
+          Deque.push d i
+        done;
+        Alcotest.(check int) "size" 1000 (Deque.size d);
+        for i = 999 downto 0 do
+          Alcotest.(check (option int)) "pop order" (Some i) (Deque.pop d)
+        done);
+    Alcotest.test_case "two-domain steal stress: every element exactly once" `Quick (fun () ->
+        (* The owner interleaves pushes and pops while a thief drains from
+           the top; between them every pushed element must surface exactly
+           once.  Exercises the pop/steal CAS race on the last element. *)
+        let d = Deque.create ~capacity:4 () in
+        let n = 20_000 in
+        let stolen = ref [] in
+        let thief =
+          Domain.spawn (fun () ->
+              let taken = ref 0 in
+              while !taken < n / 4 do
+                match Deque.steal d with
+                | Some v ->
+                  stolen := v :: !stolen;
+                  incr taken
+                | None -> Domain.cpu_relax ()
+              done)
+        in
+        let popped = ref [] in
+        let next = ref 0 in
+        while !next < n do
+          Deque.push d !next;
+          incr next;
+          if !next mod 3 = 0 then
+            match Deque.pop d with
+            | Some v -> popped := v :: !popped
+            | None -> ()
+        done;
+        Domain.join thief;
+        let rec drain () =
+          match Deque.pop d with
+          | Some v ->
+            popped := v :: !popped;
+            drain ()
+          | None -> ()
+        in
+        drain ();
+        let all = List.rev_append !stolen !popped in
+        Alcotest.(check int) "total count" n (List.length all);
+        let sorted = List.sort Int.compare all in
+        check "each element exactly once" true
+          (List.for_all2 Int.equal sorted (List.init n Fun.id))) ]
+
+let cset_tests =
+  [ Alcotest.test_case "add/mem/cardinal, zero remapped" `Quick (fun () ->
+        let t = Cset.create ~limit:100 () in
+        check "added" true (Cset.add t 7 = `Added);
+        check "present" true (Cset.add t 7 = `Present);
+        check "mem" true (Cset.mem t 7);
+        check "not mem" false (Cset.mem t 8);
+        check "zero digest works" true (Cset.add t 0 = `Added);
+        check "zero present" true (Cset.add t 0 = `Present);
+        Alcotest.(check int) "cardinal" 2 (Cset.cardinal t);
+        check "capacity is a power of two" true
+          (let c = Cset.capacity t in
+           c land (c - 1) = 0));
+    Alcotest.test_case "fills up to limit then reports Full" `Quick (fun () ->
+        let t = Cset.create ~limit:16 () in
+        Alcotest.(check int) "limit clamp" 16 (Cset.limit t);
+        for i = 1 to 16 do
+          check "added" true (Cset.add t (Mix.mix i) = `Added)
+        done;
+        check "full" true (Cset.add t (Mix.mix 99) = `Full);
+        check "existing still present" true (Cset.add t (Mix.mix 3) = `Present));
+    Alcotest.test_case "two-domain adds claim each digest exactly once" `Quick (fun () ->
+        let t = Cset.create ~limit:20_000 () in
+        let n = 10_000 in
+        let adds k =
+          (* Both domains race over the same digest set, offset so they
+             collide constantly. *)
+          let mine = ref 0 in
+          for i = 0 to n - 1 do
+            let i = if k = 0 then i else n - 1 - i in
+            match Cset.add t (Mix.mix i) with
+            | `Added -> incr mine
+            | `Present -> ()
+            | `Full -> Alcotest.fail "unexpected Full"
+          done;
+          !mine
+        in
+        let other = Domain.spawn (fun () -> adds 1) in
+        let a = adds 0 in
+        let b = Domain.join other in
+        Alcotest.(check int) "claims partition the digests" n (a + b);
+        Alcotest.(check int) "cardinal" n (Cset.cardinal t)) ]
+
 let suites =
   [ ("support.prng", prng_tests);
     ("support.bitset", bitset_tests);
     ("support.bitbuf", bitbuf_tests);
     ("support.dynarray", dynarray_tests);
     ("support.heap", heap_tests);
-    ("support.perm", perm_tests) ]
+    ("support.perm", perm_tests);
+    ("support.mix", mix_tests);
+    ("support.deque", deque_tests);
+    ("support.cset", cset_tests) ]
