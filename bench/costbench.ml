@@ -1,0 +1,16 @@
+(* Thin main over Wb_bench.Cost_core (shared with `wbctl bench` and
+   `wbctl cost`): the full-registry certificate sweep — measured worst
+   message vs envelope vs Lemma 3 floor, aborting on any violation.
+   Writes BENCH_cost.json (or --out FILE). *)
+
+let () =
+  let cli = Wb_bench.Report.Cli.parse () in
+  (match cli.Wb_bench.Report.Cli.rest with
+  | [] -> ()
+  | junk ->
+    Printf.eprintf "costbench: unexpected arguments: %s\n" (String.concat " " junk);
+    exit 2);
+  ignore
+    (Wb_bench.Cost_core.run
+       ~seed:(Wb_bench.Report.Cli.seed cli ~default:2012)
+       ~fast:cli.Wb_bench.Report.Cli.fast ?out:cli.Wb_bench.Report.Cli.out ())

@@ -6,18 +6,21 @@
 
      dune exec bench/main.exe -- table2 fig synth
 
-   Sections: table1 table2 fig msgsize lattice synth congest open timing.
-   Set WB_BENCH_FAST=1 to skip the slow n=4 SIMSYNC synthesis cell.
+   Sections: table1 table2 fig msgsize lattice synth congest cost open
+   timing.  Set WB_BENCH_FAST=1 to skip the slow n=4 SIMSYNC synthesis
+   cell.
 
    The uniform bench CLI applies: --seed N overrides the sections' default
    seeds, --out FILE redirects the sidecar of a single-section run.  Every
    section writes a machine-readable BENCH_<section>.json sidecar in the
    Wb_bench.Report schema (rows where the section emits them, a flat
    diffable metric map, wall time and a registry snapshot); WB_BENCH_JSON=0
-   disables the sidecars. *)
+   disables the sidecars.  Sections marked [`Core] live in the wb_bench
+   library (shared with `wbctl bench`) and write their own envelope;
+   [`Wrapped] sections report through Harness.Emit. *)
 
 let sections =
-  [ ("table1", fun () ->
+  [ ("table1", `Wrapped (fun () ->
         Harness.section "Table 1 — the four models";
         print_endline (Wb_model.Model.table1 ());
         List.iter
@@ -25,15 +28,18 @@ let sections =
             Harness.Emit.row "table1" ~name:(Wb_model.Model.name m)
               [ ("simultaneous", Wb_obs.Json.Bool (Wb_model.Model.simultaneous m));
                 ("frozen_at_activation", Wb_obs.Json.Bool (Wb_model.Model.frozen_at_activation m)) ])
-          Wb_model.Model.all);
-    ("table2", Table2.print);
-    ("fig", Figures.print);
-    ("msgsize", Msgsize.print);
-    ("lattice", Lattice.print);
-    ("synth", Synthbench.print);
-    ("congest", Congestbench.print);
-    ("open", Openproblems.print);
-    ("timing", Timing.print) ]
+          Wb_model.Model.all));
+    ("table2", `Wrapped Table2.print);
+    ("fig", `Wrapped Figures.print);
+    ("msgsize",
+     `Core (fun ~seed ~fast ~out -> ignore (Wb_bench.Msgsize_core.run ?seed ~fast ?out ())));
+    ("lattice", `Wrapped Lattice.print);
+    ("synth", `Wrapped Synthbench.print);
+    ("congest",
+     `Core (fun ~seed ~fast ~out -> ignore (Wb_bench.Congest_core.run ?seed ~fast ?out ())));
+    ("cost", `Core (fun ~seed ~fast ~out -> ignore (Wb_bench.Cost_core.run ?seed ~fast ?out ())));
+    ("open", `Wrapped Openproblems.print);
+    ("timing", `Wrapped Timing.print) ]
 
 let () =
   let cli = Wb_bench.Report.Cli.parse () in
@@ -48,15 +54,21 @@ let () =
       (String.concat " " (List.map fst sections));
     exit 1
   end;
+  let single = List.length chosen = 1 in
   (match cli.Wb_bench.Report.Cli.out with
-  | Some _ when List.length chosen <> 1 ->
+  | Some _ when not single ->
     prerr_endline "bench: --out FILE requires exactly one section";
     exit 2
   | _ -> ());
-  Harness.Emit.configure ~single:(List.length chosen = 1) cli;
+  Harness.Emit.configure ~single cli;
   List.iter
-    (fun (name, run) ->
-      Harness.Emit.start name;
-      run ();
-      Harness.Emit.finish name)
+    (fun (name, section) ->
+      match section with
+      | `Wrapped run ->
+        Harness.Emit.start name;
+        run ();
+        Harness.Emit.finish name
+      | `Core run ->
+        let out = if single then cli.Wb_bench.Report.Cli.out else None in
+        run ~seed:cli.Wb_bench.Report.Cli.seed ~fast:cli.Wb_bench.Report.Cli.fast ~out)
     chosen

@@ -95,7 +95,15 @@ let models_cmd =
   Cmd.v (Cmd.info "models" ~doc:"Print the paper's Table 1") Term.(const run $ const ())
 
 let protocols_cmd =
-  let run () =
+  let costs_arg =
+    Arg.(
+      value & flag
+      & info [ "costs" ]
+          ~doc:
+            "Also print each protocol's cost certificate: the closed-form envelope, its value at \
+             n=16/256, and the Lemma 3 floor class where one is declared")
+  in
+  let run costs =
     Printf.printf "%-26s %-10s %-22s %s\n" "key" "model" "problem (n=16)" "promise class";
     List.iter
       (fun (e : Wb_protocols.Registry.entry) ->
@@ -114,10 +122,20 @@ let protocols_cmd =
           (P.Model.name (P.Protocol.model e.protocol))
           (P.Problems.name (e.problem 16))
           promise
-          (if e.randomized then "  [randomized]" else ""))
+          (if e.randomized then "  [randomized]" else "");
+        if costs then begin
+          let c = e.certificate in
+          Printf.printf "    envelope: %s  (n=16: %d bits, n=256: %d bits)\n" c.Obs.Cost.form
+            (c.Obs.Cost.envelope ~n:16) (c.Obs.Cost.envelope ~n:256);
+          match (c.Obs.Cost.floor, c.Obs.Cost.floor_class) with
+          | Some f, Some cls ->
+            Printf.printf "    floor:    %s  (n=16: %d bits, n=256: %d bits)\n" cls (f ~n:16)
+              (f ~n:256)
+          | _ -> ()
+        end)
       (Wb_protocols.Registry.all ())
   in
-  Cmd.v (Cmd.info "protocols" ~doc:"List registered protocols") Term.(const run $ const ())
+  Cmd.v (Cmd.info "protocols" ~doc:"List registered protocols") Term.(const run $ costs_arg)
 
 (* Prints the run and returns the process exit code: unsuccessful outcomes
    exit 2 so scripting against the CLI is sound. *)
@@ -166,6 +184,16 @@ let profile_arg =
            enabled by WB_PROF=1)")
 
 let apply_profile profile = if profile then Obs.Prof.enable ()
+
+let cost_arg =
+  Arg.(
+    value & flag
+    & info [ "cost" ]
+        ~doc:
+          "Enable the Wb_cost per-round bit ledger (cost.* series in the metrics registry and \
+           cost_round trace events; also enabled by WB_COST=1)")
+
+let apply_cost cost = if cost then Obs.Cost.enable ()
 
 let open_out_or_die file =
   try open_out file
@@ -259,6 +287,17 @@ let print_telemetry metrics_str =
       (fun (k, v) ->
         match v with Obs.Json.Int i -> Printf.printf "%-38s %10d\n" k i | _ -> ())
       scalars;
+    (* Wire-overhead digest: how many framed wire bytes the referee moved
+       per board bit, when the session counters are present. *)
+    let scalar k =
+      match List.assoc_opt k scalars with Some (Obs.Json.Int i) -> Some i | _ -> None
+    in
+    (match (scalar "net.session.board_bits", scalar "net.session.wire_bytes") with
+    | Some bits, Some bytes when bits > 0 ->
+      Printf.printf "%-38s %9.1fx  (%d wire bytes for %d board bits)\n" "wire overhead"
+        (float_of_int (bytes * 8) /. float_of_int bits)
+        bytes bits
+    | _ -> ());
     let hists = section "histograms" in
     if not (List.is_empty hists) then
       Printf.printf "%-38s %10s %8s %8s %8s %8s\n" "histogram" "count" "p50" "p95" "p99" "max";
@@ -309,8 +348,9 @@ let with_entry key f =
   | Some e -> f e
 
 let run_cmd =
-  let run key family n p seed adv trace metrics_json metrics_om profile =
+  let run key family n p seed adv trace metrics_json metrics_om profile cost =
     apply_profile profile;
+    apply_cost cost;
     with_entry key (fun e ->
         let g = make_graph ~family ~n ~p ~seed in
         Printf.printf "graph: %s on %d nodes, %d edges (seed %d)\n" family (G.Graph.n g)
@@ -336,7 +376,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a protocol on a generated graph")
     Term.(
       const run $ key_arg $ family_arg $ n_arg $ p_arg $ seed_arg $ adversary_arg $ trace_arg
-      $ metrics_json_arg $ metrics_om_arg $ profile_arg)
+      $ metrics_json_arg $ metrics_om_arg $ profile_arg $ cost_arg)
 
 (* Span endpoints carry wall-clock timestamps, but the JSONL artifacts
    promise byte-determinism at a fixed seed — so they keep the classic
@@ -509,8 +549,9 @@ let explore_cmd =
   in
   let explore_ring_capacity = 65536 in
   let run key family n p seed metrics_json sample sample_out jobs trace_out no_dedup quiet stats
-      profile =
+      profile cost =
     apply_profile profile;
+    apply_cost cost;
     with_entry key (fun e ->
         let g = make_graph ~family ~n ~p ~seed in
         let problem = e.problem (G.Graph.n g) in
@@ -632,7 +673,7 @@ let explore_cmd =
     Term.(
       const run $ key_arg $ family_arg $ n_arg $ p_arg $ seed_arg $ metrics_json_arg $ sample_arg
       $ sample_out_arg $ jobs_arg $ trace_out_arg $ no_dedup_arg $ quiet_arg $ stats_arg
-      $ profile_arg)
+      $ profile_arg $ cost_arg)
 
 (* ---- networked whiteboard (wb_net) ----------------------------------- *)
 
@@ -660,8 +701,9 @@ let serve_cmd =
       & opt (some int) None
       & info [ "max-sessions" ] ~docv:"K" ~doc:"Exit after $(docv) completed sessions")
   in
-  let run key family n p seed adv port timeout max_sessions max_rounds profile =
+  let run key family n p seed adv port timeout max_sessions max_rounds profile cost =
     apply_profile profile;
+    apply_cost cost;
     with_entry key (fun e ->
         let g = make_graph ~family ~n ~p ~seed in
         let spec =
@@ -687,7 +729,7 @@ let serve_cmd =
     (Cmd.info "serve" ~doc:"Host a networked referee: the board lives here, nodes join remotely")
     Term.(
       const run $ key_arg $ family_arg $ n_arg $ p_arg $ seed_arg $ adversary_arg $ port_arg
-      $ timeout_arg $ max_sessions_arg $ max_rounds_arg $ profile_arg)
+      $ timeout_arg $ max_sessions_arg $ max_rounds_arg $ profile_arg $ cost_arg)
 
 let join_cmd =
   let host_arg =
@@ -1142,6 +1184,103 @@ let counting_cmd =
     (Cmd.info "counting" ~doc:"Print the Lemma 3 information floors")
     Term.(const run $ n_arg)
 
+let cost_cmd =
+  let protocol_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "protocol" ] ~docv:"KEY"
+          ~doc:"Sweep only this registry protocol (default: every registered protocol)")
+  in
+  let sweep_arg =
+    Arg.(
+      value & opt string "16,64,256,1024"
+      & info [ "sweep" ] ~docv:"N1,N2,.."
+          ~doc:"Comma-separated node counts; two-cliques entries round to the even size below")
+  in
+  let cost_seed_arg =
+    Arg.(value & opt int 2012 & info [ "seed" ] ~docv:"SEED" ~doc:"Instance-generation seed")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also write the verdict table as JSON.  Unlike BENCH_cost.json the artifact carries \
+             no wall-clock fields, so it is byte-identical across same-seed runs")
+  in
+  let run protocol sweep seed json =
+    let ns =
+      try
+        List.map
+          (fun s ->
+            let n = int_of_string (String.trim s) in
+            if n < 2 then failwith "size below 2";
+            n)
+          (String.split_on_char ',' sweep)
+      with _ ->
+        prerr_endline "wbctl: --sweep expects a comma-separated list of sizes >= 2";
+        exit 1
+    in
+    let entries =
+      match protocol with
+      | None -> Wb_protocols.Registry.all ()
+      | Some key -> with_entry key (fun e -> [ e ])
+    in
+    Wb_bench.Cost_core.print_header ();
+    let violations = ref 0 in
+    let rows =
+      List.concat_map
+        (fun e ->
+          List.map
+            (fun n ->
+              let r =
+                try Wb_bench.Cost_core.measure e ~seed ~n
+                with Failure msg ->
+                  Printf.eprintf "wbctl: %s\n" msg;
+                  exit 2
+              in
+              Wb_bench.Cost_core.print_row r;
+              if not (Obs.Cost.verdict_ok r.Wb_bench.Cost_core.verdict) then incr violations;
+              r)
+            ns)
+        entries
+    in
+    (match json with
+    | None -> ()
+    | Some file ->
+      let doc =
+        Obs.Json.Obj
+          [ ("bench", Obs.Json.String "cost");
+            ("seed", Obs.Json.Int seed);
+            ("sweep", Obs.Json.List (List.map (fun n -> Obs.Json.Int n) ns));
+            ("rows",
+             Obs.Json.List
+               (List.map
+                  (fun r ->
+                    Obs.Json.Obj
+                      (("protocol", Obs.Json.String r.Wb_bench.Cost_core.key)
+                      :: Wb_bench.Cost_core.row_fields r))
+                  rows)) ]
+      in
+      let oc = open_out_or_die file in
+      Obs.Json.to_channel oc doc;
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "cost table: %s (%d rows)\n" file (List.length rows));
+    if !violations > 0 then begin
+      Printf.eprintf "wbctl: %d certificate violation(s)\n" !violations;
+      exit 2
+    end
+  in
+  Cmd.v
+    (Cmd.info "cost"
+       ~doc:
+         "Sweep the registry's cost certificates: measured worst message vs closed-form envelope \
+          vs Lemma 3 floor across a range of sizes, exiting 2 on any violation")
+    Term.(const run $ protocol_arg $ sweep_arg $ cost_seed_arg $ json_arg)
+
 let metrics_cmd =
   let remote_arg =
     Arg.(
@@ -1231,21 +1370,29 @@ let bench_cmd =
   in
   let names_arg =
     Arg.(
-      value & pos_all string [] & info [] ~docv:"BENCH" ~doc:"Suites to run: explore, rpc, chaos")
+      value & pos_all string []
+      & info [] ~docv:"BENCH" ~doc:"Suites to run: explore, rpc, chaos, cost, msgsize, congest")
   in
   let suites =
     [ ("explore",
        fun ~seed ~fast ->
          Wb_bench.Explore_core.run ?seed ~fast ~out:"BENCH_explore.json" ());
       ("rpc", fun ~seed ~fast -> Wb_bench.Rpc_core.run ?seed ~fast ~out:"BENCH_rpc.json" ());
-      ("chaos", fun ~seed ~fast -> Wb_bench.Chaos_core.run ?seed ~fast ~out:"BENCH_chaos.json" ())
+      ("chaos", fun ~seed ~fast -> Wb_bench.Chaos_core.run ?seed ~fast ~out:"BENCH_chaos.json" ());
+      ("cost", fun ~seed ~fast -> Wb_bench.Cost_core.run ?seed ~fast ~out:"BENCH_cost.json" ());
+      ("msgsize",
+       fun ~seed ~fast -> Wb_bench.Msgsize_core.run ?seed ~fast ~out:"BENCH_msgsize.json" ());
+      ("congest",
+       fun ~seed ~fast -> Wb_bench.Congest_core.run ?seed ~fast ~out:"BENCH_congest.json" ())
     ]
   in
   let run all fast seed history no_history names =
     let chosen =
       if all then suites
       else if names = [] then begin
-        prerr_endline "wbctl: name at least one bench (explore, rpc, chaos) or pass --all";
+        prerr_endline
+          "wbctl: name at least one bench (explore, rpc, chaos, cost, msgsize, congest) or pass \
+           --all";
         exit 1
       end
       else
@@ -1298,4 +1445,4 @@ let () =
           (Cmd.info "wbctl" ~version:"1.0.0" ~doc:"Shared-whiteboard distributed computing laboratory")
           [ models_cmd; protocols_cmd; run_cmd; trace_cmd; explore_cmd; serve_cmd; join_cmd;
             remote_run_cmd; chaos_cmd; top_cmd; metrics_cmd; bench_cmd; synth_cmd; counting_cmd;
-            graph_cmd ]))
+            cost_cmd; graph_cmd ]))

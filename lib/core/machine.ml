@@ -99,6 +99,7 @@ module Make (N : NODE) = struct
     max_rounds : int;
     views : View.t array;
     board : Board.t;
+    cost : Obs.Cost.ledger option;  (* None unless Wb_obs.Cost is enabled *)
     trace : Obs.Trace.t option;
     minter : Obs.Span.minter;
     root_ctx : Obs.Span.context option;  (* parent for per-round spans *)
@@ -154,6 +155,7 @@ module Make (N : NODE) = struct
       max_rounds = (match max_rounds with Some r -> r | None -> default_max_rounds size);
       views;
       board = Board.create size;
+      cost = Obs.Cost.create ();
       trace;
       minter;
       root_ctx = Option.map Obs.Span.context span_root;
@@ -245,12 +247,27 @@ module Make (N : NODE) = struct
       emit t (Obs.Event.Compose { node = v; round = t.round; bits = Message.size_bits m }));
     span_finish t sp
 
+  (* Close the ledger's open round and publish its summary while the round
+     number is still current — called at both places a round can end (the
+     next round's prefix, and [finish]) so the event keeps the stream's
+     round monotonicity.  Rounds with no writes stay silent. *)
+  let flush_cost t =
+    match t.cost with
+    | None -> ()
+    | Some l -> (
+      match Obs.Cost.flush_round l with
+      | None -> ()
+      | Some { Obs.Cost.round; writes; bits } ->
+        emit t
+          (Obs.Event.Cost_round { round; writes; bits; board_bits = Board.total_bits t.board }))
+
   (* One deterministic round prefix: terminations, candidate collection,
      activations, synchronous recomposition.  Returns the write candidates
      (filtered to live nodes holding a message — the filter is identity on
      fault-free executions) and whether anyone activated. *)
   let round_prefix t =
     Obs.Prof.phase prof_round (fun () ->
+    flush_cost t;
     (* Close the previous round's span while its round number is still
        current, so span events keep the stream's round monotonicity. *)
     span_finish t t.span_round;
@@ -298,6 +315,11 @@ module Make (N : NODE) = struct
       t.write_round.(v) <- t.round;
       Obs.Metrics.incr m_writes;
       Obs.Metrics.set m_board_bits (Board.total_bits t.board);
+      (match t.cost with
+      | None -> ()
+      | Some l ->
+        Obs.Cost.record l ~round:t.round ~bits:(Message.size_bits m)
+          ~board_bits:(Board.total_bits t.board));
       emit t
         (Obs.Event.Write
            { node = v;
@@ -306,6 +328,7 @@ module Make (N : NODE) = struct
              board_bits = Board.total_bits t.board })
 
   let finish t outcome =
+    flush_cost t;
     let message_bits = Array.make t.size (-1) in
     Board.iter (fun m -> message_bits.(Message.author m) <- Message.size_bits m) t.board;
     Obs.Metrics.add m_rounds t.round;
@@ -428,6 +451,9 @@ module Make (N : NODE) = struct
     t.z0 <- s.s_z0;
     t.z1 <- s.s_z1;
     t.mem_h <- Array.copy s.s_mem_h;
+    (* A rewound round must not be observed as a round summary; the ledger's
+       cumulative process totals keep counting replays by design. *)
+    (match t.cost with None -> () | Some l -> Obs.Cost.discard_round l);
     (* A restore rewinds logical time, so stopping the open round span here
        would emit a stop at an earlier round than its start; drop it
        unstopped instead (the exporters tolerate unclosed spans). *)

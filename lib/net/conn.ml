@@ -16,18 +16,29 @@ module Metrics = struct
   let disconnects = Obs.Metrics.counter ~help:"connections lost before RUN-END" "net.disconnects"
 end
 
+(* Per-connection byte totals, filled in by the transport closures (which
+   are built before the record exists) and read by the session layer to
+   correlate wire traffic with the board bits it carried. *)
+type stats = { mutable sent_bytes : int; mutable recv_bytes : int }
+
 type t = {
   peer_name : string;
   send_fn : Obs.Span.context option -> Wire.frame -> (unit, fault) result;
   recv_fn : unit -> (Wire.frame * Obs.Span.context option, fault) result;
   close_fn : unit -> unit;
+  stats : stats;
   mutable closed : bool;
 }
 
 let peer c = c.peer_name
 
+let fresh_stats () = { sent_bytes = 0; recv_bytes = 0 }
+
+let make_ctx_with ~stats ~peer ~send ~recv ~close =
+  { peer_name = peer; send_fn = send; recv_fn = recv; close_fn = close; stats; closed = false }
+
 let make_ctx ~peer ~send ~recv ~close =
-  { peer_name = peer; send_fn = send; recv_fn = recv; close_fn = close; closed = false }
+  make_ctx_with ~stats:(fresh_stats ()) ~peer ~send ~recv ~close
 
 (* Context-blind assembly for fault-injection tests: outgoing contexts are
    dropped, incoming frames carry none. *)
@@ -73,6 +84,10 @@ let close c =
   end
 
 let is_closed c = c.closed
+
+let bytes_sent c = c.stats.sent_bytes
+
+let bytes_received c = c.stats.recv_bytes
 
 let fault_to_string = function
   | Timeout -> "read timeout"
@@ -123,11 +138,13 @@ let of_fd ?(timeout = 5.0) ~peer fd =
      (~40ms), which multiplies into seconds per session and trips read
      timeouts on long-idle nodes. *)
   (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  let stats = fresh_stats () in
   let send ctx frame =
     let bytes = Wire.encode ?ctx frame in
     match write_all fd (Bytes.unsafe_of_string bytes) 0 (String.length bytes) with
     | () ->
       Obs.Metrics.add Metrics.bytes_sent (String.length bytes);
+      stats.sent_bytes <- stats.sent_bytes + String.length bytes;
       Ok ()
     | exception Unix.Unix_error _ -> Error Closed
   in
@@ -138,6 +155,7 @@ let of_fd ?(timeout = 5.0) ~peer fd =
     | `Timeout -> Error Timeout
     | `Ok -> (
       Obs.Metrics.add Metrics.bytes_received Wire.header_bytes;
+      stats.recv_bytes <- stats.recv_bytes + Wire.header_bytes;
       match Wire.decode_header (Bytes.unsafe_to_string header) with
       | Error e -> Error (Bad_frame e)
       | Ok (version, body_len, crc) -> (
@@ -147,6 +165,7 @@ let of_fd ?(timeout = 5.0) ~peer fd =
         | `Timeout -> Error Timeout
         | `Ok -> (
           Obs.Metrics.add Metrics.bytes_received body_len;
+          stats.recv_bytes <- stats.recv_bytes + body_len;
           match Wire.decode_body ~version ~crc (Bytes.unsafe_to_string body) with
           | Ok pair -> Ok pair
           | Error e -> Error (Bad_frame e))))
@@ -155,7 +174,7 @@ let of_fd ?(timeout = 5.0) ~peer fd =
     (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
     try Unix.close fd with Unix.Unix_error _ -> ()
   in
-  make_ctx ~peer ~send ~recv ~close
+  make_ctx_with ~stats ~peer ~send ~recv ~close
 
 (* ---- deterministic loopback ------------------------------------------- *)
 
@@ -164,10 +183,14 @@ exception Hangup
 let loopback_served ~peer ~handler =
   let inbox = Queue.create () in
   let hung_up = ref false in
+  let stats = fresh_stats () in
   let roundtrip ?ctx frame =
     let bytes = Wire.encode ?ctx frame in
     Obs.Metrics.add Metrics.bytes_sent (String.length bytes);
     Obs.Metrics.add Metrics.bytes_received (String.length bytes);
+    (* every loopback frame is both sent and received by this process *)
+    stats.sent_bytes <- stats.sent_bytes + String.length bytes;
+    stats.recv_bytes <- stats.recv_bytes + String.length bytes;
     match Wire.decode_ctx bytes with
     | Ok pair -> pair
     | Error e -> raise (Failure ("loopback codec violation: " ^ Wire.error_to_string e))
@@ -188,4 +211,4 @@ let loopback_served ~peer ~handler =
   let recv () =
     if Queue.is_empty inbox then Error Closed else Ok (Queue.pop inbox)
   in
-  make_ctx ~peer ~send ~recv ~close:(fun () -> ())
+  make_ctx_with ~stats ~peer ~send ~recv ~close:(fun () -> ())

@@ -51,6 +51,14 @@ val close : t -> unit
 
 val is_closed : t -> bool
 
+val bytes_sent : t -> int
+(** Wire bytes this connection has sent (header + body + prelude), as
+    counted by its transport ({!of_fd} or {!loopback_served}).  Assembled
+    ({!make}/{!make_ctx}) connections report zero — an interposing wrapper
+    like [Wb_chaos.Inject] accounts on the inner connection it wraps. *)
+
+val bytes_received : t -> int
+
 val of_fd : ?timeout:float -> peer:string -> Unix.file_descr -> t
 (** Socket transport.  [timeout] (default 5s) bounds every {!recv}; the
     frame length declared in a header is validated against

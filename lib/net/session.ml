@@ -41,6 +41,21 @@ let m_outcome tag = Obs.Metrics.counter ~help:"referee sessions by outcome" ("ne
 let m_faulted =
   Obs.Metrics.counter ~help:"referee sessions that recorded a node fault" "net.sessions.faulted"
 
+(* Wire-overhead accounting: board bits carried vs. wire bytes spent
+   carrying them, summed over each session's connections at teardown.  The
+   gauge is the last session's ratio in percent (wire bits / board bits
+   x 100) — what `wbctl top` surfaces as framing+replication overhead. *)
+let m_board_bits =
+  Obs.Metrics.counter ~help:"board payload bits carried by referee sessions" "net.session.board_bits"
+
+let m_wire_bytes =
+  Obs.Metrics.counter ~help:"wire bytes (sent + received) across session connections"
+    "net.session.wire_bytes"
+
+let m_overhead =
+  Obs.Metrics.gauge ~help:"last session wire bits per board bit, percent"
+    "net.session.wire_overhead_pct"
+
 (* RPC round-trip latency is observed unconditionally — tracing off or on —
    so `wbctl top` always has percentiles to show. *)
 let m_rpc_activate =
@@ -239,4 +254,11 @@ let run cfg conns =
   Obs.Metrics.incr m_sessions;
   Obs.Metrics.incr (m_outcome tag);
   if not (List.is_empty !faults) then Obs.Metrics.incr m_faulted;
+  let wire_bytes =
+    Array.fold_left (fun acc c -> acc + Conn.bytes_sent c + Conn.bytes_received c) 0 conns
+  in
+  let board_bits = run.M.Engine.stats.total_bits in
+  Obs.Metrics.add m_board_bits board_bits;
+  Obs.Metrics.add m_wire_bytes wire_bytes;
+  if board_bits > 0 then Obs.Metrics.set m_overhead (wire_bytes * 8 * 100 / board_bits);
   { run; faults = List.rev !faults; deaths = List.rev !deaths }

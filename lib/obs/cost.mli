@@ -1,0 +1,81 @@
+(** The communication-cost observatory: a per-round bit ledger the
+    execution kernel feeds, and closed-form theorem certificates protocols
+    declare.
+
+    {b Zero cost when off.}  Like {!Prof}, the ledger is opt-in ({!enable},
+    or [WB_COST=1] in the environment): a never-enabled process registers no
+    [cost.*] series and pays one atomic load per run plus one [match] per
+    write.  When enabled, every board append feeds the process-global
+    [cost.*] counters/gauge/histograms and the kernel emits one
+    [Event.Cost_round] per round with writes.
+
+    {b Certificates.}  A {!certificate} states a protocol's paper bound as
+    an executable envelope — max bits any single message may cost at size
+    [n], with explicit constants — plus, where the paper gives one, the
+    matching Lemma 3 information floor.  [wbctl cost] and the [@check-cost]
+    sweep compare measured message sizes against both. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+type ledger
+(** Per-run accumulator.  Allocate one per execution ({!create}); feed it
+    from the single write path; flush at round boundaries. *)
+
+val create : unit -> ledger option
+(** [None] unless the ledger is enabled — callers store the option and the
+    disabled path stays allocation-free. *)
+
+val record : ledger -> round:int -> bits:int -> board_bits:int -> unit
+(** Account one board append of [bits] in [round]; [board_bits] is the
+    board total after the append. *)
+
+type round_summary = { round : int; writes : int; bits : int }
+
+val flush_round : ledger -> round_summary option
+(** Close the open round: observe the per-round histograms and return the
+    summary, or [None] when the round saw no writes.  The caller turns the
+    summary into the [cost.round] trace event. *)
+
+val discard_round : ledger -> unit
+(** Drop the open round without observing it — what a backtracking restore
+    calls, since a rewound round would be misattributed. *)
+
+val total_bits : ledger -> int
+(** Cumulative bits this ledger accounted (all rounds, flushed or not). *)
+
+val total_writes : ledger -> int
+
+(** {1 Theorem-bound certificates} *)
+
+type certificate = {
+  form : string;
+      (** The closed form, human-readable with explicit constants — what
+          [wbctl protocols --costs] prints. *)
+  envelope : n:int -> int;
+      (** Max bits any single message may cost on an [n]-node instance.
+          Deliberately duplicated from the protocol's [message_bound]: a
+          refactor that inflates the encoder breaks the certificate even if
+          it also bumps the cap. *)
+  floor : (n:int -> int) option;
+      (** The Lemma 3 information floor (bits per message), where the paper
+          gives one ({!Wb_reductions.Counting} has the class counts; the
+          registry duplicates the arithmetic to stay cycle-free and the
+          tests cross-check the two). *)
+  floor_class : string option;
+      (** Name of the counting class the floor is computed from, e.g.
+          ["labelled trees"]. *)
+}
+
+type verdict = {
+  n : int;
+  measured : int;  (** max message bits observed on the instance. *)
+  envelope_bits : int;
+  floor_bits : int option;
+  envelope_ok : bool;  (** [measured <= envelope_bits]. *)
+  floor_ok : bool;  (** [measured >= floor] (vacuous without a floor). *)
+}
+
+val check : certificate -> n:int -> measured:int -> verdict
+val verdict_ok : verdict -> bool

@@ -18,8 +18,18 @@ type entry = {
       (** instance for an n-node system (SUBGRAPH_f depends on n). *)
   promise : promise;
   randomized : bool;
+  certificate : Wb_obs.Cost.certificate;
+      (** The protocol's paper bound as an executable envelope, plus the
+          Lemma 3 information floor where the counting argument applies
+          (BUILD-style problems).  The envelope restates the bound
+          independently of the protocol's [message_bound], so the two can
+          drift apart only by breaking the [@check-cost] sweep. *)
 }
 
 val all : unit -> entry list
 val find : string -> entry option
 val satisfies_promise : promise -> Wb_graph.Graph.t -> bool
+
+val sweep_graph : entry -> seed:int -> n:int -> Wb_graph.Graph.t
+(** A promise-satisfying [n]-node instance for cost sweeps, deterministic in
+    [seed].  [Regular_two_half] entries get [2 * (n / 2)] nodes. *)

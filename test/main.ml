@@ -14,6 +14,7 @@ let () =
          Test_robustness.suites;
          Test_obs.suites;
          Test_prof.suites;
+         Test_cost.suites;
          Test_bench.suites;
          Test_net.suites;
          Test_chaos.suites;

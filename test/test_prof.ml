@@ -105,8 +105,10 @@ let ints l = J.List (List.map (fun i -> J.Int i) l)
 
 let golden_envelope =
   J.Obj
-    [ ("counters", J.Obj [ ("engine.runs", J.Int 3); ("9weird name", J.Int 1) ]);
-      ("gauges", J.Obj [ ("engine.board_bits", J.Int 17) ]);
+    [ ( "counters",
+        J.Obj
+          [ ("engine.runs", J.Int 3); ("9weird name", J.Int 1); ("cost.total_bits", J.Int 45) ] );
+      ("gauges", J.Obj [ ("engine.board_bits", J.Int 17); ("cost.board_bits", J.Int 45) ]);
       ( "histograms",
         J.Obj
           [ ( "net.rpc.activate_us",
@@ -118,11 +120,18 @@ let golden_envelope =
               J.Obj
                 [ ("count", J.Int 0); ("sum", J.Int 0); ("min", J.Null); ("max", J.Null);
                   ("p50", J.Null); ("p95", J.Null); ("p99", J.Null); ("buckets", J.List []) ]
-            ) ] ) ]
+            );
+            ( "cost.message_bits",
+              J.Obj
+                [ ("count", J.Int 3); ("sum", J.Int 17); ("min", J.Int 3); ("max", J.Int 9);
+                  ("p50", J.Int 5); ("p95", J.Int 9); ("p99", J.Int 9);
+                  ("buckets", J.List [ ints [ 4; 1 ]; ints [ 8; 1 ]; ints [ 16; 1 ] ]) ] ) ] )
+    ]
 
 let golden_help = function
   | "engine.runs" -> "completed runs"
   | "9weird name" -> "a \"quoted\" back\\slash\nname"
+  | "cost.total_bits" -> "bits appended to boards (cost ledger)"
   | _ -> ""
 
 let golden_expected =
@@ -133,8 +142,13 @@ let golden_expected =
       "# HELP _9weird_name a \"quoted\" back\\\\slash\\nname";
       "# TYPE _9weird_name counter";
       "_9weird_name_total 1";
+      "# HELP cost_total_bits bits appended to boards (cost ledger)";
+      "# TYPE cost_total_bits counter";
+      "cost_total_bits_total 45";
       "# TYPE engine_board_bits gauge";
       "engine_board_bits 17";
+      "# TYPE cost_board_bits gauge";
+      "cost_board_bits 45";
       "# TYPE net_rpc_activate_us histogram";
       "net_rpc_activate_us_bucket{le=\"0\"} 1";
       "net_rpc_activate_us_bucket{le=\"3\"} 3";
@@ -150,6 +164,17 @@ let golden_expected =
       "empty_hist_bucket{le=\"+Inf\"} 0";
       "empty_hist_sum 0";
       "empty_hist_count 0";
+      "# TYPE cost_message_bits histogram";
+      "cost_message_bits_bucket{le=\"3\"} 1";
+      "cost_message_bits_bucket{le=\"7\"} 2";
+      "cost_message_bits_bucket{le=\"15\"} 3";
+      "cost_message_bits_bucket{le=\"+Inf\"} 3";
+      "cost_message_bits_sum 17";
+      "cost_message_bits_count 3";
+      "# TYPE cost_message_bits_quantile gauge";
+      "cost_message_bits_quantile{quantile=\"0.5\"} 5";
+      "cost_message_bits_quantile{quantile=\"0.95\"} 9";
+      "cost_message_bits_quantile{quantile=\"0.99\"} 9";
       "# EOF";
       "" ]
 
